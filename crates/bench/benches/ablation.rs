@@ -1,0 +1,56 @@
+//! Ablation bench: the five hardening measures of §6, one at a time.
+//!
+//! Besides timing the per-configuration analysis, the bench prints the SFF
+//! each single measure buys over the baseline — the ablation table DESIGN.md
+//! calls out (regenerate the full table with `exp_t1_sff`/`exp_t3_ranking`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socfmea_core::extract_zones;
+use socfmea_memsys::{config::MemSysConfig, fmea, rtl::build_netlist};
+use std::hint::black_box;
+
+fn sff_of(cfg: &MemSysConfig) -> f64 {
+    let nl = build_netlist(cfg).expect("valid");
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    fmea::build_worksheet(&zones, cfg)
+        .compute()
+        .sff()
+        .expect("rates nonzero")
+}
+
+fn ablation_configs() -> Vec<(&'static str, MemSysConfig)> {
+    let base = MemSysConfig::baseline();
+    vec![
+        ("baseline", base),
+        ("address_in_ecc", MemSysConfig { address_in_ecc: true, ..base }),
+        ("write_buffer_parity", MemSysConfig { write_buffer_parity: true, ..base }),
+        ("coder_output_checker", MemSysConfig { coder_output_checker: true, ..base }),
+        (
+            "redundant_pipeline_checker",
+            MemSysConfig { redundant_pipeline_checker: true, ..base },
+        ),
+        ("distributed_syndrome", MemSysConfig { distributed_syndrome: true, ..base }),
+        ("sw_startup_test", MemSysConfig { sw_startup_test: true, ..base }),
+        ("hardened_all", MemSysConfig::hardened()),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // print the ablation table once, so the bench log carries the numbers
+    println!("\nSFF ablation (each measure alone over the baseline):");
+    for (name, cfg) in ablation_configs() {
+        println!("  {:<28} SFF {:6.2}%", name, sff_of(&cfg) * 100.0);
+    }
+
+    let mut group = c.benchmark_group("ablation/full_analysis");
+    group.sample_size(10);
+    for (name, cfg) in ablation_configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(sff_of(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the SEC-DED codec and the behavioural memory sub-system —
+//! the datapath primitives every simulated transaction exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use socfmea_memsys::{
+    config::MemSysConfig, ecc::Codec, system::MemorySubsystem, Master,
+};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = Codec::new(true);
+    let mut group = c.benchmark_group("ecc");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37_79b9);
+            black_box(codec.encode(x, x & 0xffff))
+        })
+    });
+    group.bench_function("decode_clean", |b| {
+        let code = codec.encode(0xdead_beef, 42);
+        b.iter(|| black_box(codec.decode(code, 42)))
+    });
+    group.bench_function("decode_corrected", |b| {
+        let code = codec.encode(0xdead_beef, 42) ^ (1 << 13);
+        b.iter(|| black_box(codec.decode(code, 42)))
+    });
+    group.bench_function("decode_double_error", |b| {
+        let code = codec.encode(0xdead_beef, 42) ^ 0b11;
+        b.iter(|| black_box(codec.decode(code, 42)))
+    });
+    group.finish();
+}
+
+fn bench_behavioural_subsystem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsys_behavioural");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("write_read_pair", |b| {
+        let mut sys = MemorySubsystem::new(MemSysConfig::hardened());
+        let mut a = 0u32;
+        b.iter(|| {
+            a = (a + 1) % 32;
+            sys.bus_write(a, a.wrapping_mul(77), Master::Cpu, true).expect("open page");
+            black_box(sys.bus_read(a, Master::Cpu, true).expect("clean"))
+        })
+    });
+    group.bench_function("scrub_scan_32_words", |b| {
+        let mut sys = MemorySubsystem::new(MemSysConfig::hardened());
+        for a in 0..32 {
+            sys.bus_write(a, a * 3, Master::Cpu, true).expect("open page");
+        }
+        sys.idle(0);
+        b.iter(|| black_box(sys.idle(32)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_behavioural_subsystem);
+criterion_main!(benches);

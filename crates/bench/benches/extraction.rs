@@ -1,0 +1,51 @@
+//! Benchmarks of the zone-extraction tool (the paper's RTL analysis step):
+//! sensible-zone extraction, cone analysis and correlation versus design
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socfmea_core::{extract_zones, wide_fault_sites, ExtractConfig};
+use socfmea_memsys::{config::MemSysConfig, rtl::build_netlist};
+use socfmea_rtl::gen;
+use std::hint::black_box;
+
+fn bench_extraction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_extraction/synthetic");
+    for &(regs, gates) in &[(4usize, 100usize), (8, 300), (16, 800)] {
+        let nl = gen::synthetic_datapath("dut", 16, regs, gates, 7).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}g", nl.gate_count())),
+            &nl,
+            |b, nl| b.iter(|| black_box(extract_zones(nl, &ExtractConfig::default()))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_extraction_memsys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_extraction/memsys");
+    for words in [16usize, 32, 64] {
+        let cfg = MemSysConfig::hardened().with_words(words);
+        let nl = build_netlist(&cfg).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(words), &nl, |b, nl| {
+            b.iter(|| black_box(extract_zones(nl, &socfmea_memsys::fmea::extract_config())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_fault_analysis(c: &mut Criterion) {
+    let cfg = MemSysConfig::hardened().with_words(32);
+    let nl = build_netlist(&cfg).expect("valid");
+    let zones = extract_zones(&nl, &socfmea_memsys::fmea::extract_config());
+    c.bench_function("wide_fault_sites/memsys32", |b| {
+        b.iter(|| black_box(wide_fault_sites(&zones)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_extraction_scaling,
+    bench_extraction_memsys,
+    bench_wide_fault_analysis
+);
+criterion_main!(benches);

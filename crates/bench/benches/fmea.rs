@@ -1,0 +1,57 @@
+//! Benchmarks of the FMEA engine itself: worksheet computation, effects
+//! prediction and the sensitivity sweep (experiment T4's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socfmea_core::{
+    extract_zones, predict_all_effects, sweep, SensitivitySpec, ZoneGraph,
+};
+use socfmea_memsys::{config::MemSysConfig, fmea, rtl::build_netlist};
+use std::hint::black_box;
+
+fn bench_worksheet_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fmea/worksheet_compute");
+    for words in [32usize, 128] {
+        let cfg = MemSysConfig::hardened().with_words(words);
+        let nl = build_netlist(&cfg).expect("valid");
+        let zones = extract_zones(&nl, &fmea::extract_config());
+        let ws = fmea::build_worksheet(&zones, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(words), &ws, |b, ws| {
+            b.iter(|| black_box(ws.compute()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_effects_prediction(c: &mut Criterion) {
+    let cfg = MemSysConfig::hardened().with_words(32);
+    let nl = build_netlist(&cfg).expect("valid");
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    c.bench_function("fmea/zone_graph_and_effects", |b| {
+        b.iter(|| {
+            let graph = ZoneGraph::build(&nl, &zones);
+            black_box(predict_all_effects(&graph))
+        })
+    });
+}
+
+fn bench_sensitivity_sweep(c: &mut Criterion) {
+    let cfg = MemSysConfig::hardened();
+    let nl = build_netlist(&cfg).expect("valid");
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    let ws = fmea::build_worksheet(&zones, &cfg);
+    let spec = SensitivitySpec::default();
+    let mut group = c.benchmark_group("fmea/sensitivity");
+    group.sample_size(10);
+    group.bench_function(format!("grid_{}", spec.grid_size()), |b| {
+        b.iter(|| black_box(sweep(&ws, &spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worksheet_compute,
+    bench_effects_prediction,
+    bench_sensitivity_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Benchmarks of the cycle-based simulator: golden-run throughput on the
+//! memory sub-system and synthetic designs (the inner loop of every
+//! injection campaign).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use socfmea_mcu::{build_mcu, programs, McuConfig, McuPins};
+use socfmea_memsys::{certification_workload, config::MemSysConfig, rtl::build_netlist, MemSysPins};
+use socfmea_rtl::gen;
+use socfmea_sim::{Simulator, ToggleCoverage, Workload};
+use std::hint::black_box;
+
+fn bench_memsys_golden_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate/memsys_golden");
+    for words in [16usize, 32] {
+        let cfg = MemSysConfig::hardened().with_words(words);
+        let nl = build_netlist(&cfg).expect("valid");
+        let pins = MemSysPins::find(&nl, &cfg);
+        let cert = certification_workload(&pins, &cfg);
+        group.throughput(Throughput::Elements(cert.workload.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(words), &nl, |b, nl| {
+            b.iter(|| {
+                let mut sim = Simulator::new(nl).expect("levelizable");
+                cert.workload.run(&mut sim, |_, _| {});
+                black_box(sim.cycle())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_throughput(c: &mut Criterion) {
+    let nl = gen::synthetic_datapath("dut", 16, 8, 500, 3).expect("valid");
+    let mut w = Workload::new("sweep");
+    let din: Vec<_> = (0..16)
+        .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
+        .collect();
+    for cyc in 0..200u64 {
+        let mut v = Vec::new();
+        socfmea_sim::assign_bus(&mut v, &din, cyc.wrapping_mul(0x9e37));
+        w.push_cycle(v);
+    }
+    let mut group = c.benchmark_group("simulate/synthetic");
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("200_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&nl).expect("levelizable");
+            w.run(&mut sim, |_, _| {});
+            black_box(sim.cycle())
+        })
+    });
+    group.finish();
+}
+
+fn bench_toggle_coverage_overhead(c: &mut Criterion) {
+    let cfg = MemSysConfig::hardened().with_words(16);
+    let nl = build_netlist(&cfg).expect("valid");
+    let pins = MemSysPins::find(&nl, &cfg);
+    let cert = certification_workload(&pins, &cfg);
+    c.bench_function("simulate/with_toggle_coverage", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&nl).expect("levelizable");
+            let mut cov = ToggleCoverage::new(&nl);
+            cert.workload.run(&mut sim, |_, s| cov.observe(s));
+            black_box(cov.coverage())
+        })
+    });
+}
+
+fn bench_mcu_program_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate/mcu_program");
+    for (name, cfg) in [
+        ("single", McuConfig::single(programs::checksum_loop())),
+        ("lockstep", McuConfig::lockstep(programs::checksum_loop())),
+    ] {
+        let nl = build_mcu(&cfg).expect("valid mcu");
+        let pins = McuPins::find(&nl);
+        let w = socfmea_mcu::rtl::run_workload(&pins, 100);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| {
+                let mut sim = Simulator::new(nl).expect("levelizable");
+                w.run(&mut sim, |_, _| {});
+                black_box(sim.cycle())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memsys_golden_run,
+    bench_synthetic_throughput,
+    bench_toggle_coverage_overhead,
+    bench_mcu_program_run
+);
+criterion_main!(benches);

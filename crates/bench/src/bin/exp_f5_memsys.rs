@@ -1,0 +1,43 @@
+//! Experiment F5 (Figure 5): the memory sub-system and its zone census.
+//!
+//! The paper extracted "about 170 sensible zones ... including the memory
+//! controller, the memory and the F-MEM/MCE blocks". Builds both
+//! configurations at the paper-comparable array size and reports the census
+//! by block.
+
+use socfmea_bench::{banner, MemSysSetup};
+use socfmea_memsys::config::MemSysConfig;
+use std::collections::BTreeMap;
+
+fn main() {
+    banner("F5", "memory sub-system zone census (paper: about 170 zones)");
+    for (name, cfg) in [
+        ("baseline", MemSysConfig::baseline().with_words(128)),
+        ("hardened", MemSysConfig::hardened().with_words(128)),
+    ] {
+        let setup = MemSysSetup::build(cfg);
+        let mut by_block: BTreeMap<String, usize> = BTreeMap::new();
+        for z in setup.zones.zones() {
+            let top = z
+                .name
+                .split('/')
+                .next()
+                .unwrap_or("(top)")
+                .to_owned();
+            *by_block.entry(top).or_insert(0) += 1;
+        }
+        println!(
+            "\n{name} ({} words, {} pages): {} gates, {} FFs -> {} sensible zones",
+            cfg.words,
+            cfg.pages,
+            setup.netlist.gate_count(),
+            setup.netlist.dff_count(),
+            setup.zones.len()
+        );
+        for (block, n) in &by_block {
+            println!("  {block:<12} {n:>4} zones");
+        }
+    }
+    println!("\npaper reference: 'about 170 sensible zones resulted, including the");
+    println!("memory controller, the memory and the F-MEM/MCE blocks'");
+}

@@ -1,0 +1,54 @@
+//! Experiment T2: SIL grant versus SFF and HFT (IEC 61508-2 architectural
+//! constraints).
+//!
+//! Paper §2: "With a HFT equal to zero, a SFF equal or greater than 99% is
+//! required in order that the system or component can be granted with SIL3.
+//! With a HFT equal to one, the SFF should be greater than 90%."
+
+use socfmea_bench::{banner, MemSysSetup};
+use socfmea_iec61508::{sil_from_sff, Hft, SubsystemType};
+use socfmea_memsys::config::MemSysConfig;
+
+fn main() {
+    banner("T2", "architectural constraints: SFF x HFT -> SIL (types A and B)");
+    for ty in [SubsystemType::A, SubsystemType::B] {
+        println!("\nsubsystem type {ty:?}:");
+        println!("{:<18} {:>8} {:>8} {:>8}", "SFF band", "HFT=0", "HFT=1", "HFT=2");
+        for (label, probe) in [
+            ("SFF < 60%", 0.30),
+            ("60% <= SFF < 90%", 0.75),
+            ("90% <= SFF < 99%", 0.95),
+            ("SFF >= 99%", 0.995),
+        ] {
+            let cell = |h: u8| {
+                sil_from_sff(probe, Hft(h), ty)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".into())
+            };
+            println!(
+                "{:<18} {:>8} {:>8} {:>8}",
+                label,
+                cell(0),
+                cell(1),
+                cell(2)
+            );
+        }
+    }
+
+    println!("\napplied to the memory sub-system (type B, the SoC case):");
+    for (name, cfg) in [
+        ("baseline", MemSysConfig::baseline()),
+        ("hardened", MemSysConfig::hardened()),
+    ] {
+        let setup = MemSysSetup::build(cfg);
+        let fmea = setup.fmea();
+        let sff = fmea.sff().expect("nonzero rates");
+        for hft in [Hft(0), Hft(1)] {
+            let sil = sil_from_sff(sff, hft, SubsystemType::B)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "none".into());
+            println!("  {name:<10} SFF {:6.2}%  {hft} -> {sil}", sff * 100.0);
+        }
+    }
+    println!("\npaper target: SIL3 memory sub-system at HFT=0, i.e. SFF >= 99%");
+}

@@ -1,0 +1,45 @@
+//! Experiment T3: the criticality ranking of sensible zones.
+//!
+//! Paper §6: "the most critical blocks were the BIST control logic, the
+//! registers involved in addresses latching, most of the blocks of the
+//! decoder, the registers of the write buffer, some of the blocks of the
+//! MCE handling the interconnections with the bus". Prints the λ_DU ranking
+//! the worksheet delivers for both configurations and checks which of the
+//! paper's critical blocks appear in the baseline top ten.
+
+use socfmea_bench::{banner, MemSysSetup};
+use socfmea_core::report::render_ranking;
+use socfmea_memsys::config::MemSysConfig;
+
+fn main() {
+    banner("T3", "criticality ranking (zones by undetected-dangerous rate)");
+    let mut baseline_top = Vec::new();
+    for (name, cfg) in [
+        ("baseline", MemSysConfig::baseline()),
+        ("hardened", MemSysConfig::hardened()),
+    ] {
+        let setup = MemSysSetup::build(cfg);
+        let fmea = setup.fmea();
+        println!("\n---- {name} top 10 ----");
+        println!("{}", render_ranking(&fmea, &setup.zones, 10));
+        if name == "baseline" {
+            baseline_top = fmea
+                .ranking()
+                .into_iter()
+                .take(10)
+                .map(|(z, _)| setup.zones.zone(z).name.clone())
+                .collect();
+        }
+    }
+    println!("paper's critical blocks found in the baseline top 10:");
+    for (label, pattern) in [
+        ("BIST control logic", "bist"),
+        ("address latching registers", "addr"),
+        ("decoder blocks", "decoder"),
+        ("write buffer registers", "wbuf"),
+        ("MCE bus interconnection", "mce"),
+    ] {
+        let hit = baseline_top.iter().any(|n| n.contains(pattern));
+        println!("  {:<28} {}", label, if hit { "present" } else { "NOT in top 10" });
+    }
+}

@@ -1,0 +1,97 @@
+//! Experiment T5: FMEA validation by fault injection (§5, steps a–d).
+//!
+//! Runs the full validation procedure on both configurations:
+//!
+//! * (a) exhaustive sensible-zone failure injection, results and coverage
+//!   cross-checked with the FMEA,
+//! * (b) workload efficiency (delegated to experiment T6),
+//! * (c) selective local HW fault injection inside the cones,
+//! * (d) selective wide/global fault injection,
+//!
+//! then compares measured S/D/F/DDF against the worksheet estimates and the
+//! measured table of effects against the main/secondary prediction.
+
+use socfmea_bench::{banner, campaign_fault_config, pct, MemSysSetup};
+use socfmea_core::{predict_all_effects, validate, ValidationConfig, ZoneGraph};
+use socfmea_memsys::config::MemSysConfig;
+
+fn main() {
+    banner("T5", "validation: injection-measured S/D/DDF vs FMEA estimates");
+    for (name, cfg) in [
+        ("baseline", MemSysConfig::baseline().with_words(16)),
+        ("hardened", MemSysConfig::hardened().with_words(16)),
+    ] {
+        let setup = MemSysSetup::build(cfg);
+        let fmea = setup.fmea();
+        let run = setup.campaign(&campaign_fault_config());
+        let graph = ZoneGraph::build(&setup.netlist, &setup.zones);
+        let effects = predict_all_effects(&graph);
+        let report = validate(
+            &fmea,
+            &effects,
+            &run.analysis.measured,
+            // small-sample campaign: a handful of dangerous outcomes per
+            // zone; the acceptance band reflects that statistical width
+            ValidationConfig {
+                ddf_tolerance: 0.25,
+                d_tolerance: 0.40,
+                min_injections: 6,
+            },
+        );
+
+        println!("\n==== {name} ====");
+        println!(
+            "{} faults injected over {} cycles; campaign DC {}, campaign SFF {}",
+            run.faults.len(),
+            setup.workload.len(),
+            pct(run.result.measured_dc()),
+            pct(run.result.measured_sff())
+        );
+        println!(
+            "coverage items: {}",
+            run.result.coverage
+        );
+        println!(
+            "validation: {} ({} zones measured, {} failing)",
+            if report.passed() { "PASS" } else { "FAIL" },
+            report.zones.len(),
+            report.failures().len()
+        );
+        println!(
+            "{:<30} {:>9} {:>9} {:>6} {:>8} {:>8} {:>5}",
+            "zone", "est.DDF", "meas.DDF", "n", "ddf", "effects", ""
+        );
+        for z in &report.zones {
+            println!(
+                "{:<30} {:>9} {:>9} {:>6} {:>8} {:>8}",
+                setup.zones.zone(z.zone).name,
+                pct(z.estimated_ddf),
+                pct(z.measured_ddf),
+                z.injections,
+                if z.ddf_ok { "ok" } else { "DEVIATES" },
+                if z.effects_ok { "ok" } else { "NEW" }
+            );
+        }
+        println!(
+            "verdict for {name}: {}",
+            if report.passed() {
+                "VALIDATION SUCCESSFUL (estimates in line with measurements)"
+            } else {
+                "DEVIATIONS FOUND (new FMEA lines required)"
+            }
+        );
+
+        // measured F factors vs assumed frequency classes (spot check)
+        println!("\nmeasured frequency classes (sample):");
+        for zname in ["mem/array/word3", "fmem/wbuf/wbuf_data", "mce/addr/rd_addr_q"] {
+            if let Some(zone) = setup.zones.zone_by_name(zname) {
+                let measured = run.analysis.measured_freq.get(&zone.id);
+                println!(
+                    "  {zname:<26} assumed {:<9} measured {:?}",
+                    setup.worksheet().assumptions(zone.id).freq.to_string(),
+                    measured
+                );
+            }
+        }
+    }
+}

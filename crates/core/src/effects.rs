@@ -1,0 +1,241 @@
+//! Main and secondary effects: where a zone failure shows up.
+//!
+//! "We define the main effect as the effect that at least will occur as
+//! result of failure mode of the considered sensible zone respect an
+//! observation point, if not masked internally. The secondary effects are the
+//! other effects occurring at other observation points resulting from the
+//! migration of the sensible zone failure through its output logic cone and
+//! from there to other sensible zones till the other observation points"
+//! (paper §3, Figure 3).
+//!
+//! Structurally, a zone's *main* effects are the observation points it feeds
+//! directly (one sequential step away in the zone graph); *secondary* effects
+//! are the observation points the failure can migrate to through further
+//! zones.
+
+use crate::extract::ZoneSet;
+use crate::zone::{ZoneId, ZoneKind};
+use socfmea_netlist::{CriticalNetKind, NetId, Netlist};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Zone-to-zone structural influence graph: an edge `A -> B` means a failure
+/// in `A` can enter `B`'s converging cone.
+#[derive(Debug, Clone)]
+pub struct ZoneGraph {
+    successors: Vec<Vec<ZoneId>>,
+}
+
+impl ZoneGraph {
+    /// Builds the influence graph from the zones' cone leaves.
+    ///
+    /// Clock-type critical-net zones get edges to every sequential zone
+    /// (they are *global* fault sites).
+    pub fn build(netlist: &Netlist, zones: &ZoneSet) -> ZoneGraph {
+        // anchor net -> owning zone
+        let mut owner: BTreeMap<NetId, ZoneId> = BTreeMap::new();
+        for z in zones.zones() {
+            for &a in &z.anchors {
+                owner.entry(a).or_insert(z.id);
+            }
+        }
+        let mut successors: Vec<BTreeSet<ZoneId>> = vec![BTreeSet::new(); zones.len()];
+        for z in zones.zones() {
+            for &leaf in &z.cone.leaves {
+                if let Some(&src) = owner.get(&leaf) {
+                    if src != z.id {
+                        successors[src.index()].insert(z.id);
+                    }
+                }
+            }
+        }
+        // Global clock zones reach every sequential zone.
+        for z in zones.zones() {
+            if let ZoneKind::CriticalNet {
+                role: CriticalNetKind::Clock,
+                ..
+            } = z.kind
+            {
+                for t in zones.zones() {
+                    if t.is_sequential() {
+                        successors[z.id.index()].insert(t.id);
+                    }
+                }
+            }
+        }
+        let _ = netlist;
+        ZoneGraph {
+            successors: successors
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Direct successors of a zone.
+    pub fn successors(&self, zone: ZoneId) -> &[ZoneId] {
+        &self.successors[zone.index()]
+    }
+
+    /// Number of zones in the graph.
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// True when the graph has no zones.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+}
+
+/// Predicted effects of a zone's failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneEffects {
+    /// The failing zone.
+    pub zone: ZoneId,
+    /// Observation points one step away — "the effect that at least will
+    /// occur ... if not masked internally".
+    pub main: Vec<ZoneId>,
+    /// Observation points further away, reached by migration through other
+    /// zones.
+    pub secondary: Vec<ZoneId>,
+}
+
+impl ZoneEffects {
+    /// All predicted observation points (main then secondary).
+    pub fn all(&self) -> impl Iterator<Item = ZoneId> + '_ {
+        self.main.iter().chain(&self.secondary).copied()
+    }
+}
+
+/// Computes the main/secondary effect prediction for one zone via BFS over
+/// the zone graph.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_core::effects::{predict_effects, ZoneGraph};
+/// use socfmea_core::extract::{extract_zones, ExtractConfig};
+/// use socfmea_rtl::RtlBuilder;
+///
+/// // chain: din -> a_reg -> b_reg -> dout
+/// let mut r = RtlBuilder::new("chain");
+/// let d = r.input_word("din", 2);
+/// let a = r.register("a", &d, None, None);
+/// let b = r.register("b", &a, None, None);
+/// r.output_word("dout", &b);
+/// let nl = r.finish()?;
+/// let zones = extract_zones(&nl, &ExtractConfig::default());
+/// let graph = ZoneGraph::build(&nl, &zones);
+/// let a_id = zones.zone_by_name("a").unwrap().id;
+/// let fx = predict_effects(&graph, a_id);
+/// // main effect: b; secondary: the primary output bus zone
+/// assert_eq!(fx.main.len(), 1);
+/// assert_eq!(fx.secondary.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn predict_effects(graph: &ZoneGraph, zone: ZoneId) -> ZoneEffects {
+    let mut dist: BTreeMap<ZoneId, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((zone, 0usize));
+    while let Some((z, d)) = queue.pop_front() {
+        for &s in graph.successors(z) {
+            if s != zone && !dist.contains_key(&s) {
+                dist.insert(s, d + 1);
+                queue.push_back((s, d + 1));
+            }
+        }
+    }
+    let mut main = Vec::new();
+    let mut secondary = Vec::new();
+    for (z, d) in dist {
+        if d == 1 {
+            main.push(z);
+        } else {
+            secondary.push(z);
+        }
+    }
+    ZoneEffects {
+        zone,
+        main,
+        secondary,
+    }
+}
+
+/// Computes the effect prediction for every zone.
+pub fn predict_all_effects(graph: &ZoneGraph) -> Vec<ZoneEffects> {
+    (0..graph.len())
+        .map(|i| predict_effects(graph, ZoneId::from_index(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_zones, ExtractConfig};
+    use socfmea_rtl::RtlBuilder;
+
+    fn chain3() -> (socfmea_netlist::Netlist, ZoneSet) {
+        let mut r = RtlBuilder::new("chain3");
+        let _clk = r.clock_input("clk");
+        let d = r.input_word("din", 2);
+        let a = r.register("a", &d, None, None);
+        let b = r.register("b", &a, None, None);
+        let c = r.register("c", &b, None, None);
+        r.output_word("dout", &c);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        (nl, zones)
+    }
+
+    #[test]
+    fn effects_follow_the_pipeline() {
+        let (nl, zones) = chain3();
+        let graph = ZoneGraph::build(&nl, &zones);
+        let a = zones.zone_by_name("a").unwrap().id;
+        let fx = predict_effects(&graph, a);
+        let names = |ids: &[ZoneId]| -> Vec<String> {
+            ids.iter().map(|&z| zones.zone(z).name.clone()).collect()
+        };
+        assert_eq!(names(&fx.main), vec!["b"]);
+        assert_eq!(names(&fx.secondary), vec!["c", "po/dout"]);
+    }
+
+    #[test]
+    fn input_zone_feeds_first_register() {
+        let (nl, zones) = chain3();
+        let graph = ZoneGraph::build(&nl, &zones);
+        let pi = zones.zone_by_name("pi/din").unwrap().id;
+        let fx = predict_effects(&graph, pi);
+        assert!(fx
+            .main
+            .iter()
+            .any(|&z| zones.zone(z).name == "a"));
+    }
+
+    #[test]
+    fn clock_zone_reaches_all_sequential_zones_directly() {
+        let (nl, zones) = chain3();
+        let graph = ZoneGraph::build(&nl, &zones);
+        let clk = zones.zone_by_name("critnet/clk").unwrap().id;
+        let fx = predict_effects(&graph, clk);
+        assert_eq!(fx.main.len(), 3); // a, b, c — a global fault site
+    }
+
+    #[test]
+    fn terminal_zone_has_no_effects() {
+        let (nl, zones) = chain3();
+        let graph = ZoneGraph::build(&nl, &zones);
+        let po = zones.zone_by_name("po/dout").unwrap().id;
+        let fx = predict_effects(&graph, po);
+        assert!(fx.main.is_empty() && fx.secondary.is_empty());
+    }
+
+    #[test]
+    fn predict_all_covers_every_zone() {
+        let (nl, zones) = chain3();
+        let graph = ZoneGraph::build(&nl, &zones);
+        let all = predict_all_effects(&graph);
+        assert_eq!(all.len(), zones.len());
+        assert!(!graph.is_empty());
+    }
+}

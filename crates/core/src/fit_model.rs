@@ -1,0 +1,179 @@
+//! The elementary failure-rate (FIT) model.
+//!
+//! "Starting from the elementary failure in time (FIT) per gate and per
+//! register both for transient and permanent faults, all the data
+//! automatically extracted by the tool are used to compute the failure rates
+//! for each sensible zone" (paper §3).
+//!
+//! Absolute FIT values are technology data the paper does not publish; the
+//! defaults below are representative of a 90 nm-era automotive process
+//! (soft-error dominated flip-flops) and are *configurable* — the SFF/DC
+//! results are ratios, so the baseline-vs-hardened comparison is insensitive
+//! to the absolute scale (verified by the sensitivity analysis, experiment
+//! T4).
+
+use crate::zone::{SensibleZone, ZoneKind};
+use socfmea_iec61508::Fit;
+
+/// Per-element failure rates and derating factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitModel {
+    /// Transient (soft-error/glitch) rate per combinational gate.
+    pub gate_transient: Fit,
+    /// Permanent (stuck-at/bridging/open) rate per combinational gate.
+    pub gate_permanent: Fit,
+    /// Transient (SEU) rate per flip-flop bit.
+    pub ff_transient: Fit,
+    /// Permanent rate per flip-flop bit.
+    pub ff_permanent: Fit,
+    /// Rate per primary I/O net, transient.
+    pub io_transient: Fit,
+    /// Rate per primary I/O net, permanent.
+    pub io_permanent: Fit,
+    /// Rate per critical net (clock/reset root), transient.
+    pub critical_transient: Fit,
+    /// Rate per critical net, permanent.
+    pub critical_permanent: Fit,
+    /// Probability that a combinational glitch is sampled by the capturing
+    /// register (an unsampled glitch "is not considered as an hazard since
+    /// it doesn't perturb the function", §3).
+    pub transient_capture: f64,
+}
+
+impl Default for FitModel {
+    fn default() -> FitModel {
+        FitModel {
+            gate_transient: Fit(0.002),
+            gate_permanent: Fit(0.001),
+            ff_transient: Fit(0.05),
+            ff_permanent: Fit(0.002),
+            io_transient: Fit(0.01),
+            io_permanent: Fit(0.005),
+            critical_transient: Fit(0.02),
+            critical_permanent: Fit(0.01),
+            transient_capture: 0.2,
+        }
+    }
+}
+
+impl FitModel {
+    /// Scales every transient rate by `k` (sensitivity sweeps).
+    pub fn scale_transient(mut self, k: f64) -> FitModel {
+        self.gate_transient = self.gate_transient * k;
+        self.ff_transient = self.ff_transient * k;
+        self.io_transient = self.io_transient * k;
+        self.critical_transient = self.critical_transient * k;
+        self
+    }
+
+    /// Scales every permanent rate by `k`.
+    pub fn scale_permanent(mut self, k: f64) -> FitModel {
+        self.gate_permanent = self.gate_permanent * k;
+        self.ff_permanent = self.ff_permanent * k;
+        self.io_permanent = self.io_permanent * k;
+        self.critical_permanent = self.critical_permanent * k;
+        self
+    }
+
+    /// The raw transient failure rate converging on a zone: SEUs in its
+    /// storage bits plus sampled glitches from its converging cone.
+    pub fn zone_transient(&self, zone: &SensibleZone) -> Fit {
+        match &zone.kind {
+            ZoneKind::PrimaryInputGroup { nets } | ZoneKind::PrimaryOutputGroup { nets } => {
+                self.io_transient * nets.len() as f64
+                    + self.gate_transient
+                        * (zone.effective_gate_count * self.transient_capture)
+            }
+            ZoneKind::CriticalNet { .. } => self.critical_transient,
+            ZoneKind::LogicalEntity { nets } => {
+                self.gate_transient
+                    * (zone.effective_gate_count.max(nets.len() as f64)
+                        * self.transient_capture)
+            }
+            ZoneKind::RegisterGroup { .. } | ZoneKind::SubBlock { .. } => {
+                self.ff_transient * zone.storage_bits() as f64
+                    + self.gate_transient
+                        * (zone.effective_gate_count * self.transient_capture)
+            }
+        }
+    }
+
+    /// The raw permanent failure rate converging on a zone: hard faults in
+    /// its storage bits plus hard faults anywhere in the converging cone.
+    pub fn zone_permanent(&self, zone: &SensibleZone) -> Fit {
+        match &zone.kind {
+            ZoneKind::PrimaryInputGroup { nets } | ZoneKind::PrimaryOutputGroup { nets } => {
+                self.io_permanent * nets.len() as f64
+                    + self.gate_permanent * zone.effective_gate_count
+            }
+            ZoneKind::CriticalNet { .. } => self.critical_permanent,
+            ZoneKind::LogicalEntity { nets } => {
+                self.gate_permanent * zone.effective_gate_count.max(nets.len() as f64)
+            }
+            ZoneKind::RegisterGroup { .. } | ZoneKind::SubBlock { .. } => {
+                self.ff_permanent * zone.storage_bits() as f64
+                    + self.gate_permanent * zone.effective_gate_count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_zones, ExtractConfig};
+    use socfmea_rtl::RtlBuilder;
+
+    fn zones() -> crate::extract::ZoneSet {
+        let mut r = RtlBuilder::new("m");
+        let _clk = r.clock_input("clk");
+        let d = r.input_word("d", 8);
+        let inv = r.not(&d);
+        let q = r.register("r", &inv, None, None);
+        r.output_word("q", &q);
+        let nl = r.finish().unwrap();
+        extract_zones(&nl, &ExtractConfig::default())
+    }
+
+    #[test]
+    fn register_zone_rates_scale_with_bits_and_cone() {
+        let zones = zones();
+        let fit = FitModel::default();
+        let reg = zones.zone_by_name("r").unwrap();
+        let t = fit.zone_transient(reg);
+        let p = fit.zone_permanent(reg);
+        // 8 bits + 8 cone inverters
+        let expected_t = 8.0 * fit.ff_transient.0 + 8.0 * fit.gate_transient.0 * 0.2;
+        let expected_p = 8.0 * fit.ff_permanent.0 + 8.0 * fit.gate_permanent.0;
+        assert!((t.0 - expected_t).abs() < 1e-12);
+        assert!((p.0 - expected_p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_zone_rates_scale_with_net_count() {
+        let zones = zones();
+        let fit = FitModel::default();
+        let pi = zones.zone_by_name("pi/d").unwrap();
+        assert!((fit.zone_permanent(pi).0 - 8.0 * fit.io_permanent.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_net_uses_dedicated_rates() {
+        let zones = zones();
+        let fit = FitModel::default();
+        let clk = zones.zone_by_name("critnet/clk").unwrap();
+        assert_eq!(fit.zone_permanent(clk), fit.critical_permanent);
+        assert_eq!(fit.zone_transient(clk), fit.critical_transient);
+    }
+
+    #[test]
+    fn scaling_multiplies_only_the_selected_family() {
+        let base = FitModel::default();
+        let scaled = base.scale_transient(3.0);
+        assert!((scaled.ff_transient.0 - base.ff_transient.0 * 3.0).abs() < 1e-12);
+        assert_eq!(scaled.ff_permanent, base.ff_permanent);
+        let scaled = base.scale_permanent(0.5);
+        assert!((scaled.gate_permanent.0 - base.gate_permanent.0 * 0.5).abs() < 1e-12);
+        assert_eq!(scaled.gate_transient, base.gate_transient);
+    }
+}

@@ -1,0 +1,68 @@
+//! SoC-level FMEA engine — the paper's primary contribution.
+//!
+//! This crate implements the methodology of *"Using an innovative SoC-level
+//! FMEA methodology to design in compliance with IEC61508"* (Mariani,
+//! Boschi, Colucci — DATE 2007):
+//!
+//! 1. [`extract`] — decompose a gate-level netlist into **sensible zones**
+//!    (registers compacted by architectural name, primary I/Os, critical
+//!    nets, opaque sub-blocks) with per-zone logic-cone statistics and
+//!    shared-gate correlation,
+//! 2. [`faultclass`] — classify physical fault sites as **local / wide /
+//!    global**,
+//! 3. [`effects`] — predict each zone's **main and secondary effects** at
+//!    the observation points,
+//! 4. [`worksheet`] — the FMEA spreadsheet: FIT model × S/D/F/ζ factors ×
+//!    DDF claims (capped by IEC 61508 Annex A) → λ_S/λ_DD/λ_DU, **DC**,
+//!    **SFF**, SIL grant and criticality ranking,
+//! 5. [`sensitivity`] — span the assumptions and measure SFF stability,
+//! 6. [`validate`](mod@crate::validate) — cross-check the estimates against fault-injection
+//!    measurements (produced by `socfmea-faultsim`),
+//! 7. [`report`] — text/CSV spreadsheet rendering.
+//!
+//! # Example: end-to-end on a toy design
+//!
+//! ```
+//! use socfmea_core::extract::{extract_zones, ExtractConfig};
+//! use socfmea_core::worksheet::{DiagnosticClaim, Worksheet};
+//! use socfmea_iec61508::TechniqueId;
+//! use socfmea_rtl::RtlBuilder;
+//!
+//! // A registered datapath...
+//! let mut r = RtlBuilder::new("soc");
+//! let d = r.input_word("din", 8);
+//! let q = r.register("state", &d, None, None);
+//! r.output_word("dout", &q);
+//! let netlist = r.finish()?;
+//!
+//! // ...zoned, protected with ECC, and assessed:
+//! let zones = extract_zones(&netlist, &ExtractConfig::default());
+//! let mut ws = Worksheet::new(&zones);
+//! let state = zones.zone_by_name("state").unwrap().id;
+//! ws.add_diagnostic(state, DiagnosticClaim::at_max(TechniqueId::RamEcc));
+//! let fmea = ws.compute();
+//! println!("SFF = {:.2}%", fmea.sff().unwrap() * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod effects;
+pub mod extract;
+pub mod faultclass;
+pub mod fit_model;
+pub mod report;
+pub mod sensitivity;
+pub mod validate;
+pub mod worksheet;
+pub mod zone;
+
+pub use effects::{predict_all_effects, predict_effects, ZoneEffects, ZoneGraph};
+pub use extract::{extract_zones, ExtractConfig, ZoneSet};
+pub use faultclass::{census, classify_gate, wide_fault_sites, FaultClass, FaultClassCensus};
+pub use fit_model::FitModel;
+pub use sensitivity::{sweep, SensitivityReport, SensitivitySpec};
+pub use validate::{validate, MeasuredZone, ValidationConfig, ValidationReport};
+pub use worksheet::{
+    DiagnosticClaim, FmeaResult, FreqClass, RowPersistence, Worksheet, WorksheetRow,
+    ZoneAssumptions,
+};
+pub use zone::{SensibleZone, ZoneId, ZoneKind};

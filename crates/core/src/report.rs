@@ -1,0 +1,348 @@
+//! Rendering of the FMEA worksheet as text tables and CSV.
+//!
+//! The paper's deliverable is "very detailed reports on sensible zones,
+//! fault effects, failure rates, etc" (§7); these renderers produce the
+//! spreadsheet-shaped views the experiment binaries print.
+
+use crate::extract::ZoneSet;
+use crate::worksheet::FmeaResult;
+use std::fmt::Write;
+
+/// Renders the SoC summary plus a per-zone table, most critical first.
+pub fn render_text(result: &FmeaResult, zones: &ZoneSet) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== FMEA summary ==");
+    let _ = writeln!(
+        s,
+        "zones: {}   total lambda: {}",
+        zones.len(),
+        result.total.total()
+    );
+    let _ = writeln!(
+        s,
+        "lambda_S = {}   lambda_DD = {}   lambda_DU = {}",
+        result.total.safe, result.total.dangerous_detected, result.total.dangerous_undetected
+    );
+    match (result.sff(), result.dc()) {
+        (Some(sff), Some(dc)) => {
+            let _ = writeln!(s, "SFF = {:.2}%   DC = {:.2}%", sff * 100.0, dc * 100.0);
+        }
+        _ => {
+            let _ = writeln!(s, "SFF/DC undefined (zero failure rates)");
+        }
+    }
+    let sil = result
+        .sil()
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "none (architectural constraints not met)".into());
+    let _ = writeln!(
+        s,
+        "SIL grant at {} ({:?}-type): {}",
+        result.hft, result.subsystem, sil
+    );
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:<40} {:>6} {:>12} {:>12} {:>12} {:>8}",
+        "zone (by criticality)", "kind", "lambda_S", "lambda_DD", "lambda_DU", "DC%"
+    );
+    for (zone, _du) in result.ranking() {
+        let z = zones.zone(zone);
+        let l = &result.zone_totals[zone.index()];
+        let dc = result
+            .zone_dc(zone)
+            .map(|d| format!("{:.1}", d * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            s,
+            "{:<40} {:>6} {:>12.5} {:>12.5} {:>12.5} {:>8}",
+            truncate(&z.name, 40),
+            z.kind.tag(),
+            l.safe.0,
+            l.dangerous_detected.0,
+            l.dangerous_undetected.0,
+            dc
+        );
+    }
+    s
+}
+
+/// Renders every worksheet row as CSV (header included), the
+/// machine-readable form of the spreadsheet.
+pub fn render_csv(result: &FmeaResult, zones: &ZoneSet) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "zone,kind,block,mode,persistence,raw_fit,d_fraction,ddf,lambda_s,lambda_dd,lambda_du,techniques"
+    );
+    for row in &result.rows {
+        let z = zones.zone(row.zone);
+        let techs = row
+            .techniques
+            .iter()
+            .map(|t| format!("{t:?}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{:.6},{:.4},{:.4},{:.6},{:.6},{:.6},{}",
+            csv_escape(&z.name),
+            z.kind.tag(),
+            csv_escape(&z.block),
+            row.mode_key,
+            row.persistence,
+            row.raw.0,
+            row.d_fraction,
+            row.ddf,
+            row.lambda.safe.0,
+            row.lambda.dangerous_detected.0,
+            row.lambda.dangerous_undetected.0,
+            techs
+        );
+    }
+    s
+}
+
+/// Renders the criticality ranking (top `n`) as a compact table.
+pub fn render_ranking(result: &FmeaResult, zones: &ZoneSet, n: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<4} {:<44} {:>12}", "#", "zone", "lambda_DU");
+    for (i, (zone, du)) in result.ranking().into_iter().take(n).enumerate() {
+        let _ = writeln!(
+            s,
+            "{:<4} {:<44} {:>12.6}",
+            i + 1,
+            truncate(&zones.zone(zone).name, 44),
+            du.0
+        );
+    }
+    s
+}
+
+/// Renders the Safety Requirements Specification-style markdown document
+/// the norm asks for: "the release of a Safety Requirements Specification
+/// (SRS) including a detailed FMEA of the system or sub-system" (paper §2).
+///
+/// The document contains the system inventory, the metric summary under
+/// both norms, the criticality ranking, the per-zone worksheet and the
+/// predicted table of effects.
+pub fn render_srs(
+    title: &str,
+    result: &FmeaResult,
+    zones: &ZoneSet,
+    effects: &[crate::effects::ZoneEffects],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# Safety Requirements Specification — {title}\n");
+    let _ = writeln!(s, "## 1. System inventory\n");
+    let (seq, bits): (usize, usize) = zones
+        .zones()
+        .iter()
+        .map(|z| (usize::from(z.is_sequential()), z.storage_bits()))
+        .fold((0, 0), |acc, v| (acc.0 + v.0, acc.1 + v.1));
+    let _ = writeln!(
+        s,
+        "{} sensible zones ({} sequential, {} storage bits total).\n",
+        zones.len(),
+        seq,
+        bits
+    );
+    let _ = writeln!(s, "| zone | kind | class | bits | cone gates (apportioned) |");
+    let _ = writeln!(s, "|---|---|---|---:|---:|");
+    for z in zones.zones() {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {:.1} |",
+            z.name,
+            z.kind.tag(),
+            z.class,
+            z.storage_bits(),
+            z.effective_gate_count
+        );
+    }
+
+    let _ = writeln!(s, "\n## 2. Safety metrics\n");
+    match (result.sff(), result.dc()) {
+        (Some(sff), Some(dc)) => {
+            let _ = writeln!(
+                s,
+                "* Safe Failure Fraction **SFF = {:.2} %**, Diagnostic Coverage **DC = {:.2} %**",
+                sff * 100.0,
+                dc * 100.0
+            );
+        }
+        _ => {
+            let _ = writeln!(s, "* SFF/DC undefined (zero failure rates)");
+        }
+    }
+    let sil = result
+        .sil()
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "none (architectural constraints not met)".into());
+    let _ = writeln!(
+        s,
+        "* IEC 61508 grant at {} ({:?}-type subsystem): **{}**",
+        result.hft, result.subsystem, sil
+    );
+    if let Some(m) = result.automotive_metrics() {
+        let _ = writeln!(
+            s,
+            "* ISO 26262 reading: SPFM {:.2} %, LFM {:.2} %, PMHF {:.3e}/h → **{}**",
+            m.spfm * 100.0,
+            m.lfm * 100.0,
+            m.pmhf,
+            m.achievable_asil()
+        );
+    }
+
+    let _ = writeln!(s, "\n## 3. Criticality ranking (top 15)\n");
+    let _ = writeln!(s, "| # | zone | λ_DU [FIT] |");
+    let _ = writeln!(s, "|---:|---|---:|");
+    for (i, (zone, du)) in result.ranking().into_iter().take(15).enumerate() {
+        let _ = writeln!(s, "| {} | {} | {:.6} |", i + 1, zones.zone(zone).name, du.0);
+    }
+
+    let _ = writeln!(s, "\n## 4. Detailed FMEA worksheet\n");
+    let _ = writeln!(
+        s,
+        "| zone | failure mode | type | λ [FIT] | D | DDF | λ_DU [FIT] | techniques |"
+    );
+    let _ = writeln!(s, "|---|---|---|---:|---:|---:|---:|---|");
+    for row in &result.rows {
+        let techs = row
+            .techniques
+            .iter()
+            .map(|t| format!("{t:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {:.5} | {:.2} | {:.2} | {:.6} | {} |",
+            zones.zone(row.zone).name,
+            row.mode_key,
+            row.persistence,
+            row.raw.0,
+            row.d_fraction,
+            row.ddf,
+            row.lambda.dangerous_undetected.0,
+            if techs.is_empty() { "—".into() } else { techs }
+        );
+    }
+
+    let _ = writeln!(s, "\n## 5. Predicted table of effects\n");
+    let _ = writeln!(s, "| zone | main effects | secondary effects |");
+    let _ = writeln!(s, "|---|---|---|");
+    for fx in effects {
+        if fx.main.is_empty() && fx.secondary.is_empty() {
+            continue;
+        }
+        let names = |ids: &[crate::zone::ZoneId]| {
+            ids.iter()
+                .map(|&z| zones.zone(z).name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} |",
+            zones.zone(fx.zone).name,
+            names(&fx.main),
+            names(&fx.secondary)
+        );
+    }
+    s
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_zones, ExtractConfig};
+    use crate::worksheet::Worksheet;
+    use socfmea_rtl::RtlBuilder;
+
+    fn setup() -> (crate::extract::ZoneSet, FmeaResult) {
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 4);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let result = Worksheet::new(&zones).compute();
+        (zones, result)
+    }
+
+    #[test]
+    fn text_report_contains_summary_and_zones() {
+        let (zones, result) = setup();
+        let text = render_text(&result, &zones);
+        assert!(text.contains("SFF ="));
+        assert!(text.contains("SIL grant"));
+        assert!(text.contains("q"));
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let (zones, result) = setup();
+        let csv = render_csv(&result, &zones);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("zone,kind"));
+        assert_eq!(lines.len(), result.rows.len() + 1);
+    }
+
+    #[test]
+    fn ranking_is_limited_to_n() {
+        let (zones, result) = setup();
+        let r = render_ranking(&result, &zones, 2);
+        assert_eq!(r.lines().count(), 3); // header + 2
+    }
+
+    #[test]
+    fn srs_contains_all_sections() {
+        let (zones, result) = setup();
+        let nlres: Vec<crate::effects::ZoneEffects> = zones
+            .zones()
+            .iter()
+            .map(|z| crate::effects::ZoneEffects {
+                zone: z.id,
+                main: Vec::new(),
+                secondary: Vec::new(),
+            })
+            .collect();
+        let srs = render_srs("demo", &result, &zones, &nlres);
+        for section in [
+            "# Safety Requirements Specification — demo",
+            "## 1. System inventory",
+            "## 2. Safety metrics",
+            "## 3. Criticality ranking",
+            "## 4. Detailed FMEA worksheet",
+            "## 5. Predicted table of effects",
+        ] {
+            assert!(srs.contains(section), "missing `{section}`");
+        }
+        assert!(srs.contains("SFF ="));
+        assert!(srs.contains("ISO 26262 reading"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,246 @@
+//! Sensitivity analysis: spanning the worksheet assumptions.
+//!
+//! "An important step of the FMEA is to span the values of the assumptions
+//! (such the elementary failure rates for transient and permanent faults or
+//! the user assumptions such S, D and F) in order to measure the sensitivity
+//! of the final DC/SFF to these changes" (paper §4). The hardened memory
+//! sub-system of §6 was accepted partly because its SFF "was very stable as
+//! well, i.e. changes on S,D,F and fault models didn't change the result in
+//! a sensible way".
+
+use crate::worksheet::Worksheet;
+
+/// The grid of assumption perturbations to sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivitySpec {
+    /// Multipliers applied to all transient FIT rates.
+    pub transient_fit_multipliers: Vec<f64>,
+    /// Multipliers applied to all permanent FIT rates.
+    pub permanent_fit_multipliers: Vec<f64>,
+    /// Derating factors applied to every claimed DDF.
+    pub ddf_deratings: Vec<f64>,
+    /// Shifts (in classes) applied to every zone's frequency class F.
+    pub freq_shifts: Vec<i8>,
+    /// Deltas added to every zone's architectural safe fraction S.
+    pub s_deltas: Vec<f64>,
+}
+
+impl Default for SensitivitySpec {
+    fn default() -> SensitivitySpec {
+        SensitivitySpec {
+            transient_fit_multipliers: vec![0.5, 1.0, 2.0],
+            permanent_fit_multipliers: vec![0.5, 1.0, 2.0],
+            ddf_deratings: vec![0.98, 1.0],
+            freq_shifts: vec![-1, 0, 1],
+            s_deltas: vec![-0.1, 0.0, 0.1],
+        }
+    }
+}
+
+impl SensitivitySpec {
+    /// Number of grid points the spec will evaluate.
+    pub fn grid_size(&self) -> usize {
+        self.transient_fit_multipliers.len()
+            * self.permanent_fit_multipliers.len()
+            * self.ddf_deratings.len()
+            * self.freq_shifts.len()
+            * self.s_deltas.len()
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivitySample {
+    /// Transient FIT multiplier.
+    pub transient_mult: f64,
+    /// Permanent FIT multiplier.
+    pub permanent_mult: f64,
+    /// DDF derating.
+    pub ddf_derating: f64,
+    /// Frequency-class shift.
+    pub freq_shift: i8,
+    /// Architectural-S delta.
+    pub s_delta: f64,
+    /// Resulting SoC SFF (`None` for a degenerate all-zero model).
+    pub sff: Option<f64>,
+}
+
+/// The result of a sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SensitivityReport {
+    /// The baseline (unperturbed) SFF.
+    pub base_sff: Option<f64>,
+    /// All evaluated samples.
+    pub samples: Vec<SensitivitySample>,
+}
+
+impl SensitivityReport {
+    /// Smallest SFF over the grid.
+    pub fn min_sff(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter_map(|s| s.sff)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Largest SFF over the grid.
+    pub fn max_sff(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter_map(|s| s.sff)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Mean SFF over the grid.
+    pub fn mean_sff(&self) -> Option<f64> {
+        let v: Vec<f64> = self.samples.iter().filter_map(|s| s.sff).collect();
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// The full SFF excursion (max − min) over the grid.
+    pub fn excursion(&self) -> Option<f64> {
+        Some(self.max_sff()? - self.min_sff()?)
+    }
+
+    /// The paper's stability criterion: the result is *stable* when no
+    /// perturbation moves the SFF by more than `tolerance` (absolute).
+    pub fn is_stable(&self, tolerance: f64) -> bool {
+        match self.excursion() {
+            Some(e) => e <= tolerance,
+            None => false,
+        }
+    }
+
+    /// The grid point with the worst (lowest) SFF.
+    pub fn worst_case(&self) -> Option<&SensitivitySample> {
+        self.samples
+            .iter()
+            .filter(|s| s.sff.is_some())
+            .min_by(|a, b| a.sff.partial_cmp(&b.sff).expect("finite"))
+    }
+}
+
+/// Sweeps the worksheet over the perturbation grid.
+///
+/// The worksheet itself is not modified; each grid point is evaluated on a
+/// perturbed clone.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_core::extract::{extract_zones, ExtractConfig};
+/// use socfmea_core::sensitivity::{sweep, SensitivitySpec};
+/// use socfmea_core::worksheet::Worksheet;
+/// use socfmea_rtl::RtlBuilder;
+///
+/// let mut r = RtlBuilder::new("d");
+/// let d = r.input_word("d", 4);
+/// let q = r.register("q", &d, None, None);
+/// r.output_word("o", &q);
+/// let nl = r.finish()?;
+/// let zones = extract_zones(&nl, &ExtractConfig::default());
+/// let ws = Worksheet::new(&zones);
+/// let report = sweep(&ws, &SensitivitySpec::default());
+/// assert_eq!(report.samples.len(), SensitivitySpec::default().grid_size());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sweep(worksheet: &Worksheet<'_>, spec: &SensitivitySpec) -> SensitivityReport {
+    let base_sff = worksheet.compute().sff();
+    let mut samples = Vec::with_capacity(spec.grid_size());
+    for &tm in &spec.transient_fit_multipliers {
+        for &pm in &spec.permanent_fit_multipliers {
+            for &dd in &spec.ddf_deratings {
+                for &fs in &spec.freq_shifts {
+                    for &sd in &spec.s_deltas {
+                        let mut ws = worksheet.clone();
+                        ws.set_fit_model(
+                            worksheet.fit_model().scale_transient(tm).scale_permanent(pm),
+                        );
+                        ws.set_ddf_derating(dd);
+                        ws.assume_all(|_z, a| {
+                            a.freq = a.freq.shifted(fs);
+                            a.s_architectural = (a.s_architectural + sd).clamp(0.0, 1.0);
+                        });
+                        samples.push(SensitivitySample {
+                            transient_mult: tm,
+                            permanent_mult: pm,
+                            ddf_derating: dd,
+                            freq_shift: fs,
+                            s_delta: sd,
+                            sff: ws.compute().sff(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    SensitivityReport { base_sff, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_zones, ExtractConfig};
+    use crate::worksheet::{DiagnosticClaim, Worksheet};
+    use socfmea_iec61508::TechniqueId;
+    use socfmea_rtl::RtlBuilder;
+
+    fn zones() -> crate::extract::ZoneSet {
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 8);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        let nl = r.finish().unwrap();
+        extract_zones(&nl, &ExtractConfig::default())
+    }
+
+    #[test]
+    fn grid_is_fully_evaluated() {
+        let zones = zones();
+        let ws = Worksheet::new(&zones);
+        let spec = SensitivitySpec::default();
+        let report = sweep(&ws, &spec);
+        assert_eq!(report.samples.len(), spec.grid_size());
+        assert!(report.base_sff.is_some());
+        assert!(report.min_sff() <= report.base_sff);
+        assert!(report.max_sff() >= report.base_sff);
+        assert!(report.mean_sff().is_some());
+    }
+
+    #[test]
+    fn well_covered_design_is_more_stable_than_uncovered() {
+        let zones = zones();
+        let mut covered = Worksheet::new(&zones);
+        covered.assume_all(|_z, a| {
+            a.diagnostics.push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
+            a.diagnostics
+                .push(DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
+        });
+        let uncovered = Worksheet::new(&zones);
+        let spec = SensitivitySpec::default();
+        let rc = sweep(&covered, &spec);
+        let ru = sweep(&uncovered, &spec);
+        assert!(rc.excursion().unwrap() < ru.excursion().unwrap());
+        assert!(rc.is_stable(0.05));
+    }
+
+    #[test]
+    fn worst_case_is_min() {
+        let zones = zones();
+        let ws = Worksheet::new(&zones);
+        let report = sweep(&ws, &SensitivitySpec::default());
+        assert_eq!(report.worst_case().unwrap().sff, report.min_sff());
+    }
+
+    #[test]
+    fn empty_report_is_not_stable() {
+        let report = SensitivityReport {
+            base_sff: None,
+            samples: Vec::new(),
+        };
+        assert!(!report.is_stable(1.0));
+    }
+}

@@ -1,0 +1,773 @@
+//! The FMEA worksheet ("spreadsheet") engine.
+//!
+//! This reproduces the paper's spreadsheet (§3–§4): for every sensible zone
+//! and failure mode it combines
+//!
+//! * the structural statistics extracted from the netlist (cone gate counts,
+//!   storage bits) with the elementary FIT model,
+//! * the user factors **S** and **D** (safe/dangerous split, architectural
+//!   and applicational), the **frequency class F** and the **lifetime ζ**,
+//! * the claimed **DDF** (detected dangerous fraction) per diagnostic
+//!   technique, split HW/SW and transient/permanent, each capped at the
+//!   maximum DC the norm credits the technique with (Annex A),
+//!
+//! and computes λ_S, λ_D = λ_DD + λ_DU per zone and for the whole SoC,
+//! the Diagnostic Coverage DC = λ_DD/λ_D, the Safe Failure Fraction
+//! SFF = (λ_S + λ_DD)/(λ_S + λ_D), the SIL grant versus HFT, and a
+//! criticality ranking of zones.
+
+use crate::extract::ZoneSet;
+use crate::fit_model::FitModel;
+use crate::zone::ZoneId;
+use socfmea_iec61508::{
+    annex_a, diagnostic_coverage, required_failure_modes, safe_failure_fraction,
+    sil_from_sff, Fit, Hft, LambdaBreakdown, Sil, SubsystemType, TechniqueId,
+};
+use socfmea_iec61508::failure_modes::Persistence;
+use std::fmt;
+
+/// The frequency class F of a zone, "used to estimate its usage
+/// frequencies" (paper §3). The usage factor scales the dangerous fraction:
+/// a zone that is rarely active converts most of its faults into safe
+/// failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FreqClass {
+    /// Active in well under 10 % of cycles.
+    VeryLow,
+    /// Active in roughly 10 % of cycles.
+    Low,
+    /// Active in roughly a third of cycles.
+    Medium,
+    /// Active most of the time.
+    High,
+    /// Continuously active.
+    VeryHigh,
+}
+
+impl FreqClass {
+    /// The usage factor applied to the dangerous fraction.
+    pub fn usage(self) -> f64 {
+        match self {
+            FreqClass::VeryLow => 0.05,
+            FreqClass::Low => 0.15,
+            FreqClass::Medium => 0.35,
+            FreqClass::High => 0.65,
+            FreqClass::VeryHigh => 0.95,
+        }
+    }
+
+    /// Shifts the class up (`+1`) or down (`-1`) for sensitivity sweeps,
+    /// saturating at the extremes.
+    pub fn shifted(self, delta: i8) -> FreqClass {
+        const ORDER: [FreqClass; 5] = [
+            FreqClass::VeryLow,
+            FreqClass::Low,
+            FreqClass::Medium,
+            FreqClass::High,
+            FreqClass::VeryHigh,
+        ];
+        let idx = ORDER.iter().position(|&c| c == self).expect("member") as i8;
+        let new = (idx + delta).clamp(0, 4) as usize;
+        ORDER[new]
+    }
+}
+
+impl fmt::Display for FreqClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FreqClass::VeryLow => "very-low",
+            FreqClass::Low => "low",
+            FreqClass::Medium => "medium",
+            FreqClass::High => "high",
+            FreqClass::VeryHigh => "very-high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A diagnostic-coverage claim attached to a zone: which technique covers
+/// it, and the claimed detected-dangerous fractions. The worksheet caps the
+/// claims at the technique's Annex A maximum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticClaim {
+    /// The implementing technique (determines the DC cap and HW/SW split).
+    pub technique: TechniqueId,
+    /// Claimed DDF for transient/intermittent faults, `0..=1`.
+    pub ddf_transient: f64,
+    /// Claimed DDF for permanent faults, `0..=1`.
+    pub ddf_permanent: f64,
+    /// Restrict the claim to specific failure-mode keys (`None` = all modes
+    /// of the zone).
+    pub mode_filter: Option<Vec<String>>,
+}
+
+impl DiagnosticClaim {
+    /// A claim covering all failure modes of the zone at the technique's
+    /// maximum credited coverage.
+    pub fn at_max(technique: TechniqueId) -> DiagnosticClaim {
+        let max = annex_a::technique(technique).max_dc.fraction();
+        DiagnosticClaim {
+            technique,
+            ddf_transient: max,
+            ddf_permanent: max,
+            mode_filter: None,
+        }
+    }
+
+    /// Restricts the claim to the given failure-mode keys.
+    pub fn for_modes(mut self, modes: &[&str]) -> DiagnosticClaim {
+        self.mode_filter = Some(modes.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    fn applies_to(&self, mode_key: &str) -> bool {
+        match &self.mode_filter {
+            None => true,
+            Some(keys) => keys.iter().any(|k| k == mode_key),
+        }
+    }
+}
+
+/// Per-zone worksheet assumptions (the user-provided S, D, F, ζ and DDF
+/// columns of the paper's spreadsheet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneAssumptions {
+    /// Architectural safe fraction: failures masked by construction (e.g. a
+    /// zone blocked by masking gates at run time).
+    pub s_architectural: f64,
+    /// Applicational safe fraction: failures irrelevant to the given
+    /// application (usually 0 — "usually only architectural S/D factors are
+    /// considered").
+    pub s_applicational: f64,
+    /// Frequency class F.
+    pub freq: FreqClass,
+    /// Lifetime ζ exposure factor in `0..=1`: the fraction of the mission
+    /// during which a transient corruption of the stored value can still be
+    /// consumed ("the time between the average last read and the write").
+    pub lifetime_exposure: f64,
+    /// Diagnostic claims covering this zone.
+    pub diagnostics: Vec<DiagnosticClaim>,
+    /// Relative weights apportioning the zone's failure rate across its
+    /// required failure modes (unlisted modes weigh `1.0`). E.g. a memory
+    /// word whose address decode is shared (and zoned separately) gives the
+    /// `addressing` mode a small weight.
+    pub mode_weights: Vec<(String, f64)>,
+    /// True for zones that implement a *safety mechanism* (checkers, alarm
+    /// registers, BIST): their undetected faults cannot violate the safety
+    /// goal alone but stay **latent** until a second fault arrives — the
+    /// quantity the ISO 26262 latent fault metric (LFM) tracks.
+    pub is_diagnostic: bool,
+}
+
+impl Default for ZoneAssumptions {
+    fn default() -> ZoneAssumptions {
+        ZoneAssumptions {
+            s_architectural: 0.4,
+            s_applicational: 0.0,
+            freq: FreqClass::High,
+            lifetime_exposure: 1.0,
+            diagnostics: Vec::new(),
+            mode_weights: Vec::new(),
+            is_diagnostic: false,
+        }
+    }
+}
+
+impl ZoneAssumptions {
+    /// The relative weight of a failure-mode key (default `1.0`).
+    pub fn mode_weight(&self, key: &str) -> f64 {
+        self.mode_weights
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, w)| w)
+            .unwrap_or(1.0)
+    }
+
+    /// Sets the relative weight of a failure-mode key.
+    pub fn set_mode_weight(&mut self, key: impl Into<String>, weight: f64) {
+        let key = key.into();
+        if let Some(e) = self.mode_weights.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = weight;
+        } else {
+            self.mode_weights.push((key, weight));
+        }
+    }
+
+    /// The dangerous fraction for permanent faults:
+    /// `(1-S_arch)·(1-S_app)·usage(F)`.
+    pub fn d_permanent(&self) -> f64 {
+        (1.0 - self.s_architectural) * (1.0 - self.s_applicational) * self.freq.usage()
+    }
+
+    /// The dangerous fraction for transient faults: the permanent fraction
+    /// further scaled by the lifetime exposure ζ.
+    pub fn d_transient(&self) -> f64 {
+        self.d_permanent() * self.lifetime_exposure
+    }
+}
+
+/// Whether a worksheet row accounts transient or permanent faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowPersistence {
+    /// Transient / intermittent faults.
+    Transient,
+    /// Permanent faults.
+    Permanent,
+}
+
+impl fmt::Display for RowPersistence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RowPersistence::Transient => "transient",
+            RowPersistence::Permanent => "permanent",
+        })
+    }
+}
+
+/// One row of the FMEA worksheet: a (zone, failure mode, persistence)
+/// triple with its computed rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorksheetRow {
+    /// The zone.
+    pub zone: ZoneId,
+    /// Failure-mode key from the norm's required list.
+    pub mode_key: &'static str,
+    /// Norm wording of the failure mode.
+    pub description: &'static str,
+    /// Transient or permanent accounting.
+    pub persistence: RowPersistence,
+    /// Raw failure rate apportioned to this row.
+    pub raw: Fit,
+    /// Dangerous fraction applied (after S, F, ζ).
+    pub d_fraction: f64,
+    /// Effective detected-dangerous fraction after capping and derating.
+    pub ddf: f64,
+    /// Techniques contributing to the DDF.
+    pub techniques: Vec<TechniqueId>,
+    /// The resulting λ split.
+    pub lambda: LambdaBreakdown,
+}
+
+/// The computed FMEA: all rows plus aggregates.
+#[derive(Debug, Clone)]
+pub struct FmeaResult {
+    /// All worksheet rows.
+    pub rows: Vec<WorksheetRow>,
+    /// λ aggregates per zone (indexable by [`ZoneId::index`]).
+    pub zone_totals: Vec<LambdaBreakdown>,
+    /// λ aggregate for the whole SoC.
+    pub total: LambdaBreakdown,
+    /// Undetected failure rate of safety-mechanism (diagnostic) zones:
+    /// multiple-point **latent** faults in the ISO 26262 reading.
+    pub latent: Fit,
+    /// Hardware fault tolerance assumed for the SIL grant.
+    pub hft: Hft,
+    /// Subsystem type assumed for the SIL grant.
+    pub subsystem: SubsystemType,
+}
+
+impl FmeaResult {
+    /// SoC-level Safe Failure Fraction.
+    pub fn sff(&self) -> Option<f64> {
+        self.total.safe_failure_fraction()
+    }
+
+    /// SoC-level Diagnostic Coverage.
+    pub fn dc(&self) -> Option<f64> {
+        self.total.diagnostic_coverage()
+    }
+
+    /// The SIL the SoC can be granted under the assumed HFT/subsystem type.
+    pub fn sil(&self) -> Option<Sil> {
+        self.sff()
+            .and_then(|sff| sil_from_sff(sff, self.hft, self.subsystem))
+    }
+
+    /// Zones ranked by criticality (descending λ_DU — the undetected
+    /// dangerous contribution).
+    pub fn ranking(&self) -> Vec<(ZoneId, Fit)> {
+        let mut v: Vec<(ZoneId, Fit)> = self
+            .zone_totals
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ZoneId::from_index(i), l.dangerous_undetected))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// The diagnostic coverage achieved for one zone, if it has dangerous
+    /// failures.
+    pub fn zone_dc(&self, zone: ZoneId) -> Option<f64> {
+        self.zone_totals[zone.index()].diagnostic_coverage()
+    }
+
+    /// The diagnostic coverage of one zone restricted to the rows of one
+    /// failure mode (e.g. `"soft_error"`). This is the estimate a
+    /// mode-specific injection campaign (bit flips ↔ soft errors) must be
+    /// compared against.
+    pub fn zone_mode_dc(&self, zone: ZoneId, mode_key: &str) -> Option<f64> {
+        let mut dd = Fit::ZERO;
+        let mut du = Fit::ZERO;
+        for row in self.rows.iter().filter(|r| r.zone == zone && r.mode_key == mode_key) {
+            dd += row.lambda.dangerous_detected;
+            du += row.lambda.dangerous_undetected;
+        }
+        diagnostic_coverage(dd, du)
+    }
+
+    /// The dangerous fraction λ_D/λ estimated for one zone.
+    pub fn zone_d_fraction(&self, zone: ZoneId) -> Option<f64> {
+        let t = self.zone_totals[zone.index()];
+        let total = t.total();
+        if total.0 <= 0.0 {
+            return None;
+        }
+        Some(t.total_dangerous().0 / total.0)
+    }
+
+    /// SFF restricted to one zone.
+    pub fn zone_sff(&self, zone: ZoneId) -> Option<f64> {
+        self.zone_totals[zone.index()].safe_failure_fraction()
+    }
+
+    /// The ISO 26262 reading of the same worksheet: SPFM, LFM and PMHF
+    /// (see [`socfmea_iec61508::iso26262`]). `None` for an all-zero model.
+    ///
+    /// [`socfmea_iec61508::iso26262`]: socfmea_iec61508::iso26262
+    pub fn automotive_metrics(&self) -> Option<socfmea_iec61508::AutomotiveMetrics> {
+        socfmea_iec61508::AutomotiveMetrics::from_lambda(&self.total, self.latent)
+    }
+}
+
+/// The FMEA worksheet: zones + FIT model + per-zone assumptions.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_core::extract::{extract_zones, ExtractConfig};
+/// use socfmea_core::worksheet::{DiagnosticClaim, Worksheet};
+/// use socfmea_iec61508::TechniqueId;
+/// use socfmea_rtl::RtlBuilder;
+///
+/// let mut r = RtlBuilder::new("demo");
+/// let d = r.input_word("d", 8);
+/// let q = r.register("state", &d, None, None);
+/// r.output_word("q", &q);
+/// let nl = r.finish()?;
+/// let zones = extract_zones(&nl, &ExtractConfig::default());
+///
+/// let mut ws = Worksheet::new(&zones);
+/// let state = zones.zone_by_name("state").unwrap().id;
+/// ws.add_diagnostic(state, DiagnosticClaim::at_max(TechniqueId::RamEcc));
+/// let result = ws.compute();
+/// assert!(result.sff().unwrap() > 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Worksheet<'a> {
+    zones: &'a ZoneSet,
+    fit: FitModel,
+    assumptions: Vec<ZoneAssumptions>,
+    hft: Hft,
+    subsystem: SubsystemType,
+    ddf_derating: f64,
+}
+
+impl<'a> Worksheet<'a> {
+    /// Creates a worksheet with default assumptions for every zone, HFT 0
+    /// and type-B subsystem (the SoC case).
+    pub fn new(zones: &'a ZoneSet) -> Worksheet<'a> {
+        Worksheet {
+            zones,
+            fit: FitModel::default(),
+            assumptions: vec![ZoneAssumptions::default(); zones.len()],
+            hft: Hft(0),
+            subsystem: SubsystemType::B,
+            ddf_derating: 1.0,
+        }
+    }
+
+    /// The zone set this worksheet analyses.
+    pub fn zones(&self) -> &'a ZoneSet {
+        self.zones
+    }
+
+    /// Replaces the FIT model.
+    pub fn set_fit_model(&mut self, fit: FitModel) {
+        self.fit = fit;
+    }
+
+    /// The current FIT model.
+    pub fn fit_model(&self) -> FitModel {
+        self.fit
+    }
+
+    /// Sets the assumed hardware fault tolerance for the SIL grant.
+    pub fn set_hft(&mut self, hft: Hft) {
+        self.hft = hft;
+    }
+
+    /// Sets the subsystem type (A/B) for the SIL grant.
+    pub fn set_subsystem(&mut self, ty: SubsystemType) {
+        self.subsystem = ty;
+    }
+
+    /// Applies a global derating factor to every claimed DDF (sensitivity
+    /// knob).
+    pub fn set_ddf_derating(&mut self, k: f64) {
+        self.ddf_derating = k;
+    }
+
+    /// Mutable access to one zone's assumptions.
+    pub fn assumptions_mut(&mut self, zone: ZoneId) -> &mut ZoneAssumptions {
+        &mut self.assumptions[zone.index()]
+    }
+
+    /// Read access to one zone's assumptions.
+    pub fn assumptions(&self, zone: ZoneId) -> &ZoneAssumptions {
+        &self.assumptions[zone.index()]
+    }
+
+    /// Replaces one zone's assumptions.
+    pub fn set_assumptions(&mut self, zone: ZoneId, a: ZoneAssumptions) {
+        self.assumptions[zone.index()] = a;
+    }
+
+    /// Adds a diagnostic claim to one zone.
+    pub fn add_diagnostic(&mut self, zone: ZoneId, claim: DiagnosticClaim) {
+        self.assumptions[zone.index()].diagnostics.push(claim);
+    }
+
+    /// Applies a closure to every zone's assumptions (bulk setup).
+    pub fn assume_all<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&crate::zone::SensibleZone, &mut ZoneAssumptions),
+    {
+        for z in self.zones.zones() {
+            f(z, &mut self.assumptions[z.id.index()]);
+        }
+    }
+
+    /// Computes the full FMEA.
+    pub fn compute(&self) -> FmeaResult {
+        let mut rows = Vec::new();
+        let mut zone_totals = vec![LambdaBreakdown::default(); self.zones.len()];
+        let mut total = LambdaBreakdown::default();
+        let mut latent = Fit::ZERO;
+
+        for zone in self.zones.zones() {
+            let a = &self.assumptions[zone.id.index()];
+            let modes = required_failure_modes(zone.class);
+            for persistence in [RowPersistence::Transient, RowPersistence::Permanent] {
+                let pool_lambda = match persistence {
+                    RowPersistence::Transient => self.fit.zone_transient(zone),
+                    RowPersistence::Permanent => self.fit.zone_permanent(zone),
+                };
+                let applicable: Vec<_> = modes
+                    .iter()
+                    .filter(|m| {
+                        matches!(
+                            (persistence, m.persistence),
+                            (RowPersistence::Transient, Persistence::Transient)
+                                | (RowPersistence::Transient, Persistence::Both)
+                                | (RowPersistence::Permanent, Persistence::Permanent)
+                                | (RowPersistence::Permanent, Persistence::Both)
+                        )
+                    })
+                    .collect();
+                if applicable.is_empty() {
+                    continue;
+                }
+                let total_weight: f64 = applicable.iter().map(|m| a.mode_weight(m.key)).sum();
+                for mode in applicable {
+                    let share = if total_weight > 0.0 {
+                        pool_lambda * (a.mode_weight(mode.key) / total_weight)
+                    } else {
+                        Fit::ZERO
+                    };
+                    let d_fraction = match persistence {
+                        RowPersistence::Transient => a.d_transient(),
+                        RowPersistence::Permanent => a.d_permanent(),
+                    };
+                    let mut miss = 1.0;
+                    let mut techniques = Vec::new();
+                    for claim in &a.diagnostics {
+                        if !claim.applies_to(mode.key) {
+                            continue;
+                        }
+                        let cap = annex_a::technique(claim.technique).max_dc;
+                        let claimed = match persistence {
+                            RowPersistence::Transient => claim.ddf_transient,
+                            RowPersistence::Permanent => claim.ddf_permanent,
+                        };
+                        let effective = cap.cap(claimed) * self.ddf_derating;
+                        if effective > 0.0 {
+                            miss *= 1.0 - effective.clamp(0.0, 1.0);
+                            techniques.push(claim.technique);
+                        }
+                    }
+                    let ddf = 1.0 - miss;
+                    let lambda_d = share * d_fraction;
+                    let lambda = LambdaBreakdown {
+                        safe: share * (1.0 - d_fraction),
+                        dangerous_detected: lambda_d * ddf,
+                        dangerous_undetected: lambda_d * (1.0 - ddf),
+                    };
+                    zone_totals[zone.id.index()].accumulate(&lambda);
+                    total.accumulate(&lambda);
+                    rows.push(WorksheetRow {
+                        zone: zone.id,
+                        mode_key: mode.key,
+                        description: mode.description,
+                        persistence,
+                        raw: share,
+                        d_fraction,
+                        ddf,
+                        techniques,
+                        lambda,
+                    });
+                }
+            }
+        }
+
+        for zone in self.zones.zones() {
+            if self.assumptions[zone.id.index()].is_diagnostic {
+                let t = &zone_totals[zone.id.index()];
+                // everything the diagnostics-of-the-diagnostic miss stays
+                // latent: the safe share plus the undetected dangerous share
+                latent += t.safe + t.dangerous_undetected;
+            }
+        }
+        FmeaResult {
+            rows,
+            zone_totals,
+            total,
+            latent,
+            hft: self.hft,
+            subsystem: self.subsystem,
+        }
+    }
+}
+
+/// Convenience re-exports used by reports.
+pub use socfmea_iec61508::quantity::LambdaBreakdown as ZoneLambda;
+
+/// Sanity helper: recomputes SFF from explicit rates (mirrors
+/// [`safe_failure_fraction`] for doc discoverability).
+pub fn sff_from_rates(safe: Fit, dd: Fit, du: Fit) -> Option<f64> {
+    safe_failure_fraction(safe, dd, du)
+}
+
+/// Sanity helper: recomputes DC from explicit rates.
+pub fn dc_from_rates(dd: Fit, du: Fit) -> Option<f64> {
+    diagnostic_coverage(dd, du)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_zones, ExtractConfig};
+    use socfmea_iec61508::ComponentClass;
+    use socfmea_rtl::RtlBuilder;
+
+    fn demo_zones() -> crate::extract::ZoneSet {
+        let mut r = RtlBuilder::new("demo");
+        let _clk = r.clock_input("clk");
+        let d = r.input_word("d", 8);
+        r.push_block("mem");
+        let q = r.register("data", &d, None, None);
+        r.pop_block();
+        r.output_word("q", &q);
+        let nl = r.finish().unwrap();
+        extract_zones(
+            &nl,
+            &ExtractConfig::default().classify("mem", ComponentClass::VariableMemory),
+        )
+    }
+
+    #[test]
+    fn rows_cover_required_modes_in_both_pools() {
+        let zones = demo_zones();
+        let ws = Worksheet::new(&zones);
+        let result = ws.compute();
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        let keys: Vec<_> = result
+            .rows
+            .iter()
+            .filter(|r| r.zone == data)
+            .map(|r| (r.mode_key, r.persistence))
+            .collect();
+        // variable memory: permanent {dc_fault, crossover, addressing};
+        // transient {soft_error, addressing}
+        assert!(keys.contains(&("dc_fault", RowPersistence::Permanent)));
+        assert!(keys.contains(&("soft_error", RowPersistence::Transient)));
+        assert!(keys.contains(&("addressing", RowPersistence::Transient)));
+        assert!(keys.contains(&("addressing", RowPersistence::Permanent)));
+        assert!(!keys.contains(&("dc_fault", RowPersistence::Transient)));
+    }
+
+    #[test]
+    fn lambda_is_conserved_across_rows() {
+        let zones = demo_zones();
+        let ws = Worksheet::new(&zones);
+        let result = ws.compute();
+        let fit = ws.fit_model();
+        let mut expected = Fit::ZERO;
+        for z in zones.zones() {
+            expected += fit.zone_transient(z);
+            expected += fit.zone_permanent(z);
+        }
+        assert!((result.total.total().0 - expected.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagnostics_raise_sff_and_dc() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let base = ws.compute();
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        ws.add_diagnostic(data, DiagnosticClaim::at_max(TechniqueId::RamEcc));
+        let with_ecc = ws.compute();
+        assert!(with_ecc.sff().unwrap() > base.sff().unwrap());
+        assert!(with_ecc.zone_dc(data).unwrap() > 0.9);
+        assert!(base.zone_dc(data).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn ddf_claims_are_capped_by_annex_a() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        // parity claims 99.9% but the norm caps word parity at low (60%)
+        ws.add_diagnostic(
+            data,
+            DiagnosticClaim {
+                technique: TechniqueId::WordParity,
+                ddf_transient: 0.999,
+                ddf_permanent: 0.999,
+                mode_filter: None,
+            },
+        );
+        let result = ws.compute();
+        let dc = result.zone_dc(data).unwrap();
+        assert!((dc - 0.60).abs() < 1e-9, "dc={dc}");
+    }
+
+    #[test]
+    fn mode_filter_restricts_coverage() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        ws.add_diagnostic(
+            data,
+            DiagnosticClaim::at_max(TechniqueId::RamEcc).for_modes(&["soft_error"]),
+        );
+        let result = ws.compute();
+        for row in result.rows.iter().filter(|r| r.zone == data) {
+            if row.mode_key == "soft_error" {
+                assert!(row.ddf > 0.9);
+            } else {
+                assert_eq!(row.ddf, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_puts_uncovered_zones_first() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        ws.add_diagnostic(data, DiagnosticClaim::at_max(TechniqueId::RamEcc));
+        let result = ws.compute();
+        let ranking = result.ranking();
+        // the covered memory zone must not be the most critical
+        assert_ne!(ranking[0].0, data);
+        // λ_DU is non-increasing
+        for w in ranking.windows(2) {
+            assert!(w[0].1 .0 >= w[1].1 .0);
+        }
+    }
+
+    #[test]
+    fn freq_class_shifting_saturates() {
+        assert_eq!(FreqClass::VeryHigh.shifted(1), FreqClass::VeryHigh);
+        assert_eq!(FreqClass::VeryLow.shifted(-1), FreqClass::VeryLow);
+        assert_eq!(FreqClass::Medium.shifted(1), FreqClass::High);
+        assert!(FreqClass::Low.usage() < FreqClass::High.usage());
+    }
+
+    #[test]
+    fn d_fractions_combine_s_f_and_lifetime() {
+        let a = ZoneAssumptions {
+            s_architectural: 0.5,
+            s_applicational: 0.2,
+            freq: FreqClass::VeryHigh,
+            lifetime_exposure: 0.5,
+            ..ZoneAssumptions::default()
+        };
+        let dp = a.d_permanent();
+        assert!((dp - 0.5 * 0.8 * 0.95).abs() < 1e-12);
+        assert!((a.d_transient() - dp * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sil_grant_follows_sff() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        // cover everything very well
+        ws.assume_all(|_z, a| {
+            a.diagnostics.push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
+            a.diagnostics
+                .push(DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
+            a.s_architectural = 0.9;
+        });
+        let result = ws.compute();
+        assert!(result.sff().unwrap() > 0.99);
+        assert_eq!(result.sil(), Some(Sil::Sil3));
+    }
+
+    #[test]
+    fn diagnostic_zones_accumulate_latent_rate() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let base = ws.compute();
+        assert_eq!(base.latent, Fit::ZERO, "no diagnostic zones declared");
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        ws.assumptions_mut(data).is_diagnostic = true;
+        let result = ws.compute();
+        let t = &result.zone_totals[data.index()];
+        let expected = t.safe + t.dangerous_undetected;
+        assert!((result.latent.0 - expected.0).abs() < 1e-12);
+        // and the ISO 26262 reading reacts: LFM drops below 1
+        let m = result.automotive_metrics().unwrap();
+        assert!(m.lfm < 1.0);
+        assert!(
+            base.automotive_metrics().unwrap().lfm > m.lfm,
+            "declaring diagnostics lowers the latent-fault metric"
+        );
+    }
+
+    #[test]
+    fn zone_mode_dc_isolates_one_failure_mode() {
+        let zones = demo_zones();
+        let mut ws = Worksheet::new(&zones);
+        let data = zones.zone_by_name("mem/data").unwrap().id;
+        ws.add_diagnostic(
+            data,
+            DiagnosticClaim::at_max(TechniqueId::RamEcc).for_modes(&["soft_error"]),
+        );
+        let result = ws.compute();
+        let soft = result.zone_mode_dc(data, "soft_error").unwrap();
+        let dc_all = result.zone_dc(data).unwrap();
+        assert!((soft - 0.99).abs() < 1e-9, "soft_error rows fully covered");
+        assert!(dc_all < soft, "other modes dilute the aggregate");
+        assert_eq!(result.zone_mode_dc(data, "no_such_mode"), None);
+    }
+
+    #[test]
+    fn rate_helpers_match_formulas() {
+        assert_eq!(sff_from_rates(Fit(1.0), Fit(1.0), Fit(0.0)), Some(1.0));
+        assert_eq!(dc_from_rates(Fit(1.0), Fit(1.0)), Some(0.5));
+    }
+}

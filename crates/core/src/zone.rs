@@ -1,0 +1,189 @@
+//! Sensible zones — the elementary failure points of the SoC.
+//!
+//! "A sensible zone is one of the elementary failure points of the SoC in
+//! which one or more faults converge to lead a failure" (paper §3). Valid
+//! zones are memory elements (registers), primary inputs/outputs, logical
+//! entities, critical nets (clock/reset/long nets) and entire sub-blocks.
+
+use socfmea_iec61508::ComponentClass;
+use socfmea_netlist::{Cone, ConeStats, CriticalNetKind, DffId, GateId, NetId};
+use std::fmt;
+
+/// Identifies a sensible zone within a [`ZoneSet`](crate::extract::ZoneSet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32`.
+    pub fn from_index(index: usize) -> ZoneId {
+        ZoneId(u32::try_from(index).expect("zone index exceeds u32"))
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+/// The kind of a sensible zone, mirroring the paper's valid definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneKind {
+    /// A group of memory elements (the bits of one architectural register).
+    /// "The state register has a fundamental role in the functional
+    /// behaviour of the machine, so it is worth to consider such state
+    /// registers as the best candidates to become sensible zones."
+    RegisterGroup {
+        /// The flip-flops forming the register.
+        dffs: Vec<DffId>,
+    },
+    /// A group of primary input nets (one bus).
+    PrimaryInputGroup {
+        /// The input nets, LSB first.
+        nets: Vec<NetId>,
+    },
+    /// A group of primary output nets (one bus).
+    PrimaryOutputGroup {
+        /// The output nets, LSB first.
+        nets: Vec<NetId>,
+    },
+    /// A logical entity that may or may not map directly to memory elements
+    /// (e.g. "wrong conditional field of an instruction").
+    LogicalEntity {
+        /// The nets carrying the entity.
+        nets: Vec<NetId>,
+    },
+    /// A critical net such as a clock or long net that could generate
+    /// multiple failures.
+    CriticalNet {
+        /// The net.
+        net: NetId,
+        /// Its role.
+        role: CriticalNetKind,
+    },
+    /// An entire sub-block, "to take more simply into account bigger cones
+    /// of logic or to consider all together a complex block with a small
+    /// number of outputs".
+    SubBlock {
+        /// Gates of the block.
+        gates: Vec<GateId>,
+        /// Flip-flops of the block.
+        dffs: Vec<DffId>,
+    },
+}
+
+impl ZoneKind {
+    /// Short kind tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ZoneKind::RegisterGroup { .. } => "reg",
+            ZoneKind::PrimaryInputGroup { .. } => "pi",
+            ZoneKind::PrimaryOutputGroup { .. } => "po",
+            ZoneKind::LogicalEntity { .. } => "entity",
+            ZoneKind::CriticalNet { .. } => "critnet",
+            ZoneKind::SubBlock { .. } => "block",
+        }
+    }
+
+    /// Number of storage bits the zone directly contains.
+    pub fn storage_bits(&self) -> usize {
+        match self {
+            ZoneKind::RegisterGroup { dffs } | ZoneKind::SubBlock { dffs, .. } => dffs.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A sensible zone with its extracted structural statistics.
+#[derive(Debug, Clone)]
+pub struct SensibleZone {
+    /// Identity within the owning zone set.
+    pub id: ZoneId,
+    /// Unique, human-readable name (`block/register` style).
+    pub name: String,
+    /// What the zone is.
+    pub kind: ZoneKind,
+    /// Hierarchical block path the zone belongs to.
+    pub block: String,
+    /// Anchor nets: where the zone's failure modes are observed/injected
+    /// (register `q` nets, the bus nets, the critical net).
+    pub anchors: Vec<NetId>,
+    /// The converging logic cone feeding the zone.
+    pub cone: Cone,
+    /// Cone statistics for the FMEA statistical model.
+    pub stats: ConeStats,
+    /// Cone gate count with *wide* gates apportioned across the cones that
+    /// share them (a gate in `k` cones contributes `1/k` to each), so that
+    /// summing over all zones conserves the total gate failure rate. This
+    /// is what the paper's "correlation between each sensible zone in terms
+    /// of shared gates" feeds into the statistical model.
+    pub effective_gate_count: f64,
+    /// IEC 61508 component class the zone is assessed under.
+    pub class: ComponentClass,
+}
+
+impl SensibleZone {
+    /// Number of storage bits (flip-flops) in the zone.
+    pub fn storage_bits(&self) -> usize {
+        self.kind.storage_bits()
+    }
+
+    /// True for zones that *store* state (registers, sub-blocks with
+    /// flip-flops) — the targets of soft-error injection.
+    pub fn is_sequential(&self) -> bool {
+        self.storage_bits() > 0
+    }
+}
+
+impl fmt::Display for SensibleZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} ({} bits, cone {} gates depth {})",
+            self.id,
+            self.kind.tag(),
+            self.name,
+            self.storage_bits(),
+            self.stats.gate_count,
+            self.stats.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_id_round_trip() {
+        let z = ZoneId::from_index(12);
+        assert_eq!(z.index(), 12);
+        assert_eq!(z.to_string(), "z12");
+    }
+
+    #[test]
+    fn kind_tags_and_bits() {
+        let k = ZoneKind::RegisterGroup {
+            dffs: vec![DffId(0), DffId(1)],
+        };
+        assert_eq!(k.tag(), "reg");
+        assert_eq!(k.storage_bits(), 2);
+        let k = ZoneKind::PrimaryInputGroup { nets: vec![NetId(0)] };
+        assert_eq!(k.tag(), "pi");
+        assert_eq!(k.storage_bits(), 0);
+        let k = ZoneKind::CriticalNet {
+            net: NetId(0),
+            role: CriticalNetKind::Clock,
+        };
+        assert_eq!(k.tag(), "critnet");
+    }
+}

@@ -1,0 +1,207 @@
+//! The environment builder: wiring the FMEA into an injection campaign.
+//!
+//! "Environment builder: this block extracts from the FMEA all the
+//! information related to the environment for the injection campaign and
+//! builds all the required environment configuration files" (paper §5).
+
+use socfmea_core::{ZoneId, ZoneKind, ZoneSet};
+use socfmea_netlist::{NetId, Netlist};
+use socfmea_sim::Workload;
+use std::collections::BTreeMap;
+
+/// A fully-wired injection environment: design, zones, workload, and the
+/// three net groups every monitor needs.
+#[derive(Debug)]
+pub struct Environment<'a> {
+    /// The design under test.
+    pub netlist: &'a Netlist,
+    /// The FMEA zone set (defines injection targets and observation points).
+    pub zones: &'a ZoneSet,
+    /// The replayable stimulus.
+    pub workload: &'a Workload,
+    /// Functional primary outputs — a deviation here is a *dangerous*
+    /// failure of the safety function.
+    pub functional_outputs: Vec<NetId>,
+    /// Diagnostic alarm nets — an assertion here is a *detection*.
+    pub alarm_nets: Vec<NetId>,
+    /// All observation-point nets (zone anchors + outputs), with the owning
+    /// zone of each net for effects attribution.
+    pub observation_nets: Vec<NetId>,
+    /// Maps observation nets back to their zone.
+    pub net_zone: BTreeMap<NetId, ZoneId>,
+    /// Cycle window `[start, end)` of a software self-test phase: a
+    /// functional mismatch first occurring inside it counts as *detected*
+    /// (the SW comparison is the diagnostic).
+    pub sw_test_window: Option<(usize, usize)>,
+}
+
+impl<'a> Environment<'a> {
+    /// The zone owning an observation net, if any.
+    pub fn zone_of_net(&self, net: NetId) -> Option<ZoneId> {
+        self.net_zone.get(&net).copied()
+    }
+}
+
+/// Builds an [`Environment`] from the FMEA artefacts.
+///
+/// By default every primary output is functional; outputs whose name
+/// matches an alarm pattern (set with [`alarms_matching`]) are moved to the
+/// alarm group instead — matching how the memory sub-system exposes its
+/// `alarm_*` pins.
+///
+/// [`alarms_matching`]: EnvironmentBuilder::alarms_matching
+///
+/// # Example
+///
+/// ```
+/// use socfmea_core::extract::{extract_zones, ExtractConfig};
+/// use socfmea_faultsim::EnvironmentBuilder;
+/// use socfmea_rtl::RtlBuilder;
+/// use socfmea_sim::Workload;
+///
+/// let mut r = RtlBuilder::new("d");
+/// let d = r.input_word("d", 2);
+/// let q = r.register("q", &d, None, None);
+/// let par = r.parity(&q);
+/// r.output_word("o", &q);
+/// r.output("alarm_parity", par);
+/// let nl = r.finish()?;
+/// let zones = extract_zones(&nl, &ExtractConfig::default());
+/// let w = Workload::new("idle");
+/// let env = EnvironmentBuilder::new(&nl, &zones, &w)
+///     .alarms_matching("alarm_")
+///     .build();
+/// assert_eq!(env.alarm_nets.len(), 1);
+/// assert_eq!(env.functional_outputs.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EnvironmentBuilder<'a> {
+    netlist: &'a Netlist,
+    zones: &'a ZoneSet,
+    workload: &'a Workload,
+    alarm_patterns: Vec<String>,
+    extra_alarms: Vec<NetId>,
+    sw_test_window: Option<(usize, usize)>,
+}
+
+impl<'a> EnvironmentBuilder<'a> {
+    /// Starts building an environment over a design, its zones and a
+    /// workload.
+    pub fn new(
+        netlist: &'a Netlist,
+        zones: &'a ZoneSet,
+        workload: &'a Workload,
+    ) -> EnvironmentBuilder<'a> {
+        EnvironmentBuilder {
+            netlist,
+            zones,
+            workload,
+            alarm_patterns: Vec::new(),
+            extra_alarms: Vec::new(),
+            sw_test_window: None,
+        }
+    }
+
+    /// Treats outputs whose name contains `pattern` as diagnostic alarms.
+    pub fn alarms_matching(mut self, pattern: impl Into<String>) -> Self {
+        self.alarm_patterns.push(pattern.into());
+        self
+    }
+
+    /// Adds an explicit alarm net.
+    pub fn alarm_net(mut self, net: NetId) -> Self {
+        self.extra_alarms.push(net);
+        self
+    }
+
+    /// Declares the cycle window of a software self-test phase; functional
+    /// mismatches first seen inside it count as SW-detected.
+    pub fn sw_test_window(mut self, window: Option<(usize, usize)>) -> Self {
+        self.sw_test_window = window;
+        self
+    }
+
+    /// Finalises the environment.
+    pub fn build(self) -> Environment<'a> {
+        let is_alarm = |name: &str| self.alarm_patterns.iter().any(|p| name.contains(p.as_str()));
+        let mut functional_outputs = Vec::new();
+        let mut alarm_nets = self.extra_alarms.clone();
+        for &o in self.netlist.outputs() {
+            if is_alarm(&self.netlist.net(o).name) {
+                alarm_nets.push(o);
+            } else {
+                functional_outputs.push(o);
+            }
+        }
+        let mut net_zone = BTreeMap::new();
+        let mut observation_nets = Vec::new();
+        for z in self.zones.zones() {
+            // Primary-input zones are stimulus, not observation points.
+            if matches!(z.kind, ZoneKind::PrimaryInputGroup { .. }) {
+                continue;
+            }
+            for &a in &z.anchors {
+                net_zone.entry(a).or_insert(z.id);
+                observation_nets.push(a);
+            }
+        }
+        observation_nets.sort_unstable();
+        observation_nets.dedup();
+        Environment {
+            netlist: self.netlist,
+            zones: self.zones,
+            workload: self.workload,
+            functional_outputs,
+            alarm_nets,
+            observation_nets,
+            net_zone,
+            sw_test_window: self.sw_test_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_core::extract::{extract_zones, ExtractConfig};
+    use socfmea_rtl::RtlBuilder;
+
+    #[test]
+    fn observation_nets_cover_zone_anchors_but_not_inputs() {
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let w = Workload::new("w");
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        // q anchors + po anchors observed; pi nets not
+        let q0 = nl.net_by_name("q[0]").unwrap();
+        let d0 = nl.net_by_name("d[0]").unwrap();
+        assert!(env.observation_nets.contains(&q0));
+        assert!(!env.observation_nets.contains(&d0));
+        let q_zone = zones.zone_by_name("q").unwrap().id;
+        assert_eq!(env.zone_of_net(q0), Some(q_zone));
+    }
+
+    #[test]
+    fn explicit_alarm_nets_are_added() {
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        let p = r.parity(&q);
+        r.output_word("o", &q);
+        r.output("flag", p);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let w = Workload::new("w");
+        let flag = nl.net_by_name("flag").unwrap();
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).alarm_net(flag).build();
+        assert!(env.alarm_nets.contains(&flag));
+        // but it stays in functional outputs too unless name-matched: the
+        // builder only reroutes name-matched outputs.
+        assert!(env.functional_outputs.contains(&flag));
+    }
+}

@@ -1,0 +1,45 @@
+//! The fault-injection environment and permanent-fault simulator.
+//!
+//! This crate reproduces the validation side of the paper (§5, Figure 4):
+//! a simulation-based fault injector built around deterministic golden/faulty
+//! co-simulation, structured exactly like the paper's block diagram:
+//!
+//! * [`env`](mod@crate::env) — **Environment builder**: extracts from the FMEA (zone set)
+//!   the observation points, alarms and functional outputs of the campaign,
+//! * [`profile`] — **Operational Profiler**: runs the workload fault-free
+//!   and records per-zone activity, so the fault list only contains faults
+//!   that can produce an error and so measured frequency classes F can be
+//!   cross-checked against the worksheet,
+//! * [`faultlist`] — **Collapser and Randomiser**: candidate fault
+//!   generation from zone failure modes (bit flips, stuck-at, glitches),
+//!   local gate faults, wide (shared-cone) faults and global faults;
+//!   equivalence collapsing through buffer/inverter chains; seeded sampling,
+//! * [`inject`] — **Fault Injection Manager**: runs the campaign, lockstep
+//!   golden-vs-faulty, classifying each injection as safe / dangerous
+//!   detected / dangerous undetected,
+//! * [`monitors`] — **Monitors and Coverage Collection**: SENS/OBSE/DIAG
+//!   coverage items; the campaign is complete only when every item is
+//!   covered,
+//! * [`analyzer`] — **Result analyzer**: fills the measured S/D/DDF sheet
+//!   ([`socfmea_core::MeasuredZone`]) and the per-zone table of effects for
+//!   the FMEA cross-check,
+//! * [`permfault`] — a permanent-fault simulator (serial and 64-way
+//!   bit-parallel PPSFP) measuring stuck-at fault coverage of a workload,
+//!   the open replacement for the commercial fault simulator the paper
+//!   references.
+
+pub mod analyzer;
+pub mod env;
+pub mod faultlist;
+pub mod inject;
+pub mod monitors;
+pub mod permfault;
+pub mod profile;
+
+pub use analyzer::{analyze, CampaignAnalysis};
+pub use env::{Environment, EnvironmentBuilder};
+pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};
+pub use inject::{run_campaign, CampaignResult, FaultOutcome, Outcome};
+pub use monitors::CoverageCollection;
+pub use permfault::{fault_universe, ppsfp_coverage, serial_coverage, FaultGrade, PermanentFaultReport, StuckAtFault};
+pub use profile::{OperationalProfile, ZoneActivity};

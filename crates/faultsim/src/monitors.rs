@@ -1,0 +1,181 @@
+//! SENS / OBSE / DIAG monitors and coverage collection.
+//!
+//! "In this context, coverage means a measure of the completeness of the
+//! fault injection experiment. It is measured how many times a fault
+//! injection (SENS) is triggered by an injection, how many changes occurred
+//! on the observation points (OBSE), how many mismatches occurred between
+//! faulty and golden DUT, how many times the diagnostic point (DIAG) changed
+//! and so forth. Only when all the coverage items are covered at 100% we can
+//! consider complete the fault injection experiment" (paper §5).
+
+use socfmea_core::ZoneId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Per-zone and campaign-wide coverage items of the injection experiment.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageCollection {
+    /// Zones faults were scheduled into.
+    targeted: BTreeSet<ZoneId>,
+    /// SENS: zones whose own failure was actually triggered at least once.
+    sens: BTreeSet<ZoneId>,
+    /// OBSE: zones observed deviating (as observation points) at least once.
+    obse: BTreeSet<ZoneId>,
+    /// DIAG: number of injections for which an alarm changed.
+    diag_events: usize,
+    /// Number of injections with a golden/faulty output mismatch.
+    mismatch_events: usize,
+    /// Total injections recorded.
+    injections: usize,
+    /// SENS trigger counts per zone.
+    sens_counts: BTreeMap<ZoneId, usize>,
+}
+
+impl CoverageCollection {
+    /// Prepares collection for the set of targeted zones.
+    pub fn new(targeted: impl IntoIterator<Item = ZoneId>) -> CoverageCollection {
+        CoverageCollection {
+            targeted: targeted.into_iter().collect(),
+            ..CoverageCollection::default()
+        }
+    }
+
+    /// Records one injection's monitor readings.
+    pub fn record(
+        &mut self,
+        zone: Option<ZoneId>,
+        sens_triggered: bool,
+        deviated_zones: &BTreeSet<ZoneId>,
+        alarm_cycle: Option<usize>,
+        first_mismatch: Option<usize>,
+    ) {
+        self.injections += 1;
+        if let Some(z) = zone {
+            if sens_triggered {
+                self.sens.insert(z);
+                *self.sens_counts.entry(z).or_insert(0) += 1;
+            }
+        }
+        self.obse.extend(deviated_zones.iter().copied());
+        if alarm_cycle.is_some() {
+            self.diag_events += 1;
+        }
+        if first_mismatch.is_some() {
+            self.mismatch_events += 1;
+        }
+    }
+
+    /// SENS coverage: fraction of targeted zones whose failure was
+    /// triggered at least once.
+    pub fn sens_coverage(&self) -> f64 {
+        if self.targeted.is_empty() {
+            return 1.0;
+        }
+        self.sens.intersection(&self.targeted).count() as f64 / self.targeted.len() as f64
+    }
+
+    /// Targeted zones never triggered (holes in the experiment).
+    pub fn sens_holes(&self) -> Vec<ZoneId> {
+        self.targeted.difference(&self.sens).copied().collect()
+    }
+
+    /// Number of distinct zones observed deviating.
+    pub fn obse_zones(&self) -> usize {
+        self.obse.len()
+    }
+
+    /// Number of injections that fired an alarm.
+    pub fn diag_events(&self) -> usize {
+        self.diag_events
+    }
+
+    /// Number of injections with output mismatches.
+    pub fn mismatch_events(&self) -> usize {
+        self.mismatch_events
+    }
+
+    /// Total injections recorded.
+    pub fn injections(&self) -> usize {
+        self.injections
+    }
+
+    /// The paper's completeness criterion: every targeted zone triggered
+    /// (SENS at 100 %), at least one observation change, and — when the
+    /// design has diagnostics — at least one DIAG event.
+    pub fn is_complete(&self, expect_diagnostics: bool) -> bool {
+        self.sens_coverage() >= 1.0
+            && (!self.obse.is_empty() || self.targeted.is_empty())
+            && (!expect_diagnostics || self.diag_events > 0)
+    }
+
+    /// SENS trigger count of one zone.
+    pub fn sens_count(&self, zone: ZoneId) -> usize {
+        self.sens_counts.get(&zone).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CoverageCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coverage: SENS {:.0}% ({} of {} zones), OBSE {} zones, DIAG {} events, mismatches {}, injections {}",
+            self.sens_coverage() * 100.0,
+            self.sens.intersection(&self.targeted).count(),
+            self.targeted.len(),
+            self.obse.len(),
+            self.diag_events,
+            self.mismatch_events,
+            self.injections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zones(ids: &[u32]) -> BTreeSet<ZoneId> {
+        ids.iter().map(|&i| ZoneId(i)).collect()
+    }
+
+    #[test]
+    fn complete_when_all_targets_triggered() {
+        let mut c = CoverageCollection::new([ZoneId(0), ZoneId(1)]);
+        c.record(Some(ZoneId(0)), true, &zones(&[0, 2]), Some(3), Some(3));
+        assert!(!c.is_complete(true));
+        assert_eq!(c.sens_holes(), vec![ZoneId(1)]);
+        c.record(Some(ZoneId(1)), true, &zones(&[1]), None, None);
+        assert!(c.is_complete(true));
+        assert_eq!(c.sens_coverage(), 1.0);
+        assert_eq!(c.obse_zones(), 3);
+        assert_eq!(c.diag_events(), 1);
+        assert_eq!(c.mismatch_events(), 1);
+        assert_eq!(c.injections(), 2);
+        assert_eq!(c.sens_count(ZoneId(0)), 1);
+        assert_eq!(c.sens_count(ZoneId(7)), 0);
+    }
+
+    #[test]
+    fn diagnostics_expectation_gates_completeness() {
+        let mut c = CoverageCollection::new([ZoneId(0)]);
+        c.record(Some(ZoneId(0)), true, &zones(&[0]), None, None);
+        assert!(c.is_complete(false));
+        assert!(!c.is_complete(true));
+    }
+
+    #[test]
+    fn untriggered_injections_leave_holes() {
+        let mut c = CoverageCollection::new([ZoneId(0)]);
+        c.record(Some(ZoneId(0)), false, &BTreeSet::new(), None, None);
+        assert_eq!(c.sens_coverage(), 0.0);
+        assert!(!c.is_complete(false));
+        assert!(c.to_string().contains("SENS 0%"));
+    }
+
+    #[test]
+    fn empty_target_set_is_trivially_covered() {
+        let c = CoverageCollection::new([]);
+        assert_eq!(c.sens_coverage(), 1.0);
+        assert!(c.is_complete(false));
+    }
+}

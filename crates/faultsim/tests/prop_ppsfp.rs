@@ -1,0 +1,68 @@
+//! Property test: the bit-parallel fault simulator agrees with the serial
+//! reference on arbitrary synthetic designs and workloads.
+
+use proptest::prelude::*;
+use socfmea_faultsim::{fault_universe, ppsfp_coverage, serial_coverage};
+use socfmea_netlist::Logic;
+use socfmea_rtl::gen;
+use socfmea_sim::{assign_bus, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ppsfp_agrees_with_serial(
+        seed in 0u64..1000,
+        gates in 10usize..40,
+        stimulus in 1u64..1_000_000,
+    ) {
+        let nl = gen::synthetic_datapath("dut", 4, 2, gates, seed).expect("valid");
+        let din: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
+            .collect();
+        let rst = nl.net_by_name("rst").unwrap();
+        let mut w = Workload::new("rand");
+        for c in 0..12u64 {
+            let mut v = vec![(rst, if c == 0 { Logic::One } else { Logic::Zero })];
+            assign_bus(&mut v, &din, stimulus.wrapping_mul(c + 1) >> 3);
+            w.push_cycle(v);
+        }
+        let faults = fault_universe(&nl);
+        let serial = serial_coverage(&nl, &w, nl.outputs(), &faults);
+        let packed = ppsfp_coverage(&nl, &w, nl.outputs(), &faults);
+        prop_assert_eq!(serial.total(), packed.total());
+        for (s, p) in serial.faults.iter().zip(&packed.faults) {
+            prop_assert_eq!(s.0, p.0);
+            prop_assert_eq!(
+                s.1.detected, p.1.detected,
+                "detection disagreement on {:?}", s.0
+            );
+            prop_assert_eq!(
+                s.1.excited, p.1.excited,
+                "excitation disagreement on {:?}", s.0
+            );
+        }
+    }
+
+    /// Detection implies excitation: a fault that was never excited cannot
+    /// have been detected.
+    #[test]
+    fn detection_implies_excitation(seed in 0u64..500) {
+        let nl = gen::synthetic_datapath("dut", 4, 2, 25, seed).expect("valid");
+        let din: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
+            .collect();
+        let rst = nl.net_by_name("rst").unwrap();
+        let mut w = Workload::new("r");
+        for c in 0..10u64 {
+            let mut v = vec![(rst, if c == 0 { Logic::One } else { Logic::Zero })];
+            assign_bus(&mut v, &din, c.wrapping_mul(7));
+            w.push_cycle(v);
+        }
+        let report = ppsfp_coverage(&nl, &w, nl.outputs(), &fault_universe(&nl));
+        for (f, g) in &report.faults {
+            prop_assert!(!g.detected || g.excited, "{f:?} detected without excitation");
+        }
+        prop_assert!(report.coverage() <= report.coverage_of_excited() + 1e-12);
+    }
+}

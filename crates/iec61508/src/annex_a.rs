@@ -1,0 +1,272 @@
+//! Catalog of fault-detection/-control techniques with the maximum
+//! diagnostic coverage IEC 61508-2 Annex A credits them with.
+//!
+//! The FMEA worksheet ("computed ... by what accepted by the IEC norm
+//! (Annex 2, tables A.2-A.13 ...)", paper §4) uses this catalog to cap the
+//! DDF a designer claims for each diagnostic measure. The entries below are
+//! the representative subset relevant to memory sub-systems, processing
+//! units, buses and clocks — in particular every technique instantiated by
+//! the `socfmea-memsys` example.
+
+use crate::dc::DcLevel;
+use crate::failure_modes::ComponentClass;
+use std::fmt;
+
+/// Identifier of a technique in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechniqueId {
+    /// RAM monitoring with a modified Hamming code / ECC (table A.6).
+    RamEcc,
+    /// Double RAM with hardware or software comparison (table A.6).
+    DoubleRamCompare,
+    /// Parity bit per word for RAM/registers (table A.6/A.5).
+    WordParity,
+    /// RAM march / galpat test at start-up (table A.6).
+    RamMarchTest,
+    /// Memory scrubbing / periodic background read (fault forecasting).
+    Scrubbing,
+    /// Self-test by software, walking/limited patterns (table A.4).
+    SwSelfTest,
+    /// Comparator / duplicated logic with comparison (table A.3).
+    RedundantComparator,
+    /// Coded processing / syndrome checking of coded data paths.
+    SyndromeCheck,
+    /// Address coding: folding the address into the data code word.
+    AddressInCode,
+    /// Full hardware redundancy on a bus (table A.7).
+    BusFullRedundancy,
+    /// Information redundancy on a bus: parity/CRC (table A.7).
+    BusParityCrc,
+    /// Time-out / watchdog supervision of bus transfers (table A.7).
+    BusTimeout,
+    /// Memory protection unit: access permission checking.
+    MpuAccessCheck,
+    /// Watchdog with separate time base (table A.10, clock).
+    WatchdogSeparateTimeBase,
+}
+
+/// A catalog entry: a technique, where it applies, and the DC level the norm
+/// credits it with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagnosticTechnique {
+    /// Catalog identifier.
+    pub id: TechniqueId,
+    /// Norm-style name.
+    pub name: &'static str,
+    /// The Annex A table the entry abridges.
+    pub table: &'static str,
+    /// Component class the technique applies to.
+    pub applies_to: ComponentClass,
+    /// Maximum diagnostic coverage considered achievable.
+    pub max_dc: DcLevel,
+    /// True when the technique is implemented in software (the worksheet
+    /// tracks HW and SW DDF separately).
+    pub software: bool,
+}
+
+impl fmt::Display for DiagnosticTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] on {}: max DC {}",
+            self.name, self.table, self.applies_to, self.max_dc
+        )
+    }
+}
+
+/// The built-in technique catalog.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::{technique_catalog, DcLevel, TechniqueId};
+///
+/// let ecc = technique_catalog()
+///     .iter()
+///     .find(|t| t.id == TechniqueId::RamEcc)
+///     .unwrap();
+/// assert_eq!(ecc.max_dc, DcLevel::High);
+/// ```
+pub fn technique_catalog() -> &'static [DiagnosticTechnique] {
+    use ComponentClass::*;
+    use DcLevel::*;
+    use TechniqueId::*;
+    &[
+        DiagnosticTechnique {
+            id: RamEcc,
+            name: "RAM monitoring with modified Hamming code (SEC-DED ECC)",
+            table: "A.6",
+            applies_to: VariableMemory,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: DoubleRamCompare,
+            name: "double RAM with hardware or software comparison",
+            table: "A.6",
+            applies_to: VariableMemory,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: WordParity,
+            name: "word parity (one-bit redundancy)",
+            table: "A.6",
+            applies_to: VariableMemory,
+            max_dc: Low,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: RamMarchTest,
+            name: "RAM test march / galpat at start-up",
+            table: "A.6",
+            applies_to: VariableMemory,
+            max_dc: High,
+            software: true,
+        },
+        DiagnosticTechnique {
+            id: Scrubbing,
+            name: "memory scrubbing / background scanning (fault forecasting)",
+            table: "A.6",
+            applies_to: VariableMemory,
+            max_dc: Medium,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: SwSelfTest,
+            name: "self-test by software (walking bit / limited patterns)",
+            table: "A.4",
+            applies_to: ProcessingUnit,
+            max_dc: Medium,
+            software: true,
+        },
+        DiagnosticTechnique {
+            id: RedundantComparator,
+            name: "duplicated logic with hardware comparator",
+            table: "A.3",
+            applies_to: ProcessingUnit,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: SyndromeCheck,
+            name: "coded processing with distributed syndrome checking",
+            table: "A.4",
+            applies_to: ProcessingUnit,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: AddressInCode,
+            name: "address folded into the data code word",
+            table: "A.5/A.6",
+            applies_to: VariableMemory,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: BusFullRedundancy,
+            name: "complete hardware redundancy of the bus",
+            table: "A.7",
+            applies_to: Bus,
+            max_dc: High,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: BusParityCrc,
+            name: "information redundancy on the bus (parity / CRC)",
+            table: "A.7",
+            applies_to: Bus,
+            max_dc: Medium,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: BusTimeout,
+            name: "time-out supervision of bus transfers",
+            table: "A.7",
+            applies_to: Bus,
+            max_dc: Medium,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: MpuAccessCheck,
+            name: "memory protection unit with paged access permissions",
+            table: "A.9",
+            applies_to: Bus,
+            max_dc: Medium,
+            software: false,
+        },
+        DiagnosticTechnique {
+            id: WatchdogSeparateTimeBase,
+            name: "watchdog with separate time base",
+            table: "A.10",
+            applies_to: Clock,
+            max_dc: Medium,
+            software: false,
+        },
+    ]
+}
+
+/// Looks up a catalog entry by id.
+pub fn technique(id: TechniqueId) -> &'static DiagnosticTechnique {
+    technique_catalog()
+        .iter()
+        .find(|t| t.id == id)
+        .expect("catalog covers all TechniqueId variants")
+}
+
+/// All techniques applicable to a component class.
+pub fn techniques_for(class: ComponentClass) -> Vec<&'static DiagnosticTechnique> {
+    technique_catalog()
+        .iter()
+        .filter(|t| t.applies_to == class)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup_is_total() {
+        // every TechniqueId resolves
+        for t in technique_catalog() {
+            assert_eq!(technique(t.id).id, t.id);
+        }
+    }
+
+    #[test]
+    fn paper_highlighted_techniques_are_high_dc() {
+        // "RAM monitoring with Hamming code or ECCs or double RAMs with
+        //  hardware/software comparison are the ones with the highest value"
+        assert_eq!(technique(TechniqueId::RamEcc).max_dc, DcLevel::High);
+        assert_eq!(
+            technique(TechniqueId::DoubleRamCompare).max_dc,
+            DcLevel::High
+        );
+    }
+
+    #[test]
+    fn parity_is_low_coverage() {
+        assert_eq!(technique(TechniqueId::WordParity).max_dc, DcLevel::Low);
+    }
+
+    #[test]
+    fn class_filter_returns_applicable_entries() {
+        let mem = techniques_for(ComponentClass::VariableMemory);
+        assert!(mem.len() >= 4);
+        assert!(mem.iter().all(|t| t.applies_to == ComponentClass::VariableMemory));
+    }
+
+    #[test]
+    fn software_flag_distinguishes_sw_techniques() {
+        assert!(technique(TechniqueId::SwSelfTest).software);
+        assert!(!technique(TechniqueId::RamEcc).software);
+    }
+
+    #[test]
+    fn display_mentions_table() {
+        let s = technique(TechniqueId::RamEcc).to_string();
+        assert!(s.contains("A.6"));
+    }
+}

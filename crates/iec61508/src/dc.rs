@@ -1,0 +1,105 @@
+//! Diagnostic-coverage levels.
+//!
+//! IEC 61508-2 credits every recognised fault-detection technique with a
+//! *maximum diagnostic coverage considered achievable*, expressed in three
+//! levels (Annex C): low (60 %), medium (90 %) and high (99 %). The FMEA
+//! worksheet caps every user-claimed DDF at the level of the technique that
+//! implements it.
+
+use std::fmt;
+
+/// One of the three diagnostic-coverage levels of IEC 61508-2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DcLevel {
+    /// Low coverage: 60 %.
+    Low,
+    /// Medium coverage: 90 %.
+    Medium,
+    /// High coverage: 99 %.
+    High,
+}
+
+impl DcLevel {
+    /// The coverage fraction the norm credits this level with.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use socfmea_iec61508::DcLevel;
+    /// assert_eq!(DcLevel::High.fraction(), 0.99);
+    /// assert_eq!(DcLevel::Medium.fraction(), 0.90);
+    /// assert_eq!(DcLevel::Low.fraction(), 0.60);
+    /// ```
+    pub fn fraction(self) -> f64 {
+        match self {
+            DcLevel::Low => 0.60,
+            DcLevel::Medium => 0.90,
+            DcLevel::High => 0.99,
+        }
+    }
+
+    /// Classifies a measured coverage into the highest level it supports
+    /// (`None` below 60 %).
+    pub fn classify(coverage: f64) -> Option<DcLevel> {
+        if coverage >= 0.99 {
+            Some(DcLevel::High)
+        } else if coverage >= 0.90 {
+            Some(DcLevel::Medium)
+        } else if coverage >= 0.60 {
+            Some(DcLevel::Low)
+        } else {
+            None
+        }
+    }
+
+    /// Caps a claimed coverage at this level's fraction — the worksheet rule
+    /// "computed ... by what accepted by the IEC norm (Annex 2, tables
+    /// A.2-A.13, where it is specified the maximum diagnostic coverage
+    /// considered achievable by a given technique)".
+    pub fn cap(self, claimed: f64) -> f64 {
+        claimed.min(self.fraction())
+    }
+}
+
+impl fmt::Display for DcLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DcLevel::Low => "low (60%)",
+            DcLevel::Medium => "medium (90%)",
+            DcLevel::High => "high (99%)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(DcLevel::Low < DcLevel::Medium);
+        assert!(DcLevel::Medium < DcLevel::High);
+    }
+
+    #[test]
+    fn classify_round_trips_fractions() {
+        for lvl in [DcLevel::Low, DcLevel::Medium, DcLevel::High] {
+            assert_eq!(DcLevel::classify(lvl.fraction()), Some(lvl));
+        }
+        assert_eq!(DcLevel::classify(0.3), None);
+        assert_eq!(DcLevel::classify(0.95), Some(DcLevel::Medium));
+    }
+
+    #[test]
+    fn cap_limits_optimistic_claims() {
+        assert_eq!(DcLevel::Medium.cap(0.999), 0.90);
+        assert_eq!(DcLevel::High.cap(0.95), 0.95);
+        assert_eq!(DcLevel::Low.cap(0.0), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DcLevel::High.to_string(), "high (99%)");
+    }
+}

@@ -1,0 +1,248 @@
+//! Failure modes the norm requires to be detected or analysed, per
+//! component class.
+//!
+//! "The IEC61508 also specifies faults or failures to be detected during
+//! operation or to be analyzed in the derivation of safe failure fraction"
+//! (paper §2). These lists seed the FMEA worksheet: every sensible zone of a
+//! given component class gets at least the failure modes required for that
+//! class (61508-2, tables A.1 and related).
+
+use std::fmt;
+
+/// The component classes IEC 61508-2 table A.1 distinguishes for failure-mode
+/// requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentClass {
+    /// RAM and register files (variable memory ranges).
+    VariableMemory,
+    /// ROM / flash (invariable memory ranges).
+    InvariableMemory,
+    /// CPUs, sequencers, coders — processing units.
+    ProcessingUnit,
+    /// On-chip interconnect and off-chip bus interfaces.
+    Bus,
+    /// Discrete I/O paths.
+    InputOutput,
+    /// Clock generation and distribution.
+    Clock,
+    /// Power supply and distribution.
+    PowerSupply,
+}
+
+impl fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentClass::VariableMemory => "variable memory",
+            ComponentClass::InvariableMemory => "invariable memory",
+            ComponentClass::ProcessingUnit => "processing unit",
+            ComponentClass::Bus => "bus",
+            ComponentClass::InputOutput => "I/O",
+            ComponentClass::Clock => "clock",
+            ComponentClass::PowerSupply => "power supply",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a failure mode is characteristically permanent, transient or
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Persistence {
+    /// Hard faults (stuck-at, opens/shorts, dead cells).
+    Permanent,
+    /// Soft errors, glitches, disturbances.
+    Transient,
+    /// Observable either way (e.g. wrong addressing).
+    Both,
+}
+
+/// A failure mode the norm requires to be analysed for a component class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequiredFailureMode {
+    /// Short identifier used as the worksheet row key.
+    pub key: &'static str,
+    /// Norm wording (abridged).
+    pub description: &'static str,
+    /// Characteristic persistence.
+    pub persistence: Persistence,
+}
+
+/// The failure modes required for `class`, per IEC 61508-2 table A.1 (the
+/// variable-memory and processing-unit rows quote the paper §2 verbatim).
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::{required_failure_modes, ComponentClass};
+///
+/// let modes = required_failure_modes(ComponentClass::VariableMemory);
+/// assert!(modes.iter().any(|m| m.key == "soft_error"));
+/// ```
+pub fn required_failure_modes(class: ComponentClass) -> &'static [RequiredFailureMode] {
+    use Persistence::*;
+    match class {
+        ComponentClass::VariableMemory => &[
+            RequiredFailureMode {
+                key: "dc_fault",
+                description: "DC fault model for data and addresses (stuck-at, stuck-open, shorts)",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "crossover",
+                description: "dynamic cross-over for memory cells",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "addressing",
+                description: "no, wrong or multiple addressing",
+                persistence: Both,
+            },
+            RequiredFailureMode {
+                key: "soft_error",
+                description: "change of information caused by soft-errors",
+                persistence: Transient,
+            },
+        ],
+        ComponentClass::InvariableMemory => &[
+            RequiredFailureMode {
+                key: "dc_fault",
+                description: "DC fault model for data and addresses",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "addressing",
+                description: "no, wrong or multiple addressing",
+                persistence: Both,
+            },
+        ],
+        ComponentClass::ProcessingUnit => &[
+            RequiredFailureMode {
+                key: "dc_fault",
+                description:
+                    "DC fault model for data and addresses of internal registers and RAMs",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "crossover",
+                description: "dynamic cross-over for memory cells",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "wrong_coding",
+                description:
+                    "wrong coding or wrong execution, including flag and state registers",
+                persistence: Both,
+            },
+            RequiredFailureMode {
+                key: "soft_error",
+                description: "change of information caused by soft-errors",
+                persistence: Transient,
+            },
+        ],
+        ComponentClass::Bus => &[
+            RequiredFailureMode {
+                key: "dc_fault",
+                description: "DC fault model for data, address and control lines",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "arbitration",
+                description: "no or continuous or wrong arbitration",
+                persistence: Both,
+            },
+            RequiredFailureMode {
+                key: "timeout",
+                description: "messages lost or delayed beyond tolerance",
+                persistence: Transient,
+            },
+        ],
+        ComponentClass::InputOutput => &[
+            RequiredFailureMode {
+                key: "dc_fault",
+                description: "DC fault model on I/O lines",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "drift",
+                description: "drift and oscillation",
+                persistence: Transient,
+            },
+        ],
+        ComponentClass::Clock => &[
+            RequiredFailureMode {
+                key: "stuck_clock",
+                description: "clock stuck (no edges) or sub-/super-harmonic",
+                persistence: Permanent,
+            },
+            RequiredFailureMode {
+                key: "jitter",
+                description: "period jitter outside tolerance",
+                persistence: Transient,
+            },
+        ],
+        ComponentClass::PowerSupply => &[
+            RequiredFailureMode {
+                key: "out_of_range",
+                description: "voltage outside the specified range",
+                persistence: Both,
+            },
+            RequiredFailureMode {
+                key: "brownout",
+                description: "transient dips affecting large silicon areas",
+                persistence: Transient,
+            },
+        ],
+    }
+}
+
+/// All component classes, for exhaustive iteration.
+pub const ALL_CLASSES: [ComponentClass; 7] = [
+    ComponentClass::VariableMemory,
+    ComponentClass::InvariableMemory,
+    ComponentClass::ProcessingUnit,
+    ComponentClass::Bus,
+    ComponentClass::InputOutput,
+    ComponentClass::Clock,
+    ComponentClass::PowerSupply,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_modes_with_unique_keys() {
+        for class in ALL_CLASSES {
+            let modes = required_failure_modes(class);
+            assert!(!modes.is_empty(), "{class} must require failure modes");
+            let mut keys: Vec<_> = modes.iter().map(|m| m.key).collect();
+            keys.sort_unstable();
+            let len = keys.len();
+            keys.dedup();
+            assert_eq!(keys.len(), len, "{class} has duplicate mode keys");
+        }
+    }
+
+    #[test]
+    fn paper_quoted_memory_modes_present() {
+        let modes = required_failure_modes(ComponentClass::VariableMemory);
+        for key in ["dc_fault", "crossover", "addressing", "soft_error"] {
+            assert!(modes.iter().any(|m| m.key == key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn paper_quoted_processing_modes_present() {
+        let modes = required_failure_modes(ComponentClass::ProcessingUnit);
+        assert!(modes.iter().any(|m| m.key == "wrong_coding"));
+    }
+
+    #[test]
+    fn persistence_is_meaningful() {
+        let modes = required_failure_modes(ComponentClass::VariableMemory);
+        let soft = modes.iter().find(|m| m.key == "soft_error").unwrap();
+        assert_eq!(soft.persistence, Persistence::Transient);
+        let dc = modes.iter().find(|m| m.key == "dc_fault").unwrap();
+        assert_eq!(dc.persistence, Persistence::Permanent);
+    }
+}

@@ -1,0 +1,247 @@
+//! ISO 26262 metrics — the automotive customization the paper anticipates.
+//!
+//! "International norms exist to define requirements for safety, such the
+//! IEC61508 ... or its customization to the automotive field, the ISO26262,
+//! still in the preliminary definition phase" (paper §1). The methodology
+//! described by the paper later became the standard FMEDA flow for
+//! ISO 26262 part 5; this module provides the automotive metric set so the
+//! same worksheet can be read against either norm:
+//!
+//! * **ASIL** — Automotive Safety Integrity Levels A–D (QM below A),
+//! * **SPFM** — single-point fault metric,
+//!   `1 − Σλ_SPF+λ_RF / Σλ` ≈ the fraction of faults that are neither
+//!   single-point nor residual (mirrors SFF with safe faults counted),
+//! * **LFM** — latent fault metric, the fraction of remaining faults that
+//!   cannot stay latent (multiple-point faults detected or perceived),
+//! * **PMHF** — probabilistic metric for random hardware failures, the
+//!   residual dangerous rate in failures/hour.
+
+use crate::quantity::{Fit, LambdaBreakdown};
+use std::fmt;
+
+/// Automotive Safety Integrity Level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Asil {
+    /// Quality managed — no ASIL requirement.
+    Qm,
+    /// ASIL A (lowest).
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D (highest; the x-by-wire class, like SIL3 in the paper).
+    D,
+}
+
+impl fmt::Display for Asil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Asil::Qm => "QM",
+            Asil::A => "ASIL A",
+            Asil::B => "ASIL B",
+            Asil::C => "ASIL C",
+            Asil::D => "ASIL D",
+        })
+    }
+}
+
+/// The hardware architectural-metric targets of ISO 26262-5 (tables 4
+/// and 5): required SPFM and LFM per ASIL. ASIL A sets no numeric target.
+pub fn metric_targets(asil: Asil) -> Option<(f64, f64)> {
+    match asil {
+        Asil::Qm | Asil::A => None,
+        Asil::B => Some((0.90, 0.60)),
+        Asil::C => Some((0.97, 0.80)),
+        Asil::D => Some((0.99, 0.90)),
+    }
+}
+
+/// PMHF targets of ISO 26262-5 table 6, in failures/hour.
+pub fn pmhf_target(asil: Asil) -> Option<f64> {
+    match asil {
+        Asil::Qm | Asil::A => None,
+        Asil::B | Asil::C => Some(1e-7), // < 100 FIT
+        Asil::D => Some(1e-8),           // < 10 FIT
+    }
+}
+
+/// The automotive reading of a λ breakdown.
+///
+/// The mapping from the IEC-style split follows the standard FMEDA
+/// convention the paper's flow feeds:
+///
+/// * λ_S — safe faults,
+/// * λ_DD — detected dangerous = *multiple-point detected* faults (covered
+///   by a safety mechanism),
+/// * λ_DU — undetected dangerous = *single-point / residual* faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutomotiveMetrics {
+    /// Single-point fault metric, `0..=1`.
+    pub spfm: f64,
+    /// Latent fault metric, `0..=1` (fraction of the non-single-point
+    /// faults that are detected or safe rather than latent).
+    pub lfm: f64,
+    /// Probabilistic metric for random HW failures, failures/hour.
+    pub pmhf: f64,
+}
+
+impl AutomotiveMetrics {
+    /// Derives the metrics from a λ breakdown plus the *latent* share: the
+    /// fraction of the detected-or-safe rate that belongs to diagnostic
+    /// logic whose own faults stay unnoticed until a second fault arrives
+    /// (multiple-point latent).
+    ///
+    /// Returns `None` for an all-zero breakdown.
+    pub fn from_lambda(total: &LambdaBreakdown, latent: Fit) -> Option<AutomotiveMetrics> {
+        let all = total.total();
+        if all.0 <= 0.0 {
+            return None;
+        }
+        // single-point/residual = dangerous undetected
+        let spfm = 1.0 - total.dangerous_undetected.0 / all.0;
+        // of the remaining (safe + detected) rate, the latent part is the
+        // share that could hide a failed safety mechanism
+        let remaining = all.0 - total.dangerous_undetected.0;
+        let lfm = if remaining <= 0.0 {
+            1.0
+        } else {
+            (1.0 - (latent.0.min(remaining)) / remaining).clamp(0.0, 1.0)
+        };
+        let pmhf = total.dangerous_undetected.per_hour();
+        Some(AutomotiveMetrics { spfm, lfm, pmhf })
+    }
+
+    /// The highest ASIL whose SPFM/LFM *and* PMHF targets this metric set
+    /// meets (`Asil::A` when only the no-target levels fit).
+    pub fn achievable_asil(&self) -> Asil {
+        for asil in [Asil::D, Asil::C, Asil::B] {
+            let (spfm_t, lfm_t) = metric_targets(asil).expect("B..D have targets");
+            let pmhf_t = pmhf_target(asil).expect("B..D have targets");
+            if self.spfm >= spfm_t && self.lfm >= lfm_t && self.pmhf <= pmhf_t {
+                return asil;
+            }
+        }
+        Asil::A
+    }
+
+    /// Checks this metric set against one ASIL's targets.
+    pub fn meets(&self, asil: Asil) -> bool {
+        match (metric_targets(asil), pmhf_target(asil)) {
+            (Some((s, l)), Some(p)) => self.spfm >= s && self.lfm >= l && self.pmhf <= p,
+            _ => true, // QM / ASIL A have no numeric targets
+        }
+    }
+}
+
+impl fmt::Display for AutomotiveMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SPFM {:.2}%  LFM {:.2}%  PMHF {:.3e}/h",
+            self.spfm * 100.0,
+            self.lfm * 100.0,
+            self.pmhf
+        )
+    }
+}
+
+/// The conventional cross-reading between the two norms for a component
+/// developed to a given SIL (the paper targets SIL3 ≈ ASIL D applications
+/// like active braking / x-by-wire).
+pub fn sil_to_asil(sil: crate::sil::Sil) -> Asil {
+    match sil {
+        crate::sil::Sil::Sil1 => Asil::A,
+        crate::sil::Sil::Sil2 => Asil::B,
+        crate::sil::Sil::Sil3 => Asil::D,
+        crate::sil::Sil::Sil4 => Asil::D,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sil::Sil;
+
+    fn breakdown(s: f64, dd: f64, du: f64) -> LambdaBreakdown {
+        LambdaBreakdown {
+            safe: Fit(s),
+            dangerous_detected: Fit(dd),
+            dangerous_undetected: Fit(du),
+        }
+    }
+
+    #[test]
+    fn spfm_mirrors_the_sff_shape() {
+        // 99% covered: SPFM high
+        let m = AutomotiveMetrics::from_lambda(&breakdown(60.0, 39.0, 1.0), Fit(0.0)).unwrap();
+        assert!((m.spfm - 0.99).abs() < 1e-12);
+        assert_eq!(m.lfm, 1.0);
+        // uncovered: SPFM collapses
+        let m = AutomotiveMetrics::from_lambda(&breakdown(0.0, 0.0, 10.0), Fit(0.0)).unwrap();
+        assert_eq!(m.spfm, 0.0);
+    }
+
+    #[test]
+    fn latent_share_reduces_lfm_only() {
+        let base = AutomotiveMetrics::from_lambda(&breakdown(50.0, 49.0, 1.0), Fit(0.0)).unwrap();
+        let with_latent =
+            AutomotiveMetrics::from_lambda(&breakdown(50.0, 49.0, 1.0), Fit(19.8)).unwrap();
+        assert_eq!(base.spfm, with_latent.spfm);
+        assert!(with_latent.lfm < base.lfm);
+        assert!((with_latent.lfm - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asil_targets_are_ordered() {
+        let d = metric_targets(Asil::D).unwrap();
+        let c = metric_targets(Asil::C).unwrap();
+        let b = metric_targets(Asil::B).unwrap();
+        assert!(d.0 > c.0 && c.0 > b.0);
+        assert!(d.1 > c.1 && c.1 > b.1);
+        assert!(pmhf_target(Asil::D).unwrap() < pmhf_target(Asil::B).unwrap());
+        assert_eq!(metric_targets(Asil::A), None);
+    }
+
+    #[test]
+    fn achievable_asil_classification() {
+        // SPFM 99.9%, tiny PMHF: ASIL D
+        let m = AutomotiveMetrics {
+            spfm: 0.999,
+            lfm: 0.95,
+            pmhf: 1e-9,
+        };
+        assert_eq!(m.achievable_asil(), Asil::D);
+        assert!(m.meets(Asil::D));
+        // SPFM 95%: only B
+        let m = AutomotiveMetrics {
+            spfm: 0.95,
+            lfm: 0.95,
+            pmhf: 1e-9,
+        };
+        assert_eq!(m.achievable_asil(), Asil::B);
+        assert!(!m.meets(Asil::C));
+        // PMHF too high for D even with perfect coverage metrics
+        let m = AutomotiveMetrics {
+            spfm: 1.0,
+            lfm: 1.0,
+            pmhf: 5e-8,
+        };
+        assert_eq!(m.achievable_asil(), Asil::C);
+    }
+
+    #[test]
+    fn degenerate_breakdown_is_none() {
+        assert_eq!(
+            AutomotiveMetrics::from_lambda(&LambdaBreakdown::default(), Fit(0.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn sil_asil_cross_reading() {
+        assert_eq!(sil_to_asil(Sil::Sil3), Asil::D);
+        assert_eq!(sil_to_asil(Sil::Sil1), Asil::A);
+        assert_eq!(Asil::D.to_string(), "ASIL D");
+    }
+}

@@ -1,0 +1,46 @@
+//! Data model of the IEC 61508 concepts used by the SoC-level FMEA.
+//!
+//! This crate encodes, as plain data and total functions, the parts of
+//! IEC 61508 (functional safety of E/E/PE safety-related systems) that the
+//! methodology consumes:
+//!
+//! * [`sil`] — Safety Integrity Levels, Hardware Fault Tolerance, and the
+//!   architectural-constraint tables granting a SIL from the Safe Failure
+//!   Fraction (61508-2, tables 2 and 3 for type A / type B subsystems),
+//! * [`dc`] — the three diagnostic-coverage levels (low 60 %, medium 90 %,
+//!   high 99 %) the norm considers achievable,
+//! * [`annex_a`] — a catalog of fault-detection techniques with the maximum
+//!   diagnostic coverage the norm credits them with (61508-2 Annex A,
+//!   tables A.2–A.13; the paper uses these as caps on claimed DDF),
+//! * [`failure_modes`] — the failure modes the norm requires to be analysed
+//!   per component class (e.g. for variable memories: DC fault model,
+//!   dynamic cross-over, wrong addressing, soft errors),
+//! * [`quantity`] — reliability quantities (FIT, failures/hour) and the
+//!   SFF/DC ratio formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use socfmea_iec61508::{sil::{sil_from_sff, Hft, Sil, SubsystemType}, quantity::safe_failure_fraction};
+//!
+//! // A type-B (complex) subsystem with SFF = 99.38 % and no redundancy:
+//! let sff = 0.9938;
+//! assert_eq!(sil_from_sff(sff, Hft(0), SubsystemType::B), Some(Sil::Sil3));
+//! // The same subsystem at 95 % only reaches SIL2:
+//! assert_eq!(sil_from_sff(0.95, Hft(0), SubsystemType::B), Some(Sil::Sil2));
+//! # let _ = safe_failure_fraction;
+//! ```
+
+pub mod annex_a;
+pub mod dc;
+pub mod failure_modes;
+pub mod iso26262;
+pub mod quantity;
+pub mod sil;
+
+pub use annex_a::{technique_catalog, DiagnosticTechnique, TechniqueId};
+pub use iso26262::{sil_to_asil, Asil, AutomotiveMetrics};
+pub use dc::DcLevel;
+pub use failure_modes::{required_failure_modes, ComponentClass, RequiredFailureMode};
+pub use quantity::{diagnostic_coverage, safe_failure_fraction, Fit, LambdaBreakdown};
+pub use sil::{sil_from_sff, Hft, Sil, SubsystemType};

@@ -1,0 +1,237 @@
+//! Reliability quantities and the SFF / DC formulas.
+//!
+//! The two metrics the methodology exists to compute (paper §4):
+//!
+//! ```text
+//! DC  = λ_DD / λ_D
+//! SFF = (λ_S + λ_DD) / (λ_S + λ_D)          with λ_D = λ_DD + λ_DU
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A failure rate in FIT (failures in 10⁹ device-hours), the unit
+/// reliability handbooks and the paper's "elementary failure in time (FIT)
+/// per gate and per register" use.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::Fit;
+///
+/// let per_gate = Fit(0.001);
+/// let cone = per_gate * 250.0; // 250 gates
+/// assert!((cone.0 - 0.25).abs() < 1e-12);
+/// assert!((cone.per_hour() - 0.25e-9).abs() < 1e-24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fit(pub f64);
+
+impl Fit {
+    /// Zero failure rate.
+    pub const ZERO: Fit = Fit(0.0);
+
+    /// Converts to failures per hour.
+    pub fn per_hour(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Builds from failures per hour.
+    pub fn from_per_hour(rate: f64) -> Fit {
+        Fit(rate * 1e9)
+    }
+
+    /// True when the rate is a valid, finite, non-negative number.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+
+    fn mul(self, rhs: f64) -> Fit {
+        Fit(self.0 * rhs)
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit::ZERO, Fit::add)
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} FIT", self.0)
+    }
+}
+
+/// The four-way split of a failure rate the norm works with.
+///
+/// Invariant: all components are non-negative;
+/// `dangerous = dangerous_detected + dangerous_undetected` by construction
+/// of [`total_dangerous`](Self::total_dangerous).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LambdaBreakdown {
+    /// λ_S: failures without the potential to put the system in a hazardous
+    /// or fail-to-function state.
+    pub safe: Fit,
+    /// λ_DD: dangerous failures detected by the diagnostics.
+    pub dangerous_detected: Fit,
+    /// λ_DU: dangerous failures the diagnostics miss.
+    pub dangerous_undetected: Fit,
+}
+
+impl LambdaBreakdown {
+    /// λ_D = λ_DD + λ_DU.
+    pub fn total_dangerous(&self) -> Fit {
+        self.dangerous_detected + self.dangerous_undetected
+    }
+
+    /// λ = λ_S + λ_D.
+    pub fn total(&self) -> Fit {
+        self.safe + self.total_dangerous()
+    }
+
+    /// Component-wise accumulation.
+    pub fn accumulate(&mut self, other: &LambdaBreakdown) {
+        self.safe += other.safe;
+        self.dangerous_detected += other.dangerous_detected;
+        self.dangerous_undetected += other.dangerous_undetected;
+    }
+
+    /// The diagnostic coverage of this breakdown; `None` when there are no
+    /// dangerous failures at all (DC is then undefined — treat as fully
+    /// covered).
+    pub fn diagnostic_coverage(&self) -> Option<f64> {
+        diagnostic_coverage(self.dangerous_detected, self.dangerous_undetected)
+    }
+
+    /// The safe failure fraction of this breakdown; `None` for an all-zero
+    /// breakdown.
+    pub fn safe_failure_fraction(&self) -> Option<f64> {
+        safe_failure_fraction(
+            self.safe,
+            self.dangerous_detected,
+            self.dangerous_undetected,
+        )
+    }
+}
+
+/// DC = λ_DD / (λ_DD + λ_DU); `None` when λ_D = 0.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::{diagnostic_coverage, Fit};
+///
+/// let dc = diagnostic_coverage(Fit(99.0), Fit(1.0)).unwrap();
+/// assert!((dc - 0.99).abs() < 1e-12);
+/// assert_eq!(diagnostic_coverage(Fit(0.0), Fit(0.0)), None);
+/// ```
+pub fn diagnostic_coverage(lambda_dd: Fit, lambda_du: Fit) -> Option<f64> {
+    let d = lambda_dd.0 + lambda_du.0;
+    if d <= 0.0 {
+        return None;
+    }
+    Some(lambda_dd.0 / d)
+}
+
+/// SFF = (λ_S + λ_DD) / (λ_S + λ_DD + λ_DU); `None` when the total is zero.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::{safe_failure_fraction, Fit};
+///
+/// // 50 safe + 45 detected dangerous out of 100 total -> SFF = 95 %
+/// let sff = safe_failure_fraction(Fit(50.0), Fit(45.0), Fit(5.0)).unwrap();
+/// assert!((sff - 0.95).abs() < 1e-12);
+/// ```
+pub fn safe_failure_fraction(lambda_s: Fit, lambda_dd: Fit, lambda_du: Fit) -> Option<f64> {
+    let total = lambda_s.0 + lambda_dd.0 + lambda_du.0;
+    if total <= 0.0 {
+        return None;
+    }
+    Some((lambda_s.0 + lambda_dd.0) / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_arithmetic_and_conversion() {
+        let a = Fit(2.0) + Fit(3.0);
+        assert_eq!(a, Fit(5.0));
+        let mut b = Fit(1.0);
+        b += Fit(0.5);
+        assert_eq!(b, Fit(1.5));
+        assert!((Fit::from_per_hour(Fit(7.0).per_hour()).0 - 7.0).abs() < 1e-9);
+        let total: Fit = [Fit(1.0), Fit(2.0)].into_iter().sum();
+        assert_eq!(total, Fit(3.0));
+        assert!(Fit(0.0).is_valid());
+        assert!(!Fit(f64::NAN).is_valid());
+        assert!(!Fit(-1.0).is_valid());
+        assert_eq!(Fit(1.5).to_string(), "1.5000 FIT");
+    }
+
+    #[test]
+    fn breakdown_totals_and_ratios() {
+        let b = LambdaBreakdown {
+            safe: Fit(60.0),
+            dangerous_detected: Fit(39.0),
+            dangerous_undetected: Fit(1.0),
+        };
+        assert_eq!(b.total_dangerous(), Fit(40.0));
+        assert_eq!(b.total(), Fit(100.0));
+        assert!((b.diagnostic_coverage().unwrap() - 0.975).abs() < 1e-12);
+        assert!((b.safe_failure_fraction().unwrap() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_is_component_wise() {
+        let mut a = LambdaBreakdown::default();
+        a.accumulate(&LambdaBreakdown {
+            safe: Fit(1.0),
+            dangerous_detected: Fit(2.0),
+            dangerous_undetected: Fit(3.0),
+        });
+        a.accumulate(&LambdaBreakdown {
+            safe: Fit(10.0),
+            dangerous_detected: Fit(20.0),
+            dangerous_undetected: Fit(30.0),
+        });
+        assert_eq!(a.safe, Fit(11.0));
+        assert_eq!(a.dangerous_detected, Fit(22.0));
+        assert_eq!(a.dangerous_undetected, Fit(33.0));
+    }
+
+    #[test]
+    fn degenerate_ratios_are_none() {
+        assert_eq!(LambdaBreakdown::default().safe_failure_fraction(), None);
+        assert_eq!(LambdaBreakdown::default().diagnostic_coverage(), None);
+    }
+
+    #[test]
+    fn perfect_diagnostics_give_unity_dc() {
+        assert_eq!(diagnostic_coverage(Fit(5.0), Fit(0.0)), Some(1.0));
+        assert_eq!(safe_failure_fraction(Fit(0.0), Fit(5.0), Fit(0.0)), Some(1.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! Safety Integrity Levels and the architectural constraints granting them.
+
+use std::fmt;
+
+/// A Safety Integrity Level: "the discrete level (one out of a possible
+/// four) for specifying the safety integrity requirements of the safety
+/// functions", SIL 4 highest, SIL 1 lowest (IEC 61508-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sil {
+    /// Lowest safety integrity.
+    Sil1,
+    /// Safety integrity level 2.
+    Sil2,
+    /// Required for x-by-wire / active-brake class functions (paper §2).
+    Sil3,
+    /// Highest safety integrity.
+    Sil4,
+}
+
+impl Sil {
+    /// The numeric level, 1–4.
+    pub fn level(self) -> u8 {
+        match self {
+            Sil::Sil1 => 1,
+            Sil::Sil2 => 2,
+            Sil::Sil3 => 3,
+            Sil::Sil4 => 4,
+        }
+    }
+
+    /// Builds a SIL from its numeric level.
+    pub fn from_level(level: u8) -> Option<Sil> {
+        match level {
+            1 => Some(Sil::Sil1),
+            2 => Some(Sil::Sil2),
+            3 => Some(Sil::Sil3),
+            4 => Some(Sil::Sil4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIL{}", self.level())
+    }
+}
+
+/// Hardware Fault Tolerance: "a system with a HFT of N means that N+1 faults
+/// could cause a loss of the safety function" (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hft(pub u8);
+
+impl fmt::Display for Hft {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HFT={}", self.0)
+    }
+}
+
+/// Subsystem classification for the architectural-constraint tables of
+/// IEC 61508-2 §7.4.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubsystemType {
+    /// Type A: simple devices whose failure modes are well defined and whose
+    /// behaviour under fault conditions can be completely determined.
+    A,
+    /// Type B: complex components (microprocessors, SoCs, ASICs) — the case
+    /// relevant to SoC-level FMEA.
+    B,
+}
+
+/// The SFF band a subsystem falls into, used by the constraint tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SffBand {
+    /// SFF < 60 %.
+    Below60,
+    /// 60 % ≤ SFF < 90 %.
+    From60To90,
+    /// 90 % ≤ SFF < 99 %.
+    From90To99,
+    /// SFF ≥ 99 %.
+    AtLeast99,
+}
+
+impl SffBand {
+    /// Classifies a safe-failure fraction (0..=1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sff` is not a finite fraction within `0.0..=1.0`.
+    pub fn of(sff: f64) -> SffBand {
+        assert!(
+            sff.is_finite() && (0.0..=1.0).contains(&sff),
+            "SFF must be a fraction in 0..=1, got {sff}"
+        );
+        if sff < 0.60 {
+            SffBand::Below60
+        } else if sff < 0.90 {
+            SffBand::From60To90
+        } else if sff < 0.99 {
+            SffBand::From90To99
+        } else {
+            SffBand::AtLeast99
+        }
+    }
+}
+
+impl fmt::Display for SffBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SffBand::Below60 => "SFF < 60%",
+            SffBand::From60To90 => "60% <= SFF < 90%",
+            SffBand::From90To99 => "90% <= SFF < 99%",
+            SffBand::AtLeast99 => "SFF >= 99%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maximum SIL claimable for a subsystem given its SFF and HFT, per the
+/// architectural constraints of IEC 61508-2 (table 2 for type A, table 3 for
+/// type B). `None` means no SIL may be claimed (type B, SFF < 60 %, HFT 0).
+///
+/// HFT values above 2 saturate at the HFT = 2 column.
+///
+/// # Panics
+///
+/// Panics if `sff` is not a fraction in `0.0..=1.0`.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_iec61508::sil::{sil_from_sff, Hft, Sil, SubsystemType};
+///
+/// // The paper's target: SIL3 with HFT = 0 requires SFF >= 99 % (type B).
+/// assert_eq!(sil_from_sff(0.992, Hft(0), SubsystemType::B), Some(Sil::Sil3));
+/// assert_eq!(sil_from_sff(0.95, Hft(0), SubsystemType::B), Some(Sil::Sil2));
+/// // With HFT = 1, SFF > 90 % suffices for SIL3.
+/// assert_eq!(sil_from_sff(0.95, Hft(1), SubsystemType::B), Some(Sil::Sil3));
+/// assert_eq!(sil_from_sff(0.30, Hft(0), SubsystemType::B), None);
+/// ```
+pub fn sil_from_sff(sff: f64, hft: Hft, subsystem: SubsystemType) -> Option<Sil> {
+    let band = SffBand::of(sff);
+    let col = hft.0.min(2) as usize;
+    // Rows: SFF band; columns: HFT 0, 1, 2. Values are numeric SIL; 0 = not
+    // allowed; 4 caps at SIL4.
+    let table_a: [[u8; 3]; 4] = [
+        [1, 2, 3], // < 60%
+        [2, 3, 4], // 60–90%
+        [3, 4, 4], // 90–99%
+        [3, 4, 4], // >= 99%
+    ];
+    let table_b: [[u8; 3]; 4] = [
+        [0, 1, 2], // < 60%: not allowed at HFT 0
+        [1, 2, 3], // 60–90%
+        [2, 3, 4], // 90–99%
+        [3, 4, 4], // >= 99%
+    ];
+    let table = match subsystem {
+        SubsystemType::A => table_a,
+        SubsystemType::B => table_b,
+    };
+    let row = match band {
+        SffBand::Below60 => 0,
+        SffBand::From60To90 => 1,
+        SffBand::From90To99 => 2,
+        SffBand::AtLeast99 => 3,
+    };
+    Sil::from_level(table[row][col])
+}
+
+/// The minimum SFF band required to claim `target` at the given HFT, or
+/// `None` if the target is unreachable at that HFT (useful for gap
+/// reporting: "to reach SIL3 at HFT 0 you need SFF ≥ 99 %").
+pub fn required_sff_band(target: Sil, hft: Hft, subsystem: SubsystemType) -> Option<SffBand> {
+    const BANDS: [SffBand; 4] = [
+        SffBand::Below60,
+        SffBand::From60To90,
+        SffBand::From90To99,
+        SffBand::AtLeast99,
+    ];
+    const PROBE: [f64; 4] = [0.0, 0.60, 0.90, 0.99];
+    for (band, probe) in BANDS.iter().zip(PROBE) {
+        if let Some(s) = sil_from_sff(probe, hft, subsystem) {
+            if s >= target {
+                return Some(*band);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_rules_hold_for_type_b() {
+        // "With a HFT equal to zero, a SFF equal or greater than 99% is
+        //  required in order that the system or component can be granted
+        //  with SIL3."
+        assert_eq!(sil_from_sff(0.99, Hft(0), SubsystemType::B), Some(Sil::Sil3));
+        assert!(sil_from_sff(0.989, Hft(0), SubsystemType::B).unwrap() < Sil::Sil3);
+        // "With a HFT equal to one, the SFF should be greater than 90%."
+        assert_eq!(sil_from_sff(0.91, Hft(1), SubsystemType::B), Some(Sil::Sil3));
+        assert!(sil_from_sff(0.89, Hft(1), SubsystemType::B).unwrap() < Sil::Sil3);
+    }
+
+    #[test]
+    fn type_b_low_sff_hft0_is_disallowed() {
+        assert_eq!(sil_from_sff(0.5, Hft(0), SubsystemType::B), None);
+        assert_eq!(sil_from_sff(0.5, Hft(1), SubsystemType::B), Some(Sil::Sil1));
+    }
+
+    #[test]
+    fn type_a_is_one_band_more_permissive() {
+        for sff in [0.3, 0.7, 0.95, 0.995] {
+            for hft in [Hft(0), Hft(1), Hft(2)] {
+                let a = sil_from_sff(sff, hft, SubsystemType::A);
+                let b = sil_from_sff(sff, hft, SubsystemType::B);
+                match (a, b) {
+                    (Some(a), Some(b)) => assert!(a >= b, "type A must dominate"),
+                    (Some(_), None) => {}
+                    other => panic!("unexpected combination {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hft_saturates_above_two() {
+        assert_eq!(
+            sil_from_sff(0.95, Hft(7), SubsystemType::B),
+            sil_from_sff(0.95, Hft(2), SubsystemType::B)
+        );
+    }
+
+    #[test]
+    fn band_boundaries_are_inclusive_exclusive() {
+        assert_eq!(SffBand::of(0.0), SffBand::Below60);
+        assert_eq!(SffBand::of(0.5999), SffBand::Below60);
+        assert_eq!(SffBand::of(0.60), SffBand::From60To90);
+        assert_eq!(SffBand::of(0.8999), SffBand::From60To90);
+        assert_eq!(SffBand::of(0.90), SffBand::From90To99);
+        assert_eq!(SffBand::of(0.99), SffBand::AtLeast99);
+        assert_eq!(SffBand::of(1.0), SffBand::AtLeast99);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn sff_must_be_a_fraction() {
+        let _ = SffBand::of(99.38); // percent instead of fraction: rejected
+    }
+
+    #[test]
+    fn required_band_for_sil3() {
+        assert_eq!(
+            required_sff_band(Sil::Sil3, Hft(0), SubsystemType::B),
+            Some(SffBand::AtLeast99)
+        );
+        assert_eq!(
+            required_sff_band(Sil::Sil3, Hft(1), SubsystemType::B),
+            Some(SffBand::From90To99)
+        );
+        assert_eq!(
+            required_sff_band(Sil::Sil4, Hft(0), SubsystemType::B),
+            None
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Sil::Sil3.to_string(), "SIL3");
+        assert_eq!(Hft(1).to_string(), "HFT=1");
+        assert_eq!(SffBand::AtLeast99.to_string(), "SFF >= 99%");
+        assert_eq!(Sil::from_level(5), None);
+    }
+}

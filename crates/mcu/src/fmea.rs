@@ -1,0 +1,104 @@
+//! FMEA setup for the microcontroller: zone classification and the claims
+//! each configuration supports.
+//!
+//! The single core claims nothing (an unprotected processing unit); the
+//! lockstep configuration claims the Annex A.3 "duplicated logic with
+//! hardware comparator" credit (high, 99 %) on every core zone — the
+//! protection concept of the fault-robust microcontrollers the paper's
+//! methodology was built to certify.
+
+use crate::rtl::McuConfig;
+use socfmea_core::{DiagnosticClaim, ExtractConfig, FreqClass, Worksheet, ZoneSet};
+use socfmea_iec61508::{ComponentClass, TechniqueId};
+
+/// Zone extraction for the generated MCU: everything is a processing unit.
+pub fn extract_config() -> ExtractConfig {
+    ExtractConfig::default()
+        .classify("core0", ComponentClass::ProcessingUnit)
+        .classify("core1", ComponentClass::ProcessingUnit)
+        .classify("cmp", ComponentClass::ProcessingUnit)
+}
+
+/// Fills a worksheet with the configuration's assumptions and claims.
+pub fn apply_assumptions(ws: &mut Worksheet<'_>, cfg: &McuConfig) {
+    let lockstep = cfg.lockstep;
+    ws.assume_all(|zone, a| {
+        let name = zone.name.as_str();
+        a.s_architectural = 0.4;
+        a.freq = FreqClass::VeryHigh; // the CPU state is always live
+        a.lifetime_exposure = 1.0;
+        a.diagnostics.clear();
+
+        if name.contains("alarm") || name.starts_with("cmp") {
+            // the comparator itself: first-order safe, latent-fault pool
+            a.s_architectural = 0.9;
+            a.is_diagnostic = true;
+            return;
+        }
+        if lockstep && (name.starts_with("core0") || name.starts_with("core1")) {
+            // lockstep comparison catches any single-core divergence in one
+            // cycle: the highest processing-unit credit of Annex A.3
+            a.diagnostics
+                .push(DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
+        }
+        if name.starts_with("critnet/") {
+            a.diagnostics.push(DiagnosticClaim {
+                technique: TechniqueId::WatchdogSeparateTimeBase,
+                ddf_transient: 0.90,
+                ddf_permanent: 0.90,
+                mode_filter: None,
+            });
+        }
+    });
+}
+
+/// Builds the complete worksheet for a configuration (convenience).
+pub fn build_worksheet<'a>(zones: &'a ZoneSet, cfg: &McuConfig) -> Worksheet<'a> {
+    let mut ws = Worksheet::new(zones);
+    apply_assumptions(&mut ws, cfg);
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use crate::rtl::build_mcu;
+    use socfmea_core::extract_zones;
+
+    fn sff(cfg: &McuConfig) -> f64 {
+        let nl = build_mcu(cfg).unwrap();
+        let zones = extract_zones(&nl, &extract_config());
+        build_worksheet(&zones, cfg).compute().sff().unwrap()
+    }
+
+    #[test]
+    fn lockstep_clears_what_the_single_core_misses() {
+        let program = programs::checksum_loop();
+        let single = sff(&McuConfig::single(program.clone()));
+        let dual = sff(&McuConfig::lockstep(program));
+        assert!(single < 0.90, "unprotected CPU: low SFF, got {single:.4}");
+        // the residual undetected mass sits past the comparator (output
+        // port drivers) and on the I/O zones — the comparator cannot see it
+        assert!(dual > 0.96, "lockstep CPU: high SFF, got {dual:.4}");
+        assert!(dual - single > 0.08, "the lockstep gain must be large");
+    }
+
+    #[test]
+    fn state_registers_become_zones() {
+        let cfg = McuConfig::lockstep(programs::counter(1));
+        let nl = build_mcu(&cfg).unwrap();
+        let zones = extract_zones(&nl, &extract_config());
+        for name in [
+            "core0/core0_pc",
+            "core0/core0_acc",
+            "core0/core0_zflag",
+            "core1/core1_pc",
+        ] {
+            assert!(
+                zones.zone_by_name(name).is_some(),
+                "missing state-register zone {name}"
+            );
+        }
+    }
+}

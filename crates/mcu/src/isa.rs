@@ -1,0 +1,240 @@
+//! The accumulator ISA and its behavioural interpreter.
+//!
+//! Eleven-bit instruction words: a 3-bit opcode and an 8-bit immediate.
+//! The machine state is a 5-bit program counter (32-word program space),
+//! an 8-bit accumulator and a zero flag — deliberately the minimal
+//! "interconnected Moore machine" shape §3 of the paper reasons about.
+
+use std::fmt;
+
+/// Program-space size (words).
+pub const PROGRAM_WORDS: usize = 32;
+/// Program-counter width.
+pub const PC_BITS: usize = 5;
+/// Instruction width: 3-bit opcode + 8-bit immediate.
+pub const INSTR_BITS: usize = 11;
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Do nothing.
+    Nop,
+    /// `acc = imm`.
+    Ldi(u8),
+    /// `acc = acc + imm` (wrapping); updates the zero flag.
+    Add(u8),
+    /// `acc = acc ^ imm`; updates the zero flag.
+    Xor(u8),
+    /// `acc = acc & imm`; updates the zero flag.
+    And(u8),
+    /// Emit `acc` on the output port (one-cycle `out_valid` pulse).
+    Out,
+    /// Jump to `target` when the zero flag is set.
+    Jz(u8),
+    /// Unconditional jump to `target`.
+    Jmp(u8),
+}
+
+impl Instr {
+    /// Encodes into the 11-bit instruction word.
+    pub fn encode(self) -> u16 {
+        let (op, imm) = match self {
+            Instr::Nop => (0u16, 0u8),
+            Instr::Ldi(i) => (1, i),
+            Instr::Add(i) => (2, i),
+            Instr::Xor(i) => (3, i),
+            Instr::And(i) => (4, i),
+            Instr::Out => (5, 0),
+            Instr::Jz(t) => (6, t),
+            Instr::Jmp(t) => (7, t),
+        };
+        (op << 8) | imm as u16
+    }
+
+    /// Decodes an 11-bit instruction word.
+    pub fn decode(word: u16) -> Instr {
+        let imm = (word & 0xff) as u8;
+        match (word >> 8) & 0x7 {
+            0 => Instr::Nop,
+            1 => Instr::Ldi(imm),
+            2 => Instr::Add(imm),
+            3 => Instr::Xor(imm),
+            4 => Instr::And(imm),
+            5 => Instr::Out,
+            6 => Instr::Jz(imm),
+            7 => Instr::Jmp(imm),
+            _ => unreachable!("3-bit opcode"),
+        }
+    }
+
+    /// Whether this instruction writes the accumulator (and the zero flag).
+    pub fn writes_acc(self) -> bool {
+        matches!(
+            self,
+            Instr::Ldi(_) | Instr::Add(_) | Instr::Xor(_) | Instr::And(_)
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Nop => f.write_str("nop"),
+            Instr::Ldi(i) => write!(f, "ldi {i:#04x}"),
+            Instr::Add(i) => write!(f, "add {i:#04x}"),
+            Instr::Xor(i) => write!(f, "xor {i:#04x}"),
+            Instr::And(i) => write!(f, "and {i:#04x}"),
+            Instr::Out => f.write_str("out"),
+            Instr::Jz(t) => write!(f, "jz  {t}"),
+            Instr::Jmp(t) => write!(f, "jmp {t}"),
+        }
+    }
+}
+
+/// Pads/truncates a program to the fixed 32-word program space (padding
+/// with a self-loop `JMP` at the end so the machine parks deterministically).
+pub fn assemble(program: &[Instr]) -> [u16; PROGRAM_WORDS] {
+    assert!(
+        program.len() <= PROGRAM_WORDS,
+        "program exceeds {PROGRAM_WORDS} words"
+    );
+    let mut rom = [Instr::Nop.encode(); PROGRAM_WORDS];
+    for (i, &instr) in program.iter().enumerate() {
+        rom[i] = instr.encode();
+    }
+    // park at the first free slot
+    if program.len() < PROGRAM_WORDS {
+        rom[program.len()] = Instr::Jmp(program.len() as u8).encode();
+    }
+    rom
+}
+
+/// Architectural state of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuState {
+    /// Program counter.
+    pub pc: u8,
+    /// Accumulator.
+    pub acc: u8,
+    /// Zero flag (tracks the last accumulator write).
+    pub zflag: bool,
+}
+
+/// The behavioural interpreter — the oracle the gate-level core is tested
+/// against.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    rom: [u16; PROGRAM_WORDS],
+    state: CpuState,
+}
+
+impl Interpreter {
+    /// Loads a program.
+    pub fn new(program: &[Instr]) -> Interpreter {
+        Interpreter {
+            rom: assemble(program),
+            state: CpuState::default(),
+        }
+    }
+
+    /// Current architectural state.
+    pub fn state(&self) -> CpuState {
+        self.state
+    }
+
+    /// Executes one instruction; returns the emitted output, if the
+    /// instruction was `OUT`.
+    pub fn step(&mut self) -> Option<u8> {
+        let instr = Instr::decode(self.rom[self.state.pc as usize % PROGRAM_WORDS]);
+        let mut out = None;
+        let mut next_pc = (self.state.pc + 1) % PROGRAM_WORDS as u8;
+        match instr {
+            Instr::Nop => {}
+            Instr::Ldi(i) => self.write_acc(i),
+            Instr::Add(i) => self.write_acc(self.state.acc.wrapping_add(i)),
+            Instr::Xor(i) => self.write_acc(self.state.acc ^ i),
+            Instr::And(i) => self.write_acc(self.state.acc & i),
+            Instr::Out => out = Some(self.state.acc),
+            Instr::Jz(t) => {
+                if self.state.zflag {
+                    next_pc = t % PROGRAM_WORDS as u8;
+                }
+            }
+            Instr::Jmp(t) => next_pc = t % PROGRAM_WORDS as u8,
+        }
+        self.state.pc = next_pc;
+        out
+    }
+
+    fn write_acc(&mut self, v: u8) {
+        self.state.acc = v;
+        self.state.zflag = v == 0;
+    }
+
+    /// Runs `cycles` instructions, collecting the OUT stream.
+    pub fn run(&mut self, cycles: usize) -> Vec<u8> {
+        (0..cycles).filter_map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let all = [
+            Instr::Nop,
+            Instr::Ldi(0xa5),
+            Instr::Add(0x01),
+            Instr::Xor(0xff),
+            Instr::And(0x0f),
+            Instr::Out,
+            Instr::Jz(7),
+            Instr::Jmp(31),
+        ];
+        for i in all {
+            assert_eq!(Instr::decode(i.encode()), i, "{i}");
+            assert!(i.encode() < (1 << INSTR_BITS as u16));
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut cpu = Interpreter::new(&[
+            Instr::Ldi(0xf0),
+            Instr::Add(0x10), // wraps to 0x00, sets zflag
+            Instr::Jz(5),
+            Instr::Ldi(0xde), // skipped
+            Instr::Out,       // skipped
+            Instr::Ldi(0x2a),
+            Instr::Out,
+        ]);
+        let out = cpu.run(10);
+        assert_eq!(out, vec![0x2a]);
+        assert!(!cpu.state().zflag);
+    }
+
+    #[test]
+    fn parking_jump_holds_the_pc() {
+        let mut cpu = Interpreter::new(&[Instr::Ldi(1), Instr::Out]);
+        cpu.run(3);
+        let parked = cpu.state().pc;
+        cpu.run(5);
+        assert_eq!(cpu.state().pc, parked, "self-loop parks the machine");
+    }
+
+    #[test]
+    fn out_emits_current_acc() {
+        let mut cpu = Interpreter::new(&[Instr::Ldi(7), Instr::Out, Instr::Xor(7), Instr::Out]);
+        assert_eq!(cpu.run(4), vec![7, 0]);
+        assert!(cpu.state().zflag);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_programs_are_rejected() {
+        let big = vec![Instr::Nop; PROGRAM_WORDS + 1];
+        let _ = assemble(&big);
+    }
+}

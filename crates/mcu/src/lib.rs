@@ -1,0 +1,44 @@
+//! A fault-robust microcontroller substrate.
+//!
+//! The paper closes with "the complete analysis of fault-robust
+//! microcontrollers for automotive applications" [16, 17] — processing
+//! units whose protection concept is **lockstep duplication with hardware
+//! comparison** (Annex A table A.3, the highest-credit technique for
+//! processing units). This crate provides that substrate:
+//!
+//! * [`isa`] — a small accumulator ISA with an assembler-style builder and
+//!   a behavioural interpreter (the oracle),
+//! * [`rtl`] — a gate-level generator for the CPU core (a textbook Moore
+//!   machine: the PC/ACC/flag state registers are exactly the "best
+//!   candidates to become sensible zones" of §3), in **single-core** and
+//!   **lockstep** (duplicated core + comparator) configurations,
+//! * [`programs`] — sample programs (checksum loop, counter, register
+//!   exerciser) used as workloads,
+//! * [`fmea`] — zone classification and the diagnostic claims each
+//!   configuration can make.
+//!
+//! The IEC 61508 failure modes for processing units ("wrong coding or
+//! wrong execution ... including flag registers") map directly: an SEU in
+//! `acc`, `pc` or the flag register is a wrong-execution failure the
+//! lockstep comparator catches within one cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use socfmea_mcu::isa::{Instr, Interpreter};
+//! use socfmea_mcu::programs;
+//!
+//! let program = programs::checksum_loop();
+//! let mut cpu = Interpreter::new(&program);
+//! let outputs = cpu.run(64);
+//! assert!(!outputs.is_empty(), "the checksum loop emits OUT values");
+//! # let _ = Instr::Nop;
+//! ```
+
+pub mod fmea;
+pub mod isa;
+pub mod programs;
+pub mod rtl;
+
+pub use isa::{Instr, Interpreter};
+pub use rtl::{build_mcu, McuConfig, McuPins};

@@ -1,0 +1,100 @@
+//! Sample programs — the workloads of the MCU experiments.
+//!
+//! Each exercises a different part of the machine: the checksum loop is
+//! the arithmetic/dataflow workload, the counter the control-flow
+//! workload, and the register exerciser the logic-op workload. None emits
+//! two `OUT`s back to back (the valid pulse is edge-detected by the
+//! testbenches).
+
+use crate::isa::Instr;
+
+/// A rolling-checksum loop: accumulate, rotate-by-xor, emit, repeat.
+pub fn checksum_loop() -> Vec<Instr> {
+    vec![
+        Instr::Ldi(0x01),
+        // loop:
+        Instr::Add(0x33), // 1
+        Instr::Xor(0x5a), // 2
+        Instr::Out,       // 3
+        Instr::Add(0x0f), // 4
+        Instr::Jz(0),     // 5: restart when the sum wraps to zero
+        Instr::Jmp(1),    // 6
+    ]
+}
+
+/// Counts `0, step, 2·step, …` and emits every value.
+pub fn counter(step: u8) -> Vec<Instr> {
+    vec![
+        Instr::Ldi(0),
+        // loop:
+        Instr::Out,          // 1
+        Instr::Add(step),    // 2
+        Instr::Jmp(1),       // 3
+    ]
+}
+
+/// Walks a bit pattern through every logic operation and emits the
+/// intermediate results — a wrong-coding/wrong-execution exerciser.
+pub fn register_exerciser() -> Vec<Instr> {
+    vec![
+        Instr::Ldi(0xff),
+        Instr::And(0x3c),
+        Instr::Out,
+        Instr::Xor(0xff),
+        Instr::Out,
+        Instr::Add(0x01),
+        Instr::Out,
+        Instr::And(0x00), // acc = 0, zflag set
+        Instr::Jz(0),     // restart
+        Instr::Out,       // never reached
+    ]
+}
+
+/// All sample programs with names (for parameterised tests/benches).
+pub fn all() -> Vec<(&'static str, Vec<Instr>)> {
+    vec![
+        ("checksum_loop", checksum_loop()),
+        ("counter", counter(3)),
+        ("register_exerciser", register_exerciser()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Interpreter, PROGRAM_WORDS};
+
+    #[test]
+    fn all_programs_fit_and_produce_output() {
+        for (name, p) in all() {
+            assert!(p.len() <= PROGRAM_WORDS, "{name} too large");
+            let outs = Interpreter::new(&p).run(100);
+            assert!(!outs.is_empty(), "{name} must emit output");
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let outs = Interpreter::new(&counter(5)).run(20);
+        assert!(outs.starts_with(&[0, 5, 10, 15, 20]));
+    }
+
+    #[test]
+    fn register_exerciser_sequence() {
+        let outs = Interpreter::new(&register_exerciser()).run(12);
+        assert!(outs.starts_with(&[0x3c, 0xc3, 0xc4]));
+    }
+
+    #[test]
+    fn no_program_emits_consecutive_outs() {
+        use crate::isa::Instr::Out;
+        for (name, p) in all() {
+            for w in p.windows(2) {
+                assert!(
+                    !(w[0] == Out && w[1] == Out),
+                    "{name} has back-to-back OUTs"
+                );
+            }
+        }
+    }
+}

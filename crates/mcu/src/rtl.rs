@@ -1,0 +1,335 @@
+//! Gate-level generator for the microcontroller core, single or lockstep.
+
+use crate::isa::{assemble, Instr, INSTR_BITS, PC_BITS};
+use socfmea_netlist::{NetId, Netlist, NetlistError};
+use socfmea_rtl::{RtlBuilder, Word};
+
+/// Configuration of the generated MCU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McuConfig {
+    /// The program burned into the instruction ROM.
+    pub program: Vec<Instr>,
+    /// Duplicate the core and compare PC/ACC/OUT every cycle (the
+    /// fault-robust configuration of [16, 17]).
+    pub lockstep: bool,
+}
+
+impl McuConfig {
+    /// A single (unprotected) core running `program`.
+    pub fn single(program: Vec<Instr>) -> McuConfig {
+        McuConfig {
+            program,
+            lockstep: false,
+        }
+    }
+
+    /// A lockstep dual core running `program`.
+    pub fn lockstep(program: Vec<Instr>) -> McuConfig {
+        McuConfig {
+            program,
+            lockstep: true,
+        }
+    }
+}
+
+/// The signals one core exposes for comparison and output.
+struct CoreOuts {
+    pc: Word,
+    acc: Word,
+    out_reg: Word,
+    out_valid: NetId,
+}
+
+fn build_core(r: &mut RtlBuilder, prefix: &str, rom: &[u16], rst: NetId) -> CoreOuts {
+    r.push_block(prefix);
+    // state registers — the Moore-machine state the paper singles out
+    let pc = r.register_feedback(&format!("{prefix}_pc"), PC_BITS);
+    let acc = r.register_feedback(&format!("{prefix}_acc"), 8);
+    let zflag = r.register_feedback(&format!("{prefix}_zflag"), 1);
+
+    // instruction ROM: a constant mux tree indexed by the PC
+    r.push_block("rom");
+    let words: Vec<Word> = rom
+        .iter()
+        .map(|&w| r.const_word(w as u64, INSTR_BITS))
+        .collect();
+    let instr = r.mux_tree(&pc, &words);
+    r.pop_block();
+
+    r.push_block("decode");
+    let imm = instr.slice(0, 8);
+    let opcode = instr.slice(8, 3);
+    let ophot = r.decoder(&opcode);
+    r.pop_block();
+
+    r.push_block("alu");
+    let (add_res, _c) = r.add(&acc, &imm);
+    let xor_res = r.xor(&acc, &imm);
+    let and_res = r.and(&acc, &imm);
+    // opcode-indexed result mux: [NOP, LDI, ADD, XOR, AND, OUT, JZ, JMP]
+    let candidates = vec![
+        acc.clone(),
+        imm.clone(),
+        add_res,
+        xor_res,
+        and_res,
+        acc.clone(),
+        acc.clone(),
+        acc.clone(),
+    ];
+    let acc_next = r.mux_tree(&opcode, &candidates);
+    let acc_write = r.or_bits(&[ophot.bit(1), ophot.bit(2), ophot.bit(3), ophot.bit(4)]);
+    let any = r.or_reduce(&acc_next);
+    let is_zero = r.not_bit(any);
+    r.pop_block();
+
+    r.push_block("ctrl");
+    let (pc_plus1, _) = r.inc(&pc);
+    let target = imm.slice(0, PC_BITS);
+    let take_jz = r.and2_bit(ophot.bit(6), zflag.bit(0));
+    let take = r.or2_bit(ophot.bit(7), take_jz);
+    let pc_next = r.mux(take, &pc_plus1, &target);
+    r.pop_block();
+
+    // bind the state registers
+    r.bind_register(&format!("{prefix}_pc"), &pc, &pc_next, None, Some(rst));
+    r.bind_register(
+        &format!("{prefix}_acc"),
+        &acc,
+        &acc_next,
+        Some(acc_write),
+        Some(rst),
+    );
+    let zin: Word = Word::new(vec![is_zero]);
+    r.bind_register(
+        &format!("{prefix}_zflag"),
+        &zflag,
+        &zin,
+        Some(acc_write),
+        Some(rst),
+    );
+
+    r.push_block("outport");
+    let out_en = ophot.bit(5);
+    let out_reg = r.register(&format!("{prefix}_out"), &acc, Some(out_en), Some(rst));
+    let out_valid = r.register_bit(&format!("{prefix}_out_valid"), out_en, None, Some(rst));
+    r.pop_block();
+    r.pop_block(); // prefix
+
+    CoreOuts {
+        pc,
+        acc,
+        out_reg,
+        out_valid,
+    }
+}
+
+/// Elaborates the MCU into a gate-level netlist.
+///
+/// Ports: `clk` (critical), `rst`; outputs `out[8]`, `out_valid`,
+/// `alarm_lockstep` (constant 0 in the single-core configuration).
+///
+/// # Errors
+///
+/// Propagates netlist validation errors (none occur for a valid program).
+///
+/// # Example
+///
+/// ```
+/// use socfmea_mcu::{build_mcu, McuConfig};
+/// use socfmea_mcu::programs;
+///
+/// let nl = build_mcu(&McuConfig::lockstep(programs::checksum_loop()))?;
+/// assert!(nl.net_by_name("alarm_lockstep").is_some());
+/// # Ok::<(), socfmea_netlist::NetlistError>(())
+/// ```
+pub fn build_mcu(cfg: &McuConfig) -> Result<Netlist, NetlistError> {
+    let rom = assemble(&cfg.program);
+    let mut r = RtlBuilder::new("mcu");
+    let _clk = r.clock_input("clk");
+    let rst = r.reset_input("rst");
+
+    let core0 = build_core(&mut r, "core0", &rom, rst);
+    let alarm = if cfg.lockstep {
+        let core1 = build_core(&mut r, "core1", &rom, rst);
+        r.push_block("cmp");
+        let both = core0
+            .pc
+            .concat(&core0.acc)
+            .concat(&core0.out_reg);
+        let shadow = core1.pc.concat(&core1.acc).concat(&core1.out_reg);
+        let diff = r.xor(&both, &shadow);
+        let vdiff = r.xor2_bit(core0.out_valid, core1.out_valid);
+        let any = r.or_reduce(&diff);
+        let mismatch = r.or2_bit(any, vdiff);
+        let alarm = r.register_bit("alarm_lockstep_q", mismatch, None, Some(rst));
+        r.pop_block();
+        alarm
+    } else {
+        r.constant_bit(false)
+    };
+
+    r.output_word("out", &core0.out_reg);
+    r.output("out_valid", core0.out_valid);
+    r.output("alarm_lockstep", alarm);
+    r.finish()
+}
+
+/// Resolved pin handles for driving the generated MCU.
+#[derive(Debug, Clone)]
+pub struct McuPins {
+    /// Synchronous reset input.
+    pub rst: NetId,
+    /// The 8-bit output port.
+    pub out: Vec<NetId>,
+    /// Output-valid pulse.
+    pub out_valid: NetId,
+    /// The lockstep comparator alarm.
+    pub alarm: NetId,
+}
+
+impl McuPins {
+    /// Resolves the pins of a generated netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` was not produced by [`build_mcu`].
+    pub fn find(netlist: &Netlist) -> McuPins {
+        let n = |name: &str| {
+            netlist
+                .net_by_name(name)
+                .unwrap_or_else(|| panic!("mcu netlist lacks net `{name}`"))
+        };
+        McuPins {
+            rst: n("rst"),
+            out: (0..8).map(|i| n(&format!("out[{i}]"))).collect(),
+            out_valid: n("out_valid"),
+            alarm: n("alarm_lockstep"),
+        }
+    }
+}
+
+/// Builds the run workload: a reset pulse followed by `cycles` free-running
+/// cycles (the CPU needs no other stimulus — the program is the workload,
+/// exactly the "SW test library" idea of the fault-robust MCU papers).
+pub fn run_workload(pins: &McuPins, cycles: usize) -> socfmea_sim::Workload {
+    use socfmea_netlist::Logic;
+    let mut w = socfmea_sim::Workload::new("program-run");
+    w.push_cycle(vec![(pins.rst, Logic::One)]);
+    w.push_cycle(vec![(pins.rst, Logic::Zero)]);
+    w.push_idle(cycles);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Interpreter;
+    use crate::programs;
+    use socfmea_netlist::Logic;
+    use socfmea_sim::Simulator;
+
+    /// Runs the gate-level core and collects the OUT stream.
+    fn gate_level_outputs(cfg: &McuConfig, cycles: usize) -> (Vec<u8>, bool) {
+        let nl = build_mcu(cfg).expect("valid mcu");
+        let pins = McuPins::find(&nl);
+        let w = run_workload(&pins, cycles);
+        let mut sim = Simulator::new(&nl).expect("levelizable");
+        let mut outs = Vec::new();
+        let mut alarm = false;
+        let mut prev_valid = false;
+        w.run(&mut sim, |_, s| {
+            let v = s.get(pins.out_valid) == Logic::One;
+            if v && !prev_valid {
+                outs.push(s.get_word(&pins.out).expect("defined") as u8);
+            }
+            prev_valid = v;
+            alarm |= s.get(pins.alarm) == Logic::One;
+        });
+        (outs, alarm)
+    }
+
+    /// Compares the common prefix (the two sides observe slightly
+    /// different horizon lengths because of the valid-pulse latency).
+    fn assert_streams_match(got: &[u8], expected: &[u8], name: &str) {
+        let n = got.len().min(expected.len());
+        assert!(n >= 8, "{name}: too few outputs to compare ({n})");
+        assert_eq!(&got[..n], &expected[..n], "program `{name}` diverged");
+    }
+
+    #[test]
+    fn gate_level_matches_interpreter_on_all_sample_programs() {
+        for (name, program) in programs::all() {
+            let mut oracle = Interpreter::new(&program);
+            let expected = oracle.run(80);
+            let (got, _) = gate_level_outputs(&McuConfig::single(program.clone()), 64);
+            assert_streams_match(&got, &expected, name);
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_interpreter_and_stays_quiet() {
+        let program = programs::checksum_loop();
+        let mut oracle = Interpreter::new(&program);
+        let expected = oracle.run(80);
+        let (got, alarm) = gate_level_outputs(&McuConfig::lockstep(program), 64);
+        assert_streams_match(&got, &expected, "lockstep checksum");
+        assert!(!alarm, "fault-free lockstep must never alarm");
+    }
+
+    #[test]
+    fn lockstep_flags_a_single_flip_within_a_cycle() {
+        let nl = build_mcu(&McuConfig::lockstep(programs::checksum_loop())).unwrap();
+        let pins = McuPins::find(&nl);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set(pins.rst, Logic::One);
+        sim.tick();
+        sim.set(pins.rst, Logic::Zero);
+        for _ in 0..5 {
+            sim.tick();
+        }
+        // flip one accumulator bit of core 1
+        let victim = nl.net_by_name("core1_acc[3]").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = nl.net(victim).driver else {
+            panic!("register expected");
+        };
+        sim.flip_ff(ff);
+        sim.eval();
+        sim.tick(); // alarm register samples the mismatch
+        assert_eq!(sim.get(pins.alarm), Logic::One, "comparator must fire");
+    }
+
+    #[test]
+    fn single_core_flip_goes_unnoticed() {
+        let nl = build_mcu(&McuConfig::single(programs::counter(3))).unwrap();
+        let pins = McuPins::find(&nl);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set(pins.rst, Logic::One);
+        sim.tick();
+        sim.set(pins.rst, Logic::Zero);
+        for _ in 0..4 {
+            sim.tick();
+        }
+        let victim = nl.net_by_name("core0_acc[0]").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = nl.net(victim).driver else {
+            panic!();
+        };
+        sim.flip_ff(ff);
+        sim.eval();
+        sim.tick();
+        assert_eq!(
+            sim.get(pins.alarm),
+            Logic::Zero,
+            "no comparator exists to notice"
+        );
+    }
+
+    #[test]
+    fn lockstep_roughly_doubles_the_core_logic() {
+        let program = programs::checksum_loop();
+        let single = build_mcu(&McuConfig::single(program.clone())).unwrap();
+        let dual = build_mcu(&McuConfig::lockstep(program)).unwrap();
+        assert!(dual.dff_count() >= single.dff_count() * 2 - 2);
+        assert!(dual.gate_count() > single.gate_count() * 3 / 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! SEC-DED error-correcting code (modified Hamming / Hsiao construction).
+//!
+//! The memory sub-system of the paper protects its array with "a SEC-DED
+//! algorithm ... with a standard modified Hamming architecture" (§6). This
+//! module implements the (39,32) Hsiao code:
+//!
+//! * 32 data bits, 7 check bits;
+//! * every data column of the parity-check matrix H has odd weight 3, every
+//!   check column weight 1 — so a single-bit error yields a syndrome equal
+//!   to its (odd-weight) column and is **corrected**, while any double-bit
+//!   error yields a nonzero even-weight syndrome that matches no column and
+//!   is **detected**;
+//! * optionally, an address *signature* (even-weight columns) is folded into
+//!   the check bits at encode and decode: reading the right word cancels
+//!   the signature, reading a wrong word (addressing fault — "no, wrong or
+//!   multiple addressing") leaves a nonzero syndrome. This is the "adding
+//!   the addresses to the coding (required as well by IEC61508)" hardening
+//!   step of §6.
+//!
+//! The same H-matrix constants drive the gate-level encoder/decoder
+//! generator in [`crate::rtl`], so behavioural and gate-level models are
+//! bit-exact.
+
+/// Number of data bits.
+pub const DATA_BITS: usize = 32;
+/// Number of check bits.
+pub const CHECK_BITS: usize = 7;
+/// Total code word width.
+pub const CODE_BITS: usize = DATA_BITS + CHECK_BITS;
+
+/// The 7-bit H-matrix column of each code-word position (data bits first,
+/// then check bits).
+///
+/// Data columns are the 32 lexicographically-smallest weight-3 values;
+/// check columns are the identity.
+pub const fn column(position: usize) -> u8 {
+    assert!(position < CODE_BITS);
+    if position >= DATA_BITS {
+        1 << (position - DATA_BITS)
+    } else {
+        DATA_COLUMNS[position]
+    }
+}
+
+/// Weight-3 columns for the 32 data bits.
+const DATA_COLUMNS: [u8; 32] = generate_data_columns();
+
+const fn generate_data_columns() -> [u8; 32] {
+    let mut cols = [0u8; 32];
+    let mut v: u16 = 0;
+    let mut n = 0;
+    while n < 32 {
+        v += 1;
+        if v < 128 && (v as u8).count_ones() == 3 {
+            cols[n] = v as u8;
+            n += 1;
+        }
+    }
+    cols
+}
+
+/// Address-signature columns (up to 21 address bits).
+///
+/// The columns have **even** weight (4), so any XOR of them — i.e. the
+/// signature difference between two addresses — also has even weight and
+/// can never equal an (odd-weight) H column: an addressing fault is never
+/// *mis-corrected*, only detected (or, beyond 6 address bits, possibly
+/// aliased to zero). The first six columns are linearly independent, so for
+/// arrays up to 64 words every addressing fault is detected.
+const ADDR_COLUMNS: [u8; 21] = [
+    // a GF(2)-independent basis of six weight-4 columns first...
+    0b000_1111, // 15
+    0b001_0111, // 23
+    0b001_1011, // 27
+    0b001_1101, // 29
+    0b010_0111, // 39
+    0b100_0111, // 71
+    // ...then further weight-4 columns for wider addresses (necessarily
+    // dependent beyond six bits — the syndrome is only 7 bits wide)
+    30, 43, 45, 46, 51, 53, 54, 57, 58, 60, 75, 77, 78, 83, 85,
+];
+
+/// The signature column of one address bit (used by the gate-level fold
+/// network so the hardware matches [`address_signature`] exactly).
+///
+/// # Panics
+///
+/// Panics if `bit >= 21`.
+pub const fn addr_column(bit: usize) -> u8 {
+    ADDR_COLUMNS[bit]
+}
+
+/// The 7-bit address signature folded into the check bits.
+///
+/// # Panics
+///
+/// Panics if the address needs more than 21 bits.
+pub fn address_signature(addr: u32) -> u8 {
+    assert!(addr < (1 << 21), "address exceeds 21 bits");
+    let mut sig = 0u8;
+    let mut a = addr;
+    let mut k = 0;
+    while a != 0 {
+        if a & 1 == 1 {
+            sig ^= ADDR_COLUMNS[k];
+        }
+        a >>= 1;
+        k += 1;
+    }
+    sig
+}
+
+/// Outcome of decoding one code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeStatus {
+    /// Syndrome zero: the word is clean.
+    Clean,
+    /// A single-bit error was corrected at the given code-word position.
+    Corrected(u8),
+    /// A multi-bit (or addressing) error was detected but cannot be
+    /// corrected.
+    DetectedUncorrectable,
+}
+
+impl DecodeStatus {
+    /// True when the returned data is trustworthy.
+    pub fn data_valid(self) -> bool {
+        !matches!(self, DecodeStatus::DetectedUncorrectable)
+    }
+}
+
+/// The decoded word plus its status and raw syndrome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The (possibly corrected) data bits.
+    pub data: u32,
+    /// What the decoder concluded.
+    pub status: DecodeStatus,
+    /// The raw 7-bit syndrome.
+    pub syndrome: u8,
+}
+
+/// The SEC-DED codec, optionally folding the word address into the code.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::ecc::{Codec, DecodeStatus};
+///
+/// let codec = Codec::new(true); // with address folding
+/// let code = codec.encode(0xdead_beef, 5);
+/// // single-bit upset in the memory cell:
+/// let upset = code ^ (1 << 17);
+/// let out = codec.decode(upset, 5);
+/// assert_eq!(out.data, 0xdead_beef);
+/// assert_eq!(out.status, DecodeStatus::Corrected(17));
+/// // reading the wrong address is detected:
+/// let wrong = codec.decode(code, 6);
+/// assert_eq!(wrong.status, DecodeStatus::DetectedUncorrectable);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codec {
+    address_in_code: bool,
+}
+
+impl Codec {
+    /// Creates a codec; `address_in_code` enables address folding.
+    pub fn new(address_in_code: bool) -> Codec {
+        Codec { address_in_code }
+    }
+
+    /// Whether address folding is enabled.
+    pub fn address_in_code(&self) -> bool {
+        self.address_in_code
+    }
+
+    /// Check bits for a data word (before address folding).
+    pub fn check_bits(&self, data: u32) -> u8 {
+        let mut checks = 0u8;
+        for (i, &col) in DATA_COLUMNS.iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                checks ^= col;
+            }
+        }
+        checks
+    }
+
+    /// Encodes a data word (folding `addr` when enabled); returns the
+    /// 39-bit code word (data in bits 0..32, checks in bits 32..39).
+    pub fn encode(&self, data: u32, addr: u32) -> u64 {
+        let mut checks = self.check_bits(data);
+        if self.address_in_code {
+            checks ^= address_signature(addr);
+        }
+        (data as u64) | ((checks as u64) << DATA_BITS)
+    }
+
+    /// The syndrome of a stored code word read at `addr`.
+    pub fn syndrome(&self, code: u64, addr: u32) -> u8 {
+        let data = (code & 0xffff_ffff) as u32;
+        let stored_checks = ((code >> DATA_BITS) & 0x7f) as u8;
+        let mut s = self.check_bits(data) ^ stored_checks;
+        if self.address_in_code {
+            s ^= address_signature(addr);
+        }
+        s
+    }
+
+    /// Decodes a code word read at `addr`: corrects single-bit errors,
+    /// detects everything else the code can see.
+    pub fn decode(&self, code: u64, addr: u32) -> Decoded {
+        let syndrome = self.syndrome(code, addr);
+        let data = (code & 0xffff_ffff) as u32;
+        if syndrome == 0 {
+            return Decoded {
+                data,
+                status: DecodeStatus::Clean,
+                syndrome,
+            };
+        }
+        for pos in 0..CODE_BITS {
+            if column(pos) == syndrome {
+                let corrected_code = code ^ (1u64 << pos);
+                return Decoded {
+                    data: (corrected_code & 0xffff_ffff) as u32,
+                    status: DecodeStatus::Corrected(pos as u8),
+                    syndrome,
+                };
+            }
+        }
+        Decoded {
+            data,
+            status: DecodeStatus::DetectedUncorrectable,
+            syndrome,
+        }
+    }
+}
+
+impl Default for Codec {
+    fn default() -> Codec {
+        Codec::new(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_distinct_and_odd() {
+        let mut seen = std::collections::HashSet::new();
+        for pos in 0..CODE_BITS {
+            let c = column(pos);
+            assert!(c != 0);
+            assert_eq!(c.count_ones() % 2, 1, "column {pos} must have odd weight");
+            assert!(seen.insert(c), "duplicate column at {pos}");
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let codec = Codec::new(false);
+        for data in [0u32, 1, 0xffff_ffff, 0xdead_beef, 0x8000_0001] {
+            let code = codec.encode(data, 0);
+            let d = codec.decode(code, 0);
+            assert_eq!(d.status, DecodeStatus::Clean);
+            assert_eq!(d.data, data);
+            assert_eq!(d.syndrome, 0);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let codec = Codec::new(true);
+        let data = 0xa5a5_5a5a;
+        let addr = 9;
+        let code = codec.encode(data, addr);
+        for bit in 0..CODE_BITS {
+            let d = codec.decode(code ^ (1u64 << bit), addr);
+            assert_eq!(d.status, DecodeStatus::Corrected(bit as u8));
+            assert_eq!(d.data, data, "data restored after flip of bit {bit}");
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let codec = Codec::new(false);
+        let code = codec.encode(0x1234_5678, 0);
+        for i in 0..CODE_BITS {
+            for j in i + 1..CODE_BITS {
+                let d = codec.decode(code ^ (1u64 << i) ^ (1u64 << j), 0);
+                assert_eq!(
+                    d.status,
+                    DecodeStatus::DetectedUncorrectable,
+                    "double error ({i},{j}) must be detected, not miscorrected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn address_folding_detects_wrong_addressing() {
+        let codec = Codec::new(true);
+        let code = codec.encode(42, 3);
+        for wrong in [0u32, 1, 2, 4, 7, 15] {
+            let d = codec.decode(code, wrong);
+            assert_ne!(d.syndrome, 0, "wrong address {wrong} must disturb the syndrome");
+        }
+        // and without folding the addressing fault is invisible
+        let plain = Codec::new(false);
+        let code = plain.encode(42, 3);
+        assert_eq!(plain.decode(code, 12).status, DecodeStatus::Clean);
+    }
+
+    #[test]
+    fn address_signature_is_linear_and_nonzero() {
+        assert_eq!(address_signature(0), 0);
+        for a in 1u32..64 {
+            assert_ne!(address_signature(a), 0, "addr {a}");
+            for b in 0u32..8 {
+                assert_eq!(
+                    address_signature(a) ^ address_signature(b),
+                    address_signature_xor(a, b)
+                );
+            }
+        }
+    }
+
+    fn address_signature_xor(a: u32, b: u32) -> u8 {
+        // linearity: sig(a) ^ sig(b) == sig over the symmetric difference of
+        // set bits, which equals sig(a ^ b)
+        address_signature(a ^ b)
+    }
+}

@@ -1,0 +1,303 @@
+//! FMEA setup for the memory sub-system: zone classification and the
+//! diagnostic-coverage claims each configuration can honestly make.
+//!
+//! This module encodes the engineering judgement of §6 of the paper: which
+//! zones each design measure covers, with claims capped by the Annex A
+//! catalog. The claims are *structural* — they follow from which checker
+//! exists in the configuration — not tuned per zone, so the baseline/
+//! hardened SFF gap emerges from the architecture (and is cross-checked by
+//! the fault-injection validation, experiment T5).
+
+use crate::config::MemSysConfig;
+use socfmea_core::{
+    DiagnosticClaim, ExtractConfig, FreqClass, Worksheet, ZoneSet,
+};
+use socfmea_iec61508::{ComponentClass, TechniqueId};
+
+/// The zone-extraction configuration for the generated design: block-path
+/// class rules matching Figure 5.
+pub fn extract_config() -> ExtractConfig {
+    ExtractConfig::default()
+        .classify("mem/array", ComponentClass::VariableMemory)
+        .classify("mce", ComponentClass::Bus)
+        .classify("fmem", ComponentClass::ProcessingUnit)
+        .classify("ctrl", ComponentClass::ProcessingUnit)
+}
+
+fn claim(
+    technique: TechniqueId,
+    t: f64,
+    p: f64,
+    modes: Option<&[&str]>,
+) -> DiagnosticClaim {
+    DiagnosticClaim {
+        technique,
+        ddf_transient: t,
+        ddf_permanent: p,
+        mode_filter: modes.map(|m| m.iter().map(|s| (*s).to_owned()).collect()),
+    }
+}
+
+/// Fills a worksheet with the assumptions and diagnostic claims of the
+/// given configuration.
+///
+/// Zone-independent assumptions: architectural S = 0.4 (the fraction of
+/// faults masked by construction), frequency class from the zone's role,
+/// full lifetime exposure for the memory array (data lives long between
+/// accesses — the ζ factor of §3), shorter exposure for pipeline registers.
+pub fn apply_assumptions(ws: &mut Worksheet<'_>, cfg: &MemSysConfig) {
+    let cfg = *cfg;
+    ws.assume_all(|zone, a| {
+        let name = zone.name.as_str();
+        a.s_architectural = 0.4;
+        a.freq = FreqClass::High;
+        a.lifetime_exposure = 1.0;
+        a.diagnostics.clear();
+
+        if name.contains("alarm") {
+            // registers/cones of the diagnostic logic itself: a fault here
+            // produces a spurious alarm or a missed *future* detection —
+            // first-order safe (it cannot corrupt the mission data path);
+            // the residual danger is the latent missed-detection fraction.
+            a.s_architectural = 0.9;
+            a.lifetime_exposure = 0.3;
+            a.is_diagnostic = true;
+            return;
+        }
+        // safety-mechanism state: shadow address latches, write-buffer
+        // parity, BIST — latent-fault candidates for the ISO 26262 LFM
+        if name.contains("shadow") || name.contains("wbuf_par") || name.contains("bist") {
+            a.is_diagnostic = true;
+        }
+
+        if name.starts_with("mem/array/word") {
+            // the memory array: long-lived data, fully exposed
+            a.freq = FreqClass::VeryHigh;
+            // the address-decode logic is shared across all words (and
+            // separately zoned at mce/addr), so only a small share of this
+            // zone's rate belongs to the addressing mode
+            a.set_mode_weight("addressing", 0.05);
+            // SEC-DED covers upsets and cross-over disturbances at the
+            // norm's highest credit
+            a.diagnostics.push(claim(
+                TechniqueId::RamEcc,
+                0.99,
+                0.99,
+                Some(&["soft_error", "crossover"]),
+            ));
+            // scrubbing removes latent upsets before they accumulate
+            a.diagnostics.push(claim(
+                TechniqueId::Scrubbing,
+                0.90,
+                0.0,
+                Some(&["soft_error"]),
+            ));
+            // hard faults: cell defects are visible to the decoder, but
+            // faults in the encode path produce *valid* wrong code words —
+            // only the coder-output checker closes that hole
+            a.diagnostics.push(claim(
+                TechniqueId::RamEcc,
+                0.90,
+                0.90,
+                Some(&["dc_fault"]),
+            ));
+            if cfg.coder_output_checker {
+                a.diagnostics.push(claim(
+                    TechniqueId::SyndromeCheck,
+                    0.99,
+                    0.99,
+                    Some(&["dc_fault"]),
+                ));
+            }
+            if cfg.address_in_ecc {
+                a.diagnostics.push(claim(
+                    TechniqueId::AddressInCode,
+                    0.99,
+                    0.99,
+                    Some(&["addressing"]),
+                ));
+            }
+        } else if name.contains("wbuf") {
+            // write buffer registers: short-lived contents
+            a.lifetime_exposure = 0.5;
+            if cfg.write_buffer_parity {
+                a.diagnostics
+                    .push(claim(TechniqueId::WordParity, 0.99, 0.99, None));
+            }
+        } else if name.contains("addr") && !name.starts_with("pi/") {
+            // address latches (read, write and pipelined copies): the
+            // folded address signature detects *wrong* addressing, but a
+            // lost transaction ("no addressing", e.g. a dropped latch
+            // enable) reads a consistent other word — invisible to the
+            // code. The injection campaign (T5) measured exactly this,
+            // so the claim stays below the Annex cap.
+            if cfg.address_in_ecc {
+                a.diagnostics
+                    .push(claim(TechniqueId::AddressInCode, 0.85, 0.85, None));
+            }
+        } else if name.contains("decoder/pipe") {
+            a.lifetime_exposure = 0.4;
+            if cfg.redundant_pipeline_checker {
+                a.diagnostics
+                    .push(claim(TechniqueId::RedundantComparator, 0.99, 0.99, None));
+            }
+            if cfg.distributed_syndrome {
+                a.diagnostics
+                    .push(claim(TechniqueId::SyndromeCheck, 0.90, 0.90, None));
+            }
+        } else if name.starts_with("po/rdata") || name.starts_with("po/rvalid") {
+            // the decoder output cone: the stage-2 checkers guard the coded
+            // part of the path well against permanent faults (they
+            // eventually disturb checked state), but a transient in the
+            // correction logic or at the port itself slips past them — the
+            // SW start-up test is what catches stuck output stages
+            if cfg.redundant_pipeline_checker {
+                a.diagnostics
+                    .push(claim(TechniqueId::RedundantComparator, 0.10, 0.80, None));
+            }
+            if cfg.distributed_syndrome {
+                a.diagnostics
+                    .push(claim(TechniqueId::SyndromeCheck, 0.10, 0.80, None));
+            }
+            if cfg.sw_startup_test {
+                // start-up tests catch stuck output stages, not transients
+                a.diagnostics
+                    .push(claim(TechniqueId::SwSelfTest, 0.0, 0.90, None));
+            }
+        } else if name.starts_with("mce/mpu") {
+            // the MPU protects the bus view of the memory; its own faults
+            // are partially self-revealing (wrong denials alarm)
+            a.diagnostics
+                .push(claim(TechniqueId::MpuAccessCheck, 0.90, 0.90, None));
+        } else if name.starts_with("ctrl/bist") {
+            // BIST control logic: the paper's baseline left it uncovered
+            // (it tops the criticality ranking); the hardened flow credits
+            // the duplicated-counter comparator once the SW start-up test
+            // exercises it
+            if cfg.sw_startup_test {
+                a.diagnostics
+                    .push(claim(TechniqueId::RedundantComparator, 0.90, 0.90, None));
+            }
+        } else if name.starts_with("ctrl") {
+            // controller state and output registers: contents are consumed
+            // within a cycle or two (very short lifetime zeta — a transient
+            // matters only if it lands in the narrow read-out window)
+            a.freq = FreqClass::High;
+            a.lifetime_exposure = 0.25;
+            if cfg.sw_startup_test {
+                // start-up tests reveal permanent faults; they cannot see
+                // mid-mission transients (validated by injection, T5)
+                a.diagnostics
+                    .push(claim(TechniqueId::SwSelfTest, 0.0, 0.90, None));
+            }
+        } else if name.starts_with("critnet/") {
+            // clock/reset roots: watchdog supervision (present in both
+            // configurations — a watchdog is table stakes)
+            a.diagnostics
+                .push(claim(TechniqueId::WatchdogSeparateTimeBase, 0.90, 0.90, None));
+        } else if name.starts_with("pi/") {
+            // bus inputs: supervised by protocol-level time-out at system
+            // level in both configurations
+            a.freq = FreqClass::Medium;
+            a.diagnostics
+                .push(claim(TechniqueId::BusTimeout, 0.90, 0.90, None));
+        }
+    });
+}
+
+/// Builds the complete worksheet for a configuration over an extracted zone
+/// set (convenience wrapper used by experiments and examples).
+pub fn build_worksheet<'a>(zones: &'a ZoneSet, cfg: &MemSysConfig) -> Worksheet<'a> {
+    let mut ws = Worksheet::new(zones);
+    apply_assumptions(&mut ws, cfg);
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::build_netlist;
+    use socfmea_core::extract_zones;
+
+    fn fmea_sff(cfg: &MemSysConfig) -> f64 {
+        let nl = build_netlist(cfg).unwrap();
+        let zones = extract_zones(&nl, &extract_config());
+        let ws = build_worksheet(&zones, cfg);
+        ws.compute().sff().unwrap()
+    }
+
+    #[test]
+    fn hardened_beats_baseline_substantially() {
+        let base = fmea_sff(&MemSysConfig::baseline());
+        let hard = fmea_sff(&MemSysConfig::hardened());
+        assert!(hard > base + 0.02, "base={base:.4} hard={hard:.4}");
+        assert!(hard > 0.99, "hardened must clear the SIL3 bar, got {hard:.4}");
+        assert!(
+            base < 0.99,
+            "baseline must miss the SIL3 bar, got {base:.4}"
+        );
+    }
+
+    #[test]
+    fn each_measure_contributes() {
+        let base = fmea_sff(&MemSysConfig::baseline());
+        for (name, cfg) in [
+            (
+                "address_in_ecc",
+                MemSysConfig {
+                    address_in_ecc: true,
+                    ..MemSysConfig::baseline()
+                },
+            ),
+            (
+                "write_buffer_parity",
+                MemSysConfig {
+                    write_buffer_parity: true,
+                    ..MemSysConfig::baseline()
+                },
+            ),
+            (
+                "coder_output_checker",
+                MemSysConfig {
+                    coder_output_checker: true,
+                    ..MemSysConfig::baseline()
+                },
+            ),
+            (
+                "redundant_pipeline_checker",
+                MemSysConfig {
+                    redundant_pipeline_checker: true,
+                    ..MemSysConfig::baseline()
+                },
+            ),
+            (
+                "sw_startup_test",
+                MemSysConfig {
+                    sw_startup_test: true,
+                    ..MemSysConfig::baseline()
+                },
+            ),
+        ] {
+            let sff = fmea_sff(&cfg);
+            assert!(
+                sff > base,
+                "measure {name} must improve SFF: {sff:.4} <= {base:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_zones_are_variable_memory_class() {
+        let cfg = MemSysConfig::hardened();
+        let nl = build_netlist(&cfg).unwrap();
+        let zones = extract_zones(&nl, &extract_config());
+        let w0 = zones.zone_by_name("mem/array/word0").expect("word zone");
+        assert_eq!(w0.class, ComponentClass::VariableMemory);
+        let mpu = zones
+            .zones()
+            .iter()
+            .find(|z| z.name.starts_with("mce/mpu"))
+            .expect("mpu zone");
+        assert_eq!(mpu.class, ComponentClass::Bus);
+    }
+}

@@ -1,0 +1,196 @@
+//! RAM march tests — the start-up memory self-test of Annex A table A.6.
+//!
+//! The paper's worksheet credits "RAM test march / galpat at start-up" with
+//! high coverage; this module implements **March C−** (the industry-default
+//! 10n march) over the behavioural array so the claim can be demonstrated
+//! against every injected fault model:
+//!
+//! ```text
+//! ⇕ (w0);  ⇑ (r0,w1);  ⇑ (r1,w0);  ⇓ (r0,w1);  ⇓ (r1,w0);  ⇕ (r0)
+//! ```
+//!
+//! March C− detects all stuck-at cells, addressing faults (address decoder
+//! opens/shorts) and state coupling faults — exactly the variable-memory
+//! failure modes IEC 61508 requires (DC fault model, wrong addressing,
+//! cross-over).
+
+use crate::memory::FaultyMemory;
+
+/// Bit width the march patterns cover (the full 39-bit code word rows).
+pub const MARCH_BITS: usize = 39;
+
+/// One detected discrepancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarchFailure {
+    /// The element of March C− that caught it (0–5).
+    pub element: u8,
+    /// The failing row address.
+    pub addr: u32,
+    /// Expected row value.
+    pub expected: u64,
+    /// Read-back value.
+    pub got: u64,
+}
+
+/// The result of one march run.
+#[derive(Debug, Clone, Default)]
+pub struct MarchReport {
+    /// All discrepancies, in detection order.
+    pub failures: Vec<MarchFailure>,
+    /// Total read operations performed.
+    pub reads: u64,
+    /// Total write operations performed.
+    pub writes: u64,
+}
+
+impl MarchReport {
+    /// True when the array passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn all_ones() -> u64 {
+    (1u64 << MARCH_BITS) - 1
+}
+
+/// Runs March C− over the array. The test is destructive (the array is
+/// left all-zero on a fault-free pass) — it is a *start-up* test.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::march::march_c_minus;
+/// use socfmea_memsys::memory::FaultyMemory;
+///
+/// let mut mem = FaultyMemory::new(16);
+/// assert!(march_c_minus(&mut mem).passed());
+/// mem.inject_stuck_bit(5, 7, true);
+/// assert!(!march_c_minus(&mut mem).passed());
+/// ```
+pub fn march_c_minus(mem: &mut FaultyMemory) -> MarchReport {
+    let n = mem.len() as u32;
+    let ones = all_ones();
+    let mut report = MarchReport::default();
+    let check = |report: &mut MarchReport,
+                     mem: &FaultyMemory,
+                     element: u8,
+                     addr: u32,
+                     expected: u64| {
+        report.reads += 1;
+        let got = mem.read(addr) & ones;
+        if got != expected {
+            report.failures.push(MarchFailure {
+                element,
+                addr,
+                expected,
+                got,
+            });
+        }
+    };
+
+    // ⇕ (w0)
+    for a in 0..n {
+        mem.write(a, 0);
+        report.writes += 1;
+    }
+    // ⇑ (r0, w1)
+    for a in 0..n {
+        check(&mut report, mem, 1, a, 0);
+        mem.write(a, ones);
+        report.writes += 1;
+    }
+    // ⇑ (r1, w0)
+    for a in 0..n {
+        check(&mut report, mem, 2, a, ones);
+        mem.write(a, 0);
+        report.writes += 1;
+    }
+    // ⇓ (r0, w1)
+    for a in (0..n).rev() {
+        check(&mut report, mem, 3, a, 0);
+        mem.write(a, ones);
+        report.writes += 1;
+    }
+    // ⇓ (r1, w0)
+    for a in (0..n).rev() {
+        check(&mut report, mem, 4, a, ones);
+        mem.write(a, 0);
+        report.writes += 1;
+    }
+    // ⇕ (r0)
+    for a in 0..n {
+        check(&mut report, mem, 5, a, 0);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{AddressingFault, CrossOver};
+
+    #[test]
+    fn clean_memory_passes_with_10n_complexity() {
+        let mut mem = FaultyMemory::new(32);
+        let r = march_c_minus(&mut mem);
+        assert!(r.passed());
+        assert_eq!(r.reads, 5 * 32);
+        assert_eq!(r.writes, 5 * 32);
+    }
+
+    #[test]
+    fn every_stuck_cell_polarity_is_caught() {
+        for high in [false, true] {
+            for bit in [0u8, 17, 38] {
+                let mut mem = FaultyMemory::new(16);
+                mem.inject_stuck_bit(9, bit, high);
+                let r = march_c_minus(&mut mem);
+                assert!(
+                    !r.passed(),
+                    "stuck-at-{high} bit {bit} must fail the march"
+                );
+                assert!(r.failures.iter().all(|f| f.addr == 9));
+            }
+        }
+    }
+
+    #[test]
+    fn addressing_faults_are_caught() {
+        for fault in [
+            AddressingFault::Remap { from: 3, to: 11 },
+            AddressingFault::MultiWrite { from: 2, to: 7 },
+            AddressingFault::NoSelect { from: 5 },
+        ] {
+            let mut mem = FaultyMemory::new(16);
+            mem.inject_addressing(fault);
+            assert!(
+                !march_c_minus(&mut mem).passed(),
+                "addressing fault {fault:?} must fail the march"
+            );
+        }
+    }
+
+    #[test]
+    fn coupling_faults_are_caught() {
+        let mut mem = FaultyMemory::new(16);
+        mem.inject_crossover(CrossOver {
+            aggressor: 4,
+            victim: 12,
+            victim_bit: 3,
+        });
+        assert!(!march_c_minus(&mut mem).passed());
+    }
+
+    #[test]
+    fn failure_records_identify_the_element() {
+        let mut mem = FaultyMemory::new(8);
+        mem.inject_stuck_bit(0, 0, true);
+        let r = march_c_minus(&mut mem);
+        let first = r.failures.first().expect("caught");
+        assert_eq!(first.addr, 0);
+        assert_eq!(first.element, 1, "r0 of element 1 sees the stuck-1 first");
+        assert_eq!(first.expected, 0);
+        assert_eq!(first.got & 1, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! A behavioural memory array with the fault models of IEC 61508 table A.1
+//! and of the cache-scrubbing literature the paper cites ([13–15]).
+//!
+//! Injectable faults: stuck cells (DC fault model), soft errors (bit flips),
+//! addressing faults (no / wrong / multiple addressing) and dynamic
+//! cross-over (a write to one cell disturbs another).
+
+use std::collections::BTreeMap;
+
+/// An addressing-fault mode of the address decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressingFault {
+    /// Accesses to `from` silently go to `to` instead (wrong addressing).
+    Remap {
+        /// The logical address affected.
+        from: u32,
+        /// The physical row actually accessed.
+        to: u32,
+    },
+    /// Writes to `from` also write `to` (multiple addressing).
+    MultiWrite {
+        /// The logical address written.
+        from: u32,
+        /// The extra row disturbed.
+        to: u32,
+    },
+    /// Accesses to `from` select no row: writes are lost, reads return the
+    /// floating value `0` (no addressing).
+    NoSelect {
+        /// The dead address.
+        from: u32,
+    },
+}
+
+/// Dynamic cross-over: writing `victim_bit` of `aggressor` row couples into
+/// `victim` row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossOver {
+    /// Row whose write triggers the disturbance.
+    pub aggressor: u32,
+    /// Row whose cell is disturbed.
+    pub victim: u32,
+    /// Bit flipped in the victim row on every aggressor write.
+    pub victim_bit: u8,
+}
+
+/// A word-organised memory array with injectable faults.
+///
+/// Words are stored as raw code words (up to 64 bits) — the array does not
+/// know about ECC; protection lives in the sub-system around it, exactly as
+/// in Figure 5.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::memory::FaultyMemory;
+///
+/// let mut mem = FaultyMemory::new(16);
+/// mem.write(3, 0xabcd);
+/// assert_eq!(mem.read(3), 0xabcd);
+/// mem.inject_stuck_bit(3, 0, true); // cell (3,0) stuck high
+/// assert_eq!(mem.read(3), 0xabcd | 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyMemory {
+    words: Vec<u64>,
+    stuck: BTreeMap<(u32, u8), bool>,
+    addressing: Vec<AddressingFault>,
+    crossovers: Vec<CrossOver>,
+}
+
+impl FaultyMemory {
+    /// Creates a zero-initialised memory of `words` rows.
+    pub fn new(words: usize) -> FaultyMemory {
+        FaultyMemory {
+            words: vec![0; words],
+            stuck: BTreeMap::new(),
+            addressing: Vec::new(),
+            crossovers: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True for an empty array.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn resolve(&self, addr: u32, write: bool) -> (Option<u32>, Vec<u32>) {
+        // returns (primary row, extra rows written)
+        let mut primary = Some(addr);
+        let mut extra = Vec::new();
+        for f in &self.addressing {
+            match *f {
+                AddressingFault::Remap { from, to } if from == addr => primary = Some(to),
+                AddressingFault::NoSelect { from } if from == addr => primary = None,
+                AddressingFault::MultiWrite { from, to } if write && from == addr => {
+                    extra.push(to)
+                }
+                _ => {}
+            }
+        }
+        (primary, extra)
+    }
+
+    fn apply_stuck(&self, row: u32, mut value: u64) -> u64 {
+        for (&(r, bit), &high) in &self.stuck {
+            if r == row {
+                if high {
+                    value |= 1 << bit;
+                } else {
+                    value &= !(1 << bit);
+                }
+            }
+        }
+        value
+    }
+
+    /// Writes a code word, honouring injected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: u32, value: u64) {
+        assert!((addr as usize) < self.words.len(), "address out of range");
+        let (primary, extra) = self.resolve(addr, true);
+        if let Some(row) = primary {
+            self.words[row as usize] = self.apply_stuck(row, value);
+            let hits: Vec<CrossOver> = self
+                .crossovers
+                .iter()
+                .copied()
+                .filter(|c| c.aggressor == row)
+                .collect();
+            for c in hits {
+                self.words[c.victim as usize] ^= 1 << c.victim_bit;
+            }
+        }
+        for row in extra {
+            self.words[row as usize] = self.apply_stuck(row, value);
+        }
+    }
+
+    /// Reads a code word, honouring injected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: u32) -> u64 {
+        assert!((addr as usize) < self.words.len(), "address out of range");
+        let (primary, _) = self.resolve(addr, false);
+        match primary {
+            Some(row) => self.apply_stuck(row, self.words[row as usize]),
+            None => 0,
+        }
+    }
+
+    /// Flips one stored bit (soft error / SEU).
+    pub fn inject_soft_error(&mut self, addr: u32, bit: u8) {
+        self.words[addr as usize] ^= 1 << bit;
+    }
+
+    /// Injects a stuck cell.
+    pub fn inject_stuck_bit(&mut self, addr: u32, bit: u8, high: bool) {
+        self.stuck.insert((addr, bit), high);
+    }
+
+    /// Injects an addressing fault.
+    pub fn inject_addressing(&mut self, fault: AddressingFault) {
+        self.addressing.push(fault);
+    }
+
+    /// Injects a dynamic cross-over coupling.
+    pub fn inject_crossover(&mut self, fault: CrossOver) {
+        self.crossovers.push(fault);
+    }
+
+    /// Removes all injected faults (stored corruption persists — exactly
+    /// like repairing the decoder does not repair the data).
+    pub fn clear_faults(&mut self) {
+        self.stuck.clear();
+        self.addressing.clear();
+        self.crossovers.clear();
+    }
+
+    /// Number of currently injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.stuck.len() + self.addressing.len() + self.crossovers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_read_write() {
+        let mut m = FaultyMemory::new(8);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        m.write(7, u64::MAX);
+        assert_eq!(m.read(7), u64::MAX);
+        assert_eq!(m.read(0), 0);
+    }
+
+    #[test]
+    fn stuck_bits_dominate() {
+        let mut m = FaultyMemory::new(4);
+        m.inject_stuck_bit(1, 3, false);
+        m.write(1, 0xff);
+        assert_eq!(m.read(1), 0xff & !(1 << 3));
+        m.inject_stuck_bit(1, 0, true);
+        m.write(1, 0);
+        assert_eq!(m.read(1), 1);
+        assert_eq!(m.fault_count(), 2);
+    }
+
+    #[test]
+    fn remap_redirects_both_ways() {
+        let mut m = FaultyMemory::new(4);
+        m.inject_addressing(AddressingFault::Remap { from: 0, to: 2 });
+        m.write(0, 0xaa);
+        assert_eq!(m.read(2), 0xaa); // actually landed in row 2
+        assert_eq!(m.read(0), 0xaa); // and reads come from row 2 as well
+        m.write(2, 0x55);
+        assert_eq!(m.read(0), 0x55);
+    }
+
+    #[test]
+    fn multi_write_disturbs_second_row() {
+        let mut m = FaultyMemory::new(4);
+        m.write(3, 0x11);
+        m.inject_addressing(AddressingFault::MultiWrite { from: 1, to: 3 });
+        m.write(1, 0xff);
+        assert_eq!(m.read(1), 0xff);
+        assert_eq!(m.read(3), 0xff, "row 3 overwritten by multiple addressing");
+    }
+
+    #[test]
+    fn no_select_loses_writes() {
+        let mut m = FaultyMemory::new(4);
+        m.write(1, 0x77);
+        m.inject_addressing(AddressingFault::NoSelect { from: 1 });
+        m.write(1, 0xff);
+        assert_eq!(m.read(1), 0); // floating read
+        m.clear_faults();
+        assert_eq!(m.read(1), 0x77, "the old value was never overwritten");
+    }
+
+    #[test]
+    fn crossover_flips_victim_on_aggressor_write() {
+        let mut m = FaultyMemory::new(4);
+        m.write(2, 0);
+        m.inject_crossover(CrossOver {
+            aggressor: 0,
+            victim: 2,
+            victim_bit: 5,
+        });
+        m.write(0, 1);
+        assert_eq!(m.read(2), 1 << 5);
+        m.write(0, 2);
+        assert_eq!(m.read(2), 0, "second write flips it back");
+    }
+
+    #[test]
+    fn soft_error_flips_one_bit() {
+        let mut m = FaultyMemory::new(2);
+        m.write(0, 0b1000);
+        m.inject_soft_error(0, 3);
+        assert_eq!(m.read(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_is_rejected() {
+        let m = FaultyMemory::new(2);
+        let _ = m.read(5);
+    }
+}

@@ -1,0 +1,219 @@
+//! The distributed memory-protection function of the MCE.
+//!
+//! "This MPU function considers that the memory is divided in number of
+//! pages associated with attributes and permissions. The MCE block uses
+//! signals from the bus ... to discriminate these attributes and
+//! permissions and in case of faults, proper alarms are generated" (§6).
+
+use std::fmt;
+
+/// Who issues a bus access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Master {
+    /// The application CPU.
+    Cpu,
+    /// The scrubbing DMA engine inside the protection IP.
+    ScrubDma,
+}
+
+/// Access attributes of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePermissions {
+    /// Reads allowed.
+    pub read: bool,
+    /// Writes allowed.
+    pub write: bool,
+    /// Only privileged masters may touch the page.
+    pub privileged_only: bool,
+}
+
+impl Default for PagePermissions {
+    fn default() -> PagePermissions {
+        PagePermissions {
+            read: true,
+            write: true,
+            privileged_only: false,
+        }
+    }
+}
+
+/// Why an access was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpuViolation {
+    /// Read of a non-readable page.
+    ReadDenied,
+    /// Write of a non-writable page.
+    WriteDenied,
+    /// Unprivileged access to a privileged page.
+    PrivilegeDenied,
+}
+
+impl fmt::Display for MpuViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MpuViolation::ReadDenied => "read denied",
+            MpuViolation::WriteDenied => "write denied",
+            MpuViolation::PrivilegeDenied => "privilege denied",
+        })
+    }
+}
+
+impl std::error::Error for MpuViolation {}
+
+/// The paged MPU.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::mpu::{Master, Mpu, MpuViolation, PagePermissions};
+///
+/// let mut mpu = Mpu::new(4, 8); // 4 pages of 8 words
+/// mpu.set_page(1, PagePermissions { read: true, write: false, privileged_only: false });
+/// assert!(mpu.check(9, true, Master::Cpu, false).is_err()); // write into page 1
+/// assert!(mpu.check(9, false, Master::Cpu, false).is_ok());
+/// # let _: Result<(), MpuViolation> = Ok(());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mpu {
+    pages: Vec<PagePermissions>,
+    words_per_page: u32,
+}
+
+impl Mpu {
+    /// Creates an MPU with `pages` pages of `words_per_page` words, all
+    /// fully accessible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(pages: usize, words_per_page: u32) -> Mpu {
+        assert!(pages > 0 && words_per_page > 0, "MPU dimensions must be positive");
+        Mpu {
+            pages: vec![PagePermissions::default(); pages],
+            words_per_page,
+        }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page an address belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies beyond the last page.
+    pub fn page_of(&self, addr: u32) -> usize {
+        let p = (addr / self.words_per_page) as usize;
+        assert!(p < self.pages.len(), "address {addr} beyond MPU range");
+        p
+    }
+
+    /// Sets one page's permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_page(&mut self, page: usize, perm: PagePermissions) {
+        self.pages[page] = perm;
+    }
+
+    /// Reads one page's permissions.
+    pub fn page(&self, page: usize) -> PagePermissions {
+        self.pages[page]
+    }
+
+    /// Checks an access; the scrubbing DMA is always privileged (it belongs
+    /// to the protection IP).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation when the access must be denied (and an alarm
+    /// raised).
+    pub fn check(
+        &self,
+        addr: u32,
+        write: bool,
+        master: Master,
+        privileged: bool,
+    ) -> Result<(), MpuViolation> {
+        let perm = self.pages[self.page_of(addr)];
+        let privileged = privileged || master == Master::ScrubDma;
+        if perm.privileged_only && !privileged {
+            return Err(MpuViolation::PrivilegeDenied);
+        }
+        if write && !perm.write {
+            return Err(MpuViolation::WriteDenied);
+        }
+        if !write && !perm.read {
+            return Err(MpuViolation::ReadDenied);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pages_allow_everything() {
+        let mpu = Mpu::new(2, 4);
+        assert_eq!(mpu.page_count(), 2);
+        for addr in 0..8 {
+            assert!(mpu.check(addr, true, Master::Cpu, false).is_ok());
+            assert!(mpu.check(addr, false, Master::Cpu, false).is_ok());
+        }
+    }
+
+    #[test]
+    fn page_mapping() {
+        let mpu = Mpu::new(4, 8);
+        assert_eq!(mpu.page_of(0), 0);
+        assert_eq!(mpu.page_of(7), 0);
+        assert_eq!(mpu.page_of(8), 1);
+        assert_eq!(mpu.page_of(31), 3);
+    }
+
+    #[test]
+    fn write_protection() {
+        let mut mpu = Mpu::new(2, 4);
+        mpu.set_page(0, PagePermissions { read: true, write: false, privileged_only: false });
+        assert_eq!(
+            mpu.check(1, true, Master::Cpu, true),
+            Err(MpuViolation::WriteDenied)
+        );
+        assert!(mpu.check(1, false, Master::Cpu, false).is_ok());
+    }
+
+    #[test]
+    fn privilege_protection_and_dma_exception() {
+        let mut mpu = Mpu::new(2, 4);
+        mpu.set_page(1, PagePermissions { read: true, write: true, privileged_only: true });
+        assert_eq!(
+            mpu.check(5, false, Master::Cpu, false),
+            Err(MpuViolation::PrivilegeDenied)
+        );
+        assert!(mpu.check(5, false, Master::Cpu, true).is_ok());
+        // the scrub DMA is part of the protection IP: always privileged
+        assert!(mpu.check(5, true, Master::ScrubDma, false).is_ok());
+    }
+
+    #[test]
+    fn read_protection() {
+        let mut mpu = Mpu::new(1, 4);
+        mpu.set_page(0, PagePermissions { read: false, write: true, privileged_only: false });
+        assert_eq!(
+            mpu.check(0, false, Master::Cpu, false),
+            Err(MpuViolation::ReadDenied)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond MPU range")]
+    fn out_of_range_address_panics() {
+        let mpu = Mpu::new(2, 4);
+        let _ = mpu.page_of(100);
+    }
+}

@@ -1,0 +1,673 @@
+//! Gate-level generator for the Figure 5 memory sub-system.
+//!
+//! The FMEA flow of the paper runs on the *synthesized* design; this module
+//! plays the synthesis role and elaborates the complete sub-system —
+//! memory controller, memory array, F-MEM (coder/decoder with pipeline,
+//! optional checkers, alarms) and MCE (address latch, write buffer, MPU) —
+//! into the primitive gate netlist the extraction tool, simulator and fault
+//! injector consume.
+//!
+//! Block paths follow Figure 5 so zones group naturally:
+//!
+//! ```text
+//! mce/mpu        page attribute registers + permission check
+//! mce/addr       address latches (read + write paths)
+//! fmem/wbuf      write buffer (data, optional parity)
+//! fmem/coder     ECC encoder (+ optional output checker)
+//! mem/array      the word registers, write decode, read mux
+//! fmem/decoder/syn    stage-1 syndrome trees
+//! fmem/decoder/pipe   the decoder pipeline registers
+//! fmem/decoder/corr   stage-2 correction (+ optional redundant checker,
+//!                     distributed syndrome split)
+//! ctrl           read-pipeline state, rdata/rvalid output registers, BIST
+//! ```
+//!
+//! ## Interface (cycle-based)
+//!
+//! | port | dir | meaning |
+//! |---|---|---|
+//! | `clk`, `rst` | in | clock (critical net) and sync reset |
+//! | `req`, `wr` | in | access strobe / write-not-read |
+//! | `addr[A]`, `wdata[32]` | in | address and write data |
+//! | `priv` | in | privileged access |
+//! | `mpu_wr`, `mpu_attr[3]` | in | page attribute write (page = addr page bits); attr = `{rd_en, wr_en, priv_only}` |
+//! | `bist_en` | in | runs the self-checking BIST counters |
+//! | `rdata[32]`, `rvalid` | out | read data, valid 3 cycles after `req` |
+//! | `alarm_*` | out | diagnostic alarms (corrected, uncorr, wbuf, coder, pipe, mpu, bist, syn_data, syn_check) |
+//!
+//! A read takes three cycles: address latch → syndrome + pipeline →
+//! correction + output register. A write takes two: write buffer → encode
+//! and store.
+
+use crate::config::MemSysConfig;
+use crate::ecc;
+use socfmea_netlist::{Netlist, NetlistError};
+use socfmea_rtl::{RtlBuilder, Word};
+
+/// Elaborates the memory sub-system into a gate-level netlist.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors (none occur for a valid
+/// [`MemSysConfig`]).
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::config::MemSysConfig;
+/// use socfmea_memsys::rtl::build_netlist;
+///
+/// let nl = build_netlist(&MemSysConfig::hardened())?;
+/// assert!(nl.dff_count() > 32 * 39); // the array dominates
+/// assert!(nl.net_by_name("alarm_uncorr").is_some());
+/// # Ok::<(), socfmea_netlist::NetlistError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // check-bit loops index parallel tap tables
+pub fn build_netlist(cfg: &MemSysConfig) -> Result<Netlist, NetlistError> {
+    cfg.validate();
+    let abits = cfg.addr_bits();
+    let pbits = cfg.page_bits();
+    let mut r = RtlBuilder::new("memsys");
+
+    // ---------------- ports -------------------------------------------
+    let _clk = r.clock_input("clk");
+    let rst = r.reset_input("rst");
+    let req = r.input("req");
+    let wr = r.input("wr");
+    let addr = r.input_word("addr", abits);
+    let wdata = r.input_word("wdata", 32);
+    let privilege = r.input("priv");
+    let mpu_wr = r.input("mpu_wr");
+    let mpu_attr = r.input_word("mpu_attr", 3);
+    let bist_en = r.input("bist_en");
+    // Diagnostic error-injection port (standard feature of production ECC
+    // IP): flips read-path code bit 0 / check bit 6 so self-test workloads
+    // can exercise the correction and detection paths without hardware
+    // faults. Asserting both injects an uncorrectable double error.
+    let err_inject0 = r.input("err_inject0");
+    let err_inject1 = r.input("err_inject1");
+
+    // ---------------- MCE: MPU ----------------------------------------
+    r.push_block("mce");
+    r.push_block("mpu");
+    let page_idx: Word = (0..pbits.max(1))
+        .map(|i| {
+            if pbits == 0 {
+                // single page: constant select
+                addr.bit(0)
+            } else {
+                addr.bit(abits - pbits + i)
+            }
+        })
+        .collect();
+    let page_sel = if pbits == 0 {
+        let one = r.constant_bit(true);
+        Word::new(vec![one])
+    } else {
+        r.decoder(&page_idx)
+    };
+    // attribute registers: reset to {rd_en=1, wr_en=1, priv_only=0} = 0b011
+    let mut attrs: Vec<Word> = Vec::with_capacity(cfg.pages);
+    for p in 0..cfg.pages {
+        let en = r.and2_bit(mpu_wr, page_sel.bit(p));
+        let q = r.register_rv(&format!("page{p}_attr"), &mpu_attr, Some(en), Some(rst), 0b011);
+        attrs.push(q);
+    }
+    let cur_attr = if pbits == 0 {
+        attrs[0].clone()
+    } else {
+        r.mux_tree(&page_idx, &attrs)
+    };
+    let rd_en = cur_attr.bit(0);
+    let wr_en = cur_attr.bit(1);
+    let priv_only = cur_attr.bit(2);
+    let n_wr = r.not_bit(wr);
+    let n_wr_en = r.not_bit(wr_en);
+    let n_rd_en = r.not_bit(rd_en);
+    let n_priv = r.not_bit(privilege);
+    let v_write = r.and_bits(&[req, wr, n_wr_en]);
+    let v_read = r.and_bits(&[req, n_wr, n_rd_en]);
+    let v_priv = r.and_bits(&[req, priv_only, n_priv]);
+    let viol = r.or_bits(&[v_write, v_read, v_priv]);
+    let alarm_mpu = r.register_bit("alarm_mpu_q", viol, None, Some(rst));
+    let n_viol = r.not_bit(viol);
+    let grant = r.and_bits(&[req, n_viol]);
+    r.pop_block(); // mpu
+
+    // ---------------- MCE: address latches ----------------------------
+    // With address-in-ECC, the latches are duplicated: the data path (word
+    // select / write decode) uses the primary copy while the code fold uses
+    // the shadow copy, so corruption of either register alone leaves an
+    // inconsistent code word the decoder detects. Folding from the same
+    // register would silently follow its corruption.
+    r.push_block("addr");
+    let wr_grant = r.and2_bit(grant, wr);
+    let rd_grant = r.and2_bit(grant, n_wr);
+    let addr_q = r.register("rd_addr_q", &addr, Some(rd_grant), None);
+    let wbuf_addr = r.register("wr_addr_q", &addr, Some(wr_grant), None);
+    let (addr_fold, wbuf_fold) = if cfg.address_in_ecc {
+        (
+            r.register("rd_addr_shadow", &addr, Some(rd_grant), None),
+            r.register("wr_addr_shadow", &addr, Some(wr_grant), None),
+        )
+    } else {
+        (addr_q.clone(), wbuf_addr.clone())
+    };
+    r.pop_block(); // addr
+    r.pop_block(); // mce
+
+    // ---------------- F-MEM: write buffer ------------------------------
+    r.push_block("fmem");
+    r.push_block("wbuf");
+    let wbuf_data = r.register("wbuf_data", &wdata, Some(wr_grant), None);
+    let wbuf_valid = r.register_bit("wbuf_valid", wr_grant, None, Some(rst));
+    let wbuf_err = if cfg.write_buffer_parity {
+        let par_in = r.parity(&wdata);
+        let wbuf_par = r.register_bit("wbuf_par", par_in, Some(wr_grant), None);
+        let par_now = r.parity(&wbuf_data);
+        let mismatch = r.xor2_bit(par_now, wbuf_par);
+        r.and2_bit(mismatch, wbuf_valid)
+    } else {
+        r.constant_bit(false)
+    };
+    let alarm_wbuf = r.register_bit("alarm_wbuf_q", wbuf_err, None, Some(rst));
+    let n_wbuf_err = r.not_bit(wbuf_err);
+    let wr_strobe = r.and2_bit(wbuf_valid, n_wbuf_err);
+    r.pop_block(); // wbuf
+
+    // ---------------- F-MEM: coder -------------------------------------
+    r.push_block("coder");
+    // per check bit j, the address bits folded into it
+    fn fold(a: &Word) -> Vec<Vec<socfmea_netlist::NetId>> {
+        (0..ecc::CHECK_BITS)
+            .map(|j| {
+                (0..a.width())
+                    .filter(|&k| (ecc::addr_column(k) >> j) & 1 == 1)
+                    .map(|k| a.bit(k))
+                    .collect()
+            })
+            .collect()
+    }
+    let mut enc_checks = Vec::with_capacity(ecc::CHECK_BITS);
+    let wfold = fold(&wbuf_fold);
+    for j in 0..ecc::CHECK_BITS {
+        let mut taps: Vec<socfmea_netlist::NetId> = (0..ecc::DATA_BITS)
+            .filter(|&i| (ecc::column(i) >> j) & 1 == 1)
+            .map(|i| wbuf_data.bit(i))
+            .collect();
+        if cfg.address_in_ecc {
+            taps.extend(&wfold[j]);
+        }
+        enc_checks.push(r.xor_bits(&taps));
+    }
+    let code_in = wbuf_data.concat(&Word::new(enc_checks.clone()));
+    // coder output checker: recompute the syndrome of the generated word
+    let coder_err = if cfg.coder_output_checker {
+        let mut syn_bits = Vec::with_capacity(ecc::CHECK_BITS);
+        for j in 0..ecc::CHECK_BITS {
+            let mut taps: Vec<socfmea_netlist::NetId> = (0..ecc::CODE_BITS)
+                .filter(|&i| (ecc::column(i) >> j) & 1 == 1)
+                .map(|i| code_in.bit(i))
+                .collect();
+            if cfg.address_in_ecc {
+                taps.extend(&wfold[j]);
+            }
+            syn_bits.push(r.xor_bits(&taps));
+        }
+        let nonzero = r.or_bits(&syn_bits);
+        r.and2_bit(nonzero, wbuf_valid)
+    } else {
+        r.constant_bit(false)
+    };
+    let alarm_coder = r.register_bit("alarm_coder_q", coder_err, None, Some(rst));
+    r.pop_block(); // coder
+    r.pop_block(); // fmem
+
+    // ---------------- memory array -------------------------------------
+    r.push_block("mem");
+    r.push_block("array");
+    let wsel = r.decoder(&wbuf_addr);
+    let mut words: Vec<Word> = Vec::with_capacity(cfg.words);
+    for w in 0..cfg.words {
+        let en = r.and2_bit(wr_strobe, wsel.bit(w));
+        words.push(r.register(&format!("word{w}"), &code_in, Some(en), None));
+    }
+    let rd_code_raw = r.mux_tree(&addr_q, &words);
+    r.pop_block(); // array
+    r.pop_block(); // mem
+
+    // diagnostic error injection on the read path (before the decoder, so
+    // the injected error is indistinguishable from a real cell upset)
+    let rd_code: Word = (0..ecc::CODE_BITS)
+        .map(|i| match i {
+            0 => r.xor2_bit(rd_code_raw.bit(0), err_inject0),
+            38 => r.xor2_bit(rd_code_raw.bit(38), err_inject1),
+            _ => rd_code_raw.bit(i),
+        })
+        .collect();
+
+    // ---------------- decoder stage 1: syndrome ------------------------
+    r.push_block("fmem");
+    r.push_block("decoder");
+    r.push_block("syn");
+    let rfold = fold(&addr_fold);
+    let mut syn1 = Vec::with_capacity(ecc::CHECK_BITS);
+    for j in 0..ecc::CHECK_BITS {
+        let mut taps: Vec<socfmea_netlist::NetId> = (0..ecc::CODE_BITS)
+            .filter(|&i| (ecc::column(i) >> j) & 1 == 1)
+            .map(|i| rd_code.bit(i))
+            .collect();
+        if cfg.address_in_ecc {
+            taps.extend(&rfold[j]);
+        }
+        syn1.push(r.xor_bits(&taps));
+    }
+    let syn1 = Word::new(syn1);
+    r.pop_block(); // syn
+
+    // ---------------- decoder pipeline ---------------------------------
+    r.push_block("pipe");
+    let rd_v1 = r.register_bit("rd_v1", rd_grant, None, Some(rst));
+    let code_p = r.register("code_p", &rd_code, Some(rd_v1), None);
+    let syn_p = r.register("syn_p", &syn1, Some(rd_v1), None);
+    let addr_p = r.register("addr_p", &addr_fold, Some(rd_v1), None);
+    let rd_v2 = r.register_bit("rd_v2", rd_v1, None, Some(rst));
+    r.pop_block(); // pipe
+
+    // ---------------- decoder stage 2: checkers + correction -----------
+    r.push_block("corr");
+    // redundant checker: second syndrome computation after the pipeline
+    let pipe_err = if cfg.redundant_pipeline_checker {
+        let pfold = fold(&addr_p);
+        let mut syn2 = Vec::with_capacity(ecc::CHECK_BITS);
+        for j in 0..ecc::CHECK_BITS {
+            let mut taps: Vec<socfmea_netlist::NetId> = (0..ecc::CODE_BITS)
+                .filter(|&i| (ecc::column(i) >> j) & 1 == 1)
+                .map(|i| code_p.bit(i))
+                .collect();
+            if cfg.address_in_ecc {
+                taps.extend(&pfold[j]);
+            }
+            syn2.push(r.xor_bits(&taps));
+        }
+        let syn2 = Word::new(syn2);
+        let diff = r.xor(&syn2, &syn_p);
+        let any = r.or_reduce(&diff);
+        r.and2_bit(any, rd_v2)
+    } else {
+        r.constant_bit(false)
+    };
+    let alarm_pipe = r.register_bit("alarm_pipe_q", pipe_err, None, Some(rst));
+
+    // correction: one-hot error position from the syndrome
+    let err_onehot: Vec<socfmea_netlist::NetId> = (0..ecc::CODE_BITS)
+        .map(|i| r.eq_const(&syn_p, ecc::column(i) as u64))
+        .collect();
+    let corrected: Word = (0..ecc::DATA_BITS)
+        .map(|i| r.xor2_bit(code_p.bit(i), err_onehot[i]))
+        .collect();
+    let single = r.or_bits(&err_onehot);
+    let nonzero = r.or_reduce(&syn_p);
+    let n_single = r.not_bit(single);
+    let uncorr = r.and2_bit(nonzero, n_single);
+    let corr_seen = r.and_bits(&[single, rd_v2]);
+    let uncorr_seen = r.and_bits(&[uncorr, rd_v2]);
+    let alarm_corr = r.register_bit("alarm_corr_q", corr_seen, None, Some(rst));
+    let alarm_uncorr = r.register_bit("alarm_uncorr_q", uncorr_seen, None, Some(rst));
+
+    // distributed syndrome checking: locate the error field
+    let (alarm_syn_data, alarm_syn_check) = if cfg.distributed_syndrome {
+        let in_data = r.or_bits(&err_onehot[..ecc::DATA_BITS]);
+        let in_check = r.or_bits(&err_onehot[ecc::DATA_BITS..]);
+        let d_seen = r.and_bits(&[in_data, rd_v2]);
+        let c_seen = r.and_bits(&[in_check, rd_v2]);
+        (
+            r.register_bit("alarm_syn_data_q", d_seen, None, Some(rst)),
+            r.register_bit("alarm_syn_check_q", c_seen, None, Some(rst)),
+        )
+    } else {
+        let zero = r.constant_bit(false);
+        (zero, zero)
+    };
+    r.pop_block(); // corr
+    r.pop_block(); // decoder
+    r.pop_block(); // fmem
+
+    // ---------------- controller: output regs + BIST -------------------
+    r.push_block("ctrl");
+    let rdata_q = r.register("rdata_q", &corrected, Some(rd_v2), None);
+    let rvalid_q = r.register_bit("rvalid_q", rd_v2, None, Some(rst));
+    // self-checking BIST control: duplicated counters with a comparator
+    r.push_block("bist");
+    let cnt_a = r.counter("bist_cnt_a", 6, Some(bist_en), Some(rst));
+    let cnt_b = r.counter("bist_cnt_b", 6, Some(bist_en), Some(rst));
+    let diff = r.xor(&cnt_a, &cnt_b);
+    let bist_err = r.or_reduce(&diff);
+    let alarm_bist = r.register_bit("alarm_bist_q", bist_err, None, Some(rst));
+    r.pop_block(); // bist
+    r.pop_block(); // ctrl
+
+    // ---------------- outputs ------------------------------------------
+    r.output_word("rdata", &rdata_q);
+    r.output("rvalid", rvalid_q);
+    r.output("alarm_corr", alarm_corr);
+    r.output("alarm_uncorr", alarm_uncorr);
+    r.output("alarm_wbuf", alarm_wbuf);
+    r.output("alarm_coder", alarm_coder);
+    r.output("alarm_pipe", alarm_pipe);
+    r.output("alarm_mpu", alarm_mpu);
+    r.output("alarm_bist", alarm_bist);
+    r.output("alarm_syn_data", alarm_syn_data);
+    r.output("alarm_syn_check", alarm_syn_check);
+
+    r.finish()
+}
+
+/// Handy net-name lookups for driving the generated design.
+#[derive(Debug, Clone)]
+pub struct MemSysPins {
+    /// `rst`.
+    pub rst: socfmea_netlist::NetId,
+    /// `req`.
+    pub req: socfmea_netlist::NetId,
+    /// `wr`.
+    pub wr: socfmea_netlist::NetId,
+    /// `addr[…]`, LSB first.
+    pub addr: Vec<socfmea_netlist::NetId>,
+    /// `wdata[…]`, LSB first.
+    pub wdata: Vec<socfmea_netlist::NetId>,
+    /// `priv`.
+    pub privilege: socfmea_netlist::NetId,
+    /// `mpu_wr`.
+    pub mpu_wr: socfmea_netlist::NetId,
+    /// `mpu_attr[…]`.
+    pub mpu_attr: Vec<socfmea_netlist::NetId>,
+    /// `bist_en`.
+    pub bist_en: socfmea_netlist::NetId,
+    /// `err_inject0` (diagnostic single-error injection).
+    pub err_inject0: socfmea_netlist::NetId,
+    /// `err_inject1` (second injection bit; both = double error).
+    pub err_inject1: socfmea_netlist::NetId,
+    /// `rdata[…]` outputs.
+    pub rdata: Vec<socfmea_netlist::NetId>,
+    /// `rvalid` output.
+    pub rvalid: socfmea_netlist::NetId,
+}
+
+impl MemSysPins {
+    /// Resolves the pins of a generated netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` was not produced by [`build_netlist`].
+    pub fn find(netlist: &Netlist, cfg: &MemSysConfig) -> MemSysPins {
+        let n = |name: &str| {
+            netlist
+                .net_by_name(name)
+                .unwrap_or_else(|| panic!("memsys netlist lacks net `{name}`"))
+        };
+        MemSysPins {
+            rst: n("rst"),
+            req: n("req"),
+            wr: n("wr"),
+            addr: (0..cfg.addr_bits()).map(|i| n(&format!("addr[{i}]"))).collect(),
+            wdata: (0..32).map(|i| n(&format!("wdata[{i}]"))).collect(),
+            privilege: n("priv"),
+            mpu_wr: n("mpu_wr"),
+            mpu_attr: (0..3).map(|i| n(&format!("mpu_attr[{i}]"))).collect(),
+            bist_en: n("bist_en"),
+            err_inject0: n("err_inject0"),
+            err_inject1: n("err_inject1"),
+            rdata: (0..32).map(|i| n(&format!("rdata[{i}]"))).collect(),
+            rvalid: n("rvalid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_netlist::Logic;
+    use socfmea_sim::Simulator;
+
+    fn small(hardened: bool) -> (MemSysConfig, Netlist) {
+        let cfg = if hardened {
+            MemSysConfig::hardened().with_words(16)
+        } else {
+            MemSysConfig::baseline().with_words(16)
+        };
+        let nl = build_netlist(&cfg).expect("valid design");
+        (cfg, nl)
+    }
+
+    struct Driver<'a> {
+        sim: Simulator<'a>,
+        pins: MemSysPins,
+    }
+
+    impl<'a> Driver<'a> {
+        fn new(nl: &'a Netlist, cfg: &MemSysConfig) -> Driver<'a> {
+            let pins = MemSysPins::find(nl, cfg);
+            let mut sim = Simulator::new(nl).expect("levelizable");
+            // reset pulse + idle defaults
+            sim.set(pins.rst, Logic::One);
+            sim.set(pins.req, Logic::Zero);
+            sim.set(pins.wr, Logic::Zero);
+            sim.set(pins.privilege, Logic::Zero);
+            sim.set(pins.mpu_wr, Logic::Zero);
+            sim.set(pins.bist_en, Logic::Zero);
+            sim.set(pins.err_inject0, Logic::Zero);
+            sim.set(pins.err_inject1, Logic::Zero);
+            sim.set_word(&pins.addr, 0);
+            sim.set_word(&pins.wdata, 0);
+            sim.set_word(&pins.mpu_attr, 0);
+            sim.tick();
+            sim.set(pins.rst, Logic::Zero);
+            sim.tick();
+            Driver { sim, pins }
+        }
+
+        fn write(&mut self, addr: u64, data: u64) {
+            self.sim.set(self.pins.req, Logic::One);
+            self.sim.set(self.pins.wr, Logic::One);
+            self.sim.set_word(&self.pins.addr, addr);
+            self.sim.set_word(&self.pins.wdata, data);
+            self.sim.tick();
+            self.idle(2); // let the buffer flush into the array
+        }
+
+        fn idle(&mut self, n: usize) {
+            self.sim.set(self.pins.req, Logic::Zero);
+            self.sim.set(self.pins.wr, Logic::Zero);
+            for _ in 0..n {
+                self.sim.tick();
+            }
+        }
+
+        fn read_with_valid(&mut self, addr: u64) -> (Option<u64>, bool) {
+            self.sim.set(self.pins.req, Logic::One);
+            self.sim.set(self.pins.wr, Logic::Zero);
+            self.sim.set_word(&self.pins.addr, addr);
+            self.sim.tick();
+            self.sim.set(self.pins.req, Logic::Zero);
+            let mut valid = false;
+            for _ in 0..4 {
+                self.sim.tick();
+                if self.sim.get(self.pins.rvalid) == Logic::One {
+                    valid = true;
+                }
+            }
+            (self.sim.get_word(&self.pins.rdata), valid)
+        }
+
+        fn alarm(&self, nl: &Netlist, name: &str) -> Logic {
+            self.sim.get(nl.net_by_name(name).unwrap())
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (cfg, nl) = small(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.write(5, 0xdead_beef);
+        let (data, valid) = d.read_with_valid(5);
+        assert!(valid, "rvalid must pulse");
+        assert_eq!(data, Some(0xdead_beef));
+        assert_eq!(d.alarm(&nl, "alarm_uncorr"), Logic::Zero);
+    }
+
+    #[test]
+    fn gate_level_matches_behavioural_codec() {
+        let (cfg, nl) = small(true);
+        let codec = crate::ecc::Codec::new(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.write(3, 0x1234_5678);
+        // inspect the stored word register directly
+        let word_nets: Vec<_> = (0..39)
+            .map(|i| nl.net_by_name(&format!("word3[{i}]")).unwrap())
+            .collect();
+        let stored = d.sim.get_word(&word_nets).expect("fully defined");
+        assert_eq!(stored, codec.encode(0x1234_5678, 3));
+    }
+
+    #[test]
+    fn single_bit_upset_is_corrected_and_alarmed() {
+        let (cfg, nl) = small(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.write(7, 0xcafe_f00d);
+        // flip a stored bit (SEU in the array)
+        let victim = nl.net_by_name("word7[13]").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = nl.net(victim).driver else {
+            panic!("word bit must be a flip-flop");
+        };
+        d.sim.flip_ff(ff);
+        let (data, valid) = d.read_with_valid(7);
+        assert!(valid);
+        assert_eq!(data, Some(0xcafe_f00d), "corrected");
+        // alarm_corr pulsed during the read
+        // (it is registered; re-run and sample each cycle)
+        let mut d2 = Driver::new(&nl, &cfg);
+        d2.write(7, 0xcafe_f00d);
+        let victim = nl.net_by_name("word7[13]").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = nl.net(victim).driver else {
+            panic!();
+        };
+        d2.sim.flip_ff(ff);
+        d2.sim.set(d2.pins.req, Logic::One);
+        d2.sim.set(d2.pins.wr, Logic::Zero);
+        d2.sim.set_word(&d2.pins.addr, 7);
+        d2.sim.tick();
+        d2.sim.set(d2.pins.req, Logic::Zero);
+        let mut corr_seen = false;
+        for _ in 0..4 {
+            d2.sim.tick();
+            if d2.alarm(&nl, "alarm_corr") == Logic::One {
+                corr_seen = true;
+            }
+        }
+        assert!(corr_seen, "correction alarm must pulse");
+    }
+
+    #[test]
+    fn double_bit_upset_raises_uncorrectable() {
+        let (cfg, nl) = small(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.write(2, 0xffff_0000);
+        for bit in [4, 21] {
+            let victim = nl.net_by_name(&format!("word2[{bit}]")).unwrap();
+            let socfmea_netlist::Driver::Dff(ff) = nl.net(victim).driver else {
+                panic!();
+            };
+            d.sim.flip_ff(ff);
+        }
+        d.sim.set(d.pins.req, Logic::One);
+        d.sim.set(d.pins.wr, Logic::Zero);
+        d.sim.set_word(&d.pins.addr, 2);
+        d.sim.tick();
+        d.sim.set(d.pins.req, Logic::Zero);
+        let mut uncorr_seen = false;
+        for _ in 0..4 {
+            d.sim.tick();
+            if d.alarm(&nl, "alarm_uncorr") == Logic::One {
+                uncorr_seen = true;
+            }
+        }
+        assert!(uncorr_seen);
+    }
+
+    #[test]
+    fn mpu_write_protection_blocks_and_alarms() {
+        let (cfg, nl) = small(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.write(1, 0x11);
+        // lock page 0: attr = rd_en only (0b001); page 0 covers addr 0..words/pages
+        d.sim.set(d.pins.mpu_wr, Logic::One);
+        d.sim.set_word(&d.pins.addr, 0);
+        d.sim.set_word(&d.pins.mpu_attr, 0b001);
+        d.sim.tick();
+        d.sim.set(d.pins.mpu_wr, Logic::Zero);
+        // a write into the locked page must be suppressed
+        d.write(1, 0x999);
+        let mut alarm_seen = false;
+        // re-attempt to capture the alarm pulse
+        d.sim.set(d.pins.req, Logic::One);
+        d.sim.set(d.pins.wr, Logic::One);
+        d.sim.set_word(&d.pins.addr, 1);
+        d.sim.set_word(&d.pins.wdata, 0x777);
+        d.sim.tick();
+        if d.alarm(&nl, "alarm_mpu") == Logic::One {
+            alarm_seen = true;
+        }
+        d.idle(2);
+        if d.alarm(&nl, "alarm_mpu") == Logic::One {
+            alarm_seen = true;
+        }
+        assert!(alarm_seen, "MPU violation alarm");
+        let (data, _) = d.read_with_valid(1);
+        assert_eq!(data, Some(0x11), "old value survives the blocked writes");
+    }
+
+    #[test]
+    fn baseline_lacks_the_hardening_nets() {
+        let (_cfg, nl) = small(false);
+        // baseline's pipeline-checker alarm register is fed by a constant 0
+        // (no checker logic exists)
+        let pipe_q = nl.net_by_name("alarm_pipe_q").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = nl.net(pipe_q).driver else {
+            panic!("alarm_pipe_q must be a register");
+        };
+        assert!(matches!(
+            nl.net(nl.dff(ff).d).driver,
+            socfmea_netlist::Driver::Const(_)
+        ));
+        // and the hardened design computes it from real logic
+        let (_c2, hard) = small(true);
+        let pipe_q = hard.net_by_name("alarm_pipe_q").unwrap();
+        let socfmea_netlist::Driver::Dff(ff) = hard.net(pipe_q).driver else {
+            panic!();
+        };
+        assert!(matches!(
+            hard.net(hard.dff(ff).d).driver,
+            socfmea_netlist::Driver::Gate(_)
+        ));
+    }
+
+    #[test]
+    fn bist_counters_agree_when_fault_free() {
+        let (cfg, nl) = small(true);
+        let mut d = Driver::new(&nl, &cfg);
+        d.sim.set(d.pins.bist_en, Logic::One);
+        for _ in 0..10 {
+            d.sim.tick();
+            assert_eq!(d.alarm(&nl, "alarm_bist"), Logic::Zero);
+        }
+    }
+
+    #[test]
+    fn design_sizes_scale_with_words() {
+        let nl16 = build_netlist(&MemSysConfig::hardened().with_words(16)).unwrap();
+        let nl64 = build_netlist(&MemSysConfig::hardened().with_words(64)).unwrap();
+        assert!(nl64.dff_count() > nl16.dff_count() * 3);
+        assert!(nl64.gate_count() > nl16.gate_count() * 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! The scrubbing engine of the F-MEM block.
+//!
+//! "The scrubbing function stores the locations where an error occurred, in
+//! order to repair them when the memory isn't used by the system or it can
+//! also perform a background scanning of the memory for fault-forecasting"
+//! (§6).
+
+use crate::ecc::{Codec, DecodeStatus};
+use crate::memory::FaultyMemory;
+use std::collections::VecDeque;
+
+/// One logged correctable-error event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubEntry {
+    /// The affected word address.
+    pub addr: u32,
+    /// The corrected code-word bit position.
+    pub bit: u8,
+}
+
+/// The scrubbing engine: an error log plus a background scan pointer.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_memsys::ecc::Codec;
+/// use socfmea_memsys::memory::FaultyMemory;
+/// use socfmea_memsys::scrub::Scrubber;
+///
+/// let codec = Codec::new(false);
+/// let mut mem = FaultyMemory::new(8);
+/// mem.write(2, codec.encode(7, 2));
+/// mem.inject_soft_error(2, 4); // latent upset
+///
+/// let mut scrub = Scrubber::new(8);
+/// // background scan finds and repairs it:
+/// let repaired = scrub.background_scan(&mut mem, &codec, 8);
+/// assert_eq!(repaired, 1);
+/// assert_eq!(codec.decode(mem.read(2), 2).syndrome, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scrubber {
+    pending: VecDeque<ScrubEntry>,
+    scan_ptr: u32,
+    words: u32,
+    repaired: u64,
+    scanned: u64,
+}
+
+impl Scrubber {
+    /// Creates a scrubber for a memory of `words` rows.
+    pub fn new(words: u32) -> Scrubber {
+        Scrubber {
+            pending: VecDeque::new(),
+            scan_ptr: 0,
+            words,
+            repaired: 0,
+            scanned: 0,
+        }
+    }
+
+    /// Logs a corrected error observed by the decoder during normal
+    /// operation ("stores the locations where an error occurred").
+    pub fn log_correction(&mut self, addr: u32, bit: u8) {
+        if !self.pending.iter().any(|e| e.addr == addr) {
+            self.pending.push_back(ScrubEntry { addr, bit });
+        }
+    }
+
+    /// Number of locations waiting to be repaired.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Lifetime counters `(scanned, repaired)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.scanned, self.repaired)
+    }
+
+    /// Repairs the oldest logged location (run "when the memory isn't used
+    /// by the system"). Returns the repaired address, if any work was
+    /// pending.
+    pub fn scrub_next(&mut self, mem: &mut FaultyMemory, codec: &Codec) -> Option<u32> {
+        let entry = self.pending.pop_front()?;
+        let decoded = codec.decode(mem.read(entry.addr), entry.addr);
+        if let DecodeStatus::Corrected(_) = decoded.status {
+            mem.write(entry.addr, codec.encode(decoded.data, entry.addr));
+            self.repaired += 1;
+        }
+        Some(entry.addr)
+    }
+
+    /// Scans the next `budget` rows for latent correctable errors
+    /// (fault-forecasting) and repairs them in place. Returns the number of
+    /// repairs.
+    pub fn background_scan(
+        &mut self,
+        mem: &mut FaultyMemory,
+        codec: &Codec,
+        budget: u32,
+    ) -> u32 {
+        let mut repaired = 0;
+        for _ in 0..budget {
+            let addr = self.scan_ptr;
+            self.scan_ptr = (self.scan_ptr + 1) % self.words;
+            self.scanned += 1;
+            let decoded = codec.decode(mem.read(addr), addr);
+            if let DecodeStatus::Corrected(_) = decoded.status {
+                mem.write(addr, codec.encode(decoded.data, addr));
+                self.repaired += 1;
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(words: u32, codec: &Codec) -> FaultyMemory {
+        let mut mem = FaultyMemory::new(words as usize);
+        for a in 0..words {
+            mem.write(a, codec.encode(a * 3, a));
+        }
+        mem
+    }
+
+    #[test]
+    fn logged_corrections_are_repaired_once() {
+        let codec = Codec::new(true);
+        let mut mem = fresh(8, &codec);
+        mem.inject_soft_error(5, 2);
+        let mut s = Scrubber::new(8);
+        s.log_correction(5, 2);
+        s.log_correction(5, 2); // duplicate is ignored
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.scrub_next(&mut mem, &codec), Some(5));
+        assert_eq!(codec.decode(mem.read(5), 5).status, DecodeStatus::Clean);
+        assert_eq!(s.scrub_next(&mut mem, &codec), None);
+        assert_eq!(s.counters().1, 1);
+    }
+
+    #[test]
+    fn background_scan_wraps_and_repairs_everything() {
+        let codec = Codec::new(false);
+        let mut mem = fresh(8, &codec);
+        mem.inject_soft_error(1, 0);
+        mem.inject_soft_error(6, 38);
+        let mut s = Scrubber::new(8);
+        // two passes of 4 each: covers all 8 rows
+        let r1 = s.background_scan(&mut mem, &codec, 4);
+        let r2 = s.background_scan(&mut mem, &codec, 4);
+        assert_eq!(r1 + r2, 2);
+        for a in 0..8 {
+            assert_eq!(codec.decode(mem.read(a), a).status, DecodeStatus::Clean);
+        }
+        assert_eq!(s.counters(), (8, 2));
+    }
+
+    #[test]
+    fn uncorrectable_rows_are_left_alone() {
+        let codec = Codec::new(false);
+        let mut mem = fresh(4, &codec);
+        mem.inject_soft_error(2, 0);
+        mem.inject_soft_error(2, 1); // double error
+        let mut s = Scrubber::new(4);
+        let repaired = s.background_scan(&mut mem, &codec, 4);
+        assert_eq!(repaired, 0);
+        assert_eq!(
+            codec.decode(mem.read(2), 2).status,
+            DecodeStatus::DetectedUncorrectable
+        );
+    }
+}

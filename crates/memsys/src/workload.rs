@@ -1,0 +1,421 @@
+//! Workload (testbench) generation for the gate-level memory sub-system.
+//!
+//! The injection flow reuses "verification components available on the
+//! market ... as a workload to inject faults, obtaining at same time design
+//! validation and reliability evaluation" (§5). Here the verification
+//! component is a deterministic bus-traffic generator with the phases a
+//! certification testbench needs:
+//!
+//! 1. reset and MPU programming (two passes, so every attribute bit
+//!    toggles),
+//! 2. the SW start-up test (walking patterns over every page — the window
+//!    is reported so the injection manager can credit SW detection),
+//! 3. diagnostic self-test using the error-injection port (exercises the
+//!    correction, detection and alarm paths without hardware faults),
+//! 4. full write/read sweeps with three data polarities,
+//! 5. MPU violation attempts,
+//! 6. a BIST phase long enough to roll the counters over,
+//! 7. idle tail.
+//!
+//! Every emitted cycle assigns *all* control inputs, so workloads replay
+//! identically on golden and faulty designs.
+
+use crate::config::MemSysConfig;
+use crate::rtl::MemSysPins;
+use socfmea_netlist::{Logic, NetId};
+use socfmea_sim::Workload;
+
+/// Builds bus-level stimulus for the generated design.
+#[derive(Debug)]
+pub struct WorkloadBuilder<'a> {
+    pins: &'a MemSysPins,
+    cfg: &'a MemSysConfig,
+    workload: Workload,
+    sw_test_window: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleSpec {
+    rst: bool,
+    req: bool,
+    wr: bool,
+    addr: u64,
+    wdata: u64,
+    privilege: bool,
+    mpu_wr: bool,
+    mpu_attr: u64,
+    bist_en: bool,
+    inject0: bool,
+    inject1: bool,
+}
+
+impl<'a> WorkloadBuilder<'a> {
+    /// Starts an empty workload for the given design pins.
+    pub fn new(pins: &'a MemSysPins, cfg: &'a MemSysConfig, name: &str) -> WorkloadBuilder<'a> {
+        WorkloadBuilder {
+            pins,
+            cfg,
+            workload: Workload::new(name),
+            sw_test_window: None,
+        }
+    }
+
+    fn push(&mut self, spec: CycleSpec) {
+        let mut c: Vec<(NetId, Logic)> = vec![
+            (self.pins.rst, Logic::from_bool(spec.rst)),
+            (self.pins.req, Logic::from_bool(spec.req)),
+            (self.pins.wr, Logic::from_bool(spec.wr)),
+            (self.pins.privilege, Logic::from_bool(spec.privilege)),
+            (self.pins.mpu_wr, Logic::from_bool(spec.mpu_wr)),
+            (self.pins.bist_en, Logic::from_bool(spec.bist_en)),
+            (self.pins.err_inject0, Logic::from_bool(spec.inject0)),
+            (self.pins.err_inject1, Logic::from_bool(spec.inject1)),
+        ];
+        socfmea_sim::assign_bus(&mut c, &self.pins.addr, spec.addr);
+        socfmea_sim::assign_bus(&mut c, &self.pins.wdata, spec.wdata);
+        socfmea_sim::assign_bus(&mut c, &self.pins.mpu_attr, spec.mpu_attr);
+        self.workload.push_cycle(c);
+    }
+
+    /// A reset pulse followed by one settling cycle.
+    pub fn reset(&mut self) -> &mut Self {
+        self.push(CycleSpec {
+            rst: true,
+            ..CycleSpec::default()
+        });
+        self.push(CycleSpec::default());
+        self
+    }
+
+    /// `n` idle cycles.
+    pub fn idle(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.push(CycleSpec::default());
+        }
+        self
+    }
+
+    /// One write transaction (plus two drain cycles so the buffer flushes).
+    pub fn write(&mut self, addr: u64, data: u64) -> &mut Self {
+        self.push(CycleSpec {
+            req: true,
+            wr: true,
+            addr,
+            wdata: data,
+            privilege: true,
+            ..CycleSpec::default()
+        });
+        self.idle(2)
+    }
+
+    /// One read transaction plus the three-cycle latency drain.
+    pub fn read(&mut self, addr: u64) -> &mut Self {
+        self.push(CycleSpec {
+            req: true,
+            wr: false,
+            addr,
+            privilege: true,
+            ..CycleSpec::default()
+        });
+        self.idle(3)
+    }
+
+    /// A read with the diagnostic error-injection port asserted
+    /// (`single`: bit 0; otherwise bits 0+38, an uncorrectable double).
+    pub fn read_with_injection(&mut self, addr: u64, single: bool) -> &mut Self {
+        // The injection must stay asserted while the read traverses the
+        // decoder (3 cycles).
+        for i in 0..4 {
+            self.push(CycleSpec {
+                req: i == 0,
+                wr: false,
+                addr,
+                privilege: true,
+                inject0: true,
+                inject1: !single,
+                ..CycleSpec::default()
+            });
+        }
+        self
+    }
+
+    /// Programs the attributes of the page containing `addr`
+    /// (`attr = {rd_en, wr_en, priv_only}` bits).
+    pub fn program_mpu(&mut self, addr: u64, attr: u64) -> &mut Self {
+        self.push(CycleSpec {
+            mpu_wr: true,
+            addr,
+            mpu_attr: attr,
+            ..CycleSpec::default()
+        });
+        self.idle(1)
+    }
+
+    /// An unprivileged write attempt (provokes an MPU alarm on protected
+    /// pages).
+    pub fn unprivileged_write(&mut self, addr: u64, data: u64) -> &mut Self {
+        self.push(CycleSpec {
+            req: true,
+            wr: true,
+            addr,
+            wdata: data,
+            privilege: false,
+            ..CycleSpec::default()
+        });
+        self.idle(2)
+    }
+
+    /// Runs the self-checking BIST counters for `n` cycles.
+    pub fn run_bist(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.push(CycleSpec {
+                bist_en: true,
+                ..CycleSpec::default()
+            });
+        }
+        self
+    }
+
+    /// The SW start-up test phase: writes walking patterns into the first
+    /// words of every page and reads them back. The covered cycle window is
+    /// recorded: a golden/faulty mismatch inside it is what the SW
+    /// comparison would catch, so the injection manager counts it as a
+    /// *detected* dangerous failure — that is how the paper's "SW start-up
+    /// tests ... for the memory controller parts" enter the DDF.
+    pub fn sw_startup_test(&mut self) -> &mut Self {
+        let start = self.workload.len();
+        let wpp = self.cfg.words_per_page() as u64;
+        for p in 0..self.cfg.pages as u64 {
+            let addr = p * wpp;
+            let pattern = 1u64 << (p % 32);
+            self.write(addr, pattern);
+            self.read(addr);
+            self.write(addr, !pattern & 0xffff_ffff);
+            self.read(addr);
+        }
+        let end = self.workload.len();
+        self.sw_test_window = Some(match self.sw_test_window {
+            Some((s, _)) => (s, end),
+            None => (start, end),
+        });
+        self
+    }
+
+    /// Exercises the MPU in both directions on every page: locks the page,
+    /// provokes a denial (alarm), opens it fully, verifies access. This
+    /// drives every attribute bit through both values *with observable
+    /// consequences*, so attribute-register faults are testable.
+    pub fn mpu_exercise(&mut self) -> &mut Self {
+        for p in 0..self.cfg.pages as u64 {
+            let addr = p * self.cfg.words_per_page() as u64;
+            self.program_mpu(addr, 0b000); // fully locked
+            self.read(addr); // denied even when privileged: alarm_mpu
+            self.write(addr, 0xdead); // denied write: alarm_mpu
+            self.program_mpu(addr, 0b111); // open, privileged-only
+            self.unprivileged_write(addr, 0x5a); // denied: alarm_mpu
+            self.read(addr); // privileged read passes
+        }
+        self
+    }
+
+    /// Unprivileged reads of the given addresses (granted on open pages —
+    /// a priv-only attribute fault turns them into visible denials).
+    pub fn unprivileged_read(&mut self, addr: u64) -> &mut Self {
+        self.push(CycleSpec {
+            req: true,
+            wr: false,
+            addr,
+            privilege: false,
+            ..CycleSpec::default()
+        });
+        self.idle(3)
+    }
+
+    /// The diagnostic self-test: exercises single-error correction and
+    /// double-error detection through the error-injection port on a few
+    /// words spread over the array.
+    pub fn error_injection_test(&mut self) -> &mut Self {
+        let words = self.cfg.words as u64;
+        for addr in [0, words / 2, words - 1] {
+            self.write(addr, 0x5555_aaaa ^ addr);
+            self.read_with_injection(addr, true); // corrected single
+            self.read_with_injection(addr, false); // detected double
+            self.read(addr); // clean again
+        }
+        self
+    }
+
+    /// Finalises the workload, returning it together with the SW-test
+    /// window (if a start-up test phase was composed).
+    pub fn finish(self) -> CertificationWorkload {
+        CertificationWorkload {
+            workload: self.workload,
+            sw_test_window: self.sw_test_window,
+        }
+    }
+
+    /// Number of cycles composed so far.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// True when no cycles were composed yet.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+}
+
+/// A workload plus its diagnostic metadata.
+#[derive(Debug, Clone)]
+pub struct CertificationWorkload {
+    /// The replayable stimulus.
+    pub workload: Workload,
+    /// Cycle range `[start, end)` of the SW start-up test phase, if any.
+    pub sw_test_window: Option<(usize, usize)>,
+}
+
+/// The certification workload used by the experiments (see the module
+/// docs for the phase list).
+pub fn certification_workload(pins: &MemSysPins, cfg: &MemSysConfig) -> CertificationWorkload {
+    let mut b = WorkloadBuilder::new(pins, cfg, "certification");
+    b.reset();
+    // MPU: exercise every page's attributes in both directions (each bit
+    // observable through grant/deny), then program the final state: all
+    // pages open except the last (privileged-only).
+    b.mpu_exercise();
+    for p in 0..cfg.pages as u64 {
+        let addr = p * cfg.words_per_page() as u64;
+        let attr = if p as usize == cfg.pages - 1 { 0b111 } else { 0b011 };
+        b.program_mpu(addr, attr);
+    }
+    if cfg.sw_startup_test {
+        b.sw_startup_test();
+    }
+    b.error_injection_test();
+    // full sweep, three data polarities, address-dependent patterns
+    for w in 0..cfg.words as u64 {
+        b.write(w, 0x0101_0101u64.wrapping_mul(w + 1) & 0xffff_ffff);
+    }
+    for w in 0..cfg.words as u64 {
+        b.read(w);
+    }
+    for w in 0..cfg.words as u64 {
+        b.write(w, !(0x0101_0101u64.wrapping_mul(w + 1)) & 0xffff_ffff);
+    }
+    for w in (0..cfg.words as u64).rev() {
+        b.read(w);
+    }
+    for w in 0..cfg.words as u64 {
+        b.write(w, 0x9e37_79b9u64.wrapping_mul(w + 3) & 0xffff_ffff);
+    }
+    for w in 0..cfg.words as u64 {
+        b.read(w);
+    }
+    // unprivileged reads of the open pages (visible if a priv-only
+    // attribute bit is stuck), then provoke violations on the locked page
+    for p in 0..cfg.pages as u64 - 1 {
+        b.unprivileged_read(p * cfg.words_per_page() as u64 + 1);
+    }
+    let locked = (cfg.pages as u64 - 1) * cfg.words_per_page() as u64;
+    b.unprivileged_write(locked, 0xbad);
+    b.unprivileged_write(locked + 1, 0xbad);
+    // BIST long enough to roll the 6-bit counters over, and an idle tail
+    b.run_bist(70);
+    b.idle(6);
+    b.finish()
+}
+
+/// A short smoke workload (reset + a few transactions) for quick tests.
+pub fn smoke_workload(pins: &MemSysPins, cfg: &MemSysConfig) -> Workload {
+    let mut b = WorkloadBuilder::new(pins, cfg, "smoke");
+    b.reset();
+    b.write(1, 0xa5a5_a5a5).read(1).write(2, 0x5a5a_5a5a).read(2).idle(4);
+    b.finish().workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::build_netlist;
+    use socfmea_sim::Simulator;
+
+    #[test]
+    fn smoke_workload_replays_cleanly() {
+        let cfg = MemSysConfig::hardened().with_words(16);
+        let nl = build_netlist(&cfg).unwrap();
+        let pins = MemSysPins::find(&nl, &cfg);
+        let w = smoke_workload(&pins, &cfg);
+        assert!(!w.is_empty());
+        let mut sim = Simulator::new(&nl).unwrap();
+        let rdata = pins.rdata.clone();
+        let rvalid = pins.rvalid;
+        let mut reads = Vec::new();
+        w.run(&mut sim, |_, s| {
+            if s.get(rvalid) == Logic::One {
+                reads.push(s.get_word(&rdata));
+            }
+        });
+        assert_eq!(reads, vec![Some(0xa5a5_a5a5), Some(0x5a5a_5a5a)]);
+    }
+
+    #[test]
+    fn certification_workload_exercises_alarms_without_faults() {
+        let cfg = MemSysConfig::hardened().with_words(16);
+        let nl = build_netlist(&cfg).unwrap();
+        let pins = MemSysPins::find(&nl, &cfg);
+        let cert = certification_workload(&pins, &cfg);
+        assert!(cert.sw_test_window.is_some());
+        let mut sim = Simulator::new(&nl).unwrap();
+        let uncorr = nl.net_by_name("alarm_uncorr").unwrap();
+        let corr = nl.net_by_name("alarm_corr").unwrap();
+        let mpu = nl.net_by_name("alarm_mpu").unwrap();
+        let (mut u, mut c, mut m) = (false, false, false);
+        cert.workload.run(&mut sim, |_, s| {
+            u |= s.get(uncorr) == Logic::One;
+            c |= s.get(corr) == Logic::One;
+            m |= s.get(mpu) == Logic::One;
+        });
+        // the error-injection phase must fire both decoder alarms, the
+        // violation phase the MPU alarm
+        assert!(c, "correction alarm must fire during the self-test");
+        assert!(u, "uncorrectable alarm must fire during the self-test");
+        assert!(m, "MPU alarm must fire during the violation phase");
+    }
+
+    #[test]
+    fn injected_single_error_is_corrected() {
+        let cfg = MemSysConfig::hardened().with_words(16);
+        let nl = build_netlist(&cfg).unwrap();
+        let pins = MemSysPins::find(&nl, &cfg);
+        let mut b = WorkloadBuilder::new(&pins, &cfg, "inj");
+        b.reset();
+        b.write(3, 0x1234_5678);
+        b.read_with_injection(3, true);
+        let w = b.finish().workload;
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut data = None;
+        let rdata = pins.rdata.clone();
+        let rvalid = pins.rvalid;
+        w.run(&mut sim, |_, s| {
+            if s.get(rvalid) == Logic::One {
+                data = s.get_word(&rdata);
+            }
+        });
+        assert_eq!(data, Some(0x1234_5678), "single injected error corrected");
+    }
+
+    #[test]
+    fn builder_len_tracks_cycles() {
+        let cfg = MemSysConfig::baseline().with_words(16);
+        let nl = build_netlist(&cfg).unwrap();
+        let pins = MemSysPins::find(&nl, &cfg);
+        let mut b = WorkloadBuilder::new(&pins, &cfg, "t");
+        assert!(b.is_empty());
+        b.reset();
+        assert_eq!(b.len(), 2);
+        b.write(0, 0);
+        assert_eq!(b.len(), 5);
+        b.read(0);
+        assert_eq!(b.len(), 9);
+    }
+}

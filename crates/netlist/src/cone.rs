@@ -1,0 +1,319 @@
+//! Fan-in logic-cone extraction and per-cone statistics.
+//!
+//! A *sensible zone*'s failure modes are the converging point of all physical
+//! faults in the combinational logic cone feeding it (paper §3, Figure 1).
+//! This module extracts that cone: the set of gates reachable backwards from
+//! an anchor net, stopping at sequential boundaries (flip-flop outputs),
+//! primary inputs and constants.
+
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Driver, Netlist};
+use std::collections::BTreeSet;
+
+/// The fan-in cone of a net.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cone {
+    /// The anchor net whose cone this is.
+    pub anchor: Option<NetId>,
+    /// Gates in the cone (deduplicated, deterministic order).
+    pub gates: Vec<GateId>,
+    /// Sequential/primary leaves the cone stops at: flip-flop `q` nets,
+    /// primary-input nets and constant nets read by the cone.
+    pub leaves: Vec<NetId>,
+}
+
+impl Cone {
+    /// Summarises the cone for the FMEA worksheet.
+    pub fn stats(&self, netlist: &Netlist) -> ConeStats {
+        let mut nets: BTreeSet<NetId> = BTreeSet::new();
+        let mut inputs_total = 0usize;
+        for &g in &self.gates {
+            let gate = netlist.gate(g);
+            nets.insert(gate.output);
+            inputs_total += gate.inputs.len();
+            for &i in &gate.inputs {
+                nets.insert(i);
+            }
+        }
+        ConeStats {
+            gate_count: self.gates.len(),
+            net_count: nets.len(),
+            leaf_count: self.leaves.len(),
+            interconnect_count: inputs_total,
+            depth: cone_depth(netlist, self),
+        }
+    }
+}
+
+/// Aggregate statistics of a logic cone, the raw data the paper's extraction
+/// tool feeds into the FMEA statistical model (gate count, interconnections
+/// and so forth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConeStats {
+    /// Number of combinational gates in the cone.
+    pub gate_count: usize,
+    /// Number of distinct nets touched by the cone.
+    pub net_count: usize,
+    /// Number of sequential/primary leaves the cone stops at.
+    pub leaf_count: usize,
+    /// Total gate-input connections (a proxy for interconnect exposure).
+    pub interconnect_count: usize,
+    /// Longest gate path within the cone.
+    pub depth: u32,
+}
+
+/// Extracts the combinational fan-in cone of `anchor`.
+///
+/// Traversal walks backwards from the anchor's driver through gate inputs and
+/// stops at flip-flop outputs, primary inputs and constants (which become the
+/// cone's `leaves`). If the anchor itself is such a boundary the cone is
+/// empty with the anchor as its only leaf.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::{GateKind, NetlistBuilder, fanin_cone};
+///
+/// let mut b = NetlistBuilder::new("c");
+/// let a = b.input("a");
+/// let x = b.gate(GateKind::Not, &[a], "x");
+/// let q = b.dff("q", x);
+/// let y = b.gate(GateKind::And, &[q, a], "y");
+/// b.output("out", y);
+/// let nl = b.finish()?;
+/// let cone = fanin_cone(&nl, nl.net_by_name("y").unwrap());
+/// // Only the AND gate: the flip-flop output and the primary input are leaves.
+/// assert_eq!(cone.gates.len(), 1);
+/// assert_eq!(cone.leaves.len(), 2);
+/// # Ok::<(), socfmea_netlist::NetlistError>(())
+/// ```
+pub fn fanin_cone(netlist: &Netlist, anchor: NetId) -> Cone {
+    let mut gates = Vec::new();
+    let mut leaves = BTreeSet::new();
+    let mut visited_nets = vec![false; netlist.net_count()];
+    let mut stack = vec![anchor];
+    while let Some(net) = stack.pop() {
+        if visited_nets[net.index()] {
+            continue;
+        }
+        visited_nets[net.index()] = true;
+        match netlist.net(net).driver {
+            Driver::Gate(g) => {
+                gates.push(g);
+                for &i in &netlist.gate(g).inputs {
+                    stack.push(i);
+                }
+            }
+            Driver::Dff(_) | Driver::Input | Driver::Const(_) => {
+                if net != anchor || gates.is_empty() {
+                    leaves.insert(net);
+                }
+            }
+            Driver::None => {}
+        }
+    }
+    gates.sort_unstable();
+    gates.dedup();
+    Cone {
+        anchor: Some(anchor),
+        gates,
+        leaves: leaves.into_iter().collect(),
+    }
+}
+
+/// Extracts the union cone of several anchors (used for register-group and
+/// sub-block zones).
+pub fn fanin_cone_multi(netlist: &Netlist, anchors: &[NetId]) -> Cone {
+    let mut gates = BTreeSet::new();
+    let mut leaves = BTreeSet::new();
+    for &a in anchors {
+        let c = fanin_cone(netlist, a);
+        gates.extend(c.gates);
+        leaves.extend(c.leaves);
+    }
+    Cone {
+        anchor: anchors.first().copied(),
+        gates: gates.into_iter().collect(),
+        leaves: leaves.into_iter().collect(),
+    }
+}
+
+/// Longest path (in gates) from a cone leaf to the anchor.
+fn cone_depth(netlist: &Netlist, cone: &Cone) -> u32 {
+    use std::collections::HashMap;
+    let members: BTreeSet<GateId> = cone.gates.iter().copied().collect();
+    let mut depth: HashMap<GateId, u32> = HashMap::new();
+    // The cone is acyclic if the netlist is; process gates in global id order
+    // repeatedly is wrong — do a simple DFS with memoisation instead.
+    fn dfs(
+        netlist: &Netlist,
+        members: &BTreeSet<GateId>,
+        depth: &mut HashMap<GateId, u32>,
+        g: GateId,
+    ) -> u32 {
+        if let Some(&d) = depth.get(&g) {
+            return d;
+        }
+        // Mark before recursing to terminate on (illegal) cycles.
+        depth.insert(g, 1);
+        let mut best = 0;
+        for &i in &netlist.gate(g).inputs {
+            if let Driver::Gate(src) = netlist.net(i).driver {
+                if members.contains(&src) {
+                    best = best.max(dfs(netlist, members, depth, src));
+                }
+            }
+        }
+        let d = best + 1;
+        depth.insert(g, d);
+        d
+    }
+    let mut max = 0;
+    for &g in &cone.gates {
+        max = max.max(dfs(netlist, &members, &mut depth, g));
+    }
+    max
+}
+
+/// The forward fan-out set of a net: every gate transitively reachable
+/// through combinational logic, plus the flip-flops and primary outputs the
+/// influence reaches. Used to find a failure's observation points (paper
+/// §3, secondary effects).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FanoutRegion {
+    /// Combinational gates reached.
+    pub gates: Vec<GateId>,
+    /// Flip-flops whose `d`/`enable`/`reset` is reached.
+    pub dffs: Vec<crate::ids::DffId>,
+    /// Primary-output nets reached.
+    pub outputs: Vec<NetId>,
+}
+
+/// Computes the combinational forward fan-out region of `net`.
+pub fn fanout_region(netlist: &Netlist, net: NetId) -> FanoutRegion {
+    let gate_fan = netlist.gate_fanout();
+    let dff_fan = netlist.dff_fanout();
+    let output_set: BTreeSet<NetId> = netlist.outputs().iter().copied().collect();
+    let mut gates = BTreeSet::new();
+    let mut dffs = BTreeSet::new();
+    let mut outputs = BTreeSet::new();
+    let mut visited = vec![false; netlist.net_count()];
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if visited[n.index()] {
+            continue;
+        }
+        visited[n.index()] = true;
+        if output_set.contains(&n) {
+            outputs.insert(n);
+        }
+        for &ff in &dff_fan[n.index()] {
+            dffs.insert(ff);
+        }
+        for &g in &gate_fan[n.index()] {
+            gates.insert(g);
+            stack.push(netlist.gate(g).output);
+        }
+    }
+    FanoutRegion {
+        gates: gates.into_iter().collect(),
+        dffs: dffs.into_iter().collect(),
+        outputs: outputs.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn two_stage() -> Netlist {
+        // stage1: s = a xor b, q = dff(s); stage2: y = q and c
+        let mut b = NetlistBuilder::new("two_stage");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let s = b.gate(GateKind::Xor, &[a, bb], "s");
+        let q = b.dff("q", s);
+        let y = b.gate(GateKind::And, &[q, c], "y");
+        b.output("out", y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cone_stops_at_dff_boundary() {
+        let nl = two_stage();
+        let y = nl.net_by_name("y").unwrap();
+        let cone = fanin_cone(&nl, y);
+        assert_eq!(cone.gates.len(), 1);
+        let q = nl.net_by_name("q").unwrap();
+        let c = nl.net_by_name("c").unwrap();
+        assert_eq!(cone.leaves, vec![q.min(c), q.max(c)]);
+    }
+
+    #[test]
+    fn cone_of_dff_input_covers_stage1() {
+        let nl = two_stage();
+        let s = nl.net_by_name("s").unwrap();
+        let cone = fanin_cone(&nl, s);
+        assert_eq!(cone.gates.len(), 1);
+        assert_eq!(cone.leaves.len(), 2); // a, b
+    }
+
+    #[test]
+    fn cone_of_boundary_net_is_empty_with_self_leaf() {
+        let nl = two_stage();
+        let q = nl.net_by_name("q").unwrap();
+        let cone = fanin_cone(&nl, q);
+        assert!(cone.gates.is_empty());
+        assert_eq!(cone.leaves, vec![q]);
+    }
+
+    #[test]
+    fn multi_cone_unions_gates() {
+        let nl = two_stage();
+        let s = nl.net_by_name("s").unwrap();
+        let y = nl.net_by_name("y").unwrap();
+        let cone = fanin_cone_multi(&nl, &[s, y]);
+        assert_eq!(cone.gates.len(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let nl = two_stage();
+        let y = nl.net_by_name("y").unwrap();
+        let stats = fanin_cone(&nl, y).stats(&nl);
+        assert_eq!(stats.gate_count, 1);
+        assert_eq!(stats.interconnect_count, 2);
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.leaf_count, 2);
+    }
+
+    #[test]
+    fn fanout_region_reaches_outputs_and_dffs() {
+        let nl = two_stage();
+        let a = nl.net_by_name("a").unwrap();
+        let region = fanout_region(&nl, a);
+        assert_eq!(region.dffs.len(), 1);
+        assert_eq!(region.outputs.len(), 0); // blocked by the dff this cycle
+        let q = nl.net_by_name("q").unwrap();
+        let region_q = fanout_region(&nl, q);
+        assert_eq!(region_q.outputs.len(), 1);
+    }
+
+    #[test]
+    fn deep_chain_depth() {
+        let mut b = NetlistBuilder::new("deep");
+        let mut n = b.input("a");
+        for i in 0..8 {
+            n = b.gate(GateKind::Buf, &[n], format!("b{i}"));
+        }
+        b.output("o", n);
+        let nl = b.finish().unwrap();
+        let o = nl.net_by_name("o").unwrap();
+        let stats = fanin_cone(&nl, o).stats(&nl);
+        assert_eq!(stats.depth, 9);
+        assert_eq!(stats.gate_count, 9);
+    }
+}

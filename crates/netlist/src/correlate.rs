@@ -1,0 +1,207 @@
+//! Correlation analysis between logic cones.
+//!
+//! The paper distinguishes physical faults by how many sensible-zone cones
+//! they can disturb (§3):
+//!
+//! * **local** — the fault site belongs to exactly one cone,
+//! * **wide** — the site is shared by two or more cones (one physical fault
+//!   → multiple zone failures, Figure 2),
+//! * **global** — clock/reset/power faults touching many cones at once.
+//!
+//! [`gate_membership`] computes, for a set of cones, how many cones each gate
+//! belongs to; [`CorrelationMatrix`] records pairwise shared-gate counts —
+//! the "correlation between each sensible zone in terms of shared gates and
+//! nets" the extraction tool delivers.
+
+use crate::cone::Cone;
+use crate::ids::GateId;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// Fan class of a physical fault site, by cone membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateFan {
+    /// Belongs to no analysed cone (dead or un-zoned logic).
+    Unassigned,
+    /// Belongs to exactly one cone — a *local* fault site.
+    Local,
+    /// Shared by 2+ cones — a *wide* fault site.
+    Wide,
+}
+
+/// Per-gate cone membership over a set of cones.
+#[derive(Debug, Clone)]
+pub struct GateMembership {
+    /// For each gate (by [`GateId::index`]) the indices of the cones that
+    /// contain it.
+    pub cone_indices: Vec<Vec<usize>>,
+}
+
+impl GateMembership {
+    /// Classifies a gate as local/wide/unassigned.
+    pub fn fan(&self, gate: GateId) -> GateFan {
+        match self.cone_indices[gate.index()].len() {
+            0 => GateFan::Unassigned,
+            1 => GateFan::Local,
+            _ => GateFan::Wide,
+        }
+    }
+
+    /// Counts gates in each fan class, returned as
+    /// `(unassigned, local, wide)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for v in &self.cone_indices {
+            match v.len() {
+                0 => counts.0 += 1,
+                1 => counts.1 += 1,
+                _ => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Computes per-gate cone membership for a set of cones.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::{GateKind, NetlistBuilder, fanin_cone, gate_membership};
+/// use socfmea_netlist::correlate::GateFan;
+///
+/// // `shared` feeds both outputs: its gate is a wide fault site.
+/// let mut b = NetlistBuilder::new("wide");
+/// let a = b.input("a");
+/// let shared = b.gate(GateKind::Not, &[a], "shared");
+/// let y0 = b.gate(GateKind::Buf, &[shared], "y0");
+/// let y1 = b.gate(GateKind::Buf, &[shared], "y1");
+/// b.output("o0", y0);
+/// b.output("o1", y1);
+/// let nl = b.finish()?;
+/// let cones = vec![
+///     fanin_cone(&nl, nl.net_by_name("o0").unwrap()),
+///     fanin_cone(&nl, nl.net_by_name("o1").unwrap()),
+/// ];
+/// let members = gate_membership(&nl, &cones);
+/// let shared_gate = nl.gates().iter().position(|g| g.name == "shared").unwrap();
+/// assert_eq!(members.fan(socfmea_netlist::GateId(shared_gate as u32)), GateFan::Wide);
+/// # Ok::<(), socfmea_netlist::NetlistError>(())
+/// ```
+pub fn gate_membership(netlist: &Netlist, cones: &[Cone]) -> GateMembership {
+    let mut cone_indices = vec![Vec::new(); netlist.gate_count()];
+    for (ci, cone) in cones.iter().enumerate() {
+        for &g in &cone.gates {
+            cone_indices[g.index()].push(ci);
+        }
+    }
+    GateMembership { cone_indices }
+}
+
+/// Pairwise shared-gate counts between cones, stored sparsely.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationMatrix {
+    /// `(i, j) -> shared gate count`, with `i < j`.
+    shared: HashMap<(usize, usize), usize>,
+    cone_count: usize,
+}
+
+impl CorrelationMatrix {
+    /// Builds the matrix from per-gate membership.
+    pub fn from_membership(membership: &GateMembership, cone_count: usize) -> CorrelationMatrix {
+        let mut shared: HashMap<(usize, usize), usize> = HashMap::new();
+        for cones in &membership.cone_indices {
+            for (a_pos, &a) in cones.iter().enumerate() {
+                for &b in &cones[a_pos + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    *shared.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        CorrelationMatrix { shared, cone_count }
+    }
+
+    /// Number of gates shared between cones `i` and `j`.
+    pub fn shared_gates(&self, i: usize, j: usize) -> usize {
+        if i == j {
+            return 0;
+        }
+        self.shared
+            .get(&(i.min(j), i.max(j)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All correlated pairs `(i, j, shared)` with `shared > 0`, sorted by
+    /// descending overlap.
+    pub fn correlated_pairs(&self) -> Vec<(usize, usize, usize)> {
+        let mut v: Vec<_> = self
+            .shared
+            .iter()
+            .map(|(&(i, j), &s)| (i, j, s))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v
+    }
+
+    /// Number of cones this matrix was built over.
+    pub fn cone_count(&self) -> usize {
+        self.cone_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::fanin_cone;
+    use crate::gate::GateKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn shared_design() -> (Netlist, Vec<Cone>) {
+        // inv -> {y0 via b0, y1 via b1}; y2 independent
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.input("a");
+        let c = b.input("c");
+        let inv = b.gate(GateKind::Not, &[a], "inv");
+        let y0 = b.gate(GateKind::Buf, &[inv], "y0");
+        let y1 = b.gate(GateKind::Buf, &[inv], "y1");
+        let y2 = b.gate(GateKind::Buf, &[c], "y2");
+        let _ = b.dff("q0", y0);
+        let _ = b.dff("q1", y1);
+        let _ = b.dff("q2", y2);
+        let nl = b.finish().unwrap();
+        let cones = ["y0", "y1", "y2"]
+            .iter()
+            .map(|n| fanin_cone(&nl, nl.net_by_name(n).unwrap()))
+            .collect();
+        (nl, cones)
+    }
+
+    #[test]
+    fn membership_classifies_local_and_wide() {
+        let (nl, cones) = shared_design();
+        let m = gate_membership(&nl, &cones);
+        let by_name = |name: &str| {
+            GateId::from_index(nl.gates().iter().position(|g| g.name == name).unwrap())
+        };
+        assert_eq!(m.fan(by_name("inv")), GateFan::Wide);
+        assert_eq!(m.fan(by_name("y0")), GateFan::Local);
+        assert_eq!(m.fan(by_name("y2")), GateFan::Local);
+        let (_un, local, wide) = m.census();
+        assert_eq!(local, 3);
+        assert_eq!(wide, 1);
+    }
+
+    #[test]
+    fn correlation_matrix_counts_shared_gates() {
+        let (nl, cones) = shared_design();
+        let m = gate_membership(&nl, &cones);
+        let corr = CorrelationMatrix::from_membership(&m, cones.len());
+        assert_eq!(corr.shared_gates(0, 1), 1); // the `inv` gate
+        assert_eq!(corr.shared_gates(1, 0), 1); // symmetric
+        assert_eq!(corr.shared_gates(0, 2), 0);
+        assert_eq!(corr.shared_gates(0, 0), 0);
+        assert_eq!(corr.correlated_pairs(), vec![(0, 1, 1)]);
+        assert_eq!(corr.cone_count(), 3);
+    }
+}

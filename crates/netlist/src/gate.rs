@@ -1,0 +1,194 @@
+//! Combinational gate primitives and their four-state evaluation.
+
+use crate::ids::{BlockId, NetId};
+use crate::logic::Logic;
+use std::fmt;
+
+/// The primitive cell library.
+///
+/// This mirrors the minimal library a technology-mapped netlist uses; the
+/// structural Verilog reader/writer and the `socfmea-rtl` elaborator both
+/// target exactly this set.
+///
+/// `And`/`Nand`/`Or`/`Nor`/`Xor`/`Xnor` accept two or more inputs; `Buf`/`Not`
+/// exactly one; `Mux2` exactly three (`[sel, a, b]`, output `a` when
+/// `sel == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input NAND.
+    Nand,
+    /// N-input OR.
+    Or,
+    /// N-input NOR.
+    Nor,
+    /// N-input XOR (parity).
+    Xor,
+    /// N-input XNOR (inverted parity).
+    Xnor,
+    /// Two-way multiplexer; inputs are `[sel, a, b]`.
+    Mux2,
+}
+
+impl GateKind {
+    /// All library cells, for exhaustive iteration in tests and benches.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+    ];
+
+    /// The Verilog primitive name (`and`, `mux2`, ...).
+    pub fn verilog_name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux2 => "mux2",
+        }
+    }
+
+    /// Parses a Verilog primitive name.
+    pub fn from_verilog_name(name: &str) -> Option<GateKind> {
+        match name {
+            "buf" => Some(GateKind::Buf),
+            "not" => Some(GateKind::Not),
+            "and" => Some(GateKind::And),
+            "nand" => Some(GateKind::Nand),
+            "or" => Some(GateKind::Or),
+            "nor" => Some(GateKind::Nor),
+            "xor" => Some(GateKind::Xor),
+            "xnor" => Some(GateKind::Xnor),
+            "mux2" => Some(GateKind::Mux2),
+            _ => None,
+        }
+    }
+
+    /// Checks whether `n` inputs is a legal arity for this cell.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Buf | GateKind::Not => n == 1,
+            GateKind::Mux2 => n == 3,
+            _ => n >= 2,
+        }
+    }
+
+    /// Evaluates the cell over four-state inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal arity for this kind (the
+    /// builder rejects such gates, so a well-formed netlist never panics
+    /// here).
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        debug_assert!(self.arity_ok(inputs.len()), "bad arity for {self:?}");
+        match self {
+            GateKind::Buf => inputs[0].resolved(),
+            GateKind::Not => inputs[0].not(),
+            GateKind::And => inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateKind::Nand => inputs.iter().copied().fold(Logic::One, Logic::and).not(),
+            GateKind::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateKind::Nor => inputs.iter().copied().fold(Logic::Zero, Logic::or).not(),
+            GateKind::Xor => inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+            GateKind::Xnor => inputs.iter().copied().fold(Logic::Zero, Logic::xor).not(),
+            GateKind::Mux2 => Logic::mux(inputs[0], inputs[1], inputs[2]),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.verilog_name())
+    }
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Library cell.
+    pub kind: GateKind,
+    /// Input nets, in cell order.
+    pub inputs: Vec<NetId>,
+    /// Output net (every gate drives exactly one net).
+    pub output: NetId,
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Hierarchical block this gate belongs to.
+    pub block: BlockId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Logic::{One, Zero, X};
+
+    #[test]
+    fn eval_matches_bool_semantics_for_known_inputs() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let ins = [Logic::from_bool(a), Logic::from_bool(b)];
+                assert_eq!(GateKind::And.eval(&ins), Logic::from_bool(a & b));
+                assert_eq!(GateKind::Nand.eval(&ins), Logic::from_bool(!(a & b)));
+                assert_eq!(GateKind::Or.eval(&ins), Logic::from_bool(a | b));
+                assert_eq!(GateKind::Nor.eval(&ins), Logic::from_bool(!(a | b)));
+                assert_eq!(GateKind::Xor.eval(&ins), Logic::from_bool(a ^ b));
+                assert_eq!(GateKind::Xnor.eval(&ins), Logic::from_bool(!(a ^ b)));
+            }
+        }
+        assert_eq!(GateKind::Buf.eval(&[One]), One);
+        assert_eq!(GateKind::Not.eval(&[One]), Zero);
+    }
+
+    #[test]
+    fn wide_gates_fold_over_all_inputs() {
+        assert_eq!(GateKind::And.eval(&[One, One, One, One]), One);
+        assert_eq!(GateKind::And.eval(&[One, One, Zero, One]), Zero);
+        assert_eq!(GateKind::Xor.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::Xor.eval(&[One, One, One, One]), Zero);
+        assert_eq!(GateKind::Nor.eval(&[Zero, Zero, Zero]), One);
+    }
+
+    #[test]
+    fn mux_select() {
+        assert_eq!(GateKind::Mux2.eval(&[Zero, One, Zero]), One);
+        assert_eq!(GateKind::Mux2.eval(&[One, One, Zero]), Zero);
+        assert_eq!(GateKind::Mux2.eval(&[X, One, One]), One);
+        assert_eq!(GateKind::Mux2.eval(&[X, One, Zero]), X);
+    }
+
+    #[test]
+    fn verilog_name_round_trip() {
+        for k in GateKind::ALL {
+            assert_eq!(GateKind::from_verilog_name(k.verilog_name()), Some(k));
+        }
+        assert_eq!(GateKind::from_verilog_name("dff"), None);
+        assert_eq!(GateKind::from_verilog_name(""), None);
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Buf.arity_ok(1));
+        assert!(!GateKind::Buf.arity_ok(2));
+        assert!(GateKind::Mux2.arity_ok(3));
+        assert!(!GateKind::Mux2.arity_ok(2));
+        assert!(GateKind::And.arity_ok(2));
+        assert!(GateKind::And.arity_ok(8));
+        assert!(!GateKind::And.arity_ok(1));
+    }
+}

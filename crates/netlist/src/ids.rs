@@ -1,0 +1,90 @@
+//! Typed index newtypes for the netlist arenas.
+//!
+//! All netlist entities live in flat `Vec` arenas inside [`Netlist`]; these
+//! newtypes keep indices into different arenas from being mixed up at compile
+//! time (a net index can never be used where a gate index is expected).
+//!
+//! [`Netlist`]: crate::Netlist
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in a `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena index exceeds u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a net (a named wire) in a [`Netlist`](crate::Netlist).
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifies a combinational gate in a [`Netlist`](crate::Netlist).
+    GateId,
+    "g"
+);
+define_id!(
+    /// Identifies a D flip-flop in a [`Netlist`](crate::Netlist).
+    DffId,
+    "ff"
+);
+define_id!(
+    /// Identifies an interned hierarchical block path in a
+    /// [`Netlist`](crate::Netlist).
+    BlockId,
+    "b"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_formatting() {
+        let n = NetId::from_index(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(format!("{:?}", GateId(3)), "g3");
+        assert_eq!(format!("{}", DffId(0)), "ff0");
+        assert_eq!(format!("{}", BlockId(1)), "b1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId(1) < NetId(2));
+        assert_eq!(GateId::from_index(5), GateId(5));
+    }
+}

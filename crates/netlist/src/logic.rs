@@ -1,0 +1,316 @@
+//! Four-state logic values and the boolean algebra used by gate evaluation.
+//!
+//! The simulator in `socfmea-sim` is cycle based, but fault injection needs a
+//! pessimistic unknown (`X`) so that un-initialised state and glitched nets
+//! propagate visibly instead of silently resolving to a guess. `Z` models an
+//! undriven net; every gate treats a `Z` input like `X` (a floating input is
+//! unknown), which matches common RTL-simulator semantics.
+
+use std::fmt;
+
+/// A four-state logic value: `0`, `1`, unknown (`X`) or high-impedance (`Z`).
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::Logic;
+///
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // 0 dominates AND
+/// assert_eq!(Logic::One.and(Logic::X), Logic::X);
+/// assert_eq!(Logic::One.or(Logic::X), Logic::One);    // 1 dominates OR
+/// assert_eq!(Logic::from_bool(true), Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown value (un-initialised, glitched or conflicting).
+    #[default]
+    X,
+    /// High impedance / undriven. Treated as [`Logic::X`] by gate inputs.
+    Z,
+}
+
+impl Logic {
+    /// All four values, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Converts a `bool` into `Zero`/`One`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for the two binary values, `None` for `X`/`Z`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// `true` when the value is `0` or `1` (fully resolved).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Collapses `Z` to `X`: the value a gate input actually sees.
+    #[inline]
+    pub fn resolved(self) -> Logic {
+        match self {
+            Logic::Z => Logic::X,
+            v => v,
+        }
+    }
+
+    /// Logical negation with X-propagation.
+    ///
+    /// (Named `not` deliberately: it is the four-state analogue of the
+    /// boolean operator, and `Logic` is `Copy`, so the `std::ops::Not`
+    /// confusion clippy guards against cannot bite.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self.resolved() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical AND: `0` is dominant, unknowns otherwise propagate.
+    #[inline]
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self.resolved(), rhs.resolved()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR: `1` is dominant, unknowns otherwise propagate.
+    #[inline]
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self.resolved(), rhs.resolved()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR: unknown whenever either side is unknown.
+    #[inline]
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Two-input multiplexer: `sel == 0` picks `a`, `sel == 1` picks `b`.
+    ///
+    /// When the select is unknown the result is only known if both data
+    /// inputs agree (standard pessimistic mux semantics).
+    #[inline]
+    pub fn mux(sel: Logic, a: Logic, b: Logic) -> Logic {
+        match sel.resolved() {
+            Logic::Zero => a.resolved(),
+            Logic::One => b.resolved(),
+            _ => {
+                if a.is_known() && a.resolved() == b.resolved() {
+                    a.resolved()
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+
+    /// The single-character display used in traces and Verilog literals.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses `0`, `1`, `x`/`X`, `z`/`Z`.
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+/// Packs a slice of logic values (LSB first) into a `u64`, if all bits are
+/// known.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::Logic;
+/// use socfmea_netlist::logic::bits_to_u64;
+///
+/// let bits = [Logic::One, Logic::Zero, Logic::One]; // 0b101
+/// assert_eq!(bits_to_u64(&bits), Some(5));
+/// assert_eq!(bits_to_u64(&[Logic::X]), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+pub fn bits_to_u64(bits: &[Logic]) -> Option<u64> {
+    assert!(bits.len() <= 64, "at most 64 bits fit a u64");
+    let mut v = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+/// Expands the low `width` bits of `value` into logic values, LSB first.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::Logic;
+/// use socfmea_netlist::logic::u64_to_bits;
+///
+/// assert_eq!(u64_to_bits(5, 3), vec![Logic::One, Logic::Zero, Logic::One]);
+/// ```
+pub fn u64_to_bits(value: u64, width: usize) -> Vec<Logic> {
+    (0..width)
+        .map(|i| Logic::from_bool((value >> i) & 1 == 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table_matches_bool_on_known_values() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    Logic::from_bool(a).and(Logic::from_bool(b)),
+                    Logic::from_bool(a && b)
+                );
+                assert_eq!(
+                    Logic::from_bool(a).or(Logic::from_bool(b)),
+                    Logic::from_bool(a || b)
+                );
+                assert_eq!(
+                    Logic::from_bool(a).xor(Logic::from_bool(b)),
+                    Logic::from_bool(a ^ b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_dominate_unknowns() {
+        for u in [Logic::X, Logic::Z] {
+            assert_eq!(Logic::Zero.and(u), Logic::Zero);
+            assert_eq!(u.and(Logic::Zero), Logic::Zero);
+            assert_eq!(Logic::One.or(u), Logic::One);
+            assert_eq!(u.or(Logic::One), Logic::One);
+        }
+    }
+
+    #[test]
+    fn non_controlling_unknowns_propagate() {
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+        assert_eq!(Logic::Zero.or(Logic::X), Logic::X);
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+        assert_eq!(Logic::Zero.xor(Logic::Z), Logic::X);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::Z.not(), Logic::X);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let (o, i, x) = (Logic::Zero, Logic::One, Logic::X);
+        assert_eq!(Logic::mux(o, i, o), i);
+        assert_eq!(Logic::mux(i, i, o), o);
+        // unknown select: known only when both data inputs agree
+        assert_eq!(Logic::mux(x, i, i), i);
+        assert_eq!(Logic::mux(x, o, o), o);
+        assert_eq!(Logic::mux(x, i, o), x);
+        assert_eq!(Logic::mux(x, x, x), x);
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_associative_over_all_values() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+                for c in Logic::ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_on_four_state() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('q'), None);
+    }
+
+    #[test]
+    fn bit_packing_round_trip() {
+        for v in [0u64, 1, 5, 0xdead_beef, u64::MAX] {
+            let w = 64;
+            assert_eq!(bits_to_u64(&u64_to_bits(v, w)), Some(v));
+        }
+        assert_eq!(bits_to_u64(&u64_to_bits(0b1011, 4)), Some(0b1011));
+    }
+}

@@ -1,0 +1,125 @@
+//! Whole-netlist statistics used by reports and by the FIT model.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::{GateKind, NetlistBuilder, NetlistStats};
+///
+/// let mut b = NetlistBuilder::new("s");
+/// let a = b.input("a");
+/// let y = b.gate(GateKind::Not, &[a], "y");
+/// let _q = b.dff("q", y);
+/// let nl = b.finish()?;
+/// let stats = NetlistStats::of(&nl);
+/// assert_eq!(stats.gate_count, 1);
+/// assert_eq!(stats.dff_count, 1);
+/// # Ok::<(), socfmea_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Combinational gate count.
+    pub gate_count: usize,
+    /// Flip-flop count.
+    pub dff_count: usize,
+    /// Net count.
+    pub net_count: usize,
+    /// Primary inputs.
+    pub input_count: usize,
+    /// Primary outputs.
+    pub output_count: usize,
+    /// Number of distinct hierarchical blocks.
+    pub block_count: usize,
+    /// Gate counts per cell kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+    /// Gate + flip-flop counts per block path.
+    pub by_block: BTreeMap<String, (usize, usize)>,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of a netlist.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut by_kind: BTreeMap<GateKind, usize> = BTreeMap::new();
+        let mut by_block: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for g in netlist.gates() {
+            *by_kind.entry(g.kind).or_insert(0) += 1;
+            by_block
+                .entry(netlist.block_path(g.block).to_owned())
+                .or_insert((0, 0))
+                .0 += 1;
+        }
+        for ff in netlist.dffs() {
+            by_block
+                .entry(netlist.block_path(ff.block).to_owned())
+                .or_insert((0, 0))
+                .1 += 1;
+        }
+        NetlistStats {
+            gate_count: netlist.gate_count(),
+            dff_count: netlist.dff_count(),
+            net_count: netlist.net_count(),
+            input_count: netlist.inputs().len(),
+            output_count: netlist.outputs().len(),
+            block_count: by_block.len(),
+            by_kind,
+            by_block,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates: {}  dffs: {}  nets: {}  inputs: {}  outputs: {}  blocks: {}",
+            self.gate_count,
+            self.dff_count,
+            self.net_count,
+            self.input_count,
+            self.output_count,
+            self.block_count
+        )?;
+        for (k, n) in &self.by_kind {
+            writeln!(f, "  {k:<5} {n}")?;
+        }
+        for (b, (g, d)) in &self.by_block {
+            let b = if b.is_empty() { "(top)" } else { b };
+            writeln!(f, "  block {b}: {g} gates, {d} dffs")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn stats_count_blocks_and_kinds() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a");
+        b.push_block("u0");
+        let x = b.gate(GateKind::Not, &[a], "x");
+        let _q = b.dff("q", x);
+        b.pop_block();
+        b.push_block("u1");
+        let y = b.gate(GateKind::And, &[a, x], "y");
+        b.pop_block();
+        b.output("o", y);
+        let nl = b.finish().unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.gate_count, 3); // not + and + out buf
+        assert_eq!(s.dff_count, 1);
+        assert_eq!(s.by_kind[&GateKind::Not], 1);
+        assert_eq!(s.by_block["u0"], (1, 1));
+        assert_eq!(s.by_block["u1"], (1, 0));
+        assert!(s.to_string().contains("block u0: 1 gates, 1 dffs"));
+    }
+}

@@ -1,0 +1,521 @@
+//! The word-level builder / elaborator.
+
+use crate::word::Word;
+use socfmea_netlist::{
+    CriticalNetKind, GateKind, Logic, NetId, Netlist, NetlistBuilder, NetlistError,
+};
+
+/// Builds a design from word-level operations, elaborating each operation
+/// into primitive gates immediately.
+///
+/// All intermediate nets receive unique generated names (`<prefix>_<n>`);
+/// registers are named explicitly so the FMEA zone extractor can group their
+/// bits (`name[0]`, `name[1]`, ...).
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct RtlBuilder {
+    inner: NetlistBuilder,
+    unique: u64,
+}
+
+impl RtlBuilder {
+    /// Starts a new design with the given module name.
+    pub fn new(name: impl Into<String>) -> RtlBuilder {
+        RtlBuilder {
+            inner: NetlistBuilder::new(name),
+            unique: 0,
+        }
+    }
+
+    /// Access to the underlying gate-level builder for operations this
+    /// facade does not cover.
+    pub fn netlist_builder(&mut self) -> &mut NetlistBuilder {
+        &mut self.inner
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.unique += 1;
+        format!("{prefix}__{}", self.unique)
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistBuilder::finish`].
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        self.inner.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // hierarchy and ports
+    // ------------------------------------------------------------------
+
+    /// Enters a hierarchical sub-block (see
+    /// [`NetlistBuilder::push_block`]).
+    pub fn push_block(&mut self, name: impl Into<String>) {
+        self.inner.push_block(name);
+    }
+
+    /// Leaves the innermost sub-block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open.
+    pub fn pop_block(&mut self) {
+        self.inner.pop_block();
+    }
+
+    /// Declares a scalar primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.inner.input(name)
+    }
+
+    /// Declares a `width`-bit primary input.
+    pub fn input_word(&mut self, name: &str, width: usize) -> Word {
+        Word::new(self.inner.input_bus(name, width))
+    }
+
+    /// Declares a scalar primary output fed by `net`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.inner.output(name, net);
+    }
+
+    /// Declares a primary output bus fed by `word`.
+    pub fn output_word(&mut self, name: &str, word: &Word) {
+        self.inner.output_bus(name, word.bits());
+    }
+
+    /// Declares a clock input marked as a critical net.
+    pub fn clock_input(&mut self, name: impl Into<String>) -> NetId {
+        self.inner.clock_input(name)
+    }
+
+    /// Declares a reset input marked as a critical net.
+    pub fn reset_input(&mut self, name: impl Into<String>) -> NetId {
+        let n = self.inner.input(name);
+        self.inner.mark_critical(n, CriticalNetKind::Reset);
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // scalar (single-bit) operations
+    // ------------------------------------------------------------------
+
+    /// A constant `0`/`1` net.
+    pub fn constant_bit(&mut self, value: bool) -> NetId {
+        self.inner.constant(Logic::from_bool(value))
+    }
+
+    /// Inverter.
+    pub fn not_bit(&mut self, a: NetId) -> NetId {
+        let n = self.fresh("not");
+        self.inner.gate(GateKind::Not, &[a], n)
+    }
+
+    /// N-ary AND over `bits` (a single bit passes through a buffer).
+    pub fn and_bits(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce(GateKind::And, bits, "and")
+    }
+
+    /// N-ary OR over `bits`.
+    pub fn or_bits(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce(GateKind::Or, bits, "or")
+    }
+
+    /// N-ary XOR (parity) over `bits`.
+    pub fn xor_bits(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce(GateKind::Xor, bits, "xor")
+    }
+
+    fn reduce(&mut self, kind: GateKind, bits: &[NetId], prefix: &str) -> NetId {
+        assert!(!bits.is_empty(), "reduction over zero bits");
+        if bits.len() == 1 {
+            let n = self.fresh(prefix);
+            return self.inner.gate(GateKind::Buf, &[bits[0]], n);
+        }
+        // Balanced tree of fan-in-4 gates keeps depth realistic for the
+        // cone-depth statistics.
+        let mut level: Vec<NetId> = bits.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            for chunk in level.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let n = self.fresh(prefix);
+                    next.push(self.inner.gate(kind, chunk, n));
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Two-input multiplexer bit: `sel == 0` picks `a`, `sel == 1` picks `b`.
+    pub fn mux_bit(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        let n = self.fresh("mux");
+        self.inner.gate(GateKind::Mux2, &[sel, a, b], n)
+    }
+
+    /// `a AND b` for two scalars.
+    pub fn and2_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.and_bits(&[a, b])
+    }
+
+    /// `a OR b` for two scalars.
+    pub fn or2_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.or_bits(&[a, b])
+    }
+
+    /// `a XOR b` for two scalars.
+    pub fn xor2_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.xor_bits(&[a, b])
+    }
+
+    // ------------------------------------------------------------------
+    // word operations
+    // ------------------------------------------------------------------
+
+    /// A constant word holding the low `width` bits of `value`.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Word {
+        (0..width)
+            .map(|i| self.constant_bit((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &Word) -> Word {
+        a.bits().to_vec().iter().map(|&b| self.not_bit(b)).collect()
+    }
+
+    fn zip_op(&mut self, kind: GateKind, a: &Word, b: &Word, prefix: &str) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| {
+                let n = self.fresh(prefix);
+                self.inner.gate(kind, &[x, y], n)
+            })
+            .collect()
+    }
+
+    /// Bitwise AND of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch (as do all two-word operations).
+    pub fn and(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_op(GateKind::And, a, b, "andw")
+    }
+
+    /// Bitwise OR of equal-width words.
+    pub fn or(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_op(GateKind::Or, a, b, "orw")
+    }
+
+    /// Bitwise XOR of equal-width words.
+    pub fn xor(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_op(GateKind::Xor, a, b, "xorw")
+    }
+
+    /// ANDs every bit of `a` with the scalar `bit` (gating / masking).
+    pub fn mask(&mut self, a: &Word, bit: NetId) -> Word {
+        a.bits()
+            .iter()
+            .map(|&x| {
+                let n = self.fresh("mask");
+                self.inner.gate(GateKind::And, &[x, bit], n)
+            })
+            .collect()
+    }
+
+    /// Word-wide two-way multiplexer.
+    pub fn mux(&mut self, sel: NetId, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        a.bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.mux_bit(sel, x, y))
+            .collect()
+    }
+
+    /// Multiplexer tree selecting `items[sel]`; `items.len()` must equal
+    /// `2^sel.width()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item count does not match the select width or the item
+    /// widths differ.
+    pub fn mux_tree(&mut self, sel: &Word, items: &[Word]) -> Word {
+        assert_eq!(
+            items.len(),
+            1usize << sel.width(),
+            "mux tree needs 2^sel items"
+        );
+        let mut level: Vec<Word> = items.to_vec();
+        for bit in 0..sel.width() {
+            let s = sel.bit(bit);
+            level = level
+                .chunks(2)
+                .map(|pair| self.mux(s, &pair[0], &pair[1]))
+                .collect();
+        }
+        level.pop().expect("non-empty mux tree")
+    }
+
+    /// Ripple-carry addition; returns `(sum, carry_out)`.
+    pub fn add(&mut self, a: &Word, b: &Word) -> (Word, NetId) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut carry = self.constant_bit(false);
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (x, y) = (a.bit(i), b.bit(i));
+            let xy = self.xor2_bit(x, y);
+            let s = self.xor2_bit(xy, carry);
+            let c1 = self.and2_bit(x, y);
+            let c2 = self.and2_bit(xy, carry);
+            carry = self.or2_bit(c1, c2);
+            sum.push(s);
+        }
+        (Word::new(sum), carry)
+    }
+
+    /// Increment by one; returns `(a + 1, carry_out)`.
+    pub fn inc(&mut self, a: &Word) -> (Word, NetId) {
+        let mut carry = self.constant_bit(true);
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let x = a.bit(i);
+            sum.push(self.xor2_bit(x, carry));
+            carry = self.and2_bit(x, carry);
+        }
+        (Word::new(sum), carry)
+    }
+
+    /// Equality comparator; returns one bit.
+    pub fn eq(&mut self, a: &Word, b: &Word) -> NetId {
+        let diff = self.zip_op(GateKind::Xnor, a, b, "eqb");
+        self.and_bits(diff.bits())
+    }
+
+    /// Compares a word against a constant; returns one bit.
+    pub fn eq_const(&mut self, a: &Word, value: u64) -> NetId {
+        let lits: Vec<NetId> = (0..a.width())
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    a.bit(i)
+                } else {
+                    self.not_bit(a.bit(i))
+                }
+            })
+            .collect();
+        self.and_bits(&lits)
+    }
+
+    /// XOR-reduction (even parity bit) of a word.
+    pub fn parity(&mut self, a: &Word) -> NetId {
+        self.xor_bits(a.bits())
+    }
+
+    /// OR-reduction of a word (non-zero test).
+    pub fn or_reduce(&mut self, a: &Word) -> NetId {
+        self.or_bits(a.bits())
+    }
+
+    /// AND-reduction of a word (all-ones test).
+    pub fn and_reduce(&mut self, a: &Word) -> NetId {
+        self.and_bits(a.bits())
+    }
+
+    /// Full binary decoder: `2^sel.width()` one-hot outputs.
+    pub fn decoder(&mut self, sel: &Word) -> Word {
+        (0..1u64 << sel.width())
+            .map(|v| self.eq_const(sel, v))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // sequential elements
+    // ------------------------------------------------------------------
+
+    /// A register named `name` (bits `name[i]`) capturing `d` every cycle;
+    /// optional clock enable and synchronous reset (to zero).
+    pub fn register(
+        &mut self,
+        name: &str,
+        d: &Word,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) -> Word {
+        self.register_rv(name, d, enable, reset, 0)
+    }
+
+    /// A register with an explicit reset value.
+    pub fn register_rv(
+        &mut self,
+        name: &str,
+        d: &Word,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+        reset_value: u64,
+    ) -> Word {
+        d.bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| {
+                let rv = Logic::from_bool((reset_value >> i) & 1 == 1);
+                self.inner
+                    .dff_full(format!("{name}[{i}]"), bit, enable, reset, rv, Logic::Zero)
+            })
+            .collect()
+    }
+
+    /// A single-bit register.
+    pub fn register_bit(
+        &mut self,
+        name: &str,
+        d: NetId,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) -> NetId {
+        self.inner
+            .dff_full(name, d, enable, reset, Logic::Zero, Logic::Zero)
+    }
+
+    /// Declares a register whose input is bound later (feedback paths);
+    /// returns its `q` word. Bind with [`bind_register`](Self::bind_register).
+    pub fn register_feedback(&mut self, name: &str, width: usize) -> Word {
+        (0..width)
+            .map(|i| self.inner.dff_placeholder(format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Binds the data input of a feedback register declared with
+    /// [`register_feedback`](Self::register_feedback) and sets its controls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was not declared as a feedback register of the same
+    /// width.
+    pub fn bind_register(
+        &mut self,
+        name: &str,
+        q: &Word,
+        d: &Word,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) {
+        assert_eq!(q.width(), d.width(), "word width mismatch");
+        for i in 0..d.width() {
+            self.inner.bind_dff(&format!("{name}[{i}]"), d.bit(i));
+            self.inner
+                .set_dff_controls(q.bit(i), enable, reset, Logic::Zero);
+        }
+    }
+
+    /// A free-running binary counter with optional enable and synchronous
+    /// reset; returns its count word.
+    pub fn counter(
+        &mut self,
+        name: &str,
+        width: usize,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) -> Word {
+        let q = self.register_feedback(name, width);
+        let (next, _carry) = self.inc(&q);
+        self.bind_register(name, &q, &next, enable, reset);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let mut r = RtlBuilder::new("add4");
+        let a = r.input_word("a", 4);
+        let b = r.input_word("b", 4);
+        let (s, c) = r.add(&a, &b);
+        r.output_word("s", &s);
+        r.output("c", c);
+        let nl = r.finish().unwrap();
+        // per bit: 2 xor + 2 and + 1 or = 5 gates, plus 5 output buffers
+        assert_eq!(nl.gate_count(), 4 * 5 + 5);
+    }
+
+    #[test]
+    fn mux_tree_item_count_is_enforced() {
+        let mut r = RtlBuilder::new("m");
+        let sel = r.input_word("sel", 2);
+        let items: Vec<Word> = (0..4).map(|i| r.const_word(i, 3)).collect();
+        let y = r.mux_tree(&sel, &items);
+        assert_eq!(y.width(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^sel items")]
+    fn mux_tree_rejects_wrong_item_count() {
+        let mut r = RtlBuilder::new("m");
+        let sel = r.input_word("sel", 2);
+        let items: Vec<Word> = (0..3).map(|i| r.const_word(i, 3)).collect();
+        let _ = r.mux_tree(&sel, &items);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn word_ops_check_width() {
+        let mut r = RtlBuilder::new("w");
+        let a = r.input_word("a", 3);
+        let b = r.input_word("b", 4);
+        let _ = r.xor(&a, &b);
+    }
+
+    #[test]
+    fn register_groups_bits_by_name() {
+        let mut r = RtlBuilder::new("regs");
+        let d = r.input_word("d", 8);
+        let en = r.input("en");
+        let q = r.register("state", &d, Some(en), None);
+        r.output_word("q", &q);
+        let nl = r.finish().unwrap();
+        assert_eq!(nl.dff_count(), 8);
+        assert!(nl.net_by_name("state[7]").is_some());
+        assert!(nl.dffs().iter().all(|f| f.enable.is_some()));
+    }
+
+    #[test]
+    fn counter_is_bound_through_feedback() {
+        let mut r = RtlBuilder::new("cnt");
+        let rst = r.reset_input("rst");
+        let q = r.counter("count", 4, None, Some(rst));
+        r.output_word("q", &q);
+        let nl = r.finish().unwrap();
+        assert_eq!(nl.dff_count(), 4);
+        assert_eq!(nl.critical_nets().len(), 1);
+    }
+
+    #[test]
+    fn decoder_is_one_hot_shaped() {
+        let mut r = RtlBuilder::new("dec");
+        let sel = r.input_word("sel", 3);
+        let hot = r.decoder(&sel);
+        r.output_word("hot", &hot);
+        let nl = r.finish().unwrap();
+        assert_eq!(nl.outputs().len(), 8);
+    }
+
+    #[test]
+    fn reductions_handle_single_bit() {
+        let mut r = RtlBuilder::new("red");
+        let a = r.input_word("a", 1);
+        let p = r.parity(&a);
+        r.output("p", p);
+        assert!(r.finish().is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! Word-level RTL construction, elaborated on the fly to gate-level netlists.
+//!
+//! The paper's flow runs on *synthesized RTL*: designers write registers,
+//! datapaths and FSMs, a synthesis tool maps them to gates, and the FMEA
+//! extraction tool analyses the result. This crate plays the role of that
+//! RTL-plus-synthesis front end: the [`RtlBuilder`] exposes word-level
+//! operations (bitwise logic, adders, comparators, multiplexer trees, parity
+//! networks, registers, counters) and immediately *elaborates* them into the
+//! primitive gate library of [`socfmea_netlist`], producing the flat netlist
+//! every downstream analysis consumes.
+//!
+//! The [`gen`] module provides parameterised design generators (pipelines,
+//! synthetic datapaths, LFSRs) used by benches to scale the analyses.
+//!
+//! # Example
+//!
+//! A registered 4-bit adder:
+//!
+//! ```
+//! use socfmea_rtl::RtlBuilder;
+//!
+//! let mut r = RtlBuilder::new("adder");
+//! let a = r.input_word("a", 4);
+//! let b = r.input_word("b", 4);
+//! let (sum, carry) = r.add(&a, &b);
+//! let q = r.register("sum_q", &sum, None, None);
+//! r.output_word("q", &q);
+//! r.output("cout", carry);
+//! let netlist = r.finish()?;
+//! assert_eq!(netlist.dff_count(), 4);
+//! # Ok::<(), socfmea_netlist::NetlistError>(())
+//! ```
+
+pub mod builder;
+pub mod gen;
+pub mod word;
+
+pub use builder::RtlBuilder;
+pub use word::Word;

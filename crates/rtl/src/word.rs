@@ -1,0 +1,114 @@
+//! Multi-bit signal bundles.
+
+use socfmea_netlist::NetId;
+
+/// A word-level signal: an ordered bundle of nets, least-significant bit
+/// first.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_rtl::{RtlBuilder, Word};
+///
+/// let mut r = RtlBuilder::new("w");
+/// let a: Word = r.input_word("a", 8);
+/// assert_eq!(a.width(), 8);
+/// let low = a.slice(0, 4);
+/// assert_eq!(low.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Word(Vec<NetId>);
+
+impl Word {
+    /// Bundles nets (LSB first) into a word.
+    pub fn new(bits: Vec<NetId>) -> Word {
+        Word(bits)
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The net of bit `i` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// All bit nets, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// Bits `[lo, lo + len)` as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, len: usize) -> Word {
+        Word(self.0[lo..lo + len].to_vec())
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.0.clone();
+        bits.extend_from_slice(&high.0);
+        Word(bits)
+    }
+
+    /// Iterates over the bit nets, LSB first.
+    pub fn iter(&self) -> std::slice::Iter<'_, NetId> {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<NetId>> for Word {
+    fn from(bits: Vec<NetId>) -> Word {
+        Word(bits)
+    }
+}
+
+impl FromIterator<NetId> for Word {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Word {
+        Word(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Word {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: usize) -> Word {
+        (0..n as u32).map(NetId).collect()
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let a = w(8);
+        assert_eq!(a.width(), 8);
+        assert_eq!(a.bit(3), NetId(3));
+        let lo = a.slice(0, 4);
+        let hi = a.slice(4, 4);
+        assert_eq!(lo.concat(&hi), a);
+    }
+
+    #[test]
+    fn iteration_is_lsb_first() {
+        let a = w(3);
+        let collected: Vec<_> = a.iter().copied().collect();
+        assert_eq!(collected, vec![NetId(0), NetId(1), NetId(2)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Toggle-count coverage of a workload.
+//!
+//! Validation step (b) of the paper (§5): "the efficiency of the workload in
+//! covering the HW gates of the gate-level netlist is measured, for instance
+//! by using a toggle count coverage ... If the toggle count percentage (i.e.
+//! nets/gates toggling at least once) ... is greater than a defined value
+//! (default 99%), the validation is successful."
+
+use crate::sim::Simulator;
+use socfmea_netlist::{Driver, Logic, NetId, Netlist};
+
+/// Records which nets have toggled (changed between the two known values)
+/// during a simulation run.
+///
+/// Observe once per cycle, after [`Simulator::eval`]:
+///
+/// ```
+/// use socfmea_netlist::{GateKind, Logic, NetlistBuilder};
+/// use socfmea_sim::{Simulator, ToggleCoverage};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let q = b.dff_placeholder("q");
+/// let nq = b.gate(GateKind::Not, &[q], "nq");
+/// b.bind_dff("q", nq);
+/// b.output("o", q);
+/// let nl = b.finish()?;
+/// let mut sim = Simulator::new(&nl)?;
+/// let mut cov = ToggleCoverage::new(&nl);
+/// for _ in 0..4 {
+///     cov.observe(&sim);
+///     sim.tick();
+/// }
+/// assert!(cov.coverage() > 0.99); // every net toggles in a toggle circuit
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToggleCoverage {
+    last: Vec<Logic>,
+    toggled: Vec<bool>,
+    /// Nets excluded from the denominator (constants never toggle).
+    excluded: Vec<bool>,
+}
+
+impl ToggleCoverage {
+    /// Prepares coverage collection for `netlist`. Constant nets are
+    /// excluded from the denominator.
+    pub fn new(netlist: &Netlist) -> ToggleCoverage {
+        let excluded = netlist
+            .nets()
+            .iter()
+            .map(|n| matches!(n.driver, Driver::Const(_)))
+            .collect();
+        ToggleCoverage {
+            last: vec![Logic::X; netlist.net_count()],
+            toggled: vec![false; netlist.net_count()],
+            excluded,
+        }
+    }
+
+    /// Additionally excludes specific nets from the denominator (e.g. a
+    /// tied-off test port).
+    pub fn exclude(&mut self, nets: &[NetId]) {
+        for &n in nets {
+            self.excluded[n.index()] = true;
+        }
+    }
+
+    /// Samples the simulator's current net values; a net counts as toggled
+    /// once it has been seen at both `0` and `1` across observations.
+    pub fn observe(&mut self, sim: &Simulator<'_>) {
+        for i in 0..self.last.len() {
+            let now = sim.get(NetId::from_index(i));
+            if !self.toggled[i]
+                && self.last[i].is_known()
+                && now.is_known()
+                && now != self.last[i]
+            {
+                self.toggled[i] = true;
+            }
+            if now.is_known() {
+                self.last[i] = now;
+            }
+        }
+    }
+
+    /// Number of nets counted in the denominator.
+    pub fn denominator(&self) -> usize {
+        self.excluded.iter().filter(|&&e| !e).count()
+    }
+
+    /// Number of covered (toggled) nets.
+    pub fn covered(&self) -> usize {
+        self.toggled
+            .iter()
+            .zip(&self.excluded)
+            .filter(|&(&t, &e)| t && !e)
+            .count()
+    }
+
+    /// Fraction of non-excluded nets that toggled at least once, in `0..=1`.
+    pub fn coverage(&self) -> f64 {
+        let denom = self.denominator();
+        if denom == 0 {
+            return 1.0;
+        }
+        self.covered() as f64 / denom as f64
+    }
+
+    /// Nets that never toggled (workload holes), as ids.
+    pub fn uncovered(&self) -> Vec<NetId> {
+        self.toggled
+            .iter()
+            .zip(&self.excluded)
+            .enumerate()
+            .filter(|(_, (&t, &e))| !t && !e)
+            .map(|(i, _)| NetId::from_index(i))
+            .collect()
+    }
+
+    /// Applies the paper's default acceptance threshold (99 %).
+    pub fn passes_default_threshold(&self) -> bool {
+        self.coverage() >= 0.99
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn constant_inputs_leave_nets_uncovered() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Not, &[a], "y");
+        b.output("o", y);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut cov = ToggleCoverage::new(&nl);
+        sim.set(a, Logic::Zero);
+        for _ in 0..3 {
+            sim.eval();
+            cov.observe(&sim);
+            sim.tick();
+        }
+        assert_eq!(cov.covered(), 0);
+        assert!(!cov.passes_default_threshold());
+        assert_eq!(cov.uncovered().len(), cov.denominator());
+    }
+
+    #[test]
+    fn toggling_input_covers_everything() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Not, &[a], "y");
+        b.output("o", y);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut cov = ToggleCoverage::new(&nl);
+        for i in 0..4 {
+            sim.set(a, Logic::from_bool(i % 2 == 0));
+            sim.eval();
+            cov.observe(&sim);
+            sim.tick();
+        }
+        assert_eq!(cov.coverage(), 1.0);
+        assert!(cov.passes_default_threshold());
+    }
+
+    #[test]
+    fn excluded_nets_shrink_denominator() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let t = b.input("test_only");
+        let y = b.gate(GateKind::Not, &[a], "y");
+        let _z = b.gate(GateKind::Buf, &[t], "z");
+        b.output("o", y);
+        let nl = b.finish().unwrap();
+        let mut cov = ToggleCoverage::new(&nl);
+        let before = cov.denominator();
+        cov.exclude(&[t, nl.net_by_name("z").unwrap()]);
+        assert_eq!(cov.denominator(), before - 2);
+    }
+}

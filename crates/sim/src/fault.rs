@@ -1,0 +1,71 @@
+//! Bridging-fault coupling models.
+//!
+//! Resistive or capacitive coupling between adjacent lines is one of the
+//! paper's *wide* physical fault examples ("physical faults like resistive
+//! or capacitive coupling between lines are also included in such model",
+//! §3). The simulator models a bridge as a directed coupling from an
+//! aggressor net onto a victim net.
+
+use socfmea_netlist::Logic;
+
+/// How a bridging fault resolves the victim's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Wired-AND: the victim is pulled low whenever the aggressor is low.
+    And,
+    /// Wired-OR: the victim is pulled high whenever the aggressor is high.
+    Or,
+    /// Dominant bridge: the victim always takes the aggressor's value.
+    Dominant,
+}
+
+impl BridgeKind {
+    /// Resolves the coupled victim value.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use socfmea_netlist::Logic;
+    /// use socfmea_sim::BridgeKind;
+    ///
+    /// assert_eq!(BridgeKind::And.couple(Logic::Zero, Logic::One), Logic::Zero);
+    /// assert_eq!(BridgeKind::Or.couple(Logic::One, Logic::Zero), Logic::One);
+    /// assert_eq!(BridgeKind::Dominant.couple(Logic::Zero, Logic::One), Logic::Zero);
+    /// ```
+    pub fn couple(self, aggressor: Logic, victim: Logic) -> Logic {
+        match self {
+            BridgeKind::And => aggressor.and(victim),
+            BridgeKind::Or => aggressor.or(victim),
+            BridgeKind::Dominant => aggressor.resolved(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_netlist::Logic::{One, Zero, X};
+
+    #[test]
+    fn and_bridge_pulls_low() {
+        assert_eq!(BridgeKind::And.couple(Zero, One), Zero);
+        assert_eq!(BridgeKind::And.couple(One, One), One);
+        assert_eq!(BridgeKind::And.couple(One, Zero), Zero);
+        assert_eq!(BridgeKind::And.couple(X, One), X);
+    }
+
+    #[test]
+    fn or_bridge_pulls_high() {
+        assert_eq!(BridgeKind::Or.couple(One, Zero), One);
+        assert_eq!(BridgeKind::Or.couple(Zero, Zero), Zero);
+        assert_eq!(BridgeKind::Or.couple(X, Zero), X);
+    }
+
+    #[test]
+    fn dominant_bridge_copies_aggressor() {
+        for v in Logic::ALL {
+            assert_eq!(BridgeKind::Dominant.couple(One, v), One);
+            assert_eq!(BridgeKind::Dominant.couple(Zero, v), Zero);
+        }
+    }
+}

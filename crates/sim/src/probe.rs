@@ -1,0 +1,146 @@
+//! Per-cycle observation capture (waveform probes).
+
+use crate::sim::Simulator;
+use socfmea_netlist::{Logic, NetId};
+
+/// Captures the values of a fixed set of nets once per cycle.
+///
+/// Probes are how the injection environment records behaviour at the FMEA's
+/// *observation points*; comparing the probe rows of a golden and a faulty
+/// run yields the deviation list.
+///
+/// # Example
+///
+/// ```
+/// use socfmea_netlist::{GateKind, NetlistBuilder};
+/// use socfmea_sim::{Probe, Simulator};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let q = b.dff_placeholder("q");
+/// let nq = b.gate(GateKind::Not, &[q], "nq");
+/// b.bind_dff("q", nq);
+/// b.output("o", q);
+/// let nl = b.finish()?;
+/// let mut sim = Simulator::new(&nl)?;
+/// let mut probe = Probe::new(vec![nl.net_by_name("q").unwrap()]);
+/// for _ in 0..3 {
+///     probe.sample(&sim);
+///     sim.tick();
+/// }
+/// assert_eq!(probe.rows().len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    nets: Vec<NetId>,
+    rows: Vec<Vec<Logic>>,
+}
+
+impl Probe {
+    /// Creates a probe over the given nets.
+    pub fn new(nets: Vec<NetId>) -> Probe {
+        Probe {
+            nets,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The probed nets, in column order.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Records one row of current values.
+    pub fn sample(&mut self, sim: &Simulator<'_>) {
+        self.rows.push(self.nets.iter().map(|&n| sim.get(n)).collect());
+    }
+
+    /// All captured rows, one per [`sample`](Self::sample) call.
+    pub fn rows(&self) -> &[Vec<Logic>] {
+        &self.rows
+    }
+
+    /// Clears captured rows, keeping the net list.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Compares two probes column-by-column, returning for every probed net
+    /// the list of row indices (cycles) where the values differ. Requires
+    /// identical net lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probes observe different net lists.
+    pub fn diff(&self, other: &Probe) -> Vec<(NetId, Vec<usize>)> {
+        assert_eq!(self.nets, other.nets, "probes observe different nets");
+        let rows = self.rows.len().min(other.rows.len());
+        let mut out = Vec::new();
+        for (col, &net) in self.nets.iter().enumerate() {
+            let mut cycles = Vec::new();
+            for row in 0..rows {
+                if self.rows[row][col] != other.rows[row][col] {
+                    cycles.push(row);
+                }
+            }
+            if !cycles.is_empty() {
+                out.push((net, cycles));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_netlist::{GateKind, Logic, NetlistBuilder};
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Buf, &[a], "y");
+        b.output("o", y);
+        let nl = b.finish().unwrap();
+        let ynet = nl.net_by_name("y").unwrap();
+
+        let mut golden = Simulator::new(&nl).unwrap();
+        let mut faulty = Simulator::new(&nl).unwrap();
+        faulty.force(ynet, Logic::One);
+        let mut pg = Probe::new(vec![ynet]);
+        let mut pf = Probe::new(vec![ynet]);
+        for cycle in 0..4 {
+            let v = Logic::from_bool(cycle % 2 == 0);
+            golden.set(a, v);
+            faulty.set(a, v);
+            golden.eval();
+            faulty.eval();
+            pg.sample(&golden);
+            pf.sample(&faulty);
+            golden.tick();
+            faulty.tick();
+        }
+        let diff = pg.diff(&pf);
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff[0].0, ynet);
+        assert_eq!(diff[0].1, vec![1, 3]); // golden is 0 on odd cycles
+    }
+
+    #[test]
+    #[should_panic(expected = "different nets")]
+    fn diff_requires_same_nets() {
+        let a = Probe::new(vec![NetId(0)]);
+        let b = Probe::new(vec![NetId(1)]);
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    fn clear_retains_net_list() {
+        let mut p = Probe::new(vec![NetId(0), NetId(1)]);
+        p.rows.push(vec![Logic::Zero, Logic::One]);
+        p.clear();
+        assert!(p.rows().is_empty());
+        assert_eq!(p.nets().len(), 2);
+    }
+}

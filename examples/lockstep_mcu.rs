@@ -1,0 +1,77 @@
+//! The fault-robust microcontroller end to end: run a program on the
+//! lockstep CPU, inject a soft error mid-flight, watch the comparator
+//! catch it — and dump the whole episode as a VCD waveform.
+//!
+//! Run with `cargo run --release --example lockstep_mcu`
+//! (writes `lockstep_mcu.vcd` into the working directory).
+
+use soc_fmea::fmea::{extract_zones, report};
+use soc_fmea::mcu::rtl::run_workload;
+use soc_fmea::mcu::{build_mcu, fmea, programs, McuConfig, McuPins};
+use soc_fmea::netlist::{Driver, Logic, NetId};
+use soc_fmea::sim::{Simulator, VcdWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = McuConfig::lockstep(programs::checksum_loop());
+    let nl = build_mcu(&cfg)?;
+    let pins = McuPins::find(&nl);
+    println!(
+        "lockstep MCU: {} gates, {} flip-flops",
+        nl.gate_count(),
+        nl.dff_count()
+    );
+
+    // FMEA first: what does the worksheet promise?
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    let result = fmea::build_worksheet(&zones, &cfg).compute();
+    println!(
+        "FMEA: SFF {:.2}%, DC {:.2}%\n{}",
+        result.sff().unwrap() * 100.0,
+        result.dc().unwrap() * 100.0,
+        report::render_ranking(&result, &zones, 5)
+    );
+
+    // now the demonstration: run, flip a bit in core 1, watch the alarm
+    let mut sim = Simulator::new(&nl)?;
+    let watch: Vec<NetId> = ["out[0]", "out[7]", "out_valid", "alarm_lockstep"]
+        .iter()
+        .chain(["core0_acc[0]", "core1_acc[0]", "core0_pc[0]", "core1_pc[0]"].iter())
+        .map(|n| nl.net_by_name(n).expect("net exists"))
+        .collect();
+    let file = std::fs::File::create("lockstep_mcu.vcd")?;
+    let mut vcd = VcdWriter::new(std::io::BufWriter::new(file), &nl, watch)?;
+
+    let w = run_workload(&pins, 40);
+    let flip_at = 17usize;
+    let victim = nl.net_by_name("core1_acc[5]").unwrap();
+    let Driver::Dff(ff) = nl.net(victim).driver else {
+        unreachable!("acc bits are registers");
+    };
+    let mut alarm_cycle = None;
+    for (cycle, inputs) in w.iter().enumerate() {
+        for &(n, v) in inputs {
+            sim.set(n, v);
+        }
+        if cycle == flip_at {
+            sim.flip_ff(ff);
+            println!("cycle {cycle}: SEU injected into core1_acc[5]");
+        }
+        sim.eval();
+        vcd.sample(&sim)?;
+        if alarm_cycle.is_none() && sim.get(pins.alarm) == Logic::One {
+            alarm_cycle = Some(cycle);
+        }
+        sim.tick();
+    }
+    vcd.finish()?;
+
+    match alarm_cycle {
+        Some(c) => println!(
+            "cycle {c}: alarm_lockstep asserted — detection latency {} cycle(s)",
+            c - flip_at
+        ),
+        None => println!("the flip was masked (overwritten before comparison)"),
+    }
+    println!("waveform written to lockstep_mcu.vcd (open with any VCD viewer)");
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! `socfmea` — command-line front end of the SoC-level FMEA flow.
+//!
+//! ```text
+//! socfmea zones   <netlist.v> [options]   list the extracted sensible zones
+//! socfmea analyze <netlist.v> [options]   run the FMEA and print the report
+//!
+//! options:
+//!   --class <prefix>=<class>   classify zones under a block-path prefix
+//!                              (memory|rom|cpu|bus|io|clock|power)
+//!   --hft <n>                  hardware fault tolerance for the SIL grant
+//!   --type-a                   assess as a type-A subsystem (default: B)
+//!   --format text|csv|srs      report format for `analyze` (default: text)
+//! ```
+//!
+//! The input is the structural Verilog subset documented in
+//! [`soc_fmea::netlist::verilog`]; zones get default worksheet assumptions
+//! (no diagnostic claims — add those programmatically for real
+//! assessments), so the output is the *uncovered* FMEA a safety analysis
+//! starts from.
+
+use soc_fmea::fmea::{
+    extract_zones, predict_all_effects, report, ExtractConfig, Worksheet, ZoneGraph,
+};
+use soc_fmea::iec61508::{ComponentClass, Hft, SubsystemType};
+use soc_fmea::netlist::parse_verilog;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    input: String,
+    config: ExtractConfig,
+    hft: Hft,
+    subsystem: SubsystemType,
+    format: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: socfmea <zones|analyze> <netlist.v> \
+         [--class <prefix>=<class>] [--hft <n>] [--type-a] [--format text|csv|srs]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_class(name: &str) -> Option<ComponentClass> {
+    Some(match name {
+        "memory" | "ram" => ComponentClass::VariableMemory,
+        "rom" | "flash" => ComponentClass::InvariableMemory,
+        "cpu" | "processing" => ComponentClass::ProcessingUnit,
+        "bus" => ComponentClass::Bus,
+        "io" => ComponentClass::InputOutput,
+        "clock" => ComponentClass::Clock,
+        "power" => ComponentClass::PowerSupply,
+        _ => return None,
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?.clone();
+    if !matches!(command.as_str(), "zones" | "analyze") {
+        return Err(format!("unknown command `{command}`"));
+    }
+    let input = it.next().ok_or("missing input file")?.clone();
+    let mut config = ExtractConfig::default();
+    let mut hft = Hft(0);
+    let mut subsystem = SubsystemType::B;
+    let mut format = "text".to_owned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--class" => {
+                let spec = it.next().ok_or("--class needs <prefix>=<class>")?;
+                let (prefix, class) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --class spec `{spec}`"))?;
+                let class =
+                    parse_class(class).ok_or_else(|| format!("unknown class `{class}`"))?;
+                config = config.classify(prefix, class);
+            }
+            "--hft" => {
+                let n = it.next().ok_or("--hft needs a number")?;
+                hft = Hft(n.parse().map_err(|_| format!("bad HFT `{n}`"))?);
+            }
+            "--type-a" => subsystem = SubsystemType::A,
+            "--format" => {
+                format = it.next().ok_or("--format needs a value")?.clone();
+                if !matches!(format.as_str(), "text" | "csv" | "srs") {
+                    return Err(format!("unknown format `{format}`"));
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Options {
+        command,
+        input,
+        config,
+        hft,
+        subsystem,
+        format,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("socfmea: {e}");
+            return usage();
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("socfmea: cannot read `{}`: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let netlist = match parse_verilog(&source) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("socfmea: {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let zones = extract_zones(&netlist, &opts.config);
+
+    match opts.command.as_str() {
+        "zones" => {
+            println!(
+                "{}: {} gates, {} flip-flops -> {} sensible zones",
+                netlist.name(),
+                netlist.gate_count(),
+                netlist.dff_count(),
+                zones.len()
+            );
+            for z in zones.zones() {
+                println!("  {z}");
+            }
+            let (unassigned, local, wide) = zones.membership().census();
+            println!("cone membership: {local} local, {wide} wide, {unassigned} un-zoned gates");
+        }
+        "analyze" => {
+            let mut ws = Worksheet::new(&zones);
+            ws.set_hft(opts.hft);
+            ws.set_subsystem(opts.subsystem);
+            let result = ws.compute();
+            match opts.format.as_str() {
+                "csv" => print!("{}", report::render_csv(&result, &zones)),
+                "srs" => {
+                    let graph = ZoneGraph::build(&netlist, &zones);
+                    let effects = predict_all_effects(&graph);
+                    print!(
+                        "{}",
+                        report::render_srs(netlist.name(), &result, &zones, &effects)
+                    );
+                }
+                _ => print!("{}", report::render_text(&result, &zones)),
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Integration tests of the `socfmea` command-line tool, driving the real
+//! binary through `CARGO_BIN_EXE`.
+
+use std::io::Write;
+use std::process::Command;
+
+const DEMO: &str = "
+    module demo(clk, rst, a, b, y);
+    input clk, rst, a, b;
+    output y;
+    wire s; wire q;
+    xor g0(s, a, b);
+    dffr r0(q, s, rst);
+    buf g1(y, q);
+    endmodule";
+
+fn write_demo() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("socfmea_cli_{}.v", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(DEMO.as_bytes()).expect("write");
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_socfmea"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn zones_lists_the_design() {
+    let path = write_demo();
+    let (stdout, _, ok) = run(&["zones", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("sensible zones"));
+    assert!(stdout.contains("critnet/clk"));
+    assert!(stdout.contains("[reg] q"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn analyze_produces_every_format() {
+    let path = write_demo();
+    let (text, _, ok) = run(&["analyze", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(text.contains("SFF ="));
+
+    let (csv, _, ok) = run(&["analyze", path.to_str().unwrap(), "--format", "csv"]);
+    assert!(ok);
+    assert!(csv.starts_with("zone,kind"));
+
+    let (srs, _, ok) = run(&["analyze", path.to_str().unwrap(), "--format", "srs"]);
+    assert!(ok);
+    assert!(srs.contains("# Safety Requirements Specification"));
+    assert!(srs.contains("ISO 26262 reading"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn options_change_the_verdict() {
+    let path = write_demo();
+    let (hft0, _, _) = run(&["analyze", path.to_str().unwrap()]);
+    let (hft1, _, _) = run(&["analyze", path.to_str().unwrap(), "--hft", "1"]);
+    assert!(hft0.contains("HFT=0"));
+    assert!(hft1.contains("HFT=1"));
+    let (typed, _, ok) = run(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--type-a",
+        "--class",
+        "q=cpu",
+    ]);
+    assert!(ok);
+    assert!(typed.contains("A-type"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let (_, stderr, ok) = run(&["analyze", "/nonexistent/file.v"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+
+    let (_, stderr, ok) = run(&["frobnicate", "x.v"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

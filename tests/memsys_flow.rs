@@ -1,0 +1,140 @@
+//! Integration tests for the paper's §6 flow on the memory sub-system:
+//! both configurations, gate-level vs behavioural agreement, and the
+//! headline SFF ordering.
+
+use soc_fmea::fmea::extract_zones;
+use soc_fmea::iec61508::{Sil, SubsystemType};
+use soc_fmea::memsys::{
+    certification_workload, config::MemSysConfig, fmea, rtl, Codec, MemSysPins,
+};
+use soc_fmea::netlist::Logic;
+use soc_fmea::sim::Simulator;
+
+#[test]
+fn headline_result_baseline_vs_hardened() {
+    let mut sff = Vec::new();
+    for cfg in [MemSysConfig::baseline(), MemSysConfig::hardened()] {
+        let nl = rtl::build_netlist(&cfg).unwrap();
+        let zones = extract_zones(&nl, &fmea::extract_config());
+        let ws = fmea::build_worksheet(&zones, &cfg);
+        sff.push(ws.compute().sff().unwrap());
+    }
+    let (base, hard) = (sff[0], sff[1]);
+    // the paper's shape: baseline misses SIL3 at HFT 0, hardened clears it
+    assert!(base < 0.99 && base > 0.88, "baseline SFF {base}");
+    assert!(hard >= 0.99, "hardened SFF {hard}");
+    assert!(hard - base > 0.03, "the gap must be substantial");
+}
+
+#[test]
+fn hardened_is_sil3_type_b() {
+    let cfg = MemSysConfig::hardened();
+    let nl = rtl::build_netlist(&cfg).unwrap();
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    let result = fmea::build_worksheet(&zones, &cfg).compute();
+    assert_eq!(result.subsystem, SubsystemType::B);
+    assert_eq!(result.sil(), Some(Sil::Sil3));
+}
+
+#[test]
+fn zone_census_matches_paper_scale() {
+    // "about 170 sensible zones resulted"
+    let cfg = MemSysConfig::hardened().with_words(128);
+    let nl = rtl::build_netlist(&cfg).unwrap();
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    assert!(
+        (150..=210).contains(&zones.len()),
+        "zone census {} should be in the paper's region (~170)",
+        zones.len()
+    );
+}
+
+#[test]
+fn gate_level_storage_matches_behavioural_codec() {
+    let cfg = MemSysConfig::hardened().with_words(16);
+    let nl = rtl::build_netlist(&cfg).unwrap();
+    let pins = MemSysPins::find(&nl, &cfg);
+    let codec = Codec::new(true);
+    let mut sim = Simulator::new(&nl).unwrap();
+    // reset
+    sim.set(pins.rst, Logic::One);
+    for &n in [pins.req, pins.wr, pins.privilege, pins.mpu_wr, pins.bist_en,
+               pins.err_inject0, pins.err_inject1].iter() {
+        sim.set(n, Logic::Zero);
+    }
+    sim.set_word(&pins.addr, 0);
+    sim.set_word(&pins.wdata, 0);
+    sim.set_word(&pins.mpu_attr, 0);
+    sim.tick();
+    sim.set(pins.rst, Logic::Zero);
+    sim.tick();
+    // write three words and compare raw storage with the software codec
+    for (addr, data) in [(1u64, 0xdead_beefu64), (7, 0x0123_4567), (12, 0xffff_0000)] {
+        sim.set(pins.req, Logic::One);
+        sim.set(pins.wr, Logic::One);
+        sim.set_word(&pins.addr, addr);
+        sim.set_word(&pins.wdata, data);
+        sim.tick();
+        sim.set(pins.req, Logic::Zero);
+        sim.set(pins.wr, Logic::Zero);
+        sim.tick();
+        sim.tick();
+        let word: Vec<_> = (0..39)
+            .map(|i| nl.net_by_name(&format!("word{addr}[{i}]")).unwrap())
+            .collect();
+        assert_eq!(
+            sim.get_word(&word),
+            Some(codec.encode(data as u32, addr as u32)),
+            "stored code word must match the software codec at addr {addr}"
+        );
+    }
+}
+
+#[test]
+fn certification_workload_is_clean_on_golden_design() {
+    let cfg = MemSysConfig::hardened().with_words(16);
+    let nl = rtl::build_netlist(&cfg).unwrap();
+    let pins = MemSysPins::find(&nl, &cfg);
+    let cert = certification_workload(&pins, &cfg);
+    let mut sim = Simulator::new(&nl).unwrap();
+    let uncorr = nl.net_by_name("alarm_uncorr").unwrap();
+    let mut uncorr_outside_selftest = 0u32;
+    let corr = nl.net_by_name("alarm_corr").unwrap();
+    let mut corr_seen = false;
+    // the error-injection self-test legitimately fires both alarms; after
+    // the workload no residual error may remain
+    cert.workload.run(&mut sim, |_, s| {
+        corr_seen |= s.get(corr) == Logic::One;
+        if s.get(uncorr) == Logic::One {
+            uncorr_outside_selftest += 1;
+        }
+    });
+    assert!(corr_seen, "self-test must exercise the correction path");
+    assert!(
+        uncorr_outside_selftest <= 8,
+        "only the injected double errors may fire alarm_uncorr"
+    );
+}
+
+#[test]
+fn each_hardening_measure_improves_the_worksheet() {
+    let base_cfg = MemSysConfig::baseline();
+    let nl = rtl::build_netlist(&base_cfg).unwrap();
+    let zones = extract_zones(&nl, &fmea::extract_config());
+    let base = fmea::build_worksheet(&zones, &base_cfg).compute().sff().unwrap();
+    // measures that change only claims can reuse the same netlist; measures
+    // that add hardware need a rebuild — do both uniformly
+    for cfg in [
+        MemSysConfig { address_in_ecc: true, ..base_cfg },
+        MemSysConfig { write_buffer_parity: true, ..base_cfg },
+        MemSysConfig { coder_output_checker: true, ..base_cfg },
+        MemSysConfig { redundant_pipeline_checker: true, ..base_cfg },
+        MemSysConfig { distributed_syndrome: true, ..base_cfg },
+        MemSysConfig { sw_startup_test: true, ..base_cfg },
+    ] {
+        let nl = rtl::build_netlist(&cfg).unwrap();
+        let zones = extract_zones(&nl, &fmea::extract_config());
+        let sff = fmea::build_worksheet(&zones, &cfg).compute().sff().unwrap();
+        assert!(sff > base, "measure {cfg:?} must improve SFF ({sff} <= {base})");
+    }
+}
