@@ -22,15 +22,48 @@ fn ablation_configs() -> Vec<(&'static str, MemSysConfig)> {
     let base = MemSysConfig::baseline();
     vec![
         ("baseline", base),
-        ("address_in_ecc", MemSysConfig { address_in_ecc: true, ..base }),
-        ("write_buffer_parity", MemSysConfig { write_buffer_parity: true, ..base }),
-        ("coder_output_checker", MemSysConfig { coder_output_checker: true, ..base }),
+        (
+            "address_in_ecc",
+            MemSysConfig {
+                address_in_ecc: true,
+                ..base
+            },
+        ),
+        (
+            "write_buffer_parity",
+            MemSysConfig {
+                write_buffer_parity: true,
+                ..base
+            },
+        ),
+        (
+            "coder_output_checker",
+            MemSysConfig {
+                coder_output_checker: true,
+                ..base
+            },
+        ),
         (
             "redundant_pipeline_checker",
-            MemSysConfig { redundant_pipeline_checker: true, ..base },
+            MemSysConfig {
+                redundant_pipeline_checker: true,
+                ..base
+            },
         ),
-        ("distributed_syndrome", MemSysConfig { distributed_syndrome: true, ..base }),
-        ("sw_startup_test", MemSysConfig { sw_startup_test: true, ..base }),
+        (
+            "distributed_syndrome",
+            MemSysConfig {
+                distributed_syndrome: true,
+                ..base
+            },
+        ),
+        (
+            "sw_startup_test",
+            MemSysConfig {
+                sw_startup_test: true,
+                ..base
+            },
+        ),
         ("hardened_all", MemSysConfig::hardened()),
     ]
 }

@@ -2,9 +2,7 @@
 //! the datapath primitives every simulated transaction exercises.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use socfmea_memsys::{
-    config::MemSysConfig, ecc::Codec, system::MemorySubsystem, Master,
-};
+use socfmea_memsys::{config::MemSysConfig, ecc::Codec, system::MemorySubsystem, Master};
 use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
@@ -41,14 +39,16 @@ fn bench_behavioural_subsystem(c: &mut Criterion) {
         let mut a = 0u32;
         b.iter(|| {
             a = (a + 1) % 32;
-            sys.bus_write(a, a.wrapping_mul(77), Master::Cpu, true).expect("open page");
+            sys.bus_write(a, a.wrapping_mul(77), Master::Cpu, true)
+                .expect("open page");
             black_box(sys.bus_read(a, Master::Cpu, true).expect("clean"))
         })
     });
     group.bench_function("scrub_scan_32_words", |b| {
         let mut sys = MemorySubsystem::new(MemSysConfig::hardened());
         for a in 0..32 {
-            sys.bus_write(a, a * 3, Master::Cpu, true).expect("open page");
+            sys.bus_write(a, a * 3, Master::Cpu, true)
+                .expect("open page");
         }
         sys.idle(0);
         b.iter(|| black_box(sys.idle(32)))

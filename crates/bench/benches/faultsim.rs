@@ -2,13 +2,15 @@
 //! versus the 64-way bit-parallel PPSFP engine, plus a full injection
 //! campaign.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use socfmea_core::extract_zones;
 use socfmea_faultsim::{
-    fault_universe, generate_fault_list, ppsfp_coverage, run_campaign, serial_coverage,
+    fault_universe, generate_fault_list, ppsfp_coverage, run_campaign, serial_coverage, Campaign,
     EnvironmentBuilder, FaultListConfig, OperationalProfile,
 };
-use socfmea_memsys::{certification_workload, config::MemSysConfig, rtl::build_netlist, MemSysPins};
+use socfmea_memsys::{
+    certification_workload, config::MemSysConfig, rtl::build_netlist, MemSysPins,
+};
 use std::hint::black_box;
 
 fn setup() -> (
@@ -83,10 +85,42 @@ fn bench_injection_campaign(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_campaign_threads(c: &mut Criterion) {
+    let (nl, w, sw) = setup();
+    let zones = extract_zones(&nl, &socfmea_memsys::fmea::extract_config());
+    let env = EnvironmentBuilder::new(&nl, &zones, &w)
+        .alarms_matching("alarm_")
+        .sw_test_window(sw)
+        .build();
+    let profile = OperationalProfile::collect(&env);
+    let faults = generate_fault_list(
+        &env,
+        &profile,
+        &FaultListConfig {
+            bitflips_per_zone: 1,
+            stuckats_per_zone: 1,
+            local_faults_per_zone: 0,
+            wide_faults: 4,
+            global_faults: true,
+            ..FaultListConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("campaign_threads");
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(Campaign::new(&env, &faults).threads(t).run()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serial_vs_ppsfp,
     bench_ppsfp_full_universe,
-    bench_injection_campaign
+    bench_injection_campaign,
+    bench_campaign_threads
 );
 criterion_main!(benches);

@@ -2,9 +2,7 @@
 //! prediction and the sensitivity sweep (experiment T4's inner loop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use socfmea_core::{
-    extract_zones, predict_all_effects, sweep, SensitivitySpec, ZoneGraph,
-};
+use socfmea_core::{extract_zones, predict_all_effects, sweep, SensitivitySpec, ZoneGraph};
 use socfmea_memsys::{config::MemSysConfig, fmea, rtl::build_netlist};
 use std::hint::black_box;
 

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use socfmea_mcu::{build_mcu, programs, McuConfig, McuPins};
-use socfmea_memsys::{certification_workload, config::MemSysConfig, rtl::build_netlist, MemSysPins};
+use socfmea_memsys::{
+    certification_workload, config::MemSysConfig, rtl::build_netlist, MemSysPins,
+};
 use socfmea_rtl::gen;
 use socfmea_sim::{Simulator, ToggleCoverage, Workload};
 use std::hint::black_box;

@@ -1,0 +1,79 @@
+//! Campaign scaling snapshot: wall-clock of the sharded injection engine
+//! at 1/2/4/8 worker threads, written to `BENCH_campaign.json`.
+//!
+//! The snapshot records the host's core count because the speedup claim is
+//! conditional on hardware: on a single-core container the 4-thread run is
+//! expected to be no faster than serial, and the JSON says so explicitly.
+//! Determinism, however, is unconditional — the binary asserts that every
+//! thread count produced the identical `CampaignResult` before writing
+//! anything.
+
+use socfmea_bench::{banner, campaign_fault_config, MemSysSetup};
+use socfmea_memsys::config::MemSysConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "BENCH",
+        "campaign scaling: threads vs faults/sec (deterministic merge)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let setup = MemSysSetup::build(MemSysConfig::hardened().with_words(16));
+    println!(
+        "host: {cores} core{}; design: {} gates / {} FFs",
+        if cores == 1 { "" } else { "s" },
+        setup.netlist.gate_count(),
+        setup.netlist.dff_count()
+    );
+
+    let mut rows = Vec::new();
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let run = setup.campaign_threaded(&campaign_fault_config(), threads);
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "threads {threads}: {} faults in {secs:.2}s ({:.0} faults/s)",
+            run.stats.injections, run.stats.faults_per_sec
+        );
+        match &reference {
+            None => reference = Some(run.result.clone()),
+            Some(r) => assert_eq!(*r, run.result, "determinism violated at {threads} threads"),
+        }
+        rows.push((
+            threads,
+            run.stats.injections,
+            secs,
+            run.stats.faults_per_sec,
+        ));
+    }
+
+    let serial_secs = rows[0].2;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"campaign_threads\",");
+    let _ = writeln!(json, "  \"design\": \"memsys hardened, 16 words\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup is hardware-conditional; results asserted bit-identical across thread counts\","
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, (threads, faults, secs, fps)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"faults\": {faults}, \"seconds\": {secs:.4}, \"faults_per_sec\": {fps:.1}, \"speedup_vs_serial\": {:.2}}}{}",
+            serial_secs / secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = "BENCH_campaign.json";
+    std::fs::write(path, &json).expect("write snapshot");
+    println!("\nall thread counts produced bit-identical results");
+    println!("snapshot written to {path}");
+}

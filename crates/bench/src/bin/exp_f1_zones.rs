@@ -10,7 +10,10 @@ use socfmea_bench::{banner, MemSysSetup};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("F1", "sensible-zone extraction with converging-cone statistics");
+    banner(
+        "F1",
+        "sensible-zone extraction with converging-cone statistics",
+    );
     let setup = MemSysSetup::build(MemSysConfig::baseline());
     println!(
         "design: {} gates, {} flip-flops, {} nets",

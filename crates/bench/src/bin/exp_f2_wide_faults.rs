@@ -14,7 +14,10 @@ use socfmea_memsys::config::MemSysConfig;
 use socfmea_netlist::Logic;
 
 fn main() {
-    banner("F2", "local / wide / global fault classification, multiple failures");
+    banner(
+        "F2",
+        "local / wide / global fault classification, multiple failures",
+    );
     let setup = MemSysSetup::build(MemSysConfig::baseline().with_words(16));
     let census = socfmea_core::census(&setup.netlist, &setup.zones);
     println!(
@@ -77,7 +80,5 @@ fn main() {
         best.deviated_zones.len() >= 2,
         "a wide fault must fail multiple zones"
     );
-    println!(
-        "\n(a single physical fault, multiple sensible-zone failures — Figure 2)"
-    );
+    println!("\n(a single physical fault, multiple sensible-zone failures — Figure 2)");
 }

@@ -11,14 +11,23 @@ use socfmea_core::{predict_all_effects, ZoneGraph};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("F3", "main/secondary effect prediction vs measured table of effects");
+    banner(
+        "F3",
+        "main/secondary effect prediction vs measured table of effects",
+    );
     let setup = MemSysSetup::build(MemSysConfig::baseline().with_words(16));
     let graph = ZoneGraph::build(&setup.netlist, &setup.zones);
     let effects = predict_all_effects(&graph);
 
     println!("structural effect prediction (selected zones):\n");
-    for name in ["fmem/wbuf/wbuf_data", "mce/addr/rd_addr_q", "mem/array/word3"] {
-        let Some(zone) = setup.zones.zone_by_name(name) else { continue };
+    for name in [
+        "fmem/wbuf/wbuf_data",
+        "mce/addr/rd_addr_q",
+        "mem/array/word3",
+    ] {
+        let Some(zone) = setup.zones.zone_by_name(name) else {
+            continue;
+        };
         let fx = &effects[zone.id.index()];
         let names = |ids: &[socfmea_core::ZoneId]| {
             ids.iter()
@@ -36,8 +45,7 @@ fn main() {
     let mut consistent = 0usize;
     let mut total = 0usize;
     for m in &run.analysis.measured {
-        let predicted: std::collections::BTreeSet<_> =
-            effects[m.zone.index()].all().collect();
+        let predicted: std::collections::BTreeSet<_> = effects[m.zone.index()].all().collect();
         let unexpected: Vec<_> = m
             .observed_effects
             .iter()
@@ -54,7 +62,5 @@ fn main() {
             );
         }
     }
-    println!(
-        "\ntable-of-effects consistency: {consistent}/{total} injected zones fully predicted"
-    );
+    println!("\ntable-of-effects consistency: {consistent}/{total} injected zones fully predicted");
 }

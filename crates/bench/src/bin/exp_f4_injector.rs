@@ -6,11 +6,14 @@
 //! collection, result analyzer — on the hardened memory sub-system, and
 //! reports the coverage items that decide experiment completeness.
 
-use socfmea_bench::{banner, campaign_fault_config, MemSysSetup};
+use socfmea_bench::{banner, campaign_fault_config, default_campaign_threads, MemSysSetup};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("F4", "fault-injection environment end-to-end, coverage items");
+    banner(
+        "F4",
+        "fault-injection environment end-to-end, coverage items",
+    );
     let setup = MemSysSetup::build(MemSysConfig::hardened().with_words(16));
     println!(
         "workload `{}`: {} cycles; design: {} gates / {} FFs; zones: {}",
@@ -21,8 +24,12 @@ fn main() {
         setup.zones.len()
     );
 
-    let run = setup.campaign(&campaign_fault_config());
-    println!("\nfault list: {} faults (collapsed, randomized, OP-filtered)", run.faults.len());
+    let run = setup.campaign_threaded(&campaign_fault_config(), default_campaign_threads());
+    println!(
+        "\nfault list: {} faults (collapsed, randomized, OP-filtered)",
+        run.faults.len()
+    );
+    println!("{}", run.stats);
     let inactive = run.profile.inactive_zones();
     println!(
         "operational profile: {} cycles, zone activity coverage {:.1}%, {} inactive zones skipped",

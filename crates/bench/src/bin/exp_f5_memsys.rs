@@ -10,7 +10,10 @@ use socfmea_memsys::config::MemSysConfig;
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("F5", "memory sub-system zone census (paper: about 170 zones)");
+    banner(
+        "F5",
+        "memory sub-system zone census (paper: about 170 zones)",
+    );
     for (name, cfg) in [
         ("baseline", MemSysConfig::baseline().with_words(128)),
         ("hardened", MemSysConfig::hardened().with_words(128)),
@@ -18,12 +21,7 @@ fn main() {
         let setup = MemSysSetup::build(cfg);
         let mut by_block: BTreeMap<String, usize> = BTreeMap::new();
         for z in setup.zones.zones() {
-            let top = z
-                .name
-                .split('/')
-                .next()
-                .unwrap_or("(top)")
-                .to_owned();
+            let top = z.name.split('/').next().unwrap_or("(top)").to_owned();
             *by_block.entry(top).or_insert(0) += 1;
         }
         println!(

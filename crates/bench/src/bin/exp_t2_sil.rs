@@ -10,10 +10,16 @@ use socfmea_iec61508::{sil_from_sff, Hft, SubsystemType};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("T2", "architectural constraints: SFF x HFT -> SIL (types A and B)");
+    banner(
+        "T2",
+        "architectural constraints: SFF x HFT -> SIL (types A and B)",
+    );
     for ty in [SubsystemType::A, SubsystemType::B] {
         println!("\nsubsystem type {ty:?}:");
-        println!("{:<18} {:>8} {:>8} {:>8}", "SFF band", "HFT=0", "HFT=1", "HFT=2");
+        println!(
+            "{:<18} {:>8} {:>8} {:>8}",
+            "SFF band", "HFT=0", "HFT=1", "HFT=2"
+        );
         for (label, probe) in [
             ("SFF < 60%", 0.30),
             ("60% <= SFF < 90%", 0.75),
@@ -25,13 +31,7 @@ fn main() {
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| "-".into())
             };
-            println!(
-                "{:<18} {:>8} {:>8} {:>8}",
-                label,
-                cell(0),
-                cell(1),
-                cell(2)
-            );
+            println!("{:<18} {:>8} {:>8} {:>8}", label, cell(0), cell(1), cell(2));
         }
     }
 

@@ -12,7 +12,10 @@ use socfmea_core::report::render_ranking;
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("T3", "criticality ranking (zones by undetected-dangerous rate)");
+    banner(
+        "T3",
+        "criticality ranking (zones by undetected-dangerous rate)",
+    );
     let mut baseline_top = Vec::new();
     for (name, cfg) in [
         ("baseline", MemSysConfig::baseline()),
@@ -40,6 +43,10 @@ fn main() {
         ("MCE bus interconnection", "mce"),
     ] {
         let hit = baseline_top.iter().any(|n| n.contains(pattern));
-        println!("  {:<28} {}", label, if hit { "present" } else { "NOT in top 10" });
+        println!(
+            "  {:<28} {}",
+            label,
+            if hit { "present" } else { "NOT in top 10" }
+        );
     }
 }

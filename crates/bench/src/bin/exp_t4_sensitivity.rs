@@ -11,7 +11,10 @@ use socfmea_core::{sweep, SensitivitySpec};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("T4", "sensitivity analysis: spanning FIT, S, F and DDF assumptions");
+    banner(
+        "T4",
+        "sensitivity analysis: spanning FIT, S, F and DDF assumptions",
+    );
     let spec = SensitivitySpec::default();
     println!("grid: {} assumption combinations\n", spec.grid_size());
     println!(

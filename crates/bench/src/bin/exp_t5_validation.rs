@@ -11,19 +11,23 @@
 //! then compares measured S/D/F/DDF against the worksheet estimates and the
 //! measured table of effects against the main/secondary prediction.
 
-use socfmea_bench::{banner, campaign_fault_config, pct, MemSysSetup};
+use socfmea_bench::{banner, campaign_fault_config, default_campaign_threads, pct, MemSysSetup};
 use socfmea_core::{predict_all_effects, validate, ValidationConfig, ZoneGraph};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("T5", "validation: injection-measured S/D/DDF vs FMEA estimates");
+    banner(
+        "T5",
+        "validation: injection-measured S/D/DDF vs FMEA estimates",
+    );
+    let threads = default_campaign_threads();
     for (name, cfg) in [
         ("baseline", MemSysConfig::baseline().with_words(16)),
         ("hardened", MemSysConfig::hardened().with_words(16)),
     ] {
         let setup = MemSysSetup::build(cfg);
         let fmea = setup.fmea();
-        let run = setup.campaign(&campaign_fault_config());
+        let run = setup.campaign_threaded(&campaign_fault_config(), threads);
         let graph = ZoneGraph::build(&setup.netlist, &setup.zones);
         let effects = predict_all_effects(&graph);
         let report = validate(
@@ -37,7 +41,8 @@ fn main() {
                 d_tolerance: 0.40,
                 min_injections: 6,
             },
-        );
+        )
+        .with_campaign_stats(run.stats.clone());
 
         println!("\n==== {name} ====");
         println!(
@@ -47,10 +52,8 @@ fn main() {
             pct(run.result.measured_dc()),
             pct(run.result.measured_sff())
         );
-        println!(
-            "coverage items: {}",
-            run.result.coverage
-        );
+        println!("{}", run.stats);
+        println!("coverage items: {}", run.result.coverage);
         println!(
             "validation: {} ({} zones measured, {} failing)",
             if report.passed() { "PASS" } else { "FAIL" },
@@ -83,7 +86,11 @@ fn main() {
 
         // measured F factors vs assumed frequency classes (spot check)
         println!("\nmeasured frequency classes (sample):");
-        for zname in ["mem/array/word3", "fmem/wbuf/wbuf_data", "mce/addr/rd_addr_q"] {
+        for zname in [
+            "mem/array/word3",
+            "fmem/wbuf/wbuf_data",
+            "mce/addr/rd_addr_q",
+        ] {
             if let Some(zone) = setup.zones.zone_by_name(zname) {
                 let measured = run.analysis.measured_freq.get(&zone.id);
                 println!(

@@ -19,7 +19,10 @@ use socfmea_memsys::config::MemSysConfig;
 use socfmea_sim::{Simulator, ToggleCoverage};
 
 fn main() {
-    banner("T6", "workload efficiency: toggle coverage and stuck-at fault coverage");
+    banner(
+        "T6",
+        "workload efficiency: toggle coverage and stuck-at fault coverage",
+    );
     for (name, cfg) in [
         ("baseline", MemSysConfig::baseline().with_words(16)),
         ("hardened", MemSysConfig::hardened().with_words(16)),
@@ -47,7 +50,11 @@ fn main() {
             cov.coverage() * 100.0,
             cov.covered(),
             cov.denominator(),
-            if cov.passes_default_threshold() { "PASS" } else { "below 99%" }
+            if cov.passes_default_threshold() {
+                "PASS"
+            } else {
+                "below 99%"
+            }
         );
 
         // --- stuck-at fault coverage (PPSFP, alarms observable) --------
@@ -62,7 +69,11 @@ fn main() {
             report.total(),
             report.coverage_of_excited() * 100.0,
             report.excited(),
-            if report.coverage_of_excited() >= 0.99 { "PASS" } else { "below 99%" }
+            if report.coverage_of_excited() >= 0.99 {
+                "PASS"
+            } else {
+                "below 99%"
+            }
         );
         let holes = report.excited_undetected();
         println!(

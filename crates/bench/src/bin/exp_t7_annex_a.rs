@@ -12,8 +12,14 @@ use socfmea_iec61508::{technique_catalog, TechniqueId};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("T7", "Annex A technique catalog vs measured diagnostic coverage");
-    println!("{:<58} {:>6} {:>12} {:>4}", "technique [table]", "class", "max DC", "SW?");
+    banner(
+        "T7",
+        "Annex A technique catalog vs measured diagnostic coverage",
+    );
+    println!(
+        "{:<58} {:>6} {:>12} {:>4}",
+        "technique [table]", "class", "max DC", "SW?"
+    );
     for t in technique_catalog() {
         println!(
             "{:<58} {:>6} {:>12} {:>4}",

@@ -11,9 +11,15 @@ use socfmea_iec61508::iso26262::{metric_targets, pmhf_target, Asil};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
-    banner("X1", "ISO 26262 hardware architectural metrics (SPFM / LFM / PMHF)");
+    banner(
+        "X1",
+        "ISO 26262 hardware architectural metrics (SPFM / LFM / PMHF)",
+    );
     println!("ISO 26262-5 targets:");
-    println!("{:<8} {:>8} {:>8} {:>12}", "ASIL", "SPFM", "LFM", "PMHF [/h]");
+    println!(
+        "{:<8} {:>8} {:>8} {:>12}",
+        "ASIL", "SPFM", "LFM", "PMHF [/h]"
+    );
     for asil in [Asil::B, Asil::C, Asil::D] {
         let (s, l) = metric_targets(asil).expect("targets");
         println!(
@@ -44,7 +50,9 @@ fn main() {
             m.lfm * 100.0,
             m.pmhf,
             m.achievable_asil().to_string(),
-            fmea.sil().map(|s| s.to_string()).unwrap_or_else(|| "none".into())
+            fmea.sil()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "none".into())
         );
     }
     println!("\nnote: PMHF depends on the absolute FIT scale (configurable); SPFM/LFM");

@@ -18,7 +18,10 @@ use socfmea_mcu::rtl::run_workload;
 use socfmea_mcu::{build_mcu, fmea, programs, McuConfig, McuPins};
 
 fn main() {
-    banner("X2", "fault-robust microcontroller: single core vs lockstep");
+    banner(
+        "X2",
+        "fault-robust microcontroller: single core vs lockstep",
+    );
     for (name, cfg) in [
         ("single core", McuConfig::single(programs::checksum_loop())),
         ("lockstep", McuConfig::lockstep(programs::checksum_loop())),
@@ -37,7 +40,10 @@ fn main() {
             pct(result.dc()),
             result.sil()
         );
-        println!("top critical zones:\n{}", report::render_ranking(&result, &zones, 5));
+        println!(
+            "top critical zones:\n{}",
+            report::render_ranking(&result, &zones, 5)
+        );
 
         // injection campaign: exhaustive bit flips into the Moore state
         let pins = McuPins::find(&nl);

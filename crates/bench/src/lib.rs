@@ -6,16 +6,14 @@
 //! See `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for the
 //! recorded paper-vs-measured results.
 
-use socfmea_core::{extract_zones, FmeaResult, Worksheet, ZoneSet};
+use socfmea_core::{extract_zones, CampaignStatsSummary, FmeaResult, Worksheet, ZoneSet};
 use socfmea_faultsim::{
-    analyze, generate_fault_list, run_campaign, CampaignAnalysis, CampaignResult,
-    EnvironmentBuilder, Fault, FaultListConfig, OperationalProfile,
+    analyze, generate_fault_list, Campaign, CampaignAnalysis, CampaignResult, EnvironmentBuilder,
+    Fault, FaultListConfig, OperationalProfile,
 };
 use socfmea_memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
 use socfmea_netlist::Netlist;
 use socfmea_sim::Workload;
-
-
 
 /// A fully-assembled memory-sub-system experiment: design, zones, workload.
 #[derive(Debug)]
@@ -66,24 +64,43 @@ impl MemSysSetup {
         self.worksheet().compute()
     }
 
-    /// Runs a full injection campaign and returns
-    /// `(faults, campaign, profile, analysis)`.
+    /// Runs a full injection campaign on one thread; see
+    /// [`campaign_threaded`](Self::campaign_threaded).
     pub fn campaign(&self, list: &FaultListConfig) -> CampaignRun {
+        self.campaign_threaded(list, 1)
+    }
+
+    /// Runs a full injection campaign sharded over `threads` worker
+    /// threads. The measurements are bit-identical for any thread count;
+    /// only [`CampaignRun::stats`] (wall-clock, throughput) differs.
+    pub fn campaign_threaded(&self, list: &FaultListConfig, threads: usize) -> CampaignRun {
         let env = EnvironmentBuilder::new(&self.netlist, &self.zones, &self.workload)
             .alarms_matching("alarm_")
             .sw_test_window(self.sw_test_window)
             .build();
         let profile = OperationalProfile::collect(&env);
         let faults = generate_fault_list(&env, &profile, list);
-        let result = run_campaign(&env, &faults);
+        let campaign = Campaign::new(&env, &faults).threads(threads);
+        let stats = campaign.stats();
+        let result = campaign.run();
         let analysis = analyze(&faults, &result, &profile);
         CampaignRun {
             faults,
             result,
             profile,
             analysis,
+            stats: stats.summary(),
         }
     }
+}
+
+/// The worker-thread count to use for campaign experiments: the host's
+/// available parallelism, capped at 8.
+pub fn default_campaign_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// The artefacts of one injection campaign.
@@ -97,6 +114,8 @@ pub struct CampaignRun {
     pub profile: OperationalProfile,
     /// Aggregated per-zone measurements.
     pub analysis: CampaignAnalysis,
+    /// Execution statistics (threads, wall-clock, throughput) of the run.
+    pub stats: CampaignStatsSummary,
 }
 
 /// A moderate fault-list configuration for campaign experiments: thorough

@@ -206,10 +206,7 @@ mod tests {
         let graph = ZoneGraph::build(&nl, &zones);
         let pi = zones.zone_by_name("pi/din").unwrap().id;
         let fx = predict_effects(&graph, pi);
-        assert!(fx
-            .main
-            .iter()
-            .any(|&z| zones.zone(z).name == "a"));
+        assert!(fx.main.iter().any(|&z| zones.zone(z).name == "a"));
     }
 
     #[test]

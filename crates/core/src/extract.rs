@@ -172,8 +172,12 @@ impl ZoneSet {
 pub fn extract_zones(netlist: &Netlist, config: &ExtractConfig) -> ZoneSet {
     let mut zones: Vec<SensibleZone> = Vec::new();
     let mut dff_zone: Vec<Option<ZoneId>> = vec![None; netlist.dff_count()];
-    let is_opaque =
-        |block: &str| config.opaque_blocks.iter().any(|p| block.starts_with(p.as_str()));
+    let is_opaque = |block: &str| {
+        config
+            .opaque_blocks
+            .iter()
+            .any(|p| block.starts_with(p.as_str()))
+    };
 
     // --- sub-block zones (opaque blocks) -----------------------------
     // Group gates and dffs by the opaque prefix that matched.
@@ -181,7 +185,10 @@ pub fn extract_zones(netlist: &Netlist, config: &ExtractConfig) -> ZoneSet {
         BTreeMap::new();
     for (gi, g) in netlist.gates().iter().enumerate() {
         let block = netlist.block_path(g.block);
-        if let Some(prefix) = config.opaque_blocks.iter().find(|p| block.starts_with(p.as_str()))
+        if let Some(prefix) = config
+            .opaque_blocks
+            .iter()
+            .find(|p| block.starts_with(p.as_str()))
         {
             opaque_groups
                 .entry(prefix.clone())
@@ -192,7 +199,10 @@ pub fn extract_zones(netlist: &Netlist, config: &ExtractConfig) -> ZoneSet {
     }
     for (fi, ff) in netlist.dffs().iter().enumerate() {
         let block = netlist.block_path(ff.block);
-        if let Some(prefix) = config.opaque_blocks.iter().find(|p| block.starts_with(p.as_str()))
+        if let Some(prefix) = config
+            .opaque_blocks
+            .iter()
+            .find(|p| block.starts_with(p.as_str()))
         {
             opaque_groups
                 .entry(prefix.clone())
@@ -293,10 +303,8 @@ pub fn extract_zones(netlist: &Netlist, config: &ExtractConfig) -> ZoneSet {
         for (base, nets) in group_ports(netlist, netlist.inputs()) {
             // Skip nets already zoned as critical (clock/reset get their own
             // zone below).
-            let critical: Vec<NetId> =
-                netlist.critical_nets().iter().map(|&(n, _)| n).collect();
-            let nets: Vec<NetId> =
-                nets.into_iter().filter(|n| !critical.contains(n)).collect();
+            let critical: Vec<NetId> = netlist.critical_nets().iter().map(|&(n, _)| n).collect();
+            let nets: Vec<NetId> = nets.into_iter().filter(|n| !critical.contains(n)).collect();
             if nets.is_empty() {
                 continue;
             }
@@ -506,10 +514,8 @@ mod tests {
     fn logical_entity_zones_cover_named_nets() {
         let nl = demo_netlist();
         // an entity over two register bits plus one unresolvable name
-        let cfg = ExtractConfig::default().entity(
-            "front_low_bits",
-            &["a_reg[0]", "ghost_net", "a_reg[1]"],
-        );
+        let cfg = ExtractConfig::default()
+            .entity("front_low_bits", &["a_reg[0]", "ghost_net", "a_reg[1]"]);
         let zones = extract_zones(&nl, &cfg);
         let entity = zones
             .zone_by_name("entity/front_low_bits")

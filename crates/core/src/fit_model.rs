@@ -81,19 +81,16 @@ impl FitModel {
         match &zone.kind {
             ZoneKind::PrimaryInputGroup { nets } | ZoneKind::PrimaryOutputGroup { nets } => {
                 self.io_transient * nets.len() as f64
-                    + self.gate_transient
-                        * (zone.effective_gate_count * self.transient_capture)
+                    + self.gate_transient * (zone.effective_gate_count * self.transient_capture)
             }
             ZoneKind::CriticalNet { .. } => self.critical_transient,
             ZoneKind::LogicalEntity { nets } => {
                 self.gate_transient
-                    * (zone.effective_gate_count.max(nets.len() as f64)
-                        * self.transient_capture)
+                    * (zone.effective_gate_count.max(nets.len() as f64) * self.transient_capture)
             }
             ZoneKind::RegisterGroup { .. } | ZoneKind::SubBlock { .. } => {
                 self.ff_transient * zone.storage_bits() as f64
-                    + self.gate_transient
-                        * (zone.effective_gate_count * self.transient_capture)
+                    + self.gate_transient * (zone.effective_gate_count * self.transient_capture)
             }
         }
     }

@@ -60,7 +60,9 @@ pub use extract::{extract_zones, ExtractConfig, ZoneSet};
 pub use faultclass::{census, classify_gate, wide_fault_sites, FaultClass, FaultClassCensus};
 pub use fit_model::FitModel;
 pub use sensitivity::{sweep, SensitivityReport, SensitivitySpec};
-pub use validate::{validate, MeasuredZone, ValidationConfig, ValidationReport};
+pub use validate::{
+    validate, CampaignStatsSummary, MeasuredZone, ValidationConfig, ValidationReport,
+};
 pub use worksheet::{
     DiagnosticClaim, FmeaResult, FreqClass, RowPersistence, Worksheet, WorksheetRow,
     ZoneAssumptions,

@@ -147,7 +147,10 @@ pub fn render_srs(
         seq,
         bits
     );
-    let _ = writeln!(s, "| zone | kind | class | bits | cone gates (apportioned) |");
+    let _ = writeln!(
+        s,
+        "| zone | kind | class | bits | cone gates (apportioned) |"
+    );
     let _ = writeln!(s, "|---|---|---|---:|---:|");
     for z in zones.zones() {
         let _ = writeln!(
@@ -225,7 +228,11 @@ pub fn render_srs(
             row.d_fraction,
             row.ddf,
             row.lambda.dangerous_undetected.0,
-            if techs.is_empty() { "—".into() } else { techs }
+            if techs.is_empty() {
+                "—".into()
+            } else {
+                techs
+            }
         );
     }
 

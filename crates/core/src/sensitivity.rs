@@ -157,7 +157,10 @@ pub fn sweep(worksheet: &Worksheet<'_>, spec: &SensitivitySpec) -> SensitivityRe
                     for &sd in &spec.s_deltas {
                         let mut ws = worksheet.clone();
                         ws.set_fit_model(
-                            worksheet.fit_model().scale_transient(tm).scale_permanent(pm),
+                            worksheet
+                                .fit_model()
+                                .scale_transient(tm)
+                                .scale_permanent(pm),
                         );
                         ws.set_ddf_derating(dd);
                         ws.assume_all(|_z, a| {
@@ -215,7 +218,8 @@ mod tests {
         let zones = zones();
         let mut covered = Worksheet::new(&zones);
         covered.assume_all(|_z, a| {
-            a.diagnostics.push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
+            a.diagnostics
+                .push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
             a.diagnostics
                 .push(DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
         });

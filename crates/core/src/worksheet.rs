@@ -19,11 +19,11 @@
 use crate::extract::ZoneSet;
 use crate::fit_model::FitModel;
 use crate::zone::ZoneId;
-use socfmea_iec61508::{
-    annex_a, diagnostic_coverage, required_failure_modes, safe_failure_fraction,
-    sil_from_sff, Fit, Hft, LambdaBreakdown, Sil, SubsystemType, TechniqueId,
-};
 use socfmea_iec61508::failure_modes::Persistence;
+use socfmea_iec61508::{
+    annex_a, diagnostic_coverage, required_failure_modes, safe_failure_fraction, sil_from_sff, Fit,
+    Hft, LambdaBreakdown, Sil, SubsystemType, TechniqueId,
+};
 use std::fmt;
 
 /// The frequency class F of a zone, "used to estimate its usage
@@ -309,7 +309,11 @@ impl FmeaResult {
     pub fn zone_mode_dc(&self, zone: ZoneId, mode_key: &str) -> Option<f64> {
         let mut dd = Fit::ZERO;
         let mut du = Fit::ZERO;
-        for row in self.rows.iter().filter(|r| r.zone == zone && r.mode_key == mode_key) {
+        for row in self
+            .rows
+            .iter()
+            .filter(|r| r.zone == zone && r.mode_key == mode_key)
+        {
             dd += row.lambda.dangerous_detected;
             du += row.lambda.dangerous_undetected;
         }
@@ -717,7 +721,8 @@ mod tests {
         let mut ws = Worksheet::new(&zones);
         // cover everything very well
         ws.assume_all(|_z, a| {
-            a.diagnostics.push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
+            a.diagnostics
+                .push(DiagnosticClaim::at_max(TechniqueId::RamEcc));
             a.diagnostics
                 .push(DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
             a.s_architectural = 0.9;

@@ -177,7 +177,9 @@ mod tests {
         };
         assert_eq!(k.tag(), "reg");
         assert_eq!(k.storage_bits(), 2);
-        let k = ZoneKind::PrimaryInputGroup { nets: vec![NetId(0)] };
+        let k = ZoneKind::PrimaryInputGroup {
+            nets: vec![NetId(0)],
+        };
         assert_eq!(k.tag(), "pi");
         assert_eq!(k.storage_bits(), 0);
         let k = ZoneKind::CriticalNet {

@@ -1,0 +1,651 @@
+//! The sharded campaign engine: multi-threaded fault injection with a
+//! deterministic, fault-list-ordered merge.
+//!
+//! Every fault in a campaign is an independent golden-vs-faulty
+//! co-simulation, which makes the campaign embarrassingly parallel — but
+//! IEC 61508 evidence must be *reproducible*: the measured S/DD/DU split,
+//! the coverage collection and any early-stop decision have to come out the
+//! same whether the campaign ran on one laptop core or a 64-way server.
+//!
+//! [`Campaign`] delivers both. Worker threads claim fixed-size chunks of
+//! the fault list and simulate them against a shared golden trace, each on
+//! its own [`Simulator`] (cloned once via [`Simulator::clone_fresh`], reset
+//! — not re-levelized — between faults). Finished chunks stream back over a
+//! channel and are committed **strictly in fault-list order**; coverage
+//! recording and the early-stop check only ever run on committed, in-order
+//! outcomes. The result is therefore a pure function of `(environment,
+//! fault list)` — bit-identical for any thread count, chunk size or
+//! scheduling seed, and `CampaignResult` is `Eq` so tests assert exactly
+//! that.
+
+use crate::env::Environment;
+use crate::faultlist::Fault;
+use crate::inject::{
+    prepare_context, simulate_one, CampaignContext, CampaignResult, FaultOutcome, Outcome,
+};
+use crate::monitors::CoverageCollection;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use socfmea_core::CampaignStatsSummary;
+use socfmea_sim::Simulator;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// When a campaign may stop before exhausting its fault list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarlyStop {
+    /// Stop once the [`CoverageCollection`] saturates: SENS at 100 % over
+    /// the targeted zones, at least one observed deviation, and — when
+    /// `expect_diagnostics` — at least one alarm event.
+    ///
+    /// The check runs on the in-order committed prefix of the fault list,
+    /// so the stopping point is the same for any thread count.
+    CoverageComplete {
+        /// Require at least one DIAG event before stopping (set when the
+        /// design has diagnostic alarms).
+        expect_diagnostics: bool,
+    },
+}
+
+/// Live progress counters of a running campaign, updated by the worker
+/// threads and safe to poll from any other thread.
+///
+/// Obtain the shared handle with [`Campaign::stats`] *before* calling
+/// [`Campaign::run`]; a monitor thread can then report progress while the
+/// campaign executes. Counters advance as faults are *simulated*, so under
+/// early stop [`faults_done`](Self::faults_done) may exceed the number of
+/// outcomes finally committed to the result.
+#[derive(Debug)]
+pub struct CampaignStats {
+    scheduled: AtomicUsize,
+    threads: AtomicUsize,
+    done: AtomicUsize,
+    no_effect: AtomicUsize,
+    safe_detected: AtomicUsize,
+    dangerous_detected: AtomicUsize,
+    dangerous_undetected: AtomicUsize,
+    /// Nanoseconds from `anchor` to run start / end; `u64::MAX` = not yet.
+    started_nanos: AtomicU64,
+    finished_nanos: AtomicU64,
+    anchor: Instant,
+}
+
+impl CampaignStats {
+    fn new() -> CampaignStats {
+        CampaignStats {
+            scheduled: AtomicUsize::new(0),
+            threads: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            no_effect: AtomicUsize::new(0),
+            safe_detected: AtomicUsize::new(0),
+            dangerous_detected: AtomicUsize::new(0),
+            dangerous_undetected: AtomicUsize::new(0),
+            started_nanos: AtomicU64::new(u64::MAX),
+            finished_nanos: AtomicU64::new(u64::MAX),
+            anchor: Instant::now(),
+        }
+    }
+
+    fn begin(&self, scheduled: usize, threads: usize) {
+        self.scheduled.store(scheduled, Ordering::Relaxed);
+        self.threads.store(threads, Ordering::Relaxed);
+        self.started_nanos
+            .store(self.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn finish(&self) {
+        self.finished_nanos
+            .store(self.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn record(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::NoEffect => &self.no_effect,
+            Outcome::SafeDetected => &self.safe_detected,
+            Outcome::DangerousDetected => &self.dangerous_detected,
+            Outcome::DangerousUndetected => &self.dangerous_undetected,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Faults scheduled in the campaign (0 until the run starts).
+    pub fn scheduled(&self) -> usize {
+        self.scheduled.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads of the run (0 until the run starts).
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Faults simulated so far.
+    pub fn faults_done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Per-class tallies so far: `(no_effect, safe_detected, dd, du)`.
+    pub fn outcome_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.no_effect.load(Ordering::Relaxed),
+            self.safe_detected.load(Ordering::Relaxed),
+            self.dangerous_detected.load(Ordering::Relaxed),
+            self.dangerous_undetected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Wall-clock time since the run started (frozen once it finished;
+    /// zero before it started).
+    pub fn elapsed(&self) -> Duration {
+        let started = self.started_nanos.load(Ordering::Relaxed);
+        if started == u64::MAX {
+            return Duration::ZERO;
+        }
+        let end = match self.finished_nanos.load(Ordering::Relaxed) {
+            u64::MAX => self.anchor.elapsed().as_nanos() as u64,
+            done => done,
+        };
+        Duration::from_nanos(end.saturating_sub(started))
+    }
+
+    /// Current throughput in faults per second.
+    pub fn faults_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.faults_done() as f64 / secs
+    }
+
+    /// True once [`Campaign::run`] has returned.
+    pub fn is_finished(&self) -> bool {
+        self.finished_nanos.load(Ordering::Relaxed) != u64::MAX
+    }
+
+    /// Snapshot as the summary a [`socfmea_core::ValidationReport`] carries.
+    pub fn summary(&self) -> CampaignStatsSummary {
+        let (no_effect, safe_detected, dangerous_detected, dangerous_undetected) =
+            self.outcome_counts();
+        CampaignStatsSummary {
+            injections: self.faults_done(),
+            scheduled: self.scheduled(),
+            no_effect,
+            safe_detected,
+            dangerous_detected,
+            dangerous_undetected,
+            threads: self.threads(),
+            elapsed: self.elapsed(),
+            faults_per_sec: self.faults_per_sec(),
+        }
+    }
+}
+
+/// A configurable fault-injection campaign: shard the fault list over
+/// worker threads, merge deterministically.
+///
+/// The builder methods configure *how* the campaign executes; none of them
+/// change *what* it computes. [`run`](Self::run) returns the same
+/// [`CampaignResult`] for every combination of
+/// [`threads`](Self::threads), [`chunk`](Self::chunk) and
+/// [`seed`](Self::seed).
+///
+/// # Example
+///
+/// ```
+/// use socfmea_core::extract::{extract_zones, ExtractConfig};
+/// use socfmea_faultsim::{
+///     generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig,
+///     OperationalProfile,
+/// };
+/// use socfmea_rtl::RtlBuilder;
+/// use socfmea_sim::{assign_bus, Workload};
+///
+/// // a parity-protected 4-bit register
+/// let mut r = RtlBuilder::new("d");
+/// let d = r.input_word("d", 4);
+/// let q = r.register("data", &d, None, None);
+/// let pin = r.parity(&d);
+/// let pq = r.register_bit("par", pin, None, None);
+/// let pout = r.parity(&q);
+/// let perr = r.xor2_bit(pout, pq);
+/// r.output_word("o", &q);
+/// r.output("alarm_parity", perr);
+/// let nl = r.finish()?;
+///
+/// let zones = extract_zones(&nl, &ExtractConfig::default());
+/// let mut w = Workload::new("count");
+/// let dn: Vec<_> = (0..4).map(|i| nl.net_by_name(&format!("d[{i}]")).unwrap()).collect();
+/// for c in 0..12 {
+///     let mut v = Vec::new();
+///     assign_bus(&mut v, &dn, c % 16);
+///     w.push_cycle(v);
+/// }
+/// let env = EnvironmentBuilder::new(&nl, &zones, &w).alarms_matching("alarm_").build();
+/// let profile = OperationalProfile::collect(&env);
+/// let faults = generate_fault_list(&env, &profile, &FaultListConfig::default());
+///
+/// let campaign = Campaign::new(&env, &faults).threads(2).chunk(4);
+/// let stats = campaign.stats(); // pollable from a monitor thread
+/// let sharded = campaign.run();
+///
+/// // bit-identical to the serial run, by construction
+/// let serial = Campaign::new(&env, &faults).threads(1).run();
+/// assert_eq!(sharded, serial);
+/// assert_eq!(stats.faults_done(), faults.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    env: &'a Environment<'a>,
+    faults: &'a [Fault],
+    threads: usize,
+    seed: u64,
+    chunk: usize,
+    early_stop: Option<EarlyStop>,
+    stats: Arc<CampaignStats>,
+}
+
+impl<'a> Campaign<'a> {
+    /// Default chunk size (faults claimed per worker grab).
+    pub const DEFAULT_CHUNK: usize = 8;
+
+    /// Prepares a campaign over `faults` in `env`, initially single-threaded.
+    pub fn new(env: &'a Environment<'a>, faults: &'a [Fault]) -> Campaign<'a> {
+        Campaign {
+            env,
+            faults,
+            threads: 1,
+            seed: 0,
+            chunk: Self::DEFAULT_CHUNK,
+            early_stop: None,
+            stats: Arc::new(CampaignStats::new()),
+        }
+    }
+
+    /// Sets the worker-thread count (0 is treated as 1). The result is
+    /// independent of this setting; only wall-clock time changes.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Sets the scheduling seed. It shuffles the order in which workers
+    /// *claim* chunks — useful for exercising the merge under adversarial
+    /// completion orders — and provably does not affect the result.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the chunk size: how many consecutive faults a worker claims at
+    /// a time (0 is treated as 1). Smaller chunks balance load better;
+    /// larger chunks lower synchronisation traffic.
+    pub fn chunk(mut self, faults_per_chunk: usize) -> Self {
+        self.chunk = faults_per_chunk.max(1);
+        self
+    }
+
+    /// Enables early exit; see [`EarlyStop`]. Outcomes past the
+    /// (deterministic) stopping point are discarded.
+    pub fn early_stop(mut self, policy: EarlyStop) -> Self {
+        self.early_stop = Some(policy);
+        self
+    }
+
+    /// The live progress counters of this campaign. Clone the `Arc` out
+    /// before [`run`](Self::run) to poll from another thread.
+    pub fn stats(&self) -> Arc<CampaignStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Executes the campaign and returns its (thread-count-independent)
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist cannot be levelized (prevented by
+    /// construction for `RtlBuilder` designs).
+    pub fn run(self) -> CampaignResult {
+        let ctx = prepare_context(self.env, self.faults);
+        let mut coverage = CoverageCollection::new(ctx.injected_zones.iter().copied());
+        self.stats.begin(self.faults.len(), self.threads);
+        let outcomes = if self.threads == 1 {
+            self.run_serial(&ctx, &mut coverage)
+        } else {
+            self.run_sharded(&ctx, &mut coverage)
+        };
+        self.stats.finish();
+        CampaignResult { outcomes, coverage }
+    }
+
+    /// Commits one in-order outcome to the coverage collection; true when
+    /// the early-stop policy says the campaign is done.
+    fn commit(&self, coverage: &mut CoverageCollection, fo: &FaultOutcome) -> bool {
+        coverage.record(
+            self.faults[fo.fault_index].zone,
+            fo.sens_triggered,
+            &fo.deviated_zones,
+            fo.alarm_cycle,
+            fo.first_mismatch,
+        );
+        match self.early_stop {
+            Some(EarlyStop::CoverageComplete { expect_diagnostics }) => {
+                coverage.is_complete(expect_diagnostics)
+            }
+            None => false,
+        }
+    }
+
+    fn run_serial(
+        &self,
+        ctx: &CampaignContext,
+        coverage: &mut CoverageCollection,
+    ) -> Vec<FaultOutcome> {
+        let mut sim = Simulator::new(self.env.netlist).expect("levelizable netlist");
+        let mut outcomes = Vec::with_capacity(self.faults.len());
+        for (fi, fault) in self.faults.iter().enumerate() {
+            let fo = simulate_one(self.env, ctx, &mut sim, fi, fault);
+            self.stats.record(fo.outcome);
+            let stop = self.commit(coverage, &fo);
+            outcomes.push(fo);
+            if stop {
+                break;
+            }
+        }
+        outcomes
+    }
+
+    fn run_sharded(
+        &self,
+        ctx: &CampaignContext,
+        coverage: &mut CoverageCollection,
+    ) -> Vec<FaultOutcome> {
+        let n = self.faults.len();
+        let chunk = self.chunk;
+        let n_chunks = n.div_ceil(chunk);
+        // The seed shuffles only the order in which workers claim chunks.
+        let mut claim_order: Vec<usize> = (0..n_chunks).collect();
+        claim_order.shuffle(&mut StdRng::seed_from_u64(self.seed));
+
+        let next_claim = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let base = Simulator::new(self.env.netlist).expect("levelizable netlist");
+        let (tx, rx) = mpsc::channel::<(usize, Vec<FaultOutcome>)>();
+        let mut outcomes = Vec::with_capacity(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n_chunks.max(1)) {
+                let tx = tx.clone();
+                let (base, claim_order, next_claim, stop) =
+                    (&base, &claim_order, &next_claim, &stop);
+                scope.spawn(move || {
+                    let mut sim = base.clone_fresh();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let claim = next_claim.fetch_add(1, Ordering::Relaxed);
+                        if claim >= claim_order.len() {
+                            return;
+                        }
+                        let ci = claim_order[claim];
+                        let lo = ci * chunk;
+                        let hi = (lo + chunk).min(n);
+                        let mut chunk_out = Vec::with_capacity(hi - lo);
+                        for fi in lo..hi {
+                            // A set stop flag means the result is already
+                            // fully committed; this chunk can't be needed.
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let fo = simulate_one(self.env, ctx, &mut sim, fi, &self.faults[fi]);
+                            self.stats.record(fo.outcome);
+                            chunk_out.push(fo);
+                        }
+                        if tx.send((ci, chunk_out)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // Deterministic merge: buffer out-of-order chunks, commit
+            // strictly in fault-list order.
+            let mut pending: BTreeMap<usize, Vec<FaultOutcome>> = BTreeMap::new();
+            let mut next_commit = 0usize;
+            'merge: for (ci, chunk_out) in rx.iter() {
+                pending.insert(ci, chunk_out);
+                while let Some(chunk_out) = pending.remove(&next_commit) {
+                    next_commit += 1;
+                    for fo in chunk_out {
+                        let stop_now = self.commit(coverage, &fo);
+                        outcomes.push(fo);
+                        if stop_now {
+                            stop.store(true, Ordering::Relaxed);
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+            // Receiver drops here; workers still sending see a closed
+            // channel and exit. The scope joins them before returning.
+        });
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvironmentBuilder;
+    use crate::faultlist::{generate_fault_list, FaultListConfig};
+    use crate::inject::run_campaign;
+    use socfmea_core::extract::{extract_zones, ExtractConfig};
+    use socfmea_rtl::RtlBuilder;
+    use socfmea_sim::{assign_bus, Workload};
+
+    fn protected_design() -> socfmea_netlist::Netlist {
+        let mut r = RtlBuilder::new("prot");
+        let _clk = r.clock_input("clk");
+        let d = r.input_word("d", 4);
+        r.push_block("regs");
+        let q = r.register("data", &d, None, None);
+        let pin = r.parity(&d);
+        let pq = r.register_bit("par", pin, None, None);
+        r.pop_block();
+        let pout = r.parity(&q);
+        let perr = r.xor2_bit(pout, pq);
+        r.output_word("o", &q);
+        r.output("alarm_parity", perr);
+        r.finish().unwrap()
+    }
+
+    fn workload(nl: &socfmea_netlist::Netlist, cycles: u64) -> Workload {
+        let d: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("d[{i}]")).unwrap())
+            .collect();
+        let mut w = Workload::new("count");
+        for c in 0..cycles {
+            let mut v = Vec::new();
+            assign_bus(&mut v, &d, c % 16);
+            w.push_cycle(v);
+        }
+        w
+    }
+
+    struct Fixture {
+        nl: socfmea_netlist::Netlist,
+        zones: socfmea_core::ZoneSet,
+        w: Workload,
+    }
+
+    impl Fixture {
+        fn new(cycles: u64) -> Fixture {
+            let nl = protected_design();
+            let zones = extract_zones(&nl, &ExtractConfig::default());
+            let w = workload(&nl, cycles);
+            Fixture { nl, zones, w }
+        }
+
+        fn env(&self) -> Environment<'_> {
+            EnvironmentBuilder::new(&self.nl, &self.zones, &self.w)
+                .alarms_matching("alarm_")
+                .build()
+        }
+    }
+
+    fn fault_list(env: &Environment<'_>) -> Vec<Fault> {
+        let profile = crate::profile::OperationalProfile::collect(env);
+        generate_fault_list(
+            env,
+            &profile,
+            &FaultListConfig {
+                seed: 99,
+                ..FaultListConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        assert!(
+            faults.len() > 8,
+            "need a non-trivial list, got {}",
+            faults.len()
+        );
+        let serial = Campaign::new(&env, &faults).threads(1).run();
+        for threads in [2, 3, 4, 7] {
+            let sharded = Campaign::new(&env, &faults).threads(threads).chunk(3).run();
+            assert_eq!(serial, sharded, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn scheduling_seed_and_chunk_size_do_not_change_the_result() {
+        let fx = Fixture::new(10);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let reference = Campaign::new(&env, &faults).threads(2).run();
+        for (seed, chunk) in [(1, 1), (42, 2), (0xdead_beef, 5), (7, 64)] {
+            let got = Campaign::new(&env, &faults)
+                .threads(4)
+                .seed(seed)
+                .chunk(chunk)
+                .run();
+            assert_eq!(reference, got, "divergence at seed {seed} chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn run_campaign_wrapper_matches_builder() {
+        let fx = Fixture::new(10);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        assert_eq!(
+            run_campaign(&env, &faults),
+            Campaign::new(&env, &faults).threads(1).run()
+        );
+    }
+
+    #[test]
+    fn stats_count_every_fault_and_throughput_is_positive() {
+        let fx = Fixture::new(10);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let campaign = Campaign::new(&env, &faults).threads(2);
+        let stats = campaign.stats();
+        assert_eq!(stats.faults_done(), 0);
+        assert!(!stats.is_finished());
+        let result = campaign.run();
+        assert!(stats.is_finished());
+        assert_eq!(stats.faults_done(), faults.len());
+        assert_eq!(stats.scheduled(), faults.len());
+        assert_eq!(stats.threads(), 2);
+        assert_eq!(stats.outcome_counts(), result.outcome_counts());
+        assert!(stats.faults_per_sec() > 0.0);
+        let summary = stats.summary();
+        assert_eq!(summary.injections, faults.len());
+        assert_eq!(summary.threads, 2);
+    }
+
+    #[test]
+    fn early_stop_truncates_identically_across_thread_counts() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        // A crafted list whose coverage saturates mid-list: the `par` zone
+        // is only touched by fault #5, so SENS hits 100 % there and the
+        // campaign must stop with exactly 6 outcomes committed.
+        let data = fx.zones.zone_by_name("regs/data").unwrap();
+        let par = fx.zones.zone_by_name("regs/par").unwrap();
+        let socfmea_core::ZoneKind::RegisterGroup { dffs: data_dffs } = &data.kind else {
+            panic!("register zone expected");
+        };
+        let socfmea_core::ZoneKind::RegisterGroup { dffs: par_dffs } = &par.kind else {
+            panic!("register zone expected");
+        };
+        let flip = |dff, zone, cycle| Fault {
+            kind: crate::faultlist::FaultKind::BitFlip { dff },
+            zone: Some(zone),
+            inject_cycle: cycle,
+            label: "crafted flip".into(),
+        };
+        let mut faults: Vec<Fault> = (0..5)
+            .map(|i| flip(data_dffs[i % data_dffs.len()], data.id, 1 + i))
+            .collect();
+        faults.push(flip(par_dffs[0], par.id, 2));
+        faults.extend((0..6).map(|i| flip(data_dffs[i % data_dffs.len()], data.id, 2 + i)));
+        let policy = EarlyStop::CoverageComplete {
+            expect_diagnostics: true,
+        };
+        let serial = Campaign::new(&env, &faults)
+            .threads(1)
+            .early_stop(policy)
+            .run();
+        let full = Campaign::new(&env, &faults).threads(1).run();
+        assert!(
+            serial.outcomes.len() < full.outcomes.len(),
+            "early stop never triggered ({} faults) — fixture too small?",
+            full.outcomes.len()
+        );
+        assert!(serial.coverage.is_complete(true));
+        for threads in [2, 4] {
+            let sharded = Campaign::new(&env, &faults)
+                .threads(threads)
+                .chunk(2)
+                .early_stop(policy)
+                .run();
+            assert_eq!(
+                serial, sharded,
+                "early-stop divergence at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_yields_empty_result_on_any_thread_count() {
+        let fx = Fixture::new(6);
+        let env = fx.env();
+        for threads in [1, 4] {
+            let result = Campaign::new(&env, &[]).threads(threads).run();
+            assert!(result.outcomes.is_empty());
+            assert!(result.coverage.is_complete(false));
+        }
+    }
+
+    #[test]
+    fn degenerate_builder_settings_are_clamped() {
+        let fx = Fixture::new(8);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let reference = run_campaign(&env, &faults);
+        let clamped = Campaign::new(&env, &faults).threads(0).chunk(0).run();
+        assert_eq!(reference, clamped);
+    }
+}

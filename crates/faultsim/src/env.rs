@@ -124,7 +124,11 @@ impl<'a> EnvironmentBuilder<'a> {
 
     /// Finalises the environment.
     pub fn build(self) -> Environment<'a> {
-        let is_alarm = |name: &str| self.alarm_patterns.iter().any(|p| name.contains(p.as_str()));
+        let is_alarm = |name: &str| {
+            self.alarm_patterns
+                .iter()
+                .any(|p| name.contains(p.as_str()))
+        };
         let mut functional_outputs = Vec::new();
         let mut alarm_nets = self.extra_alarms.clone();
         for &o in self.netlist.outputs() {
@@ -198,7 +202,9 @@ mod tests {
         let zones = extract_zones(&nl, &ExtractConfig::default());
         let w = Workload::new("w");
         let flag = nl.net_by_name("flag").unwrap();
-        let env = EnvironmentBuilder::new(&nl, &zones, &w).alarm_net(flag).build();
+        let env = EnvironmentBuilder::new(&nl, &zones, &w)
+            .alarm_net(flag)
+            .build();
         assert!(env.alarm_nets.contains(&flag));
         // but it stays in functional outputs too unless name-matched: the
         // builder only reroutes name-matched outputs.

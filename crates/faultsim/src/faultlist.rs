@@ -256,7 +256,11 @@ pub fn generate_fault_list(
     wide.truncate(config.wide_faults.max(wide.len().min(config.wide_faults)));
     for site in wide.into_iter().take(config.wide_faults) {
         let net = env.netlist.gate(site.gate).output;
-        let value = if rng.random_bool(0.5) { Logic::One } else { Logic::Zero };
+        let value = if rng.random_bool(0.5) {
+            Logic::One
+        } else {
+            Logic::Zero
+        };
         let canonical = collapse_stuck_at(env.netlist, net, value);
         if !seen_stuck.insert(canonical) {
             continue;
@@ -302,11 +306,15 @@ pub fn generate_fault_list(
 
     // global clock fault
     if config.global_faults {
-        let clock_zone = env
-            .zones
-            .zones()
-            .iter()
-            .find(|z| matches!(z.kind, ZoneKind::CriticalNet { role: socfmea_netlist::CriticalNetKind::Clock, .. }));
+        let clock_zone = env.zones.zones().iter().find(|z| {
+            matches!(
+                z.kind,
+                ZoneKind::CriticalNet {
+                    role: socfmea_netlist::CriticalNetKind::Clock,
+                    ..
+                }
+            )
+        });
         faults.push(Fault {
             kind: FaultKind::ClockStuck { cycles: 2 },
             zone: clock_zone.map(|z| z.id),
@@ -357,14 +365,7 @@ mod tests {
         let a = generate_fault_list(&env, &profile, &cfg);
         let b = generate_fault_list(&env, &profile, &cfg);
         assert_eq!(a, b);
-        let c = generate_fault_list(
-            &env,
-            &profile,
-            &FaultListConfig {
-                seed: 999,
-                ..cfg
-            },
-        );
+        let c = generate_fault_list(&env, &profile, &FaultListConfig { seed: 999, ..cfg });
         assert_ne!(a, c);
     }
 
@@ -375,11 +376,21 @@ mod tests {
         let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
         let profile = OperationalProfile::collect(&env);
         let faults = generate_fault_list(&env, &profile, &FaultListConfig::default());
-        assert!(faults.iter().any(|f| matches!(f.kind, FaultKind::BitFlip { .. })));
-        assert!(faults.iter().any(|f| matches!(f.kind, FaultKind::StuckAt { .. })));
-        assert!(faults.iter().any(|f| matches!(f.kind, FaultKind::Glitch { .. })));
-        assert!(faults.iter().any(|f| matches!(f.kind, FaultKind::ClockStuck { .. })));
-        assert!(faults.iter().any(|f| matches!(f.kind, FaultKind::Bridge { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::BitFlip { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::StuckAt { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Glitch { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::ClockStuck { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Bridge { .. })));
         // all zone-failure faults are attributed
         assert!(faults
             .iter()
@@ -400,10 +411,7 @@ mod tests {
         let nl = b.finish().unwrap();
         let bf_net = nl.net_by_name("bf").unwrap();
         // two inverters cancel: sa1 on bf == sa1 on a
-        assert_eq!(
-            collapse_stuck_at(&nl, bf_net, Logic::One),
-            (a, Logic::One)
-        );
+        assert_eq!(collapse_stuck_at(&nl, bf_net, Logic::One), (a, Logic::One));
     }
 
     #[test]
@@ -414,6 +422,9 @@ mod tests {
         }
         .to_string();
         assert_eq!(s, "sa1@n3");
-        assert_eq!(FaultKind::ClockStuck { cycles: 2 }.to_string(), "clock-stuck 2cy");
+        assert_eq!(
+            FaultKind::ClockStuck { cycles: 2 }.to_string(),
+            "clock-stuck 2cy"
+        );
     }
 }

@@ -58,7 +58,7 @@ impl fmt::Display for Outcome {
 }
 
 /// The measured result of one injection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultOutcome {
     /// Index into the campaign's fault list.
     pub fault_index: usize,
@@ -76,7 +76,11 @@ pub struct FaultOutcome {
 }
 
 /// A complete campaign: per-fault outcomes plus coverage bookkeeping.
-#[derive(Debug, Clone)]
+///
+/// `CampaignResult` is `Eq` and intentionally carries no timing data: the
+/// result of a [`Campaign`](crate::campaign::Campaign) is bit-identical for
+/// any thread count, and tests assert that with plain `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignResult {
     /// One entry per fault, in fault-list order.
     pub outcomes: Vec<FaultOutcome>,
@@ -120,12 +124,46 @@ impl CampaignResult {
 }
 
 /// Per-cycle golden reference values.
-struct GoldenTrace {
+pub(crate) struct GoldenTrace {
     obs: Vec<Vec<Logic>>,
     outputs: Vec<Vec<Logic>>,
     alarms: Vec<Vec<Logic>>,
     /// Values of the faults' own target nets (for the SENS monitor).
     targets: Vec<Vec<Logic>>,
+}
+
+/// Everything a campaign shares across faults: the golden trace, the SENS
+/// target-column lookup, and the set of zones the fault list targets.
+///
+/// Recorded once per campaign; immutable afterwards, so worker threads can
+/// share it by reference.
+pub(crate) struct CampaignContext {
+    golden: GoldenTrace,
+    target_col: std::collections::BTreeMap<NetId, usize>,
+    pub(crate) injected_zones: BTreeSet<ZoneId>,
+}
+
+/// Records the golden trace and SENS lookup for `faults` over `env`.
+///
+/// # Panics
+///
+/// Panics if the netlist cannot be levelized.
+pub(crate) fn prepare_context(env: &Environment<'_>, faults: &[Fault]) -> CampaignContext {
+    let mut target_nets: Vec<NetId> = faults.iter().filter_map(target_net).collect();
+    target_nets.sort_unstable();
+    target_nets.dedup();
+    let target_col = target_nets
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let golden = record_golden(env, &target_nets);
+    let injected_zones = faults.iter().filter_map(|f| f.zone).collect();
+    CampaignContext {
+        golden,
+        target_col,
+        injected_zones,
+    }
 }
 
 /// The net a fault physically disturbs (used by the SENS monitor to decide
@@ -147,12 +185,18 @@ fn record_golden(env: &Environment<'_>, target_nets: &[NetId]) -> GoldenTrace {
         targets: Vec::with_capacity(env.workload.len()),
     };
     env.workload.run(&mut sim, |_, s| {
-        trace.obs.push(env.observation_nets.iter().map(|&n| s.get(n)).collect());
+        trace
+            .obs
+            .push(env.observation_nets.iter().map(|&n| s.get(n)).collect());
         trace
             .outputs
             .push(env.functional_outputs.iter().map(|&n| s.get(n)).collect());
-        trace.alarms.push(env.alarm_nets.iter().map(|&n| s.get(n)).collect());
-        trace.targets.push(target_nets.iter().map(|&n| s.get(n)).collect());
+        trace
+            .alarms
+            .push(env.alarm_nets.iter().map(|&n| s.get(n)).collect());
+        trace
+            .targets
+            .push(target_nets.iter().map(|&n| s.get(n)).collect());
     });
     trace
 }
@@ -187,148 +231,159 @@ fn apply_fault(sim: &mut Simulator<'_>, fault: &Fault) -> Option<usize> {
     }
 }
 
-/// Runs the whole campaign over the environment's workload.
+/// Runs one fault lockstep against the shared golden trace, classifying the
+/// outcome.
+///
+/// `sim` is reused across calls: the function resets it to power-on first,
+/// so a campaign worker pays the levelization cost once (via
+/// [`Simulator::clone_fresh`]) and only the cheap state reset per fault.
+/// The result is a pure function of `(env, ctx, fault)` — it does not
+/// depend on what the simulator ran before, which is what makes sharded
+/// campaigns bit-identical to serial ones.
+pub(crate) fn simulate_one(
+    env: &Environment<'_>,
+    ctx: &CampaignContext,
+    sim: &mut Simulator<'_>,
+    fault_index: usize,
+    fault: &Fault,
+) -> FaultOutcome {
+    sim.reset_to_power_on();
+    let golden = &ctx.golden;
+    let mut first_mismatch = None;
+    let mut alarm_cycle = None;
+    let mut deviated_zones = BTreeSet::new();
+    let mut sens_triggered = false;
+    let mut clock_off: Option<usize> = None;
+
+    for (cycle, inputs) in env.workload.iter().enumerate() {
+        for &(n, v) in inputs {
+            sim.set(n, v);
+        }
+        if cycle == fault.inject_cycle {
+            clock_off = apply_fault(sim, fault);
+        }
+        if let Some(remaining) = clock_off {
+            if remaining == 0 {
+                sim.suppress_clock(false);
+                clock_off = None;
+            }
+        }
+        sim.eval();
+
+        // SENS: did the injection physically disturb its target net?
+        if !sens_triggered {
+            if let Some(t) = target_net(fault) {
+                let col = ctx.target_col[&t];
+                let g = golden.targets[cycle][col];
+                if g.is_known() && sim.get(t) != g {
+                    sens_triggered = true;
+                }
+            }
+        }
+        // OBSE: observation-point deviations
+        for (oi, &net) in env.observation_nets.iter().enumerate() {
+            let g = golden.obs[cycle][oi];
+            let f = sim.get(net);
+            if g.is_known() && f != g {
+                if let Some(zone) = env.zone_of_net(net) {
+                    deviated_zones.insert(zone);
+                    if Some(zone) == fault.zone {
+                        sens_triggered = true;
+                    }
+                }
+            }
+        }
+        // functional outputs
+        if first_mismatch.is_none() {
+            for (oi, &net) in env.functional_outputs.iter().enumerate() {
+                let g = golden.outputs[cycle][oi];
+                if g.is_known() && sim.get(net) != g {
+                    first_mismatch = Some(cycle);
+                    break;
+                }
+            }
+        }
+        // alarms
+        if alarm_cycle.is_none() {
+            for (ai, &net) in env.alarm_nets.iter().enumerate() {
+                let g = golden.alarms[cycle][ai];
+                if sim.get(net) == Logic::One && g != Logic::One {
+                    alarm_cycle = Some(cycle);
+                    break;
+                }
+            }
+        }
+
+        sim.tick();
+        if let Some(remaining) = clock_off.as_mut() {
+            *remaining = remaining.saturating_sub(1);
+        }
+    }
+
+    // A bit flip or clock outage is itself the zone failure: count the
+    // physical act as SENS even if the anchor comparison missed it.
+    if matches!(
+        fault.kind,
+        FaultKind::BitFlip { .. } | FaultKind::ClockStuck { .. }
+    ) {
+        sens_triggered = true;
+        if let Some(z) = fault.zone {
+            deviated_zones.insert(z);
+        }
+    }
+
+    let sw_detected = match (first_mismatch, env.sw_test_window) {
+        (Some(m), Some((start, end))) => m >= start && m < end,
+        _ => false,
+    };
+    let outcome = match (first_mismatch, alarm_cycle) {
+        // an internal deviation that never reaches an output is safe
+        (None, None) => Outcome::NoEffect,
+        (None, Some(_)) => Outcome::SafeDetected,
+        (Some(_), Some(_)) => Outcome::DangerousDetected,
+        // no HW alarm, but the SW self-test comparison saw the mismatch
+        (Some(_), None) if sw_detected => Outcome::DangerousDetected,
+        (Some(_), None) => Outcome::DangerousUndetected,
+    };
+
+    FaultOutcome {
+        fault_index,
+        outcome,
+        first_mismatch,
+        alarm_cycle,
+        sens_triggered,
+        deviated_zones,
+    }
+}
+
+/// Runs the whole campaign over the environment's workload, serially.
 ///
 /// The golden trace is recorded once; each fault then runs lockstep against
 /// it. Differences are only counted where the golden value is known
 /// (`0`/`1`), so un-initialised `X` state does not produce spurious
 /// deviations.
 ///
+/// This is a thin wrapper over the [`Campaign`](crate::campaign::Campaign)
+/// builder — `Campaign::new(env, faults).threads(1).run()` — kept for
+/// source compatibility; use the builder directly for multi-threaded runs,
+/// live progress counters or early stop.
+///
 /// # Panics
 ///
 /// Panics if the netlist cannot be levelized (prevented by construction).
 pub fn run_campaign(env: &Environment<'_>, faults: &[Fault]) -> CampaignResult {
-    let mut target_nets: Vec<NetId> = faults.iter().filter_map(target_net).collect();
-    target_nets.sort_unstable();
-    target_nets.dedup();
-    let target_col: std::collections::BTreeMap<NetId, usize> = target_nets
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
-    let golden = record_golden(env, &target_nets);
-    let injected_zones: BTreeSet<ZoneId> = faults.iter().filter_map(|f| f.zone).collect();
-    let mut coverage = CoverageCollection::new(injected_zones.iter().copied());
-    let mut outcomes = Vec::with_capacity(faults.len());
-
-    for (fi, fault) in faults.iter().enumerate() {
-        let mut sim = Simulator::new(env.netlist).expect("levelizable netlist");
-        let mut first_mismatch = None;
-        let mut alarm_cycle = None;
-        let mut deviated_zones = BTreeSet::new();
-        let mut sens_triggered = false;
-        let mut clock_off: Option<usize> = None;
-
-        for (cycle, inputs) in env.workload.iter().enumerate() {
-            for &(n, v) in inputs {
-                sim.set(n, v);
-            }
-            if cycle == fault.inject_cycle {
-                clock_off = apply_fault(&mut sim, fault);
-            }
-            if let Some(remaining) = clock_off {
-                if remaining == 0 {
-                    sim.suppress_clock(false);
-                    clock_off = None;
-                }
-            }
-            sim.eval();
-
-            // SENS: did the injection physically disturb its target net?
-            if !sens_triggered {
-                if let Some(t) = target_net(fault) {
-                    let col = target_col[&t];
-                    let g = golden.targets[cycle][col];
-                    if g.is_known() && sim.get(t) != g {
-                        sens_triggered = true;
-                    }
-                }
-            }
-            // OBSE: observation-point deviations
-            for (oi, &net) in env.observation_nets.iter().enumerate() {
-                let g = golden.obs[cycle][oi];
-                let f = sim.get(net);
-                if g.is_known() && f != g {
-                    if let Some(zone) = env.zone_of_net(net) {
-                        deviated_zones.insert(zone);
-                        if Some(zone) == fault.zone {
-                            sens_triggered = true;
-                        }
-                    }
-                }
-            }
-            // functional outputs
-            if first_mismatch.is_none() {
-                for (oi, &net) in env.functional_outputs.iter().enumerate() {
-                    let g = golden.outputs[cycle][oi];
-                    if g.is_known() && sim.get(net) != g {
-                        first_mismatch = Some(cycle);
-                        break;
-                    }
-                }
-            }
-            // alarms
-            if alarm_cycle.is_none() {
-                for (ai, &net) in env.alarm_nets.iter().enumerate() {
-                    let g = golden.alarms[cycle][ai];
-                    if sim.get(net) == Logic::One && g != Logic::One {
-                        alarm_cycle = Some(cycle);
-                        break;
-                    }
-                }
-            }
-
-            sim.tick();
-            if let Some(remaining) = clock_off.as_mut() {
-                *remaining = remaining.saturating_sub(1);
-            }
-        }
-
-        // A bit flip or clock outage is itself the zone failure: count the
-        // physical act as SENS even if the anchor comparison missed it.
-        if matches!(
-            fault.kind,
-            FaultKind::BitFlip { .. } | FaultKind::ClockStuck { .. }
-        ) {
-            sens_triggered = true;
-            if let Some(z) = fault.zone {
-                deviated_zones.insert(z);
-            }
-        }
-
-        let sw_detected = match (first_mismatch, env.sw_test_window) {
-            (Some(m), Some((start, end))) => m >= start && m < end,
-            _ => false,
-        };
-        let outcome = match (first_mismatch, alarm_cycle) {
-            // an internal deviation that never reaches an output is safe
-            (None, None) => Outcome::NoEffect,
-            (None, Some(_)) => Outcome::SafeDetected,
-            (Some(_), Some(_)) => Outcome::DangerousDetected,
-            // no HW alarm, but the SW self-test comparison saw the mismatch
-            (Some(_), None) if sw_detected => Outcome::DangerousDetected,
-            (Some(_), None) => Outcome::DangerousUndetected,
-        };
-
-        coverage.record(fault.zone, sens_triggered, &deviated_zones, alarm_cycle, first_mismatch);
-        outcomes.push(FaultOutcome {
-            fault_index: fi,
-            outcome,
-            first_mismatch,
-            alarm_cycle,
-            sens_triggered,
-            deviated_zones,
-        });
-    }
-
-    CampaignResult { outcomes, coverage }
+    crate::campaign::Campaign::new(env, faults).threads(1).run()
 }
 
 /// Runs one single fault (convenience for tests/examples); returns its
 /// outcome.
 pub fn run_single(env: &Environment<'_>, fault: Fault) -> FaultOutcome {
     let result = run_campaign(env, std::slice::from_ref(&fault));
-    result.outcomes.into_iter().next().expect("one fault, one outcome")
+    result
+        .outcomes
+        .into_iter()
+        .next()
+        .expect("one fault, one outcome")
 }
 
 /// Convenience: the functional outputs of a netlist as a probe list

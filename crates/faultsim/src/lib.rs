@@ -17,6 +17,11 @@
 //! * [`inject`] — **Fault Injection Manager**: runs the campaign, lockstep
 //!   golden-vs-faulty, classifying each injection as safe / dangerous
 //!   detected / dangerous undetected,
+//! * [`campaign`] — the sharded campaign engine: the [`Campaign`] builder
+//!   shards the fault list over worker threads and merges outcomes in
+//!   fault-list order, so results are bit-identical for any thread count,
+//!   with live progress counters ([`CampaignStats`]) and optional early
+//!   stop on coverage saturation,
 //! * [`monitors`] — **Monitors and Coverage Collection**: SENS/OBSE/DIAG
 //!   coverage items; the campaign is complete only when every item is
 //!   covered,
@@ -29,6 +34,7 @@
 //!   references.
 
 pub mod analyzer;
+pub mod campaign;
 pub mod env;
 pub mod faultlist;
 pub mod inject;
@@ -37,9 +43,12 @@ pub mod permfault;
 pub mod profile;
 
 pub use analyzer::{analyze, CampaignAnalysis};
+pub use campaign::{Campaign, CampaignStats, EarlyStop};
 pub use env::{Environment, EnvironmentBuilder};
 pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};
 pub use inject::{run_campaign, CampaignResult, FaultOutcome, Outcome};
 pub use monitors::CoverageCollection;
-pub use permfault::{fault_universe, ppsfp_coverage, serial_coverage, FaultGrade, PermanentFaultReport, StuckAtFault};
+pub use permfault::{
+    fault_universe, ppsfp_coverage, serial_coverage, FaultGrade, PermanentFaultReport, StuckAtFault,
+};
 pub use profile::{OperationalProfile, ZoneActivity};

@@ -13,7 +13,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Per-zone and campaign-wide coverage items of the injection experiment.
-#[derive(Debug, Clone, Default)]
+///
+/// `Eq` so campaign results can be compared whole: a sharded campaign must
+/// produce exactly the coverage its serial twin does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageCollection {
     /// Zones faults were scheduled into.
     targeted: BTreeSet<ZoneId>,

@@ -17,9 +17,7 @@
 //! Both report per-fault detection (any cycle where a functional output
 //! differs from golden) and aggregate coverage.
 
-use socfmea_netlist::{
-    levelize, Driver, GateId, GateKind, Logic, NetId, Netlist,
-};
+use socfmea_netlist::{levelize, Driver, GateId, GateKind, Logic, NetId, Netlist};
 use socfmea_sim::{Simulator, Workload};
 
 /// A collapsed single stuck-at fault.
@@ -160,7 +158,11 @@ pub fn serial_coverage(
         let mut sim = Simulator::new(netlist).expect("levelizable netlist");
         sim.force(
             fault.net,
-            if fault.stuck_high { Logic::One } else { Logic::Zero },
+            if fault.stuck_high {
+                Logic::One
+            } else {
+                Logic::Zero
+            },
         );
         let mut detected = false;
         let mut cycle = 0usize;
@@ -291,9 +293,16 @@ impl<'a> PackedSim<'a> {
         for (fi, ff) in self.netlist.dffs().iter().enumerate() {
             let cur = self.ff[fi];
             let d = self.values[ff.d.index()];
-            let en = ff.enable.map(|e| self.values[e.index()]).unwrap_or(u64::MAX);
+            let en = ff
+                .enable
+                .map(|e| self.values[e.index()])
+                .unwrap_or(u64::MAX);
             let rst = ff.reset.map(|r| self.values[r.index()]).unwrap_or(0);
-            let rv = if ff.reset_value == Logic::One { u64::MAX } else { 0 };
+            let rv = if ff.reset_value == Logic::One {
+                u64::MAX
+            } else {
+                0
+            };
             let loaded = (en & d) | (!en & cur);
             next.push((rst & rv) | (!rst & loaded));
         }
@@ -399,7 +408,11 @@ mod tests {
         // buffers/inverter outputs are collapsed away: every site must be a
         // collapse fixpoint
         for f in &faults {
-            let v = if f.stuck_high { Logic::One } else { Logic::Zero };
+            let v = if f.stuck_high {
+                Logic::One
+            } else {
+                Logic::Zero
+            };
             assert_eq!(
                 crate::faultlist::collapse_stuck_at(&nl, f.net, v),
                 (f.net, v)
@@ -413,7 +426,12 @@ mod tests {
         let w = counting_workload(&nl, 20);
         let faults = fault_universe(&nl);
         let report = serial_coverage(&nl, &w, nl.outputs(), &faults);
-        assert_eq!(report.coverage(), 1.0, "undetected: {:?}", report.undetected());
+        assert_eq!(
+            report.coverage(),
+            1.0,
+            "undetected: {:?}",
+            report.undetected()
+        );
     }
 
     #[test]
@@ -450,8 +468,7 @@ mod tests {
     #[test]
     fn ppsfp_handles_more_than_one_batch() {
         // synthetic datapath with > 63 fault sites
-        let nl =
-            socfmea_rtl::gen::synthetic_datapath("big", 8, 2, 60, 11).unwrap();
+        let nl = socfmea_rtl::gen::synthetic_datapath("big", 8, 2, 60, 11).unwrap();
         let d: Vec<_> = (0..8)
             .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
             .collect();

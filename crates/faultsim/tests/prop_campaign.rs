@@ -1,0 +1,71 @@
+//! Property test: the sharded campaign engine is a drop-in replacement for
+//! the serial one — for arbitrary synthetic designs, workloads and fault
+//! lists, every thread count produces the bit-identical `CampaignResult`.
+//!
+//! This is the contract that makes `--threads` safe to default on: the
+//! merge commits outcomes in fault-list order and feeds coverage (and the
+//! early-stop check) only from the committed prefix, so scheduling can
+//! never leak into the result.
+
+use proptest::prelude::*;
+use socfmea_core::{extract_zones, ExtractConfig};
+use socfmea_faultsim::{
+    generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
+};
+use socfmea_netlist::Logic;
+use socfmea_rtl::gen;
+use socfmea_sim::{assign_bus, Workload};
+
+proptest! {
+    // each case runs a full multi-copy injection campaign; keep the count
+    // low and the designs small
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_campaign_matches_serial(
+        seed in 0u64..1000,
+        gates in 10usize..30,
+        stimulus in 1u64..1_000_000,
+        threads in 2usize..6,
+        chunk in 1usize..5,
+    ) {
+        let nl = gen::synthetic_datapath("dut", 4, 2, gates, seed).expect("valid");
+        let din: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
+            .collect();
+        let rst = nl.net_by_name("rst").unwrap();
+        let mut w = Workload::new("rand");
+        for c in 0..10u64 {
+            let mut v = vec![(rst, if c == 0 { Logic::One } else { Logic::Zero })];
+            assign_bus(&mut v, &din, stimulus.wrapping_mul(c + 1) >> 2);
+            w.push_cycle(v);
+        }
+
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let profile = OperationalProfile::collect(&env);
+        let faults = generate_fault_list(
+            &env,
+            &profile,
+            &FaultListConfig {
+                bitflips_per_zone: 1,
+                stuckats_per_zone: 1,
+                wide_faults: 2,
+                seed,
+                ..FaultListConfig::default()
+            },
+        );
+        prop_assume!(!faults.is_empty());
+
+        let serial = Campaign::new(&env, &faults).threads(1).run();
+        let sharded = Campaign::new(&env, &faults)
+            .threads(threads)
+            .chunk(chunk)
+            .seed(seed ^ 0xdead_beef)
+            .run();
+        prop_assert_eq!(
+            &serial, &sharded,
+            "results diverge at {} threads (chunk {})", threads, chunk
+        );
+    }
+}

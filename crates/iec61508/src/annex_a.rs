@@ -255,7 +255,9 @@ mod tests {
     fn class_filter_returns_applicable_entries() {
         let mem = techniques_for(ComponentClass::VariableMemory);
         assert!(mem.len() >= 4);
-        assert!(mem.iter().all(|t| t.applies_to == ComponentClass::VariableMemory));
+        assert!(mem
+            .iter()
+            .all(|t| t.applies_to == ComponentClass::VariableMemory));
     }
 
     #[test]

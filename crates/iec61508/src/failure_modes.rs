@@ -118,8 +118,7 @@ pub fn required_failure_modes(class: ComponentClass) -> &'static [RequiredFailur
         ComponentClass::ProcessingUnit => &[
             RequiredFailureMode {
                 key: "dc_fault",
-                description:
-                    "DC fault model for data and addresses of internal registers and RAMs",
+                description: "DC fault model for data and addresses of internal registers and RAMs",
                 persistence: Permanent,
             },
             RequiredFailureMode {
@@ -129,8 +128,7 @@ pub fn required_failure_modes(class: ComponentClass) -> &'static [RequiredFailur
             },
             RequiredFailureMode {
                 key: "wrong_coding",
-                description:
-                    "wrong coding or wrong execution, including flag and state registers",
+                description: "wrong coding or wrong execution, including flag and state registers",
                 persistence: Both,
             },
             RequiredFailureMode {

@@ -39,8 +39,8 @@ pub mod quantity;
 pub mod sil;
 
 pub use annex_a::{technique_catalog, DiagnosticTechnique, TechniqueId};
-pub use iso26262::{sil_to_asil, Asil, AutomotiveMetrics};
 pub use dc::DcLevel;
 pub use failure_modes::{required_failure_modes, ComponentClass, RequiredFailureMode};
+pub use iso26262::{sil_to_asil, Asil, AutomotiveMetrics};
 pub use quantity::{diagnostic_coverage, safe_failure_fraction, Fit, LambdaBreakdown};
 pub use sil::{sil_from_sff, Hft, Sil, SubsystemType};

@@ -232,6 +232,9 @@ mod tests {
     #[test]
     fn perfect_diagnostics_give_unity_dc() {
         assert_eq!(diagnostic_coverage(Fit(5.0), Fit(0.0)), Some(1.0));
-        assert_eq!(safe_failure_fraction(Fit(0.0), Fit(5.0), Fit(0.0)), Some(1.0));
+        assert_eq!(
+            safe_failure_fraction(Fit(0.0), Fit(5.0), Fit(0.0)),
+            Some(1.0)
+        );
     }
 }

@@ -199,10 +199,16 @@ mod tests {
         // "With a HFT equal to zero, a SFF equal or greater than 99% is
         //  required in order that the system or component can be granted
         //  with SIL3."
-        assert_eq!(sil_from_sff(0.99, Hft(0), SubsystemType::B), Some(Sil::Sil3));
+        assert_eq!(
+            sil_from_sff(0.99, Hft(0), SubsystemType::B),
+            Some(Sil::Sil3)
+        );
         assert!(sil_from_sff(0.989, Hft(0), SubsystemType::B).unwrap() < Sil::Sil3);
         // "With a HFT equal to one, the SFF should be greater than 90%."
-        assert_eq!(sil_from_sff(0.91, Hft(1), SubsystemType::B), Some(Sil::Sil3));
+        assert_eq!(
+            sil_from_sff(0.91, Hft(1), SubsystemType::B),
+            Some(Sil::Sil3)
+        );
         assert!(sil_from_sff(0.89, Hft(1), SubsystemType::B).unwrap() < Sil::Sil3);
     }
 
@@ -262,10 +268,7 @@ mod tests {
             required_sff_band(Sil::Sil3, Hft(1), SubsystemType::B),
             Some(SffBand::From90To99)
         );
-        assert_eq!(
-            required_sff_band(Sil::Sil4, Hft(0), SubsystemType::B),
-            None
-        );
+        assert_eq!(required_sff_band(Sil::Sil4, Hft(0), SubsystemType::B), None);
     }
 
     #[test]

@@ -27,9 +27,9 @@ pub fn counter(step: u8) -> Vec<Instr> {
     vec![
         Instr::Ldi(0),
         // loop:
-        Instr::Out,          // 1
-        Instr::Add(step),    // 2
-        Instr::Jmp(1),       // 3
+        Instr::Out,       // 1
+        Instr::Add(step), // 2
+        Instr::Jmp(1),    // 3
     ]
 }
 

@@ -153,10 +153,7 @@ pub fn build_mcu(cfg: &McuConfig) -> Result<Netlist, NetlistError> {
     let alarm = if cfg.lockstep {
         let core1 = build_core(&mut r, "core1", &rom, rst);
         r.push_block("cmp");
-        let both = core0
-            .pc
-            .concat(&core0.acc)
-            .concat(&core0.out_reg);
+        let both = core0.pc.concat(&core0.acc).concat(&core0.out_reg);
         let shadow = core1.pc.concat(&core1.acc).concat(&core1.out_reg);
         let diff = r.xor(&both, &shadow);
         let vdiff = r.xor2_bit(core0.out_valid, core1.out_valid);

@@ -304,7 +304,10 @@ mod tests {
         let code = codec.encode(42, 3);
         for wrong in [0u32, 1, 2, 4, 7, 15] {
             let d = codec.decode(code, wrong);
-            assert_ne!(d.syndrome, 0, "wrong address {wrong} must disturb the syndrome");
+            assert_ne!(
+                d.syndrome, 0,
+                "wrong address {wrong} must disturb the syndrome"
+            );
         }
         // and without folding the addressing fault is invisible
         let plain = Codec::new(false);

@@ -9,9 +9,7 @@
 //! the fault-injection validation, experiment T5).
 
 use crate::config::MemSysConfig;
-use socfmea_core::{
-    DiagnosticClaim, ExtractConfig, FreqClass, Worksheet, ZoneSet,
-};
+use socfmea_core::{DiagnosticClaim, ExtractConfig, FreqClass, Worksheet, ZoneSet};
 use socfmea_iec61508::{ComponentClass, TechniqueId};
 
 /// The zone-extraction configuration for the generated design: block-path
@@ -24,12 +22,7 @@ pub fn extract_config() -> ExtractConfig {
         .classify("ctrl", ComponentClass::ProcessingUnit)
 }
 
-fn claim(
-    technique: TechniqueId,
-    t: f64,
-    p: f64,
-    modes: Option<&[&str]>,
-) -> DiagnosticClaim {
+fn claim(technique: TechniqueId, t: f64, p: f64, modes: Option<&[&str]>) -> DiagnosticClaim {
     DiagnosticClaim {
         technique,
         ddf_transient: t,
@@ -95,12 +88,8 @@ pub fn apply_assumptions(ws: &mut Worksheet<'_>, cfg: &MemSysConfig) {
             // hard faults: cell defects are visible to the decoder, but
             // faults in the encode path produce *valid* wrong code words —
             // only the coder-output checker closes that hole
-            a.diagnostics.push(claim(
-                TechniqueId::RamEcc,
-                0.90,
-                0.90,
-                Some(&["dc_fault"]),
-            ));
+            a.diagnostics
+                .push(claim(TechniqueId::RamEcc, 0.90, 0.90, Some(&["dc_fault"])));
             if cfg.coder_output_checker {
                 a.diagnostics.push(claim(
                     TechniqueId::SyndromeCheck,
@@ -193,8 +182,12 @@ pub fn apply_assumptions(ws: &mut Worksheet<'_>, cfg: &MemSysConfig) {
         } else if name.starts_with("critnet/") {
             // clock/reset roots: watchdog supervision (present in both
             // configurations — a watchdog is table stakes)
-            a.diagnostics
-                .push(claim(TechniqueId::WatchdogSeparateTimeBase, 0.90, 0.90, None));
+            a.diagnostics.push(claim(
+                TechniqueId::WatchdogSeparateTimeBase,
+                0.90,
+                0.90,
+                None,
+            ));
         } else if name.starts_with("pi/") {
             // bus inputs: supervised by protocol-level time-out at system
             // level in both configurations
@@ -231,7 +224,10 @@ mod tests {
         let base = fmea_sff(&MemSysConfig::baseline());
         let hard = fmea_sff(&MemSysConfig::hardened());
         assert!(hard > base + 0.02, "base={base:.4} hard={hard:.4}");
-        assert!(hard > 0.99, "hardened must clear the SIL3 bar, got {hard:.4}");
+        assert!(
+            hard > 0.99,
+            "hardened must clear the SIL3 bar, got {hard:.4}"
+        );
         assert!(
             base < 0.99,
             "baseline must miss the SIL3 bar, got {base:.4}"

@@ -50,8 +50,8 @@ pub mod system;
 pub mod workload;
 
 pub use config::MemSysConfig;
-pub use march::{march_c_minus, MarchReport};
 pub use ecc::{Codec, DecodeStatus, Decoded};
+pub use march::{march_c_minus, MarchReport};
 pub use memory::{AddressingFault, CrossOver, FaultyMemory};
 pub use mpu::{Master, Mpu, MpuViolation, PagePermissions};
 pub use rtl::{build_netlist, MemSysPins};

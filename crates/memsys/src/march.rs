@@ -72,22 +72,19 @@ pub fn march_c_minus(mem: &mut FaultyMemory) -> MarchReport {
     let n = mem.len() as u32;
     let ones = all_ones();
     let mut report = MarchReport::default();
-    let check = |report: &mut MarchReport,
-                     mem: &FaultyMemory,
-                     element: u8,
-                     addr: u32,
-                     expected: u64| {
-        report.reads += 1;
-        let got = mem.read(addr) & ones;
-        if got != expected {
-            report.failures.push(MarchFailure {
-                element,
-                addr,
-                expected,
-                got,
-            });
-        }
-    };
+    let check =
+        |report: &mut MarchReport, mem: &FaultyMemory, element: u8, addr: u32, expected: u64| {
+            report.reads += 1;
+            let got = mem.read(addr) & ones;
+            if got != expected {
+                report.failures.push(MarchFailure {
+                    element,
+                    addr,
+                    expected,
+                    got,
+                });
+            }
+        };
 
     // ⇕ (w0)
     for a in 0..n {
@@ -146,10 +143,7 @@ mod tests {
                 let mut mem = FaultyMemory::new(16);
                 mem.inject_stuck_bit(9, bit, high);
                 let r = march_c_minus(&mut mem);
-                assert!(
-                    !r.passed(),
-                    "stuck-at-{high} bit {bit} must fail the march"
-                );
+                assert!(!r.passed(), "stuck-at-{high} bit {bit} must fail the march");
                 assert!(r.failures.iter().all(|f| f.addr == 9));
             }
         }

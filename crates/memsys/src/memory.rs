@@ -98,9 +98,7 @@ impl FaultyMemory {
             match *f {
                 AddressingFault::Remap { from, to } if from == addr => primary = Some(to),
                 AddressingFault::NoSelect { from } if from == addr => primary = None,
-                AddressingFault::MultiWrite { from, to } if write && from == addr => {
-                    extra.push(to)
-                }
+                AddressingFault::MultiWrite { from, to } if write && from == addr => extra.push(to),
                 _ => {}
             }
         }

@@ -87,7 +87,10 @@ impl Mpu {
     ///
     /// Panics if either dimension is zero.
     pub fn new(pages: usize, words_per_page: u32) -> Mpu {
-        assert!(pages > 0 && words_per_page > 0, "MPU dimensions must be positive");
+        assert!(
+            pages > 0 && words_per_page > 0,
+            "MPU dimensions must be positive"
+        );
         Mpu {
             pages: vec![PagePermissions::default(); pages],
             words_per_page,
@@ -179,7 +182,14 @@ mod tests {
     #[test]
     fn write_protection() {
         let mut mpu = Mpu::new(2, 4);
-        mpu.set_page(0, PagePermissions { read: true, write: false, privileged_only: false });
+        mpu.set_page(
+            0,
+            PagePermissions {
+                read: true,
+                write: false,
+                privileged_only: false,
+            },
+        );
         assert_eq!(
             mpu.check(1, true, Master::Cpu, true),
             Err(MpuViolation::WriteDenied)
@@ -190,7 +200,14 @@ mod tests {
     #[test]
     fn privilege_protection_and_dma_exception() {
         let mut mpu = Mpu::new(2, 4);
-        mpu.set_page(1, PagePermissions { read: true, write: true, privileged_only: true });
+        mpu.set_page(
+            1,
+            PagePermissions {
+                read: true,
+                write: true,
+                privileged_only: true,
+            },
+        );
         assert_eq!(
             mpu.check(5, false, Master::Cpu, false),
             Err(MpuViolation::PrivilegeDenied)
@@ -203,7 +220,14 @@ mod tests {
     #[test]
     fn read_protection() {
         let mut mpu = Mpu::new(1, 4);
-        mpu.set_page(0, PagePermissions { read: false, write: true, privileged_only: false });
+        mpu.set_page(
+            0,
+            PagePermissions {
+                read: false,
+                write: true,
+                privileged_only: false,
+            },
+        );
         assert_eq!(
             mpu.check(0, false, Master::Cpu, false),
             Err(MpuViolation::ReadDenied)

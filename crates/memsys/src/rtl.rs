@@ -110,7 +110,13 @@ pub fn build_netlist(cfg: &MemSysConfig) -> Result<Netlist, NetlistError> {
     let mut attrs: Vec<Word> = Vec::with_capacity(cfg.pages);
     for p in 0..cfg.pages {
         let en = r.and2_bit(mpu_wr, page_sel.bit(p));
-        let q = r.register_rv(&format!("page{p}_attr"), &mpu_attr, Some(en), Some(rst), 0b011);
+        let q = r.register_rv(
+            &format!("page{p}_attr"),
+            &mpu_attr,
+            Some(en),
+            Some(rst),
+            0b011,
+        );
         attrs.push(q);
     }
     let cur_attr = if pbits == 0 {
@@ -410,7 +416,9 @@ impl MemSysPins {
             rst: n("rst"),
             req: n("req"),
             wr: n("wr"),
-            addr: (0..cfg.addr_bits()).map(|i| n(&format!("addr[{i}]"))).collect(),
+            addr: (0..cfg.addr_bits())
+                .map(|i| n(&format!("addr[{i}]")))
+                .collect(),
             wdata: (0..32).map(|i| n(&format!("wdata[{i}]"))).collect(),
             privilege: n("priv"),
             mpu_wr: n("mpu_wr"),

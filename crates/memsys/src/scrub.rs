@@ -93,12 +93,7 @@ impl Scrubber {
     /// Scans the next `budget` rows for latent correctable errors
     /// (fault-forecasting) and repairs them in place. Returns the number of
     /// repairs.
-    pub fn background_scan(
-        &mut self,
-        mem: &mut FaultyMemory,
-        codec: &Codec,
-        budget: u32,
-    ) -> u32 {
+    pub fn background_scan(&mut self, mem: &mut FaultyMemory, codec: &Codec, budget: u32) -> u32 {
         let mut repaired = 0;
         for _ in 0..budget {
             let addr = self.scan_ptr;

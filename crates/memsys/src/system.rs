@@ -151,7 +151,9 @@ impl MemorySubsystem {
     }
 
     fn flush_wbuf(&mut self) {
-        let Some(entry) = self.wbuf.take() else { return };
+        let Some(entry) = self.wbuf.take() else {
+            return;
+        };
         let corrupted = entry.data ^ self.wbuf_corruption;
         if self.cfg.write_buffer_parity {
             let parity_now = (corrupted.count_ones() % 2) == 1;
@@ -240,11 +242,18 @@ impl MemorySubsystem {
         self.flush_wbuf();
         let mut repaired = 0;
         while self.scrubber.pending() > 0 {
-            if self.scrubber.scrub_next(&mut self.mem, &self.codec).is_some() {
+            if self
+                .scrubber
+                .scrub_next(&mut self.mem, &self.codec)
+                .is_some()
+            {
                 repaired += 1;
             }
         }
-        repaired + self.scrubber.background_scan(&mut self.mem, &self.codec, budget)
+        repaired
+            + self
+                .scrubber
+                .background_scan(&mut self.mem, &self.codec, budget)
     }
 
     /// Lifetime scrub counters `(scanned, repaired)`.

@@ -285,7 +285,11 @@ pub fn certification_workload(pins: &MemSysPins, cfg: &MemSysConfig) -> Certific
     b.mpu_exercise();
     for p in 0..cfg.pages as u64 {
         let addr = p * cfg.words_per_page() as u64;
-        let attr = if p as usize == cfg.pages - 1 { 0b111 } else { 0b011 };
+        let attr = if p as usize == cfg.pages - 1 {
+            0b111
+        } else {
+            0b011
+        };
         b.program_mpu(addr, attr);
     }
     if cfg.sw_startup_test {
@@ -329,7 +333,11 @@ pub fn certification_workload(pins: &MemSysPins, cfg: &MemSysConfig) -> Certific
 pub fn smoke_workload(pins: &MemSysPins, cfg: &MemSysConfig) -> Workload {
     let mut b = WorkloadBuilder::new(pins, cfg, "smoke");
     b.reset();
-    b.write(1, 0xa5a5_a5a5).read(1).write(2, 0x5a5a_5a5a).read(2).idle(4);
+    b.write(1, 0xa5a5_a5a5)
+        .read(1)
+        .write(2, 0x5a5a_5a5a)
+        .read(2)
+        .idle(4);
     b.finish().workload
 }
 

@@ -3,9 +3,7 @@
 //! that the design the FMEA analyses implements the intended function.
 
 use proptest::prelude::*;
-use socfmea_memsys::{
-    build_netlist, config::MemSysConfig, Master, MemSysPins, MemorySubsystem,
-};
+use socfmea_memsys::{build_netlist, config::MemSysConfig, Master, MemSysPins, MemorySubsystem};
 use socfmea_netlist::{Logic, Netlist};
 use socfmea_sim::Simulator;
 

@@ -126,20 +126,13 @@ impl CorrelationMatrix {
         if i == j {
             return 0;
         }
-        self.shared
-            .get(&(i.min(j), i.max(j)))
-            .copied()
-            .unwrap_or(0)
+        self.shared.get(&(i.min(j), i.max(j))).copied().unwrap_or(0)
     }
 
     /// All correlated pairs `(i, j, shared)` with `shared > 0`, sorted by
     /// descending overlap.
     pub fn correlated_pairs(&self) -> Vec<(usize, usize, usize)> {
-        let mut v: Vec<_> = self
-            .shared
-            .iter()
-            .map(|(&(i, j), &s)| (i, j, s))
-            .collect();
+        let mut v: Vec<_> = self.shared.iter().map(|(&(i, j), &s)| (i, j, s)).collect();
         v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         v
     }

@@ -191,7 +191,9 @@ mod tests {
         let err = LevelizeError {
             cycle_members: vec!["g1".into(), "g2".into()],
         };
-        assert!(err.to_string().contains("combinational cycle through 2 gate(s)"));
+        assert!(err
+            .to_string()
+            .contains("combinational cycle through 2 gate(s)"));
     }
 
     #[test]

@@ -390,7 +390,9 @@ impl NetlistBuilder {
     /// Declares a `width`-bit primary input bus, returning nets LSB first
     /// (named `name[0]`, `name[1]`, ...).
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Declares a primary output fed by `net`.
@@ -497,7 +499,14 @@ impl NetlistBuilder {
     /// bind it later with [`bind_dff`](Self::bind_dff). Returns the `q` net.
     pub fn dff_placeholder(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
-        let q = self.dff_full(name.clone(), NetId(u32::MAX), None, None, Logic::Zero, Logic::Zero);
+        let q = self.dff_full(
+            name.clone(),
+            NetId(u32::MAX),
+            None,
+            None,
+            Logic::Zero,
+            Logic::Zero,
+        );
         let Driver::Dff(fid) = self.nets[q.index()].driver else {
             unreachable!("dff_full drives q with a Dff driver");
         };
@@ -570,7 +579,9 @@ impl NetlistBuilder {
             return Err(e);
         }
         if let Some(name) = self.placeholder_dffs.keys().next() {
-            return Err(NetlistError::UndrivenNet(format!("{name}.d (unbound placeholder)")));
+            return Err(NetlistError::UndrivenNet(format!(
+                "{name}.d (unbound placeholder)"
+            )));
         }
         // Every net read anywhere must have a driver.
         let check = |nets: &[Net], id: NetId| -> Result<(), NetlistError> {

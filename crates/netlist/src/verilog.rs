@@ -46,7 +46,11 @@ pub struct ParseVerilogError {
 
 impl fmt::Display for ParseVerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -161,9 +165,9 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.peek().map(|t| t.line).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.line).unwrap_or(1)
-        })
+        self.peek()
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.line).unwrap_or(1))
     }
 
     fn err(&self, message: impl Into<String>) -> ParseVerilogError {
@@ -434,7 +438,11 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, ParseVerilogError> {
                 message: format!("`{}` takes exactly one argument", inst.prim),
             });
         }
-        let value = if inst.prim == "tie1" { Logic::One } else { Logic::Zero };
+        let value = if inst.prim == "tie1" {
+            Logic::One
+        } else {
+            Logic::Zero
+        };
         // `constant` caches per value under a generated name; alias the
         // declared name to the constant through a buffer so references by
         // name resolve.
@@ -636,7 +644,12 @@ pub fn write_verilog(netlist: &Netlist) -> String {
             .chain(extra)
             .map(|n| escape(&netlist.net(n).name))
             .collect();
-        let _ = writeln!(s, "  {prim} r{fi}_{} ({});", sanitize(&ff.name), args.join(", "));
+        let _ = writeln!(
+            s,
+            "  {prim} r{fi}_{} ({});",
+            sanitize(&ff.name),
+            args.join(", ")
+        );
     }
     let _ = writeln!(s, "endmodule");
     s
@@ -648,7 +661,13 @@ fn escape(name: &str) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -127,7 +127,10 @@ pub fn lfsr(name: &str, width: usize, taps: u64) -> Result<Netlist, NetlistError
     let seed_load = r.input("load");
     let seed = r.input_word("seed", width);
     let q = r.register_feedback("lfsr", width);
-    let tap_bits: Vec<_> = (0..width).filter(|&i| (taps >> i) & 1 == 1).map(|i| q.bit(i)).collect();
+    let tap_bits: Vec<_> = (0..width)
+        .filter(|&i| (taps >> i) & 1 == 1)
+        .map(|i| q.bit(i))
+        .collect();
     let fb = if tap_bits.is_empty() {
         q.bit(width - 1)
     } else {

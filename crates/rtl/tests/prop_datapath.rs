@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use socfmea_netlist::Netlist;
-use socfmea_sim::Simulator;
 use socfmea_rtl::RtlBuilder;
+use socfmea_sim::Simulator;
 
 /// Builds a combinational test harness, drives `a`/`b`, reads `y`.
 fn eval_binop(
@@ -24,9 +24,15 @@ fn eval_binop(
 
 fn drive(nl: &Netlist, width: usize, a: u64, b: u64, out_width: usize) -> u64 {
     let mut sim = Simulator::new(nl).expect("levelizable");
-    let an: Vec<_> = (0..width).map(|i| nl.net_by_name(&format!("a[{i}]")).unwrap()).collect();
-    let bn: Vec<_> = (0..width).map(|i| nl.net_by_name(&format!("b[{i}]")).unwrap()).collect();
-    let yn: Vec<_> = (0..out_width).map(|i| nl.net_by_name(&format!("y[{i}]")).unwrap()).collect();
+    let an: Vec<_> = (0..width)
+        .map(|i| nl.net_by_name(&format!("a[{i}]")).unwrap())
+        .collect();
+    let bn: Vec<_> = (0..width)
+        .map(|i| nl.net_by_name(&format!("b[{i}]")).unwrap())
+        .collect();
+    let yn: Vec<_> = (0..out_width)
+        .map(|i| nl.net_by_name(&format!("y[{i}]")).unwrap())
+        .collect();
     sim.set_word(&an, a);
     sim.set_word(&bn, b);
     sim.eval();

@@ -70,10 +70,7 @@ impl ToggleCoverage {
     pub fn observe(&mut self, sim: &Simulator<'_>) {
         for i in 0..self.last.len() {
             let now = sim.get(NetId::from_index(i));
-            if !self.toggled[i]
-                && self.last[i].is_known()
-                && now.is_known()
-                && now != self.last[i]
+            if !self.toggled[i] && self.last[i].is_known() && now.is_known() && now != self.last[i]
             {
                 self.toggled[i] = true;
             }

@@ -52,7 +52,8 @@ impl Probe {
 
     /// Records one row of current values.
     pub fn sample(&mut self, sim: &Simulator<'_>) {
-        self.rows.push(self.nets.iter().map(|&n| sim.get(n)).collect());
+        self.rows
+            .push(self.nets.iter().map(|&n| sim.get(n)).collect());
     }
 
     /// All captured rows, one per [`sample`](Self::sample) call.

@@ -1,9 +1,7 @@
 //! The levelized cycle-based simulator.
 
 use crate::fault::BridgeKind;
-use socfmea_netlist::{
-    levelize, DffId, Driver, GateId, LevelizeError, Logic, NetId, Netlist,
-};
+use socfmea_netlist::{levelize, DffId, Driver, GateId, LevelizeError, Logic, NetId, Netlist};
 
 /// A cycle-based four-state simulator over a gate-level netlist.
 ///
@@ -86,6 +84,18 @@ impl<'a> Simulator<'a> {
         for (fi, ff) in self.netlist.dffs().iter().enumerate() {
             self.values[ff.q.index()] = self.ff_state[fi];
         }
+    }
+
+    /// Clones this simulator into an independent power-on instance,
+    /// reusing the (already computed) levelization.
+    ///
+    /// This is the cheap fresh-instance path for campaign workers: levelize
+    /// once, then hand each worker thread its own simulator without paying
+    /// the topological sort again.
+    pub fn clone_fresh(&self) -> Simulator<'a> {
+        let mut fresh = self.clone();
+        fresh.reset_to_power_on();
+        fresh
     }
 
     /// Resets simulation state to power-on: flip-flops to their `init`
@@ -223,8 +233,7 @@ impl<'a> Simulator<'a> {
     /// Re-propagates only gates downstream of the given pinned nets, keeping
     /// the pinned values fixed. Used for bridge re-evaluation.
     fn propagate_with_pins(&mut self, pins: &[NetId]) {
-        let pinned: std::collections::HashSet<usize> =
-            pins.iter().map(|n| n.index()).collect();
+        let pinned: std::collections::HashSet<usize> = pins.iter().map(|n| n.index()).collect();
         let order = std::mem::take(&mut self.order);
         let mut input_buf: Vec<Logic> = Vec::with_capacity(8);
         for &g in &order {
@@ -380,10 +389,7 @@ mod tests {
     }
 
     fn count_of(sim: &Simulator, nl: &Netlist) -> u64 {
-        let nets = [
-            nl.net_by_name("q0").unwrap(),
-            nl.net_by_name("q1").unwrap(),
-        ];
+        let nets = [nl.net_by_name("q0").unwrap(), nl.net_by_name("q1").unwrap()];
         sim.get_word(&nets).unwrap()
     }
 
@@ -522,6 +528,27 @@ mod tests {
         sim.set(rst, Logic::Zero);
         sim.eval();
         assert_eq!(count_of(&sim, &nl), 0);
+    }
+
+    #[test]
+    fn clone_fresh_is_power_on_and_independent() {
+        let nl = counter2();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        sim.set(rst, Logic::Zero);
+        sim.force(nl.net_by_name("q0").unwrap(), Logic::One);
+        sim.tick();
+        sim.tick();
+        let mut fresh = sim.clone_fresh();
+        assert_eq!(fresh.cycle(), 0);
+        assert!(!fresh.has_active_faults());
+        fresh.set(rst, Logic::Zero);
+        fresh.eval();
+        assert_eq!(count_of(&fresh, &nl), 0);
+        // advancing the clone leaves the original untouched
+        fresh.tick();
+        assert_eq!(sim.cycle(), 2);
+        assert!(sim.has_active_faults());
     }
 
     #[test]

@@ -173,7 +173,9 @@ mod tests {
         w.push_idle(3);
         assert_eq!(w.len(), 4);
         let mut values = Vec::new();
-        w.run(&mut sim, |_, s| values.push(s.get(nl.net_by_name("y").unwrap())));
+        w.run(&mut sim, |_, s| {
+            values.push(s.get(nl.net_by_name("y").unwrap()))
+        });
         assert!(values.iter().all(|&v| v == Logic::One));
     }
 

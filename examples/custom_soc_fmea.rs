@@ -7,11 +7,8 @@
 //!
 //! Run with `cargo run --example custom_soc_fmea`.
 
-use soc_fmea::fmea::{
-    extract_zones, report, sweep, DiagnosticClaim, ExtractConfig, SensitivitySpec, Worksheet,
-};
-use soc_fmea::iec61508::{ComponentClass, TechniqueId};
-use soc_fmea::netlist::parse_verilog;
+use soc_fmea::fmea::{sweep, SensitivitySpec};
+use soc_fmea::prelude::*;
 
 /// A tiny post-synthesis netlist: a duplicated (lockstep) accumulator bit
 /// with a comparator alarm.
@@ -53,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ws = Worksheet::new(&zones);
     for name in ["q_a", "q_b"] {
         if let Some(z) = zones.zone_by_name(name) {
-            ws.add_diagnostic(z.id, DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
+            ws.add_diagnostic(
+                z.id,
+                DiagnosticClaim::at_max(TechniqueId::RedundantComparator),
+            );
         }
     }
     let result = ws.compute();

@@ -4,13 +4,9 @@
 //!
 //! Run with `cargo run --release --example fault_injection_campaign`.
 
-use soc_fmea::fmea::{extract_zones, ExtractConfig};
-use soc_fmea::faultsim::{
-    analyze, fault_universe, generate_fault_list, ppsfp_coverage, run_campaign,
-    EnvironmentBuilder, FaultListConfig, OperationalProfile,
-};
-use soc_fmea::rtl::RtlBuilder;
-use soc_fmea::sim::{assign_bus, Workload};
+use soc_fmea::faultsim::{fault_universe, ppsfp_coverage};
+use soc_fmea::prelude::*;
+use soc_fmea::rtl::Word;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a register file of four 8-bit entries, each with a stored parity bit
@@ -36,10 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let rdata = r.mux_tree(&rsel, &qs);
     let rpar = {
-        let pw: soc_fmea::rtl::Word = ps.iter().copied().collect();
+        let pw: Word = ps.iter().copied().collect();
         let bits: Vec<_> = pw.bits().to_vec();
-        let items: Vec<soc_fmea::rtl::Word> =
-            bits.iter().map(|&b| soc_fmea::rtl::Word::new(vec![b])).collect();
+        let items: Vec<Word> = bits.iter().map(|&b| Word::new(vec![b])).collect();
         r.mux_tree(&rsel, &items).bit(0)
     };
     let live_par = r.parity(&rdata);
@@ -57,12 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let we = pin("we");
     for round in 0..3u64 {
         for e in 0..4u64 {
-            let mut c = vec![(we, soc_fmea::netlist::Logic::One)];
+            let mut c = vec![(we, Logic::One)];
             assign_bus(&mut c, &din_nets, 0x35u64.wrapping_mul(e + 1 + round * 7));
             assign_bus(&mut c, &wsel_nets, e);
             assign_bus(&mut c, &rsel_nets, e);
             w.push_cycle(c);
-            let mut c = vec![(we, soc_fmea::netlist::Logic::Zero)];
+            let mut c = vec![(we, Logic::Zero)];
             assign_bus(&mut c, &rsel_nets, e);
             w.push_cycle(c);
             w.push_idle(1);
@@ -82,7 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         faults.len(),
         w.len()
     );
-    let campaign = run_campaign(&env, &faults);
+    // shard across two worker threads; the merge is deterministic, so the
+    // result is identical to `run_campaign(&env, &faults)`
+    let runner = Campaign::new(&env, &faults).threads(2);
+    let stats = runner.stats();
+    let campaign = runner.run();
+    println!("{}", stats.summary());
     let (ne, sd, dd, du) = campaign.outcome_counts();
     println!("outcomes: {ne} no-effect, {sd} safe-detected, {dd} dangerous-detected, {du} dangerous-undetected");
     println!("{}", campaign.coverage);
@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = analyze(&faults, &campaign, &profile);
     println!("table of effects (zone -> observation points):");
     for (zone, effects) in &analysis.table_of_effects {
-        let names: Vec<_> = effects.iter().map(|&z| zones.zone(z).name.clone()).collect();
+        let names: Vec<_> = effects
+            .iter()
+            .map(|&z| zones.zone(z).name.clone())
+            .collect();
         println!("  {:<18} -> {}", zones.zone(*zone).name, names.join(", "));
     }
 

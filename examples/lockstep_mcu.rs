@@ -5,11 +5,11 @@
 //! Run with `cargo run --release --example lockstep_mcu`
 //! (writes `lockstep_mcu.vcd` into the working directory).
 
-use soc_fmea::fmea::{extract_zones, report};
 use soc_fmea::mcu::rtl::run_workload;
 use soc_fmea::mcu::{build_mcu, fmea, programs, McuConfig, McuPins};
-use soc_fmea::netlist::{Driver, Logic, NetId};
-use soc_fmea::sim::{Simulator, VcdWriter};
+use soc_fmea::netlist::Driver;
+use soc_fmea::prelude::*;
+use soc_fmea::sim::VcdWriter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = McuConfig::lockstep(programs::checksum_loop());

@@ -7,15 +7,8 @@
 //! (release recommended: the validation campaign simulates hundreds of
 //! faulty design copies).
 
-use soc_fmea::fmea::{
-    extract_zones, predict_all_effects, report, validate, ValidationConfig, ZoneGraph,
-};
-use soc_fmea::faultsim::{
-    analyze, generate_fault_list, run_campaign, EnvironmentBuilder, FaultListConfig,
-    OperationalProfile,
-};
-use soc_fmea::iec61508::{sil_from_sff, Hft, SubsystemType};
 use soc_fmea::memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
+use soc_fmea::prelude::*;
 
 fn assess(name: &str, cfg: &MemSysConfig) -> Result<f64, Box<dyn std::error::Error>> {
     let netlist = rtl::build_netlist(cfg)?;
@@ -34,7 +27,10 @@ fn assess(name: &str, cfg: &MemSysConfig) -> Result<f64, Box<dyn std::error::Err
             .map(|s| s.to_string())
             .unwrap_or_else(|| "none".into())
     );
-    println!("most critical zones:\n{}", report::render_ranking(&result, &zones, 5));
+    println!(
+        "most critical zones:\n{}",
+        report::render_ranking(&result, &zones, 5)
+    );
     Ok(sff)
 }
 
@@ -95,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", campaign.coverage);
     println!(
         "validation: {} ({} zones cross-checked)",
-        if verdict.passed() { "SUCCESSFUL" } else { "DEVIATIONS FOUND" },
+        if verdict.passed() {
+            "SUCCESSFUL"
+        } else {
+            "DEVIATIONS FOUND"
+        },
         verdict.zones.len()
     );
     for f in verdict.failures() {

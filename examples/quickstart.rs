@@ -6,11 +6,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use soc_fmea::fmea::{
-    extract_zones, report, DiagnosticClaim, ExtractConfig, Worksheet,
-};
-use soc_fmea::iec61508::{ComponentClass, TechniqueId};
-use soc_fmea::rtl::RtlBuilder;
+use soc_fmea::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- 1. describe the design (or parse structural Verilog instead) -----

@@ -3,163 +3,220 @@
 //! ```text
 //! socfmea zones   <netlist.v> [options]   list the extracted sensible zones
 //! socfmea analyze <netlist.v> [options]   run the FMEA and print the report
+//! socfmea inject  <netlist.v> [options]   run a fault-injection campaign
 //!
-//! options:
+//! common options:
 //!   --class <prefix>=<class>   classify zones under a block-path prefix
 //!                              (memory|rom|cpu|bus|io|clock|power)
+//! analyze options:
 //!   --hft <n>                  hardware fault tolerance for the SIL grant
 //!   --type-a                   assess as a type-A subsystem (default: B)
-//!   --format text|csv|srs      report format for `analyze` (default: text)
+//!   --format text|csv|srs      report format (default: text)
+//! inject options:
+//!   --threads <n>              campaign worker threads
+//!   --seed <s>                 fault-list sampling seed
+//!   --cycles <n>               synthetic workload length in cycles
 //! ```
 //!
-//! The input is the structural Verilog subset documented in
+//! Argument parsing lives in [`soc_fmea::cli`]; this binary is the
+//! dispatcher. The input is the structural Verilog subset documented in
 //! [`soc_fmea::netlist::verilog`]; zones get default worksheet assumptions
 //! (no diagnostic claims — add those programmatically for real
-//! assessments), so the output is the *uncovered* FMEA a safety analysis
-//! starts from.
+//! assessments), so `analyze` prints the *uncovered* FMEA a safety
+//! analysis starts from, while `inject` measures DC/SFF directly by
+//! golden-vs-faulty co-simulation under a seeded random workload.
 
-use soc_fmea::fmea::{
-    extract_zones, predict_all_effects, report, ExtractConfig, Worksheet, ZoneGraph,
+use soc_fmea::cli::{self, AnalyzeOptions, Command, InjectOptions, ReportFormat, ZonesOptions};
+use soc_fmea::faultsim::{
+    analyze, generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
 };
-use soc_fmea::iec61508::{ComponentClass, Hft, SubsystemType};
-use soc_fmea::netlist::parse_verilog;
+use soc_fmea::fmea::{extract_zones, predict_all_effects, report, Worksheet, ZoneGraph};
+use soc_fmea::netlist::{parse_verilog, Logic, Netlist};
+use soc_fmea::sim::Workload;
 use std::process::ExitCode;
 
-struct Options {
-    command: String,
-    input: String,
-    config: ExtractConfig,
-    hft: Hft,
-    subsystem: SubsystemType,
-    format: String,
-}
-
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: socfmea <zones|analyze> <netlist.v> \
-         [--class <prefix>=<class>] [--hft <n>] [--type-a] [--format text|csv|srs]"
-    );
+    eprintln!("{}", cli::USAGE);
     ExitCode::from(2)
 }
 
-fn parse_class(name: &str) -> Option<ComponentClass> {
-    Some(match name {
-        "memory" | "ram" => ComponentClass::VariableMemory,
-        "rom" | "flash" => ComponentClass::InvariableMemory,
-        "cpu" | "processing" => ComponentClass::ProcessingUnit,
-        "bus" => ComponentClass::Bus,
-        "io" => ComponentClass::InputOutput,
-        "clock" => ComponentClass::Clock,
-        "power" => ComponentClass::PowerSupply,
-        _ => return None,
+fn load_netlist(input: &str) -> Result<Netlist, ExitCode> {
+    let source = std::fs::read_to_string(input).map_err(|e| {
+        eprintln!("socfmea: cannot read `{input}`: {e}");
+        ExitCode::FAILURE
+    })?;
+    parse_verilog(&source).map_err(|e| {
+        eprintln!("socfmea: {input}: {e}");
+        ExitCode::FAILURE
     })
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut it = args.iter();
-    let command = it.next().ok_or("missing command")?.clone();
-    if !matches!(command.as_str(), "zones" | "analyze") {
-        return Err(format!("unknown command `{command}`"));
+fn run_zones(opts: &ZonesOptions) -> Result<(), ExitCode> {
+    let netlist = load_netlist(&opts.input)?;
+    let zones = extract_zones(&netlist, &opts.config);
+    println!(
+        "{}: {} gates, {} flip-flops -> {} sensible zones",
+        netlist.name(),
+        netlist.gate_count(),
+        netlist.dff_count(),
+        zones.len()
+    );
+    for z in zones.zones() {
+        println!("  {z}");
     }
-    let input = it.next().ok_or("missing input file")?.clone();
-    let mut config = ExtractConfig::default();
-    let mut hft = Hft(0);
-    let mut subsystem = SubsystemType::B;
-    let mut format = "text".to_owned();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--class" => {
-                let spec = it.next().ok_or("--class needs <prefix>=<class>")?;
-                let (prefix, class) = spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad --class spec `{spec}`"))?;
-                let class =
-                    parse_class(class).ok_or_else(|| format!("unknown class `{class}`"))?;
-                config = config.classify(prefix, class);
-            }
-            "--hft" => {
-                let n = it.next().ok_or("--hft needs a number")?;
-                hft = Hft(n.parse().map_err(|_| format!("bad HFT `{n}`"))?);
-            }
-            "--type-a" => subsystem = SubsystemType::A,
-            "--format" => {
-                format = it.next().ok_or("--format needs a value")?.clone();
-                if !matches!(format.as_str(), "text" | "csv" | "srs") {
-                    return Err(format!("unknown format `{format}`"));
-                }
-            }
-            other => return Err(format!("unknown option `{other}`")),
+    let (unassigned, local, wide) = zones.membership().census();
+    println!("cone membership: {local} local, {wide} wide, {unassigned} un-zoned gates");
+    Ok(())
+}
+
+fn run_analyze(opts: &AnalyzeOptions) -> Result<(), ExitCode> {
+    let netlist = load_netlist(&opts.input)?;
+    let zones = extract_zones(&netlist, &opts.config);
+    let mut ws = Worksheet::new(&zones);
+    ws.set_hft(opts.hft);
+    ws.set_subsystem(opts.subsystem);
+    let result = ws.compute();
+    match opts.format {
+        ReportFormat::Csv => print!("{}", report::render_csv(&result, &zones)),
+        ReportFormat::Srs => {
+            let graph = ZoneGraph::build(&netlist, &zones);
+            let effects = predict_all_effects(&graph);
+            print!(
+                "{}",
+                report::render_srs(netlist.name(), &result, &zones, &effects)
+            );
         }
+        ReportFormat::Text => print!("{}", report::render_text(&result, &zones)),
     }
-    Ok(Options {
-        command,
-        input,
-        config,
-        hft,
-        subsystem,
-        format,
-    })
+    Ok(())
+}
+
+/// A deterministic random workload: every non-critical primary input gets a
+/// fresh pseudo-random bit each cycle (SplitMix64, so the stimulus is a pure
+/// function of the seed).
+fn random_workload(netlist: &Netlist, seed: u64, cycles: usize) -> Workload {
+    let critical: std::collections::BTreeSet<_> =
+        netlist.critical_nets().iter().map(|&(n, _)| n).collect();
+    let driveable: Vec<_> = netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|n| !critical.contains(n))
+        .collect();
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next_bit = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) & 1 == 1
+    };
+    let mut w = Workload::new(format!("random-{seed:#x}"));
+    for _ in 0..cycles {
+        let cycle = driveable
+            .iter()
+            .map(|&n| (n, Logic::from_bool(next_bit())))
+            .collect();
+        w.push_cycle(cycle);
+    }
+    w
+}
+
+fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
+    let netlist = load_netlist(&opts.input)?;
+    let zones = extract_zones(&netlist, &opts.config);
+    let workload = random_workload(&netlist, opts.seed, opts.cycles);
+    let env = EnvironmentBuilder::new(&netlist, &zones, &workload)
+        .alarms_matching("alarm")
+        .build();
+    let profile = OperationalProfile::collect(&env);
+    let faults = generate_fault_list(
+        &env,
+        &profile,
+        &FaultListConfig {
+            seed: opts.seed,
+            ..FaultListConfig::default()
+        },
+    );
+    if faults.is_empty() {
+        eprintln!("socfmea: no injectable faults (does the design have sensible zones?)");
+        return Err(ExitCode::FAILURE);
+    }
+
+    println!(
+        "{}: {} gates, {} flip-flops, {} sensible zones",
+        netlist.name(),
+        netlist.gate_count(),
+        netlist.dff_count(),
+        zones.len()
+    );
+    println!(
+        "workload `{}`: {} cycles driving {} inputs; fault list: {} faults (seed {:#x})",
+        workload.name(),
+        workload.len(),
+        netlist.inputs().len(),
+        faults.len(),
+        opts.seed
+    );
+
+    let campaign = Campaign::new(&env, &faults)
+        .threads(opts.threads)
+        .seed(opts.seed);
+    let stats = campaign.stats();
+    let result = campaign.run();
+    println!("{}", stats.summary());
+
+    let analysis = analyze(&faults, &result, &profile);
+    println!(
+        "\n{:<30} {:>5} {:>5} {:>5} {:>5} {:>9}",
+        "zone", "S", "SD", "DD", "DU", "zone DC"
+    );
+    for m in &analysis.measured {
+        let dangerous = m.dangerous_detected + m.dangerous_undetected;
+        let dc = if dangerous == 0 {
+            "-".to_owned()
+        } else {
+            format!(
+                "{:.1}%",
+                100.0 * m.dangerous_detected as f64 / dangerous as f64
+            )
+        };
+        println!(
+            "{:<30} {:>5} {:>5} {:>5} {:>5} {:>9}",
+            zones.zone(m.zone).name,
+            m.safe - m.safe_detected,
+            m.safe_detected,
+            m.dangerous_detected,
+            m.dangerous_undetected,
+            dc
+        );
+    }
+    let fmt = |v: Option<f64>| match v {
+        Some(x) => format!("{:.2}%", x * 100.0),
+        None => "n/a (no dangerous outcomes)".to_owned(),
+    };
+    println!("\nmeasured DC  = {}", fmt(result.measured_dc()));
+    println!("measured SFF = {}", fmt(result.measured_sff()));
+    println!("{}", result.coverage);
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(o) => o,
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("socfmea: {e}");
             return usage();
         }
     };
-    let source = match std::fs::read_to_string(&opts.input) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("socfmea: cannot read `{}`: {e}", opts.input);
-            return ExitCode::FAILURE;
-        }
+    let outcome = match &command {
+        Command::Zones(o) => run_zones(o),
+        Command::Analyze(o) => run_analyze(o),
+        Command::Inject(o) => run_inject(o),
     };
-    let netlist = match parse_verilog(&source) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("socfmea: {}: {e}", opts.input);
-            return ExitCode::FAILURE;
-        }
-    };
-    let zones = extract_zones(&netlist, &opts.config);
-
-    match opts.command.as_str() {
-        "zones" => {
-            println!(
-                "{}: {} gates, {} flip-flops -> {} sensible zones",
-                netlist.name(),
-                netlist.gate_count(),
-                netlist.dff_count(),
-                zones.len()
-            );
-            for z in zones.zones() {
-                println!("  {z}");
-            }
-            let (unassigned, local, wide) = zones.membership().census();
-            println!("cone membership: {local} local, {wide} wide, {unassigned} un-zoned gates");
-        }
-        "analyze" => {
-            let mut ws = Worksheet::new(&zones);
-            ws.set_hft(opts.hft);
-            ws.set_subsystem(opts.subsystem);
-            let result = ws.compute();
-            match opts.format.as_str() {
-                "csv" => print!("{}", report::render_csv(&result, &zones)),
-                "srs" => {
-                    let graph = ZoneGraph::build(&netlist, &zones);
-                    let effects = predict_all_effects(&graph);
-                    print!(
-                        "{}",
-                        report::render_srs(netlist.name(), &result, &zones, &effects)
-                    );
-                }
-                _ => print!("{}", report::render_text(&result, &zones)),
-            }
-        }
-        _ => unreachable!("validated in parse_args"),
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
     }
-    ExitCode::SUCCESS
 }

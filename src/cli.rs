@@ -1,0 +1,296 @@
+//! Typed argument handling for the `socfmea` command-line tool.
+//!
+//! Each subcommand parses into its own options struct, so the binary's
+//! `main` is a thin dispatcher and the parsing rules are unit-testable
+//! without spawning processes:
+//!
+//! * `socfmea zones <netlist.v>` → [`ZonesOptions`],
+//! * `socfmea analyze <netlist.v>` → [`AnalyzeOptions`],
+//! * `socfmea inject <netlist.v>` → [`InjectOptions`].
+//!
+//! [`parse`] turns `std::env::args` (minus the program name) into a
+//! [`Command`]; errors carry a message for stderr, and the caller prints
+//! [`USAGE`].
+
+use socfmea_core::extract::ExtractConfig;
+use socfmea_iec61508::{ComponentClass, Hft, SubsystemType};
+
+/// The usage string printed on argument errors.
+pub const USAGE: &str = "usage: socfmea <zones|analyze|inject> <netlist.v> [options]
+  zones   <netlist.v>   list the extracted sensible zones
+  analyze <netlist.v>   run the FMEA and print the report
+  inject  <netlist.v>   run a fault-injection campaign, print measured DC/SFF
+
+common options:
+  --class <prefix>=<class>   classify zones under a block-path prefix
+                             (memory|rom|cpu|bus|io|clock|power)
+analyze options:
+  --hft <n>                  hardware fault tolerance for the SIL grant
+  --type-a                   assess as a type-A subsystem (default: B)
+  --format text|csv|srs      report format (default: text)
+inject options:
+  --threads <n>              campaign worker threads (default: host cores, max 8)
+  --seed <s>                 fault-list sampling seed (default: 0x5eed)
+  --cycles <n>               synthetic workload length in cycles (default: 48)";
+
+/// A parsed command line: one variant per subcommand.
+#[derive(Debug)]
+pub enum Command {
+    /// `socfmea zones`.
+    Zones(ZonesOptions),
+    /// `socfmea analyze`.
+    Analyze(AnalyzeOptions),
+    /// `socfmea inject`.
+    Inject(InjectOptions),
+}
+
+/// Options of `socfmea zones`.
+#[derive(Debug)]
+pub struct ZonesOptions {
+    /// Path of the Verilog netlist.
+    pub input: String,
+    /// Zone-extraction configuration (classification prefixes applied).
+    pub config: ExtractConfig,
+}
+
+/// Report format of `socfmea analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable worksheet.
+    Text,
+    /// Machine-readable rows.
+    Csv,
+    /// Safety Requirements Specification draft.
+    Srs,
+}
+
+/// Options of `socfmea analyze`.
+#[derive(Debug)]
+pub struct AnalyzeOptions {
+    /// Path of the Verilog netlist.
+    pub input: String,
+    /// Zone-extraction configuration.
+    pub config: ExtractConfig,
+    /// Hardware fault tolerance assumed for the SIL grant.
+    pub hft: Hft,
+    /// Type-A or type-B subsystem assessment.
+    pub subsystem: SubsystemType,
+    /// Output format.
+    pub format: ReportFormat,
+}
+
+/// Options of `socfmea inject`.
+#[derive(Debug)]
+pub struct InjectOptions {
+    /// Path of the Verilog netlist.
+    pub input: String,
+    /// Zone-extraction configuration.
+    pub config: ExtractConfig,
+    /// Campaign worker threads.
+    pub threads: usize,
+    /// Fault-list sampling seed.
+    pub seed: u64,
+    /// Length of the synthetic stimulus, in cycles.
+    pub cycles: usize,
+}
+
+fn parse_class(name: &str) -> Option<ComponentClass> {
+    Some(match name {
+        "memory" | "ram" => ComponentClass::VariableMemory,
+        "rom" | "flash" => ComponentClass::InvariableMemory,
+        "cpu" | "processing" => ComponentClass::ProcessingUnit,
+        "bus" => ComponentClass::Bus,
+        "io" => ComponentClass::InputOutput,
+        "clock" => ComponentClass::Clock,
+        "power" => ComponentClass::PowerSupply,
+        _ => return None,
+    })
+}
+
+/// The default `--threads` value: host parallelism, capped at 8.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Parses the argument list (program name already stripped).
+///
+/// # Errors
+///
+/// Returns a message suitable for stderr when the command line is invalid;
+/// callers should follow it with [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?.clone();
+    let input = it.next().ok_or("missing input file")?.clone();
+    let mut config = ExtractConfig::default();
+    let mut hft = Hft(0);
+    let mut subsystem = SubsystemType::B;
+    let mut format = ReportFormat::Text;
+    let mut threads = default_threads();
+    let mut seed = 0x5eed;
+    let mut cycles = 48usize;
+
+    // option validity per subcommand
+    let is_analyze = command == "analyze";
+    let is_inject = command == "inject";
+    if !matches!(command.as_str(), "zones" | "analyze" | "inject") {
+        return Err(format!("unknown command `{command}`"));
+    }
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--class" => {
+                let spec = it.next().ok_or("--class needs <prefix>=<class>")?;
+                let (prefix, class) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --class spec `{spec}`"))?;
+                let class = parse_class(class).ok_or_else(|| format!("unknown class `{class}`"))?;
+                config = config.classify(prefix, class);
+            }
+            "--hft" if is_analyze => {
+                let n = it.next().ok_or("--hft needs a number")?;
+                hft = Hft(n.parse().map_err(|_| format!("bad HFT `{n}`"))?);
+            }
+            "--type-a" if is_analyze => subsystem = SubsystemType::A,
+            "--format" if is_analyze => {
+                let f = it.next().ok_or("--format needs a value")?;
+                format = match f.as_str() {
+                    "text" => ReportFormat::Text,
+                    "csv" => ReportFormat::Csv,
+                    "srs" => ReportFormat::Srs,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--threads" if is_inject => {
+                let n = it.next().ok_or("--threads needs a number")?;
+                threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
+            }
+            "--seed" if is_inject => {
+                let s = it.next().ok_or("--seed needs a number")?;
+                seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--cycles" if is_inject => {
+                let n = it.next().ok_or("--cycles needs a number")?;
+                cycles = n.parse().map_err(|_| format!("bad cycle count `{n}`"))?;
+                if cycles == 0 {
+                    return Err("--cycles must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    Ok(match command.as_str() {
+        "zones" => Command::Zones(ZonesOptions { input, config }),
+        "analyze" => Command::Analyze(AnalyzeOptions {
+            input,
+            config,
+            hft,
+            subsystem,
+            format,
+        }),
+        "inject" => Command::Inject(InjectOptions {
+            input,
+            config,
+            threads,
+            seed,
+            cycles,
+        }),
+        _ => unreachable!("validated above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn zones_parses_with_classification() {
+        let cmd = parse(&argv(&["zones", "d.v", "--class", "mem=memory"])).unwrap();
+        let Command::Zones(o) = cmd else {
+            panic!("zones expected")
+        };
+        assert_eq!(o.input, "d.v");
+    }
+
+    #[test]
+    fn analyze_parses_all_options() {
+        let cmd = parse(&argv(&[
+            "analyze", "d.v", "--hft", "1", "--type-a", "--format", "csv",
+        ]))
+        .unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("analyze expected")
+        };
+        assert_eq!(o.hft, Hft(1));
+        assert_eq!(o.subsystem, SubsystemType::A);
+        assert_eq!(o.format, ReportFormat::Csv);
+    }
+
+    #[test]
+    fn inject_parses_threads_seed_cycles() {
+        let cmd = parse(&argv(&[
+            "inject",
+            "d.v",
+            "--threads",
+            "4",
+            "--seed",
+            "7",
+            "--cycles",
+            "16",
+        ]))
+        .unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.cycles, 16);
+    }
+
+    #[test]
+    fn inject_defaults_are_sensible() {
+        let cmd = parse(&argv(&["inject", "d.v"])).unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert!(o.threads >= 1);
+        assert_eq!(o.seed, 0x5eed);
+        assert_eq!(o.cycles, 48);
+    }
+
+    #[test]
+    fn subcommand_scoping_rejects_foreign_options() {
+        // analyze-only options are rejected under zones/inject and vice versa
+        assert!(parse(&argv(&["zones", "d.v", "--hft", "1"])).is_err());
+        assert!(parse(&argv(&["inject", "d.v", "--format", "csv"])).is_err());
+        assert!(parse(&argv(&["analyze", "d.v", "--threads", "4"])).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(parse(&[]).unwrap_err().contains("missing command"));
+        assert!(parse(&argv(&["zones"]))
+            .unwrap_err()
+            .contains("missing input"));
+        assert!(parse(&argv(&["frobnicate", "x.v"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&argv(&["analyze", "d.v", "--format", "pdf"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(parse(&argv(&["inject", "d.v", "--cycles", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv(&["zones", "d.v", "--class", "broken"]))
+            .unwrap_err()
+            .contains("bad --class"));
+    }
+}

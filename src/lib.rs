@@ -48,6 +48,9 @@
 //! `crates/bench/src/bin/` for the binaries regenerating every table and
 //! figure of the paper (documented in `EXPERIMENTS.md`).
 
+pub mod cli;
+pub mod prelude;
+
 /// Gate-level netlist IR, structural Verilog, cones and correlation.
 pub use socfmea_netlist as netlist;
 

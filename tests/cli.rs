@@ -14,11 +14,32 @@ const DEMO: &str = "
     buf g1(y, q);
     endmodule";
 
-fn write_demo() -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("socfmea_cli_{}.v", std::process::id()));
+/// A lockstep accumulator bit with a comparator alarm — small enough to
+/// inject into in a test, protected enough that the campaign measures a
+/// nonzero diagnostic coverage.
+const PROTECTED: &str = "
+    module lockstep_acc(clk, rst, en, din, q, alarm_cmp);
+    input clk, rst, en, din;
+    output q;
+    output alarm_cmp;
+    wire d_a; wire d_b; wire q_a; wire q_b;
+    xor g0 (d_a, q_a, din);
+    xor g1 (d_b, q_b, din);
+    dffre r0 (q_a, d_a, en, rst);
+    dffre r1 (q_b, d_b, en, rst);
+    buf g2 (q, q_a);
+    xor g3 (alarm_cmp, q_a, q_b);
+    endmodule";
+
+fn write_design(tag: &str, source: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("socfmea_cli_{tag}_{}.v", std::process::id()));
     let mut f = std::fs::File::create(&path).expect("temp file");
-    f.write_all(DEMO.as_bytes()).expect("write");
+    f.write_all(source.as_bytes()).expect("write");
     path
+}
+
+fn write_demo() -> std::path::PathBuf {
+    write_design("demo", DEMO)
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
@@ -78,6 +99,54 @@ fn options_change_the_verdict() {
     ]);
     assert!(ok);
     assert!(typed.contains("A-type"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn inject_measures_coverage_on_a_protected_design() {
+    let path = write_design("inject", PROTECTED);
+    let (stdout, stderr, ok) = run(&[
+        "inject",
+        path.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--seed",
+        "7",
+        "--cycles",
+        "24",
+    ]);
+    assert!(ok, "inject failed: {stderr}");
+    assert!(stdout.contains("fault list:"));
+    assert!(stdout.contains("campaign:"), "missing stats line: {stdout}");
+    assert!(stdout.contains("zone DC"));
+    assert!(stdout.contains("measured DC"));
+    assert!(stdout.contains("measured SFF"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn inject_output_is_identical_across_thread_counts() {
+    let path = write_design("inject_det", PROTECTED);
+    // drop the one wall-clock-dependent line (the live stats summary)
+    let tabulate = |threads: &str| {
+        let (stdout, _, ok) = run(&[
+            "inject",
+            path.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--seed",
+            "42",
+            "--cycles",
+            "24",
+        ]);
+        assert!(ok);
+        stdout
+            .lines()
+            .filter(|l| !l.starts_with("campaign:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(tabulate("1"), tabulate("4"));
     let _ = std::fs::remove_file(path);
 }
 

@@ -1,13 +1,13 @@
 //! End-to-end integration: build → zone → worksheet → inject → validate,
 //! across crate boundaries, on a small purpose-built design.
 
-use soc_fmea::fmea::{
-    census, extract_zones, predict_all_effects, sweep, validate, DiagnosticClaim,
-    ExtractConfig, SensitivitySpec, ValidationConfig, Worksheet, ZoneGraph,
-};
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, run_campaign, EnvironmentBuilder, FaultListConfig,
     OperationalProfile,
+};
+use soc_fmea::fmea::{
+    census, extract_zones, predict_all_effects, sweep, validate, DiagnosticClaim, ExtractConfig,
+    SensitivitySpec, ValidationConfig, Worksheet, ZoneGraph,
 };
 use soc_fmea::iec61508::{Sil, TechniqueId};
 use soc_fmea::netlist::{Logic, Netlist};
@@ -55,11 +55,17 @@ fn full_flow_on_lockstep_design() {
     let mut ws = Worksheet::new(&zones);
     for name in ["main/acc_a", "shadow/acc_b"] {
         let id = zones.zone_by_name(name).expect("zone").id;
-        ws.add_diagnostic(id, DiagnosticClaim::at_max(TechniqueId::RedundantComparator));
+        ws.add_diagnostic(
+            id,
+            DiagnosticClaim::at_max(TechniqueId::RedundantComparator),
+        );
     }
     let fmea = ws.compute();
     let sff = fmea.sff().expect("rates nonzero");
-    assert!(sff > 0.80, "lockstep design must have a high SFF, got {sff}");
+    assert!(
+        sff > 0.80,
+        "lockstep design must have a high SFF, got {sff}"
+    );
 
     // injection campaign
     let w = sweep_workload(&nl, 24);
@@ -90,7 +96,12 @@ fn full_flow_on_lockstep_design() {
     // and the cross-check agrees with the worksheet
     let graph = ZoneGraph::build(&nl, &zones);
     let effects = predict_all_effects(&graph);
-    let report = validate(&fmea, &effects, &analysis.measured, ValidationConfig::default());
+    let report = validate(
+        &fmea,
+        &effects,
+        &analysis.measured,
+        ValidationConfig::default(),
+    );
     assert!(report.passed(), "{report}");
 }
 

@@ -1,11 +1,11 @@
 //! Integration: the fault-robust microcontroller through the facade —
 //! FMEA, injection and the single-vs-lockstep contrast in one flow.
 
-use soc_fmea::fmea::{extract_zones, validate, predict_all_effects, ValidationConfig, ZoneGraph};
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, run_campaign, EnvironmentBuilder, FaultListConfig,
     OperationalProfile,
 };
+use soc_fmea::fmea::{extract_zones, predict_all_effects, validate, ValidationConfig, ZoneGraph};
 use soc_fmea::mcu::rtl::run_workload;
 use soc_fmea::mcu::{build_mcu, fmea as mcu_fmea, programs, McuConfig, McuPins};
 
@@ -60,7 +60,10 @@ fn lockstep_campaign_dc_dominates_single_core() {
     assert_eq!(single_dc, Some(0.0));
     // the comparator catches state corruption
     assert!(lockstep_dc.unwrap() > 0.8, "lockstep DC {lockstep_dc:?}");
-    assert!(lockstep_valid, "lockstep FMEA must survive its own campaign");
+    assert!(
+        lockstep_valid,
+        "lockstep FMEA must survive its own campaign"
+    );
 }
 
 #[test]
@@ -98,6 +101,9 @@ fn iso26262_reading_tracks_the_lockstep_gain() {
     };
     let single = metrics(&McuConfig::single(program.clone()));
     let dual = metrics(&McuConfig::lockstep(program));
-    assert!(dual.spfm > single.spfm + 0.2, "lockstep lifts SPFM substantially");
+    assert!(
+        dual.spfm > single.spfm + 0.2,
+        "lockstep lifts SPFM substantially"
+    );
     assert!(dual.achievable_asil() > single.achievable_asil());
 }

@@ -58,8 +58,17 @@ fn gate_level_storage_matches_behavioural_codec() {
     let mut sim = Simulator::new(&nl).unwrap();
     // reset
     sim.set(pins.rst, Logic::One);
-    for &n in [pins.req, pins.wr, pins.privilege, pins.mpu_wr, pins.bist_en,
-               pins.err_inject0, pins.err_inject1].iter() {
+    for &n in [
+        pins.req,
+        pins.wr,
+        pins.privilege,
+        pins.mpu_wr,
+        pins.bist_en,
+        pins.err_inject0,
+        pins.err_inject1,
+    ]
+    .iter()
+    {
         sim.set(n, Logic::Zero);
     }
     sim.set_word(&pins.addr, 0);
@@ -121,20 +130,44 @@ fn each_hardening_measure_improves_the_worksheet() {
     let base_cfg = MemSysConfig::baseline();
     let nl = rtl::build_netlist(&base_cfg).unwrap();
     let zones = extract_zones(&nl, &fmea::extract_config());
-    let base = fmea::build_worksheet(&zones, &base_cfg).compute().sff().unwrap();
+    let base = fmea::build_worksheet(&zones, &base_cfg)
+        .compute()
+        .sff()
+        .unwrap();
     // measures that change only claims can reuse the same netlist; measures
     // that add hardware need a rebuild — do both uniformly
     for cfg in [
-        MemSysConfig { address_in_ecc: true, ..base_cfg },
-        MemSysConfig { write_buffer_parity: true, ..base_cfg },
-        MemSysConfig { coder_output_checker: true, ..base_cfg },
-        MemSysConfig { redundant_pipeline_checker: true, ..base_cfg },
-        MemSysConfig { distributed_syndrome: true, ..base_cfg },
-        MemSysConfig { sw_startup_test: true, ..base_cfg },
+        MemSysConfig {
+            address_in_ecc: true,
+            ..base_cfg
+        },
+        MemSysConfig {
+            write_buffer_parity: true,
+            ..base_cfg
+        },
+        MemSysConfig {
+            coder_output_checker: true,
+            ..base_cfg
+        },
+        MemSysConfig {
+            redundant_pipeline_checker: true,
+            ..base_cfg
+        },
+        MemSysConfig {
+            distributed_syndrome: true,
+            ..base_cfg
+        },
+        MemSysConfig {
+            sw_startup_test: true,
+            ..base_cfg
+        },
     ] {
         let nl = rtl::build_netlist(&cfg).unwrap();
         let zones = extract_zones(&nl, &fmea::extract_config());
         let sff = fmea::build_worksheet(&zones, &cfg).compute().sff().unwrap();
-        assert!(sff > base, "measure {cfg:?} must improve SFF ({sff} <= {base})");
+        assert!(
+            sff > base,
+            "measure {cfg:?} must improve SFF ({sff} <= {base})"
+        );
     }
 }

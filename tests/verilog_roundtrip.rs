@@ -90,7 +90,10 @@ fn zone_extraction_is_stable_across_round_trip() {
     let back = parse_verilog(&write_verilog(&nl)).unwrap();
     let z1 = extract_zones(&nl, &ExtractConfig::default());
     let z2 = extract_zones(&back, &ExtractConfig::default());
-    assert_eq!(z1.zones_tagged("reg").count(), z2.zones_tagged("reg").count());
+    assert_eq!(
+        z1.zones_tagged("reg").count(),
+        z2.zones_tagged("reg").count()
+    );
     // block paths are not serialised, so grouped names differ; bit counts
     // must survive
     let bits = |zs: &soc_fmea::fmea::ZoneSet| -> usize {

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors this std-only shim under the `criterion` name. It is a
+//! real (if minimal) wall-clock harness: each benchmark is timed over
+//! auto-scaled iteration batches and reported as `min/mean/max` per
+//! iteration plus throughput when declared. It produces no HTML reports and
+//! does no statistical outlier analysis.
+//!
+//! Tuning knobs (environment): `CRITERION_SAMPLE_MS` — target milliseconds
+//! per sample batch (default 100); `CRITERION_SAMPLES` — batches per
+//! benchmark (default 5, floored at 2).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to every benchmark closure; [`iter`](Bencher::iter) runs and
+/// times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, target_sample: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+            target_sample,
+        }
+    }
+
+    /// Times `f`, auto-scaling the batch size so one sample lasts roughly
+    /// the target duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // calibration: time single calls, growing until measurable
+        let mut calib = Duration::ZERO;
+        let mut calls = 0u64;
+        while calib < Duration::from_millis(1) && calls < 1 << 20 {
+            let batch = calls.clamp(1, 1 << 12);
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            calib = t0.elapsed();
+            calls = calls.saturating_mul(2).max(batch);
+            if calib >= self.target_sample {
+                // a single calibration batch already exceeds one sample:
+                // use it as the measurement and continue with batch size 1
+                self.iters_per_sample = batch;
+                self.samples.push(calib / batch as u32);
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let per_iter = calib
+                .checked_div(calls.min(1 << 12) as u32)
+                .unwrap_or(calib);
+            let per_iter_ns = per_iter.as_nanos().max(1) as u64;
+            self.iters_per_sample =
+                (self.target_sample.as_nanos() as u64 / per_iter_ns).clamp(1, 1 << 24);
+        }
+        while self.samples.len() < self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let rate = |per_iter: Duration, n: u64| {
+        let secs = per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            n as f64 / secs
+        }
+    };
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", rate(mean, n)),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", rate(mean, n)),
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} [{} {} {}]{thr}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count comes from
+    /// `CRITERION_SAMPLES`.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&id, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_count: env_u64("CRITERION_SAMPLES", 5).max(2) as usize,
+            target_sample: Duration::from_millis(env_u64("CRITERION_SAMPLE_MS", 100)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_count, self.target_sample);
+        f(&mut b);
+        report(id, &b.samples, throughput);
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(runs > 0, "workload never executed");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
