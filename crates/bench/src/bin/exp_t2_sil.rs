@@ -6,7 +6,8 @@
 //! With a HFT equal to one, the SFF should be greater than 90%."
 
 use socfmea_bench::{banner, MemSysSetup};
-use socfmea_iec61508::{sil_from_sff, Hft, SubsystemType};
+use socfmea_iec61508::{sil_from_sff, Hft, Sil, SubsystemType};
+use socfmea_lint::{LintConfig, LintRunner};
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
@@ -14,6 +15,30 @@ fn main() {
         "T2",
         "architectural constraints: SFF x HFT -> SIL (types A and B)",
     );
+
+    // lint gate: the SIL table below is only as good as the artefacts it is
+    // computed from, so check them first — with the paper's SIL3 target
+    // armed, SL0103 names any configuration that cannot reach it
+    let runner = LintRunner::new(LintConfig {
+        target_sil: Sil::from_level(3),
+        ..LintConfig::default()
+    });
+    for (name, cfg) in [
+        ("baseline", MemSysConfig::baseline()),
+        ("hardened", MemSysConfig::hardened()),
+    ] {
+        let setup = MemSysSetup::build(cfg);
+        let ws = setup.worksheet();
+        let report = runner.run(&setup.netlist, &setup.zones, Some(&ws));
+        println!("lint[{name}]: {}", report.summary_line());
+        for d in report.by_code("SL0103") {
+            print!("{}", d.render_text());
+        }
+        assert!(
+            !report.has_errors(),
+            "lint errors invalidate the experiment"
+        );
+    }
     for ty in [SubsystemType::A, SubsystemType::B] {
         println!("\nsubsystem type {ty:?}:");
         println!(

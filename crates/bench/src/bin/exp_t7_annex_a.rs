@@ -9,6 +9,7 @@
 
 use socfmea_bench::{banner, campaign_fault_config, pct, MemSysSetup};
 use socfmea_iec61508::{technique_catalog, TechniqueId};
+use socfmea_lint::LintRunner;
 use socfmea_memsys::config::MemSysConfig;
 
 fn main() {
@@ -16,6 +17,22 @@ fn main() {
         "T7",
         "Annex A technique catalog vs measured diagnostic coverage",
     );
+
+    // lint gate: this experiment compares *claimed* DDF against the Annex A
+    // caps the linter enforces (SL0102), so a clean report is a precondition
+    // for the table below meaning anything
+    let setup = MemSysSetup::build(MemSysConfig::hardened().with_words(16));
+    let ws = setup.worksheet();
+    let report = LintRunner::with_defaults().run(&setup.netlist, &setup.zones, Some(&ws));
+    println!("lint: {}", report.summary_line());
+    for d in report.by_code("SL0102") {
+        print!("{}", d.render_text());
+    }
+    assert!(
+        !report.has_errors(),
+        "lint errors invalidate the experiment"
+    );
+
     println!(
         "{:<58} {:>6} {:>12} {:>4}",
         "technique [table]", "class", "max DC", "SW?"
@@ -30,8 +47,6 @@ fn main() {
         );
     }
 
-    let setup = MemSysSetup::build(MemSysConfig::hardened().with_words(16));
-    let ws = setup.worksheet();
     let run = setup.campaign(&campaign_fault_config());
 
     println!("\nmeasured coverage per instantiated technique (hardened design):");

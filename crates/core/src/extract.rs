@@ -560,4 +560,74 @@ mod tests {
         let zb = zones.zone_by_name("b").unwrap().id;
         assert_eq!(zones.correlation().shared_gates(za.index(), zb.index()), 2);
     }
+
+    #[test]
+    fn empty_netlist_extracts_no_zones() {
+        let nl = RtlBuilder::new("void").finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        assert!(zones.is_empty());
+        assert_eq!(zones.len(), 0);
+        assert_eq!(zones.membership().census(), (0, 0, 0));
+        assert!(zones.correlation().correlated_pairs().is_empty());
+        assert_eq!(zones.correlation().cone_count(), 0);
+    }
+
+    #[test]
+    fn gate_shared_by_three_cones_is_wide_in_all_of_them() {
+        // one inverter fans out to three registers: its gate sits in three
+        // cones and must appear in the membership of each, counted once in
+        // the wide census and 1/3 in each effective gate count
+        let mut r = RtlBuilder::new("tri");
+        let d = r.input_word("din", 1);
+        let shared = r.not(&d);
+        let a = r.register("a", &shared, None, None);
+        let b = r.register("b", &shared, None, None);
+        let c = r.register("c", &shared, None, None);
+        r.output_word("qa", &a);
+        r.output_word("qb", &b);
+        r.output_word("qc", &c);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let shared_gate = nl
+            .gates()
+            .iter()
+            .position(|g| g.name.contains("not"))
+            .expect("the shared inverter");
+        let cones = &zones.membership().cone_indices[shared_gate];
+        assert!(
+            cones.len() >= 3,
+            "expected >= 3 cones sharing the inverter, got {cones:?}"
+        );
+        let (_, _, wide) = zones.membership().census();
+        assert_eq!(wide, 1);
+        // all three register pairs are correlated through the single gate
+        for (x, y) in [("a", "b"), ("a", "c"), ("b", "c")] {
+            let zx = zones.zone_by_name(x).unwrap().id.index();
+            let zy = zones.zone_by_name(y).unwrap().id.index();
+            assert_eq!(zones.correlation().shared_gates(zx, zy), 1, "{x}/{y}");
+        }
+        // apportioning: each register zone credits 1/3 of the shared gate
+        let za = zones.zone_by_name("a").unwrap();
+        assert!((za.effective_gate_count - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_input_fed_register_has_zero_gate_cone() {
+        // a register latching an input directly: the converging cone exists
+        // (anchored at the D net) but contains zero gates
+        let mut r = RtlBuilder::new("thin");
+        let d = r.input_word("din", 2);
+        let q = r.register("latch", &d, None, None);
+        r.output_word("dout", &q);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let latch = zones.zone_by_name("latch").expect("latch zone");
+        assert!(latch.cone.gates.is_empty());
+        assert_eq!(latch.stats.gate_count, 0);
+        assert_eq!(latch.effective_gate_count, 0.0);
+        assert_eq!(latch.storage_bits(), 2);
+        // the only gates are the two output-port buffers, local to the
+        // primary-output zone's cone; nothing is wide or unassigned
+        assert_eq!(zones.membership().census(), (0, 2, 0));
+    }
 }

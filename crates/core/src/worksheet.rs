@@ -66,8 +66,10 @@ impl FreqClass {
             FreqClass::High,
             FreqClass::VeryHigh,
         ];
-        let idx = ORDER.iter().position(|&c| c == self).expect("member") as i8;
-        let new = (idx + delta).clamp(0, 4) as usize;
+        let idx = ORDER.iter().position(|&c| c == self).expect("member") as i32;
+        // widen before adding: `idx + delta` in i8 would overflow for
+        // deltas near the type bounds instead of saturating
+        let new = (idx + i32::from(delta)).clamp(0, 4) as usize;
         ORDER[new]
     }
 }
@@ -412,15 +414,30 @@ impl<'a> Worksheet<'a> {
         self.hft = hft;
     }
 
+    /// The hardware fault tolerance assumed for the SIL grant.
+    pub fn hft(&self) -> Hft {
+        self.hft
+    }
+
     /// Sets the subsystem type (A/B) for the SIL grant.
     pub fn set_subsystem(&mut self, ty: SubsystemType) {
         self.subsystem = ty;
+    }
+
+    /// The subsystem type (A/B) assumed for the SIL grant.
+    pub fn subsystem(&self) -> SubsystemType {
+        self.subsystem
     }
 
     /// Applies a global derating factor to every claimed DDF (sensitivity
     /// knob).
     pub fn set_ddf_derating(&mut self, k: f64) {
         self.ddf_derating = k;
+    }
+
+    /// The current global DDF derating factor.
+    pub fn ddf_derating(&self) -> f64 {
+        self.ddf_derating
     }
 
     /// Mutable access to one zone's assumptions.
@@ -699,6 +716,16 @@ mod tests {
         assert_eq!(FreqClass::VeryLow.shifted(-1), FreqClass::VeryLow);
         assert_eq!(FreqClass::Medium.shifted(1), FreqClass::High);
         assert!(FreqClass::Low.usage() < FreqClass::High.usage());
+    }
+
+    #[test]
+    fn freq_class_shifting_saturates_at_extreme_deltas() {
+        // deltas near the i8 bounds must saturate, not overflow in the
+        // index arithmetic (idx + 127 does not fit in i8)
+        for class in [FreqClass::VeryLow, FreqClass::Medium, FreqClass::VeryHigh] {
+            assert_eq!(class.shifted(i8::MAX), FreqClass::VeryHigh);
+            assert_eq!(class.shifted(i8::MIN), FreqClass::VeryLow);
+        }
     }
 
     #[test]

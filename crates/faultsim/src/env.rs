@@ -5,7 +5,7 @@
 //! builds all the required environment configuration files" (paper §5).
 
 use socfmea_core::{ZoneId, ZoneKind, ZoneSet};
-use socfmea_netlist::{NetId, Netlist};
+use socfmea_netlist::{Driver, NetId, Netlist};
 use socfmea_sim::Workload;
 use std::collections::BTreeMap;
 
@@ -39,6 +39,66 @@ impl<'a> Environment<'a> {
     /// The zone owning an observation net, if any.
     pub fn zone_of_net(&self, net: NetId) -> Option<ZoneId> {
         self.net_zone.get(&net).copied()
+    }
+
+    /// For every net, whether a deviation on it can influence at least one
+    /// functional output or alarm net — combinationally or through any
+    /// number of flip-flop stages.
+    ///
+    /// This is the *structural* observability the monitors rely on: a fault
+    /// anywhere outside this set can never be seen by the injection
+    /// campaign's functional or alarm monitors, no matter the workload.
+    /// Computed by a backward walk from the monitored nets across gate
+    /// inputs and flip-flop `d`/`enable`/`reset` pins.
+    pub fn observable_nets(&self) -> Vec<bool> {
+        let mut observable = vec![false; self.netlist.net_count()];
+        let mut worklist: Vec<NetId> = Vec::new();
+        for &n in self.functional_outputs.iter().chain(&self.alarm_nets) {
+            if !observable[n.index()] {
+                observable[n.index()] = true;
+                worklist.push(n);
+            }
+        }
+        while let Some(n) = worklist.pop() {
+            let feeders: Vec<NetId> = match self.netlist.net(n).driver {
+                Driver::Gate(g) => self.netlist.gate(g).inputs.clone(),
+                Driver::Dff(f) => {
+                    let ff = self.netlist.dff(f);
+                    let mut v = vec![ff.d];
+                    v.extend(ff.enable);
+                    v.extend(ff.reset);
+                    v
+                }
+                Driver::Input | Driver::Const(_) | Driver::None => Vec::new(),
+            };
+            for src in feeders {
+                if !observable[src.index()] {
+                    observable[src.index()] = true;
+                    worklist.push(src);
+                }
+            }
+        }
+        observable
+    }
+
+    /// Zones with no observation path: none of their anchor nets can reach
+    /// a functional output or an alarm net, so no monitor of this
+    /// environment can ever witness their failures — a hole in the safety
+    /// concept's observability.
+    ///
+    /// Critical-net zones are excluded: clock roots are implicit in the
+    /// cycle-based model (no gate reads them), so the walk cannot see them,
+    /// and their supervision (watchdog with separate time base) lives
+    /// outside the simulated design anyway.
+    pub fn unobservable_zones(&self) -> Vec<ZoneId> {
+        let observable = self.observable_nets();
+        self.zones
+            .zones()
+            .iter()
+            .filter(|z| !matches!(z.kind, ZoneKind::CriticalNet { .. }))
+            .filter(|z| !z.anchors.is_empty() && z.anchors.iter().all(|a| !observable[a.index()]))
+            .map(|z| z.id)
+            .collect()
     }
 }
 
@@ -209,5 +269,52 @@ mod tests {
         // but it stays in functional outputs too unless name-matched: the
         // builder only reroutes name-matched outputs.
         assert!(env.functional_outputs.contains(&flag));
+    }
+
+    #[test]
+    fn unobservable_zones_finds_registers_cut_off_from_all_monitors() {
+        // `seen` reaches the output through a second register stage; `lost`
+        // feeds nothing — no monitor can ever witness its failures
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 2);
+        let seen = r.register("seen", &d, None, None);
+        let stage2 = r.register("stage2", &seen, None, None);
+        let _lost = r.register("lost", &d, None, None);
+        r.output_word("o", &stage2);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let w = Workload::new("w");
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let unobservable = env.unobservable_zones();
+        let lost = zones.zone_by_name("lost").unwrap().id;
+        let seen_id = zones.zone_by_name("seen").unwrap().id;
+        assert!(unobservable.contains(&lost), "lost has no path to monitors");
+        assert!(
+            !unobservable.contains(&seen_id),
+            "seen reaches the output across a flip-flop boundary"
+        );
+        // the input bus feeds `seen` and therefore the output: observable
+        let pi = zones.zone_by_name("pi/d").unwrap().id;
+        assert!(!unobservable.contains(&pi));
+    }
+
+    #[test]
+    fn alarm_nets_grant_observability_too() {
+        // a register whose only sink is a parity alarm is still observable
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        let p = r.parity(&q);
+        r.output("alarm_par", p);
+        let o = r.input_word("passthru", 1);
+        r.output_word("o", &o);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let w = Workload::new("w");
+        let env = EnvironmentBuilder::new(&nl, &zones, &w)
+            .alarms_matching("alarm_")
+            .build();
+        let q_zone = zones.zone_by_name("q").unwrap().id;
+        assert!(!env.unobservable_zones().contains(&q_zone));
     }
 }

@@ -1,0 +1,46 @@
+//! socfmea-lint: structural safety lints over the netlist, the extracted
+//! sensible zones, and the FMEA worksheet.
+//!
+//! The paper's methodology front-loads safety analysis: zones are extracted
+//! from the netlist, assumptions are typed into a worksheet, and only then
+//! does (expensive) fault-injection validate the claims. This crate adds the
+//! missing guard rail between those steps — a clippy-style diagnostic pass
+//! that catches *structural* inconsistencies before any simulation runs:
+//!
+//! * the **structural pack** (`SL00xx`) re-reads the netlist and zone set:
+//!   combinational loops, dead logic, gates no zone accounts for, wide-fault
+//!   hotspots where zone cones overlap, undeclared clock/reset-like global
+//!   nets, and zones no monitor can observe;
+//! * the **worksheet pack** (`SL01xx`) cross-checks the typed FMEA numbers
+//!   against the IEC 61508 data model: S/D splits and usage factors outside
+//!   [0, 1], DDF claims above their Annex A caps, mode weights that silently
+//!   drop failure rate, dangerous zones with no claimed diagnostics, and
+//!   SFF/HFT combinations that cannot reach the targeted SIL.
+//!
+//! Every rule has a stable code, a default severity, and an *anchor* (gate,
+//! net, zone, worksheet row, or the whole design) instead of a source span.
+//! Reports render rustc-style for humans or as a JSON document for tools.
+//!
+//! ```
+//! use socfmea_lint::{LintConfig, LintRunner};
+//! use socfmea_memsys::{build_netlist, fmea::build_worksheet, MemSysConfig};
+//! use socfmea_core::extract_zones;
+//!
+//! let cfg = MemSysConfig::hardened();
+//! let netlist = build_netlist(&cfg).unwrap();
+//! let zones = extract_zones(&netlist, &socfmea_memsys::fmea::extract_config());
+//! let worksheet = build_worksheet(&zones, &cfg);
+//! let report = LintRunner::with_defaults().run(&netlist, &zones, Some(&worksheet));
+//! println!("{}", report.summary_line());
+//! assert!(!report.has_errors());
+//! ```
+
+mod diag;
+mod registry;
+mod runner;
+mod structural;
+mod worksheet;
+
+pub use diag::{Anchor, Diagnostic, Severity};
+pub use registry::{rule_info, RuleInfo, RulePack, RULES};
+pub use runner::{is_known_code, known_codes, LintConfig, LintReport, LintRunner, RuleLevel};

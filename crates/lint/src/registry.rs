@@ -1,0 +1,168 @@
+//! The rule registry: every rule's stable code, pack, default severity and
+//! one-line summary.
+//!
+//! Codes are stable identifiers in the clippy tradition: `SL00xx` for the
+//! structural pack (netlist + zone extraction), `SL01xx` for the worksheet
+//! pack (FMEA assumptions + IEC 61508 tables). A code, once shipped, never
+//! changes meaning; retiring a rule retires its code.
+
+use crate::diag::Severity;
+
+/// Which artefact a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RulePack {
+    /// Netlist structure, zone extraction, cone correlation, observability.
+    Structural,
+    /// Worksheet assumptions, diagnostic claims, SIL/SFF tables.
+    Worksheet,
+}
+
+impl RulePack {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RulePack::Structural => "structural",
+            RulePack::Worksheet => "worksheet",
+        }
+    }
+}
+
+/// A registry entry describing one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable rule code.
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// The pack the rule belongs to.
+    pub pack: RulePack,
+    /// Severity before any per-rule override.
+    pub default_severity: Severity,
+    /// One-line description (the README rule table row).
+    pub summary: &'static str,
+}
+
+/// Every shipped rule, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "SL0001",
+        name: "combinational-loop",
+        pack: RulePack::Structural,
+        default_severity: Severity::Error,
+        summary: "a combinational cycle makes the design un-levelizable (and un-simulatable)",
+    },
+    RuleInfo {
+        code: "SL0002",
+        name: "dangling-net",
+        pack: RulePack::Structural,
+        default_severity: Severity::Warning,
+        summary: "a driven net is never read and is not a primary output — dead logic",
+    },
+    RuleInfo {
+        code: "SL0003",
+        name: "unzoned-gates",
+        pack: RulePack::Structural,
+        default_severity: Severity::Warning,
+        summary: "gates covered by no sensible-zone cone: their FIT vanishes from the FMEA",
+    },
+    RuleInfo {
+        code: "SL0004",
+        name: "wide-fault-hotspot",
+        pack: RulePack::Structural,
+        default_severity: Severity::Info,
+        summary: "two zones share many cone gates: one physical fault, multiple zone failures",
+    },
+    RuleInfo {
+        code: "SL0005",
+        name: "undeclared-global-net",
+        pack: RulePack::Structural,
+        default_severity: Severity::Warning,
+        summary:
+            "a clock/reset-like or high-fanout control net is not declared a global-fault zone",
+    },
+    RuleInfo {
+        code: "SL0006",
+        name: "unobservable-zone",
+        pack: RulePack::Structural,
+        default_severity: Severity::Warning,
+        summary: "no monitor can see the zone: its anchors reach no functional output or alarm",
+    },
+    RuleInfo {
+        code: "SL0101",
+        name: "sd-split-out-of-range",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Error,
+        summary: "an S (safe-fraction) factor is outside [0, 1] or not finite",
+    },
+    RuleInfo {
+        code: "SL0102",
+        name: "ddf-exceeds-annex-cap",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Warning,
+        summary: "a claimed DDF exceeds the technique's Annex A maximum diagnostic coverage",
+    },
+    RuleInfo {
+        code: "SL0103",
+        name: "target-sil-unreachable",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Warning,
+        summary: "the computed SFF/HFT combination cannot be granted the targeted SIL",
+    },
+    RuleInfo {
+        code: "SL0104",
+        name: "derating-out-of-range",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Error,
+        summary: "the global DDF derating factor is outside [0, 1]",
+    },
+    RuleInfo {
+        code: "SL0105",
+        name: "usage-out-of-range",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Error,
+        summary: "a lifetime-exposure or frequency usage factor is outside [0, 1]",
+    },
+    RuleInfo {
+        code: "SL0106",
+        name: "degenerate-mode-weights",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Error,
+        summary:
+            "failure-mode weights are negative, non-finite, sum to zero, or name no required mode",
+    },
+    RuleInfo {
+        code: "SL0107",
+        name: "undiagnosed-dangerous-zone",
+        pack: RulePack::Worksheet,
+        default_severity: Severity::Info,
+        summary: "a zone contributes dangerous failure rate but claims no diagnostic at all",
+    },
+];
+
+/// Looks a rule up by its stable code.
+pub fn rule_info(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_well_formed() {
+        for w in RULES.windows(2) {
+            assert!(w[0].code < w[1].code, "{} vs {}", w[0].code, w[1].code);
+        }
+        for r in RULES {
+            assert!(r.code.starts_with("SL") && r.code.len() == 6, "{}", r.code);
+            let structural = r.code.as_bytes()[2] == b'0' && r.code.as_bytes()[3] == b'0';
+            assert_eq!(structural, r.pack == RulePack::Structural, "{}", r.code);
+        }
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(rule_info("SL0004").unwrap().name, "wide-fault-hotspot");
+        assert!(rule_info("SL9999").is_none());
+    }
+}

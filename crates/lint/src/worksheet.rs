@@ -1,0 +1,240 @@
+//! The worksheet rule pack: FMEA assumptions versus the IEC 61508 data
+//! model (`SL01xx`).
+//!
+//! The worksheet computes SFF/DC from whatever the analyst typed; these
+//! rules cross-check the typed numbers against the norm — claims versus
+//! Annex A caps, factors versus their [0, 1] domains, mode weights versus
+//! the required failure-mode lists, and the resulting SFF/HFT pair versus
+//! the architectural-constraint tables for the targeted SIL.
+
+use crate::diag::{Anchor, Diagnostic, Severity};
+use crate::runner::LintConfig;
+use socfmea_core::worksheet::{RowPersistence, Worksheet};
+use socfmea_iec61508::failure_modes::Persistence;
+use socfmea_iec61508::sil::required_sff_band;
+use socfmea_iec61508::{annex_a, required_failure_modes, sil_from_sff};
+
+/// Runs every worksheet rule, appending raw findings (default severities;
+/// the runner applies per-rule overrides afterwards).
+pub(crate) fn check_worksheet(
+    design: &str,
+    ws: &Worksheet<'_>,
+    cfg: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let fmea = ws.compute();
+
+    // SL0104: the global derating knob must stay a fraction — outside [0, 1]
+    // it either invents coverage (> 1) or silently negates claims (< 0).
+    let derating = ws.ddf_derating();
+    if !(0.0..=1.0).contains(&derating) || !derating.is_finite() {
+        out.push(
+            Diagnostic::new(
+                "SL0104",
+                Severity::Error,
+                Anchor::Design(design.to_owned()),
+                format!("DDF derating factor {derating} is outside [0, 1]"),
+            )
+            .with_help("set_ddf_derating expects a fraction of the claimed coverage to keep"),
+        );
+    }
+
+    for zone in ws.zones().zones() {
+        let a = ws.assumptions(zone.id);
+        let zname = zone.name.as_str();
+
+        // SL0101: S factors out of domain — d_permanent() would leave [0, 1]
+        // and every λ split downstream becomes nonsense.
+        for (label, v) in [
+            ("architectural S", a.s_architectural),
+            ("applicational S", a.s_applicational),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                out.push(
+                    Diagnostic::new(
+                        "SL0101",
+                        Severity::Error,
+                        Anchor::Zone(zname.to_owned()),
+                        format!("{label} factor {v} is outside [0, 1]"),
+                    )
+                    .with_help("safe fractions are probabilities; clamp or re-derive the split"),
+                );
+            }
+        }
+
+        // SL0105: usage/exposure factors out of domain. The frequency-class
+        // usage is enum-derived (always a fraction) but checked anyway so
+        // the invariant is stated in one place; ζ is free-typed.
+        for (label, v) in [
+            ("lifetime exposure ζ", a.lifetime_exposure),
+            ("frequency usage F", a.freq.usage()),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                out.push(
+                    Diagnostic::new(
+                        "SL0105",
+                        Severity::Error,
+                        Anchor::Zone(zname.to_owned()),
+                        format!("{label} = {v} exceeds the [0, 1] usage domain"),
+                    )
+                    .with_help(
+                        "usage factors scale the dangerous fraction and must stay fractions",
+                    ),
+                );
+            }
+        }
+
+        // SL0102: claims above the Annex A cap. The worksheet silently caps
+        // them, so the computed SFF is right — but the *recorded* claim is
+        // not what the norm credits, which is exactly the kind of silent
+        // inconsistency a certification audit trips over.
+        for claim in &a.diagnostics {
+            let entry = annex_a::technique(claim.technique);
+            let cap = entry.max_dc.fraction();
+            for (label, v) in [
+                ("transient", claim.ddf_transient),
+                ("permanent", claim.ddf_permanent),
+            ] {
+                if v > cap + 1e-9 {
+                    out.push(
+                        Diagnostic::new(
+                            "SL0102",
+                            Severity::Warning,
+                            Anchor::Zone(zname.to_owned()),
+                            format!(
+                                "claims {label} DDF {v:.2} for `{}` but Annex A ({}) credits at most {cap:.2}",
+                                entry.name, entry.table
+                            ),
+                        )
+                        .with_help("the worksheet caps the claim anyway; record the creditable value"),
+                    );
+                }
+            }
+        }
+
+        // SL0106: degenerate failure-mode weights.
+        let modes = required_failure_modes(zone.class);
+        for (key, w) in &a.mode_weights {
+            if !w.is_finite() || *w < 0.0 {
+                out.push(
+                    Diagnostic::new(
+                        "SL0106",
+                        Severity::Error,
+                        Anchor::Zone(zname.to_owned()),
+                        format!("failure-mode weight {w} for `{key}` is negative or not finite"),
+                    )
+                    .with_help("mode weights are relative shares and must be finite and >= 0"),
+                );
+            }
+            if !modes.iter().any(|m| m.key == key.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        "SL0106",
+                        Severity::Warning,
+                        Anchor::Zone(zname.to_owned()),
+                        format!(
+                            "weight set for `{key}`, which is not a required failure mode of class {}",
+                            zone.class
+                        ),
+                    )
+                    .with_help("probably a typo: the weight silently matches nothing"),
+                );
+            }
+        }
+        // a pool whose applicable weights sum to zero drops its λ on the
+        // floor: compute() assigns Fit::ZERO to every share
+        for persistence in [RowPersistence::Transient, RowPersistence::Permanent] {
+            let pool = match persistence {
+                RowPersistence::Transient => ws.fit_model().zone_transient(zone),
+                RowPersistence::Permanent => ws.fit_model().zone_permanent(zone),
+            };
+            let applicable: Vec<_> = modes
+                .iter()
+                .filter(|m| {
+                    matches!(
+                        (persistence, m.persistence),
+                        (RowPersistence::Transient, Persistence::Transient)
+                            | (RowPersistence::Transient, Persistence::Both)
+                            | (RowPersistence::Permanent, Persistence::Permanent)
+                            | (RowPersistence::Permanent, Persistence::Both)
+                    )
+                })
+                .collect();
+            if applicable.is_empty() || pool.0 <= 0.0 {
+                continue;
+            }
+            let total: f64 = applicable.iter().map(|m| a.mode_weight(m.key)).sum();
+            if total <= 0.0 {
+                out.push(
+                    Diagnostic::new(
+                        "SL0106",
+                        Severity::Error,
+                        Anchor::Row {
+                            zone: zname.to_owned(),
+                            mode: "*".to_owned(),
+                            persistence: persistence.to_string(),
+                        },
+                        format!(
+                            "mode weights sum to {total} over the {persistence} pool: \
+                             its λ = {:.4} FIT silently vanishes from the FMEA",
+                            pool.0
+                        ),
+                    )
+                    .with_help("give at least one applicable mode a positive weight"),
+                );
+            }
+        }
+
+        // SL0107: dangerous rate with no claimed diagnostic at all — the
+        // top of every criticality ranking starts here.
+        let totals = &fmea.zone_totals[zone.id.index()];
+        if totals.total_dangerous().0 > 0.0 && a.diagnostics.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "SL0107",
+                    Severity::Info,
+                    Anchor::Zone(zname.to_owned()),
+                    format!(
+                        "contributes λ_D = {:.4} FIT with zero claimed diagnostics",
+                        totals.total_dangerous().0
+                    ),
+                )
+                .with_help(
+                    "every undetected dangerous FIT lands in λ_DU; cover the zone or \
+                     justify the gap in the safety case",
+                ),
+            );
+        }
+    }
+
+    // SL0103: the targeted SIL is not reachable from the computed SFF under
+    // the assumed HFT/subsystem type (IEC 61508-2 tables 2/3).
+    if let Some(target) = cfg.target_sil {
+        if let Some(sff) = fmea.sff() {
+            let granted = sil_from_sff(sff, ws.hft(), ws.subsystem());
+            if granted.is_none_or(|s| s < target) {
+                let need = required_sff_band(target, ws.hft(), ws.subsystem())
+                    .map(|b| format!("needs {b}"))
+                    .unwrap_or_else(|| {
+                        format!("unreachable at HFT {} for this subsystem type", ws.hft().0)
+                    });
+                out.push(
+                    Diagnostic::new(
+                        "SL0103",
+                        Severity::Warning,
+                        Anchor::Design(design.to_owned()),
+                        format!(
+                            "SFF {:.2}% grants {} at HFT {}; target {target} {need}",
+                            sff * 100.0,
+                            granted
+                                .map(|s| s.to_string())
+                                .unwrap_or_else(|| "no SIL".into()),
+                            ws.hft().0
+                        ),
+                    )
+                    .with_help("raise coverage (DDF claims), raise HFT, or lower the target"),
+                );
+            }
+        }
+    }
+}

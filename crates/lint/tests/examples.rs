@@ -1,0 +1,177 @@
+//! Fixture tests: the linter run end-to-end over the two bundled example
+//! designs.
+//!
+//! These pin the *seeded* findings — rule codes that must keep firing on the
+//! examples with stable `SLxxxx` identities — and the cleanliness contract
+//! the CI `--deny warnings` gate relies on.
+
+use socfmea_core::extract_zones;
+use socfmea_lint::{LintConfig, LintRunner, RuleLevel, Severity, RULES};
+use socfmea_mcu::{build_mcu, programs, McuConfig};
+use socfmea_memsys::{build_netlist, MemSysConfig};
+
+fn lint_mcu(cfg: &McuConfig, lint_cfg: LintConfig) -> socfmea_lint::LintReport {
+    let netlist = build_mcu(cfg).expect("mcu builds");
+    let zones = extract_zones(&netlist, &socfmea_mcu::fmea::extract_config());
+    let worksheet = socfmea_mcu::fmea::build_worksheet(&zones, cfg);
+    LintRunner::new(lint_cfg).run(&netlist, &zones, Some(&worksheet))
+}
+
+fn lint_fmem(cfg: &MemSysConfig, lint_cfg: LintConfig) -> socfmea_lint::LintReport {
+    let netlist = build_netlist(cfg).expect("fmem builds");
+    let zones = extract_zones(&netlist, &socfmea_memsys::fmea::extract_config());
+    let worksheet = socfmea_memsys::fmea::build_worksheet(&zones, cfg);
+    LintRunner::new(lint_cfg).run(&netlist, &zones, Some(&worksheet))
+}
+
+/// The lockstep MCU example must report the seeded structural finding:
+/// the two lockstep cores share cone logic, which is exactly the wide-fault
+/// hotspot `SL0004` exists to flag.
+#[test]
+fn mcu_example_reports_seeded_structural_finding() {
+    let report = lint_mcu(
+        &McuConfig::lockstep(programs::checksum_loop()),
+        LintConfig::default(),
+    );
+    let hotspots = report.by_code("SL0004");
+    assert!(
+        !hotspots.is_empty(),
+        "expected SL0004 wide-fault hotspots on the lockstep MCU; got:\n{}",
+        report.render_text()
+    );
+    for d in &hotspots {
+        assert_eq!(d.severity, Severity::Info);
+    }
+}
+
+/// The MCU example must report the seeded worksheet finding: its alarm/cmp
+/// zones carry dangerous FIT but claim no diagnostics (`SL0107`).
+#[test]
+fn mcu_example_reports_seeded_worksheet_finding() {
+    let report = lint_mcu(
+        &McuConfig::lockstep(programs::checksum_loop()),
+        LintConfig::default(),
+    );
+    let undiagnosed = report.by_code("SL0107");
+    assert!(
+        !undiagnosed.is_empty(),
+        "expected SL0107 undiagnosed-dangerous-zone on the MCU; got:\n{}",
+        report.render_text()
+    );
+    for d in &undiagnosed {
+        assert_eq!(d.severity, Severity::Info);
+    }
+}
+
+/// Both bundled examples must stay clean under the CI gate: no errors, and
+/// no warnings once warnings are promoted.
+#[test]
+fn bundled_examples_pass_deny_warnings() {
+    let gate = LintConfig {
+        deny_warnings: true,
+        ..LintConfig::default()
+    };
+    for (name, report) in [
+        (
+            "fmem hardened",
+            lint_fmem(&MemSysConfig::hardened(), gate.clone()),
+        ),
+        (
+            "fmem baseline",
+            lint_fmem(&MemSysConfig::baseline(), gate.clone()),
+        ),
+        (
+            "mcu lockstep",
+            lint_mcu(
+                &McuConfig::lockstep(programs::checksum_loop()),
+                gate.clone(),
+            ),
+        ),
+        (
+            "mcu single",
+            lint_mcu(&McuConfig::single(programs::checksum_loop()), gate.clone()),
+        ),
+    ] {
+        assert!(
+            !report.has_errors(),
+            "{name} fails --deny warnings:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// `allow` overrides silence a seeded finding; `deny` promotes it to a
+/// gating error.
+#[test]
+fn overrides_silence_and_promote_seeded_findings() {
+    let cfg = McuConfig::lockstep(programs::checksum_loop());
+    let silenced = lint_mcu(&cfg, LintConfig::default().allow("SL0004"));
+    assert!(silenced.by_code("SL0004").is_empty());
+
+    let denied = lint_mcu(&cfg, LintConfig::default().deny("SL0107"));
+    assert!(denied.has_errors());
+    assert!(denied
+        .by_code("SL0107")
+        .iter()
+        .all(|d| d.severity == Severity::Error));
+}
+
+/// Every diagnostic the examples produce carries a registered rule code, and
+/// JSON output round-trips the counts.
+#[test]
+fn example_reports_use_registered_codes_and_consistent_json() {
+    let report = lint_mcu(
+        &McuConfig::lockstep(programs::checksum_loop()),
+        LintConfig::default(),
+    );
+    for d in &report.diagnostics {
+        assert!(
+            RULES.iter().any(|r| r.code == d.code),
+            "unregistered code {}",
+            d.code
+        );
+    }
+    let json = report.render_json();
+    assert!(json.contains(&format!("\"infos\":{}", report.infos())));
+    assert_eq!(
+        json.contains("\"code\":\"SL0104\""),
+        !report.by_code("SL0104").is_empty()
+    );
+}
+
+/// The worksheet pack catches a corrupted assumption: pushing a safe
+/// fraction outside [0, 1] must raise the `SL0101` error.
+#[test]
+fn corrupted_s_split_raises_sl0101() {
+    let cfg = MemSysConfig::hardened();
+    let netlist = build_netlist(&cfg).expect("fmem builds");
+    let zones = extract_zones(&netlist, &socfmea_memsys::fmea::extract_config());
+    let mut worksheet = socfmea_memsys::fmea::build_worksheet(&zones, &cfg);
+    let victim = zones.zones()[0].id;
+    worksheet.assumptions_mut(victim).s_architectural = 1.7;
+    let report = LintRunner::with_defaults().run(&netlist, &zones, Some(&worksheet));
+    assert!(report.has_errors());
+    assert!(!report.by_code("SL0101").is_empty());
+}
+
+/// Sanity for the level triple: `RuleLevel` values behave per their names in
+/// the effective-severity computation.
+#[test]
+fn rule_levels_map_to_expected_severities() {
+    let base = LintConfig::default();
+    assert_eq!(
+        base.effective_severity("SL0002", Severity::Warning),
+        Some(Severity::Warning)
+    );
+    for (level, expect) in [
+        (RuleLevel::Allow, None),
+        (RuleLevel::Warn, Some(Severity::Warning)),
+        (RuleLevel::Deny, Some(Severity::Error)),
+    ] {
+        let cfg = LintConfig {
+            overrides: vec![("SL0002".to_owned(), level)],
+            ..LintConfig::default()
+        };
+        assert_eq!(cfg.effective_severity("SL0002", Severity::Warning), expect);
+    }
+}

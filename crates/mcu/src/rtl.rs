@@ -59,11 +59,20 @@ fn build_core(r: &mut RtlBuilder, prefix: &str, rom: &[u16], rst: NetId) -> Core
     r.push_block("decode");
     let imm = instr.slice(0, 8);
     let opcode = instr.slice(8, 3);
-    let ophot = r.decoder(&opcode);
+    // one-hot strobes for the opcodes that steer state; NOP (opcode 0)
+    // touches nothing, so no decode logic is spent on it
+    // opcodes: [NOP, LDI, ADD, XOR, AND, OUT, JZ, JMP]
+    let op_ldi = r.eq_const(&opcode, 1);
+    let op_add = r.eq_const(&opcode, 2);
+    let op_xor = r.eq_const(&opcode, 3);
+    let op_and = r.eq_const(&opcode, 4);
+    let op_out = r.eq_const(&opcode, 5);
+    let op_jz = r.eq_const(&opcode, 6);
+    let op_jmp = r.eq_const(&opcode, 7);
     r.pop_block();
 
     r.push_block("alu");
-    let (add_res, _c) = r.add(&acc, &imm);
+    let add_res = r.add_wrapping(&acc, &imm);
     let xor_res = r.xor(&acc, &imm);
     let and_res = r.and(&acc, &imm);
     // opcode-indexed result mux: [NOP, LDI, ADD, XOR, AND, OUT, JZ, JMP]
@@ -78,16 +87,16 @@ fn build_core(r: &mut RtlBuilder, prefix: &str, rom: &[u16], rst: NetId) -> Core
         acc.clone(),
     ];
     let acc_next = r.mux_tree(&opcode, &candidates);
-    let acc_write = r.or_bits(&[ophot.bit(1), ophot.bit(2), ophot.bit(3), ophot.bit(4)]);
+    let acc_write = r.or_bits(&[op_ldi, op_add, op_xor, op_and]);
     let any = r.or_reduce(&acc_next);
     let is_zero = r.not_bit(any);
     r.pop_block();
 
     r.push_block("ctrl");
-    let (pc_plus1, _) = r.inc(&pc);
+    let pc_plus1 = r.inc_wrapping(&pc);
     let target = imm.slice(0, PC_BITS);
-    let take_jz = r.and2_bit(ophot.bit(6), zflag.bit(0));
-    let take = r.or2_bit(ophot.bit(7), take_jz);
+    let take_jz = r.and2_bit(op_jz, zflag.bit(0));
+    let take = r.or2_bit(op_jmp, take_jz);
     let pc_next = r.mux(take, &pc_plus1, &target);
     r.pop_block();
 
@@ -110,7 +119,7 @@ fn build_core(r: &mut RtlBuilder, prefix: &str, rom: &[u16], rst: NetId) -> Core
     );
 
     r.push_block("outport");
-    let out_en = ophot.bit(5);
+    let out_en = op_out;
     let out_reg = r.register(&format!("{prefix}_out"), &acc, Some(out_en), Some(rst));
     let out_valid = r.register_bit(&format!("{prefix}_out_valid"), out_en, None, Some(rst));
     r.pop_block();

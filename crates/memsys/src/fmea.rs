@@ -107,11 +107,14 @@ pub fn apply_assumptions(ws: &mut Worksheet<'_>, cfg: &MemSysConfig) {
                 ));
             }
         } else if name.contains("wbuf") {
-            // write buffer registers: short-lived contents
+            // write buffer registers: short-lived contents. Word parity is
+            // credited "low" by Annex A (table A.5), so the honest claim is
+            // the 60 % cap — claiming more would only be capped back by the
+            // worksheet (and flagged by the lint).
             a.lifetime_exposure = 0.5;
             if cfg.write_buffer_parity {
                 a.diagnostics
-                    .push(claim(TechniqueId::WordParity, 0.99, 0.99, None));
+                    .push(claim(TechniqueId::WordParity, 0.60, 0.60, None));
             }
         } else if name.contains("addr") && !name.starts_with("pi/") {
             // address latches (read, write and pipelined copies): the

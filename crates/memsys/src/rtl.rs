@@ -274,9 +274,19 @@ pub fn build_netlist(cfg: &MemSysConfig) -> Result<Netlist, NetlistError> {
     // ---------------- decoder pipeline ---------------------------------
     r.push_block("pipe");
     let rd_v1 = r.register_bit("rd_v1", rd_grant, None, Some(rst));
-    let code_p = r.register("code_p", &rd_code, Some(rd_v1), None);
+    // only the redundant checker re-reads the check bits after the pipeline;
+    // without it, registering them would be dead storage
+    let code_p_width = if cfg.redundant_pipeline_checker {
+        ecc::CODE_BITS
+    } else {
+        ecc::DATA_BITS
+    };
+    let code_p = r.register("code_p", &rd_code.slice(0, code_p_width), Some(rd_v1), None);
     let syn_p = r.register("syn_p", &syn1, Some(rd_v1), None);
-    let addr_p = r.register("addr_p", &addr_fold, Some(rd_v1), None);
+    // the pipelined address copy exists solely for the checker's second
+    // address-in-ECC fold
+    let addr_p = (cfg.redundant_pipeline_checker && cfg.address_in_ecc)
+        .then(|| r.register("addr_p", &addr_fold, Some(rd_v1), None));
     let rd_v2 = r.register_bit("rd_v2", rd_v1, None, Some(rst));
     r.pop_block(); // pipe
 
@@ -284,14 +294,14 @@ pub fn build_netlist(cfg: &MemSysConfig) -> Result<Netlist, NetlistError> {
     r.push_block("corr");
     // redundant checker: second syndrome computation after the pipeline
     let pipe_err = if cfg.redundant_pipeline_checker {
-        let pfold = fold(&addr_p);
+        let pfold = addr_p.as_ref().map(fold);
         let mut syn2 = Vec::with_capacity(ecc::CHECK_BITS);
         for j in 0..ecc::CHECK_BITS {
             let mut taps: Vec<socfmea_netlist::NetId> = (0..ecc::CODE_BITS)
                 .filter(|&i| (ecc::column(i) >> j) & 1 == 1)
                 .map(|i| code_p.bit(i))
                 .collect();
-            if cfg.address_in_ecc {
+            if let Some(pfold) = &pfold {
                 taps.extend(&pfold[j]);
             }
             syn2.push(r.xor_bits(&taps));

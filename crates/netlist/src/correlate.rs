@@ -122,8 +122,23 @@ impl CorrelationMatrix {
     }
 
     /// Number of gates shared between cones `i` and `j`.
+    ///
+    /// # Contract
+    ///
+    /// * Symmetric: `shared_gates(i, j) == shared_gates(j, i)`.
+    /// * The diagonal is defined as `0`: a cone trivially shares every gate
+    ///   with itself, which is never a *wide* (cross-zone) fault site, so
+    ///   `i == j` returns `0` rather than the cone's gate count.
+    /// * Indices at or past [`cone_count`](Self::cone_count) name no cone;
+    ///   they return `0` in release builds and panic with a clear message in
+    ///   debug builds (out-of-range lookups are caller bugs, not data).
     pub fn shared_gates(&self, i: usize, j: usize) -> usize {
-        if i == j {
+        debug_assert!(
+            i < self.cone_count && j < self.cone_count,
+            "shared_gates({i}, {j}) out of range: matrix was built over {} cone(s)",
+            self.cone_count
+        );
+        if i == j || i >= self.cone_count || j >= self.cone_count {
             return 0;
         }
         self.shared.get(&(i.min(j), i.max(j))).copied().unwrap_or(0)
@@ -196,5 +211,26 @@ mod tests {
         assert_eq!(corr.shared_gates(0, 0), 0);
         assert_eq!(corr.correlated_pairs(), vec![(0, 1, 1)]);
         assert_eq!(corr.cone_count(), 3);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn shared_gates_rejects_out_of_range_indices() {
+        let (nl, cones) = shared_design();
+        let m = gate_membership(&nl, &cones);
+        let corr = CorrelationMatrix::from_membership(&m, cones.len());
+        // debug builds panic with a clear message; release builds return 0
+        assert_eq!(corr.shared_gates(0, cones.len()), 0);
+        assert_eq!(corr.shared_gates(cones.len() + 7, 1), 0);
+    }
+
+    #[test]
+    fn diagonal_is_zero_even_for_nonempty_cones() {
+        let (nl, cones) = shared_design();
+        let m = gate_membership(&nl, &cones);
+        let corr = CorrelationMatrix::from_membership(&m, cones.len());
+        for i in 0..cones.len() {
+            assert_eq!(corr.shared_gates(i, i), 0);
+        }
     }
 }

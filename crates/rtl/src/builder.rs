@@ -295,6 +295,40 @@ impl RtlBuilder {
         (Word::new(sum), carry)
     }
 
+    /// Increment modulo `2^width`: like [`inc`](Self::inc) but the top
+    /// carry-out is never built, so discarding it leaves no dead gate.
+    pub fn inc_wrapping(&mut self, a: &Word) -> Word {
+        let mut carry = self.constant_bit(true);
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let x = a.bit(i);
+            sum.push(self.xor2_bit(x, carry));
+            if i + 1 < a.width() {
+                carry = self.and2_bit(x, carry);
+            }
+        }
+        Word::new(sum)
+    }
+
+    /// Addition modulo `2^width`: like [`add`](Self::add) but the top
+    /// carry-out (and its two feeder gates) is never built.
+    pub fn add_wrapping(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut carry = self.constant_bit(false);
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (x, y) = (a.bit(i), b.bit(i));
+            let xy = self.xor2_bit(x, y);
+            sum.push(self.xor2_bit(xy, carry));
+            if i + 1 < a.width() {
+                let c1 = self.and2_bit(x, y);
+                let c2 = self.and2_bit(xy, carry);
+                carry = self.or2_bit(c1, c2);
+            }
+        }
+        Word::new(sum)
+    }
+
     /// Equality comparator; returns one bit.
     pub fn eq(&mut self, a: &Word, b: &Word) -> NetId {
         let diff = self.zip_op(GateKind::Xnor, a, b, "eqb");
@@ -426,7 +460,7 @@ impl RtlBuilder {
         reset: Option<NetId>,
     ) -> Word {
         let q = self.register_feedback(name, width);
-        let (next, _carry) = self.inc(&q);
+        let next = self.inc_wrapping(&q);
         self.bind_register(name, &q, &next, enable, reset);
         q
     }

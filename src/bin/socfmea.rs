@@ -4,6 +4,7 @@
 //! socfmea zones   <netlist.v> [options]   list the extracted sensible zones
 //! socfmea analyze <netlist.v> [options]   run the FMEA and print the report
 //! socfmea inject  <netlist.v> [options]   run a fault-injection campaign
+//! socfmea lint    [<netlist.v>] [options] run the structural safety lints
 //!
 //! common options:
 //!   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -16,6 +17,13 @@
 //!   --threads <n>              campaign worker threads
 //!   --seed <s>                 fault-list sampling seed
 //!   --cycles <n>               synthetic workload length in cycles
+//! lint options:
+//!   --example <design>         lint a bundled design (fmem|fmem-baseline|
+//!                              mcu|mcu-single) instead of a netlist file
+//!   --format text|json         report format
+//!   --deny warnings|<SLxxxx>   promote findings to errors
+//!   --allow <SLxxxx>           drop a rule's findings
+//!   --target-sil <n>           check SIL reachability (SL0103)
 //! ```
 //!
 //! Argument parsing lives in [`soc_fmea::cli`]; this binary is the
@@ -26,11 +34,15 @@
 //! analysis starts from, while `inject` measures DC/SFF directly by
 //! golden-vs-faulty co-simulation under a seeded random workload.
 
-use soc_fmea::cli::{self, AnalyzeOptions, Command, InjectOptions, ReportFormat, ZonesOptions};
+use soc_fmea::cli::{
+    self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, LintFormat, LintOptions,
+    ReportFormat, ZonesOptions,
+};
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
 };
 use soc_fmea::fmea::{extract_zones, predict_all_effects, report, Worksheet, ZoneGraph};
+use soc_fmea::lint::{LintConfig, LintRunner};
 use soc_fmea::netlist::{parse_verilog, Logic, Netlist};
 use soc_fmea::sim::Workload;
 use std::process::ExitCode;
@@ -201,6 +213,73 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
     Ok(())
 }
 
+fn run_lint(opts: &LintOptions) -> Result<(), ExitCode> {
+    let mut config = LintConfig {
+        target_sil: opts.target_sil,
+        deny_warnings: opts.deny_warnings,
+        ..LintConfig::default()
+    };
+    for code in &opts.allow {
+        config = config.allow(code.clone());
+    }
+    for code in &opts.deny {
+        config = config.deny(code.clone());
+    }
+    let runner = LintRunner::new(config);
+
+    // The examples carry their own zone classification and worksheet
+    // (diagnostic claims included); a netlist file gets default worksheet
+    // assumptions, so only the structural pack and the domain checks bite.
+    let report = match opts.example {
+        Some(ExampleDesign::Fmem) | Some(ExampleDesign::FmemBaseline) => {
+            use soc_fmea::memsys::{build_netlist, fmea, MemSysConfig};
+            let cfg = if opts.example == Some(ExampleDesign::Fmem) {
+                MemSysConfig::hardened()
+            } else {
+                MemSysConfig::baseline()
+            };
+            let netlist = build_netlist(&cfg).map_err(|e| {
+                eprintln!("socfmea: building example: {e}");
+                ExitCode::FAILURE
+            })?;
+            let zones = extract_zones(&netlist, &fmea::extract_config());
+            let worksheet = fmea::build_worksheet(&zones, &cfg);
+            runner.run(&netlist, &zones, Some(&worksheet))
+        }
+        Some(ExampleDesign::Mcu) | Some(ExampleDesign::McuSingle) => {
+            use soc_fmea::mcu::{build_mcu, fmea, programs, McuConfig};
+            let cfg = if opts.example == Some(ExampleDesign::Mcu) {
+                McuConfig::lockstep(programs::checksum_loop())
+            } else {
+                McuConfig::single(programs::checksum_loop())
+            };
+            let netlist = build_mcu(&cfg).map_err(|e| {
+                eprintln!("socfmea: building example: {e}");
+                ExitCode::FAILURE
+            })?;
+            let zones = extract_zones(&netlist, &fmea::extract_config());
+            let worksheet = fmea::build_worksheet(&zones, &cfg);
+            runner.run(&netlist, &zones, Some(&worksheet))
+        }
+        None => {
+            let input = opts.input.as_deref().expect("validated by the parser");
+            let netlist = load_netlist(input)?;
+            let zones = extract_zones(&netlist, &opts.config);
+            let worksheet = Worksheet::new(&zones);
+            runner.run(&netlist, &zones, Some(&worksheet))
+        }
+    };
+
+    match opts.format {
+        LintFormat::Json => println!("{}", report.render_json()),
+        LintFormat::Text => print!("{}", report.render_text()),
+    }
+    if report.has_errors() {
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match cli::parse(&args) {
@@ -214,6 +293,7 @@ fn main() -> ExitCode {
         Command::Zones(o) => run_zones(o),
         Command::Analyze(o) => run_analyze(o),
         Command::Inject(o) => run_inject(o),
+        Command::Lint(o) => run_lint(o),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -6,20 +6,22 @@
 //!
 //! * `socfmea zones <netlist.v>` → [`ZonesOptions`],
 //! * `socfmea analyze <netlist.v>` → [`AnalyzeOptions`],
-//! * `socfmea inject <netlist.v>` → [`InjectOptions`].
+//! * `socfmea inject <netlist.v>` → [`InjectOptions`],
+//! * `socfmea lint [<netlist.v>]` → [`LintOptions`].
 //!
 //! [`parse`] turns `std::env::args` (minus the program name) into a
 //! [`Command`]; errors carry a message for stderr, and the caller prints
 //! [`USAGE`].
 
 use socfmea_core::extract::ExtractConfig;
-use socfmea_iec61508::{ComponentClass, Hft, SubsystemType};
+use socfmea_iec61508::{ComponentClass, Hft, Sil, SubsystemType};
 
 /// The usage string printed on argument errors.
-pub const USAGE: &str = "usage: socfmea <zones|analyze|inject> <netlist.v> [options]
+pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint> [<netlist.v>] [options]
   zones   <netlist.v>   list the extracted sensible zones
   analyze <netlist.v>   run the FMEA and print the report
   inject  <netlist.v>   run a fault-injection campaign, print measured DC/SFF
+  lint    <netlist.v>   run the structural safety lints (or --example <design>)
 
 common options:
   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -31,7 +33,15 @@ analyze options:
 inject options:
   --threads <n>              campaign worker threads (default: host cores, max 8)
   --seed <s>                 fault-list sampling seed (default: 0x5eed)
-  --cycles <n>               synthetic workload length in cycles (default: 48)";
+  --cycles <n>               synthetic workload length in cycles (default: 48)
+lint options:
+  --example <design>         lint a bundled design instead of a netlist file
+                             (fmem|fmem-baseline|mcu|mcu-single)
+  --format text|json         report format (default: text)
+  --deny warnings            promote every warning to an error
+  --deny <SLxxxx>            promote one rule's findings to errors (repeatable)
+  --allow <SLxxxx>           drop one rule's findings (repeatable)
+  --target-sil <n>           check SIL reachability (enables SL0103)";
 
 /// A parsed command line: one variant per subcommand.
 #[derive(Debug)]
@@ -42,6 +52,8 @@ pub enum Command {
     Analyze(AnalyzeOptions),
     /// `socfmea inject`.
     Inject(InjectOptions),
+    /// `socfmea lint`.
+    Lint(LintOptions),
 }
 
 /// Options of `socfmea zones`.
@@ -94,6 +106,63 @@ pub struct InjectOptions {
     pub cycles: usize,
 }
 
+/// One of the example designs bundled with the workspace, lintable without
+/// a netlist file on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExampleDesign {
+    /// The hardened F-MEM memory subsystem (the paper's case study).
+    Fmem,
+    /// The F-MEM with every hardening mechanism disabled.
+    FmemBaseline,
+    /// The lockstep dual-core MCU.
+    Mcu,
+    /// The MCU with a single core (no lockstep comparator).
+    McuSingle,
+}
+
+impl ExampleDesign {
+    fn parse(name: &str) -> Option<ExampleDesign> {
+        Some(match name {
+            "fmem" => ExampleDesign::Fmem,
+            "fmem-baseline" => ExampleDesign::FmemBaseline,
+            "mcu" => ExampleDesign::Mcu,
+            "mcu-single" => ExampleDesign::McuSingle,
+            _ => return None,
+        })
+    }
+}
+
+/// Report format of `socfmea lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    /// Rustc-style findings plus a summary line.
+    Text,
+    /// One JSON document.
+    Json,
+}
+
+/// Options of `socfmea lint`.
+#[derive(Debug)]
+pub struct LintOptions {
+    /// Path of the Verilog netlist; `None` when linting an example.
+    pub input: Option<String>,
+    /// A bundled example design; `None` when linting a netlist file.
+    pub example: Option<ExampleDesign>,
+    /// Zone-extraction configuration (used for netlist-file inputs; the
+    /// examples carry their own classification).
+    pub config: ExtractConfig,
+    /// Output format.
+    pub format: LintFormat,
+    /// Promote every warning to an error.
+    pub deny_warnings: bool,
+    /// Rule codes whose findings are dropped.
+    pub allow: Vec<String>,
+    /// Rule codes whose findings become errors.
+    pub deny: Vec<String>,
+    /// Target SIL for the reachability rule (`SL0103`).
+    pub target_sil: Option<Sil>,
+}
+
 fn parse_class(name: &str) -> Option<ComponentClass> {
     Some(match name {
         "memory" | "ram" => ComponentClass::VariableMemory,
@@ -124,7 +193,21 @@ pub fn default_threads() -> usize {
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let command = it.next().ok_or("missing command")?.clone();
-    let input = it.next().ok_or("missing input file")?.clone();
+
+    // option validity per subcommand
+    let is_analyze = command == "analyze";
+    let is_inject = command == "inject";
+    let is_lint = command == "lint";
+    if !matches!(command.as_str(), "zones" | "analyze" | "inject" | "lint") {
+        return Err(format!("unknown command `{command}`"));
+    }
+
+    // lint's netlist path is optional (an --example may stand in), so it is
+    // collected as a positional inside the option loop instead of up front
+    let mut input = String::new();
+    if !is_lint {
+        input = it.next().ok_or("missing input file")?.clone();
+    }
     let mut config = ExtractConfig::default();
     let mut hft = Hft(0);
     let mut subsystem = SubsystemType::B;
@@ -132,13 +215,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut threads = default_threads();
     let mut seed = 0x5eed;
     let mut cycles = 48usize;
-
-    // option validity per subcommand
-    let is_analyze = command == "analyze";
-    let is_inject = command == "inject";
-    if !matches!(command.as_str(), "zones" | "analyze" | "inject") {
-        return Err(format!("unknown command `{command}`"));
-    }
+    let mut lint_input: Option<String> = None;
+    let mut example: Option<ExampleDesign> = None;
+    let mut lint_format = LintFormat::Text;
+    let mut deny_warnings = false;
+    let mut allow: Vec<String> = Vec::new();
+    let mut deny: Vec<String> = Vec::new();
+    let mut target_sil: Option<Sil> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -179,6 +262,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("--cycles must be at least 1".into());
                 }
             }
+            "--example" if is_lint => {
+                let e = it.next().ok_or("--example needs a design name")?;
+                example = Some(
+                    ExampleDesign::parse(e)
+                        .ok_or_else(|| format!("unknown example design `{e}`"))?,
+                );
+            }
+            "--format" if is_lint => {
+                let f = it.next().ok_or("--format needs a value")?;
+                lint_format = match f.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--deny" if is_lint => {
+                let v = it.next().ok_or("--deny needs `warnings` or a rule code")?;
+                if v == "warnings" {
+                    deny_warnings = true;
+                } else {
+                    check_rule_code(v)?;
+                    deny.push(v.clone());
+                }
+            }
+            "--allow" if is_lint => {
+                let v = it.next().ok_or("--allow needs a rule code")?;
+                check_rule_code(v)?;
+                allow.push(v.clone());
+            }
+            "--target-sil" if is_lint => {
+                let n = it.next().ok_or("--target-sil needs a level (1-4)")?;
+                let level: u8 = n.parse().map_err(|_| format!("bad SIL level `{n}`"))?;
+                target_sil =
+                    Some(Sil::from_level(level).ok_or_else(|| format!("bad SIL level `{n}`"))?);
+            }
+            other if is_lint && !other.starts_with('-') && lint_input.is_none() => {
+                lint_input = Some(other.to_owned());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -199,8 +320,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed,
             cycles,
         }),
+        "lint" => {
+            if lint_input.is_some() == example.is_some() {
+                return Err("lint needs exactly one of <netlist.v> or --example".into());
+            }
+            Command::Lint(LintOptions {
+                input: lint_input,
+                example,
+                config,
+                format: lint_format,
+                deny_warnings,
+                allow,
+                deny,
+                target_sil,
+            })
+        }
         _ => unreachable!("validated above"),
     })
+}
+
+fn check_rule_code(code: &str) -> Result<(), String> {
+    if socfmea_lint::is_known_code(code) {
+        Ok(())
+    } else {
+        Err(format!("unknown rule code `{code}`"))
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +416,77 @@ mod tests {
         assert!(parse(&argv(&["zones", "d.v", "--hft", "1"])).is_err());
         assert!(parse(&argv(&["inject", "d.v", "--format", "csv"])).is_err());
         assert!(parse(&argv(&["analyze", "d.v", "--threads", "4"])).is_err());
+    }
+
+    #[test]
+    fn lint_parses_example_and_policy() {
+        let cmd = parse(&argv(&[
+            "lint",
+            "--example",
+            "mcu",
+            "--format",
+            "json",
+            "--deny",
+            "warnings",
+            "--deny",
+            "SL0004",
+            "--allow",
+            "SL0002",
+            "--target-sil",
+            "3",
+        ]))
+        .unwrap();
+        let Command::Lint(o) = cmd else {
+            panic!("lint expected")
+        };
+        assert_eq!(o.example, Some(ExampleDesign::Mcu));
+        assert!(o.input.is_none());
+        assert_eq!(o.format, LintFormat::Json);
+        assert!(o.deny_warnings);
+        assert_eq!(o.deny, vec!["SL0004".to_owned()]);
+        assert_eq!(o.allow, vec!["SL0002".to_owned()]);
+        assert_eq!(o.target_sil, Some(Sil::from_level(3).unwrap()));
+    }
+
+    #[test]
+    fn lint_accepts_a_netlist_path_positionally() {
+        let cmd = parse(&argv(&["lint", "d.v", "--class", "mem=memory"])).unwrap();
+        let Command::Lint(o) = cmd else {
+            panic!("lint expected")
+        };
+        assert_eq!(o.input.as_deref(), Some("d.v"));
+        assert!(o.example.is_none());
+        assert_eq!(o.format, LintFormat::Text);
+        assert!(!o.deny_warnings);
+    }
+
+    #[test]
+    fn lint_rejects_bad_combinations() {
+        // neither input nor example
+        assert!(parse(&argv(&["lint"])).unwrap_err().contains("exactly one"));
+        // both input and example
+        assert!(parse(&argv(&["lint", "d.v", "--example", "mcu"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        // unknown example, rule code, format, SIL level
+        assert!(parse(&argv(&["lint", "--example", "dsp"]))
+            .unwrap_err()
+            .contains("unknown example"));
+        assert!(parse(&argv(&["lint", "d.v", "--deny", "SL9999"]))
+            .unwrap_err()
+            .contains("unknown rule code"));
+        assert!(parse(&argv(&["lint", "d.v", "--allow", "warnings"]))
+            .unwrap_err()
+            .contains("unknown rule code"));
+        assert!(parse(&argv(&["lint", "d.v", "--format", "xml"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(parse(&argv(&["lint", "d.v", "--target-sil", "9"]))
+            .unwrap_err()
+            .contains("bad SIL level"));
+        // lint options are scoped to lint
+        assert!(parse(&argv(&["analyze", "d.v", "--example", "mcu"])).is_err());
+        assert!(parse(&argv(&["zones", "d.v", "--deny", "warnings"])).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`iec61508`] | `socfmea-iec61508` | SIL/HFT/SFF tables, Annex A techniques, failure modes |
 //! | [`fmea`] | `socfmea-core` | zones, worksheet, SFF/DC, ranking, sensitivity, validation |
 //! | [`faultsim`] | `socfmea-faultsim` | injection environment, monitors, permanent-fault simulator |
+//! | [`lint`] | `socfmea-lint` | static safety lints over netlist, zones, and worksheet |
 //! | [`memsys`] | `socfmea-memsys` | the paper's fault-robust memory sub-system (Figure 5) |
 //! | [`mcu`] | `socfmea-mcu` | the fault-robust lockstep microcontroller substrate |
 //!
@@ -68,6 +69,9 @@ pub use socfmea_core as fmea;
 
 /// The fault-injection environment and permanent-fault simulator.
 pub use socfmea_faultsim as faultsim;
+
+/// Clippy-style static safety lints (structural + worksheet rule packs).
+pub use socfmea_lint as lint;
 
 /// The paper's fault-robust memory sub-system example.
 pub use socfmea_memsys as memsys;

@@ -41,3 +41,6 @@ pub use socfmea_faultsim::{
     analyze, generate_fault_list, run_campaign, Campaign, CampaignResult, CampaignStats, EarlyStop,
     EnvironmentBuilder, Fault, FaultListConfig, OperationalProfile,
 };
+
+// static safety lints
+pub use socfmea_lint::{LintConfig, LintReport, LintRunner};

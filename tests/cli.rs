@@ -164,3 +164,74 @@ fn errors_are_reported_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("usage"));
 }
+
+#[test]
+fn lint_mcu_example_reports_seeded_findings_as_json() {
+    let (json, _, ok) = run(&["lint", "--example", "mcu", "--format", "json"]);
+    assert!(ok, "lint must exit 0 when only info findings remain");
+    assert!(json.starts_with("{\"design\":\"mcu\""));
+    // the seeded structural finding (lockstep cores share cone logic) and
+    // the seeded worksheet finding (alarm zones claim no diagnostics)
+    assert!(
+        json.contains("\"code\":\"SL0004\""),
+        "missing SL0004 in {json}"
+    );
+    assert!(
+        json.contains("\"code\":\"SL0107\""),
+        "missing SL0107 in {json}"
+    );
+    assert!(json.contains("\"errors\":0"));
+}
+
+#[test]
+fn lint_examples_pass_the_deny_warnings_gate() {
+    for example in ["fmem", "fmem-baseline", "mcu", "mcu-single"] {
+        let (stdout, _, ok) = run(&["lint", "--example", example, "--deny", "warnings"]);
+        assert!(ok, "{example} failed --deny warnings:\n{stdout}");
+        assert!(stdout.contains("0 error(s), 0 warning(s)"));
+    }
+}
+
+#[test]
+fn lint_deny_rule_gates_and_allow_silences() {
+    let (_, _, ok) = run(&["lint", "--example", "mcu", "--deny", "SL0004"]);
+    assert!(!ok, "denied rule with findings must exit nonzero");
+
+    let (json, _, ok) = run(&[
+        "lint",
+        "--example",
+        "mcu",
+        "--deny",
+        "SL0004",
+        "--allow",
+        "SL0004",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "a later --allow wins over an earlier --deny");
+    assert!(!json.contains("\"code\":\"SL0004\""));
+}
+
+#[test]
+fn lint_accepts_a_netlist_file() {
+    let path = write_design("lint_file", PROTECTED);
+    let (text, _, ok) = run(&["lint", path.to_str().unwrap()]);
+    assert!(ok, "clean design must lint clean:\n{text}");
+    assert!(text.contains("socfmea-lint: lockstep_acc:"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn lint_argument_errors_exit_with_usage() {
+    let (_, stderr, ok) = run(&["lint"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly one"));
+
+    let (_, stderr, ok) = run(&["lint", "--example", "nonsuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown example"));
+
+    let (_, stderr, ok) = run(&["lint", "x.v", "--deny", "SL4242"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown rule code"));
+}
