@@ -1,0 +1,93 @@
+//! Static propagation structure for the divergence-set kernel: the
+//! levelized gate order plus per-net fan-out adjacency.
+//!
+//! Computed once per campaign and shared read-only by all workers; the
+//! sparse kernel needs it to (a) wake exactly the gates reading a divergent
+//! net and (b) pop woken gates in dependency order.
+
+use socfmea_netlist::{levelize, DffId, GateId, LevelizeError, Netlist};
+
+/// Per-netlist propagation structure: the same topological gate order a
+/// [`Simulator`](socfmea_sim::Simulator) evaluates in, inverted into
+/// reader lists so a change on one net wakes only its fan-out.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Position of each gate (by [`GateId::index`]) in the levelized order.
+    pos: Vec<u32>,
+    /// Gates reading each net (by [`NetId::index`]).
+    gate_readers: Vec<Vec<GateId>>,
+    /// Flip-flops reading each net through `d`/`enable`/`reset`.
+    dff_readers: Vec<Vec<DffId>>,
+}
+
+impl Topology {
+    /// Builds the propagation structure for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] if the netlist contains a combinational
+    /// cycle (the same condition that makes it unsimulatable).
+    pub fn build(netlist: &Netlist) -> Result<Topology, LevelizeError> {
+        let order = levelize(netlist)?;
+        let mut pos = vec![0u32; netlist.gate_count()];
+        for (p, g) in order.iter().enumerate() {
+            pos[g.index()] = p as u32;
+        }
+        Ok(Topology {
+            pos,
+            gate_readers: netlist.gate_fanout(),
+            dff_readers: netlist.dff_fanout(),
+        })
+    }
+
+    /// The position of `gate` in the levelized evaluation order.
+    #[inline]
+    pub fn position(&self, gate: GateId) -> u32 {
+        self.pos[gate.index()]
+    }
+
+    /// Gates whose inputs include the net with index `net_index`.
+    #[inline]
+    pub fn gate_readers(&self, net_index: usize) -> &[GateId] {
+        &self.gate_readers[net_index]
+    }
+
+    /// Flip-flops reading the net with index `net_index` (via `d`, `enable`
+    /// or `reset`).
+    #[inline]
+    pub fn dff_readers(&self, net_index: usize) -> &[DffId] {
+        &self.dff_readers[net_index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socfmea_rtl::RtlBuilder;
+
+    #[test]
+    fn readers_agree_with_gate_inputs_and_order_is_topological() {
+        let mut r = RtlBuilder::new("d");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        let p = r.parity(&q);
+        r.output_word("o", &q);
+        r.output("flag", p);
+        let nl = r.finish().unwrap();
+        let topo = Topology::build(&nl).unwrap();
+        for (gi, gate) in nl.gates().iter().enumerate() {
+            let g = GateId::from_index(gi);
+            for &i in &gate.inputs {
+                assert!(topo.gate_readers(i.index()).contains(&g));
+                // a reader always evaluates after the gate driving its input
+                if let socfmea_netlist::Driver::Gate(drv) = nl.net(i).driver {
+                    assert!(topo.position(drv) < topo.position(g));
+                }
+            }
+        }
+        for (fi, ff) in nl.dffs().iter().enumerate() {
+            let id = DffId::from_index(fi);
+            assert!(topo.dff_readers(ff.d.index()).contains(&id));
+        }
+    }
+}

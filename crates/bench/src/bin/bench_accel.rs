@@ -1,0 +1,158 @@
+//! Accelerated-engine snapshot: baseline lockstep vs the checkpointed
+//! incremental engine (`socfmea-accel`) on the hardened memory subsystem,
+//! written to `BENCH_accel.json`.
+//!
+//! Three measurements per checkpoint interval:
+//!
+//! * throughput (faults/sec) against the baseline run,
+//! * cycles simulated vs cycles skipped by warm starts, divergence-set
+//!   propagation and convergence early exit,
+//! * golden-trace memory: checkpoint bytes (grows as the interval shrinks)
+//!   and the fixed per-cycle value matrix.
+//!
+//! Correctness is asserted, not assumed: every accelerated run must be
+//! bit-identical to the baseline `CampaignResult` before anything is
+//! written. `--quick` shrinks the design and sweep for CI smoke runs.
+
+use socfmea_accel::GoldenTrace;
+use socfmea_bench::{banner, campaign_fault_config, CampaignRun, MemSysSetup};
+use socfmea_memsys::config::MemSysConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    interval: usize,
+    secs: f64,
+    faults_per_sec: f64,
+    speedup: f64,
+    cycles_simulated: u64,
+    cycles_skipped: u64,
+    checkpoint_count: usize,
+    checkpoint_bytes: usize,
+}
+
+fn timed(label: &str, run: impl FnOnce() -> CampaignRun) -> (CampaignRun, f64) {
+    let t0 = Instant::now();
+    let run = run();
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{label}: {} faults in {secs:.2}s ({:.0} faults/s, {} cycles simulated / {} skipped)",
+        run.stats.injections,
+        run.stats.faults_per_sec,
+        run.stats.cycles_simulated,
+        run.stats.cycles_skipped
+    );
+    (run, secs)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "BENCH",
+        "accelerated campaign: checkpointed incremental engine vs baseline",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let words = if quick { 8 } else { 16 };
+    let setup = MemSysSetup::build(MemSysConfig::hardened().with_words(words));
+    let threads = 1; // single-threaded on both sides: algorithmic speedup only
+    let intervals: &[usize] = if quick {
+        &[1, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    println!(
+        "host: {cores} core{}; design: {} gates / {} FFs ({} words); workload: {} cycles; threads: {threads}",
+        if cores == 1 { "" } else { "s" },
+        setup.netlist.gate_count(),
+        setup.netlist.dff_count(),
+        words,
+        setup.workload.len(),
+    );
+
+    let cfg = campaign_fault_config();
+    let (baseline, base_secs) = timed("baseline ", || setup.campaign_threaded(&cfg, threads));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &interval in intervals {
+        let (run, secs) = timed(&format!("accel i={interval:<3}"), || {
+            setup.campaign_accel(&cfg, threads, interval)
+        });
+        assert_eq!(
+            baseline.result, run.result,
+            "accelerated result diverges from baseline at checkpoint interval {interval}"
+        );
+        let trace = GoldenTrace::record(&setup.netlist, &setup.workload, interval)
+            .expect("memsys netlist levelizes");
+        rows.push(Row {
+            interval,
+            secs,
+            faults_per_sec: run.stats.faults_per_sec,
+            speedup: base_secs / secs,
+            cycles_simulated: run.stats.cycles_simulated,
+            cycles_skipped: run.stats.cycles_skipped,
+            checkpoint_count: trace.checkpoint_count(),
+            checkpoint_bytes: trace.checkpoint_bytes(),
+        });
+    }
+    let matrix_bytes = GoldenTrace::record(&setup.netlist, &setup.workload, 1)
+        .expect("memsys netlist levelizes")
+        .matrix_bytes();
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("at least one interval");
+    println!(
+        "\nbest: checkpoint interval {} at {:.2}x baseline ({:.0} vs {:.0} faults/s)",
+        best.interval, best.speedup, best.faults_per_sec, baseline.stats.faults_per_sec
+    );
+    println!("all accelerated runs bit-identical to baseline");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"accel_checkpoint_interval\",");
+    let _ = writeln!(json, "  \"design\": \"memsys hardened, {words} words\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"workload_cycles\": {},", setup.workload.len());
+    let _ = writeln!(json, "  \"faults\": {},", baseline.stats.injections);
+    let _ = writeln!(json, "  \"golden_matrix_bytes\": {matrix_bytes},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"all accelerated runs asserted bit-identical to baseline\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": {{\"seconds\": {base_secs:.4}, \"faults_per_sec\": {:.1}}},",
+        baseline.stats.faults_per_sec
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"checkpoint_interval\": {}, \"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}, \"cycles_simulated\": {}, \"cycles_skipped\": {}, \"checkpoints\": {}, \"checkpoint_bytes\": {}}}{}",
+            r.interval,
+            r.secs,
+            r.faults_per_sec,
+            r.speedup,
+            r.cycles_simulated,
+            r.cycles_skipped,
+            r.checkpoint_count,
+            r.checkpoint_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"best\": {{\"checkpoint_interval\": {}, \"speedup_vs_baseline\": {:.2}}}",
+        best.interval, best.speedup
+    );
+    json.push_str("}\n");
+
+    let path = "BENCH_accel.json";
+    std::fs::write(path, &json).expect("write snapshot");
+    println!("snapshot written to {path}");
+}

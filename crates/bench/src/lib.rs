@@ -74,13 +74,38 @@ impl MemSysSetup {
     /// threads. The measurements are bit-identical for any thread count;
     /// only [`CampaignRun::stats`] (wall-clock, throughput) differs.
     pub fn campaign_threaded(&self, list: &FaultListConfig, threads: usize) -> CampaignRun {
+        self.campaign_configured(list, threads, None)
+    }
+
+    /// Runs a full injection campaign on the checkpointed incremental
+    /// engine (`socfmea-accel`) with the given checkpoint interval. The
+    /// measurements are bit-identical to [`campaign_threaded`]
+    /// (Self::campaign_threaded); only the execution statistics differ.
+    pub fn campaign_accel(
+        &self,
+        list: &FaultListConfig,
+        threads: usize,
+        checkpoint_interval: usize,
+    ) -> CampaignRun {
+        self.campaign_configured(list, threads, Some(checkpoint_interval))
+    }
+
+    fn campaign_configured(
+        &self,
+        list: &FaultListConfig,
+        threads: usize,
+        accel_interval: Option<usize>,
+    ) -> CampaignRun {
         let env = EnvironmentBuilder::new(&self.netlist, &self.zones, &self.workload)
             .alarms_matching("alarm_")
             .sw_test_window(self.sw_test_window)
             .build();
         let profile = OperationalProfile::collect(&env);
         let faults = generate_fault_list(&env, &profile, list);
-        let campaign = Campaign::new(&env, &faults).threads(threads);
+        let campaign = Campaign::new(&env, &faults)
+            .threads(threads)
+            .accelerated(accel_interval.is_some())
+            .checkpoint_interval(accel_interval.unwrap_or(Campaign::DEFAULT_CHECKPOINT_INTERVAL));
         let stats = campaign.stats();
         let result = campaign.run();
         let analysis = analyze(&faults, &result, &profile);

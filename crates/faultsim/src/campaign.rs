@@ -18,11 +18,10 @@
 //! scheduling seed, and `CampaignResult` is `Eq` so tests assert exactly
 //! that.
 
+use crate::accel::{simulate_dispatch, ExecContext, FaultMetrics};
 use crate::env::Environment;
 use crate::faultlist::Fault;
-use crate::inject::{
-    prepare_context, simulate_one, CampaignContext, CampaignResult, FaultOutcome, Outcome,
-};
+use crate::inject::{CampaignResult, FaultOutcome, Outcome};
 use crate::monitors::CoverageCollection;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -67,6 +66,13 @@ pub struct CampaignStats {
     safe_detected: AtomicUsize,
     dangerous_detected: AtomicUsize,
     dangerous_undetected: AtomicUsize,
+    /// Cycles actually evaluated across all faults so far.
+    cycles_simulated: AtomicU64,
+    /// Cycles answered from the golden trace without evaluation (warm-start
+    /// prefixes and post-convergence suffixes; 0 on the baseline path).
+    cycles_skipped: AtomicU64,
+    /// Total wall-clock nanoseconds spent inside per-fault simulation.
+    sim_nanos: AtomicU64,
     /// Nanoseconds from `anchor` to run start / end; `u64::MAX` = not yet.
     started_nanos: AtomicU64,
     finished_nanos: AtomicU64,
@@ -83,6 +89,9 @@ impl CampaignStats {
             safe_detected: AtomicUsize::new(0),
             dangerous_detected: AtomicUsize::new(0),
             dangerous_undetected: AtomicUsize::new(0),
+            cycles_simulated: AtomicU64::new(0),
+            cycles_skipped: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
             started_nanos: AtomicU64::new(u64::MAX),
             finished_nanos: AtomicU64::new(u64::MAX),
             anchor: Instant::now(),
@@ -101,7 +110,7 @@ impl CampaignStats {
             .store(self.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
-    fn record(&self, outcome: Outcome) {
+    fn record(&self, outcome: Outcome, metrics: &FaultMetrics, nanos: u64) {
         match outcome {
             Outcome::NoEffect => &self.no_effect,
             Outcome::SafeDetected => &self.safe_detected,
@@ -109,6 +118,11 @@ impl CampaignStats {
             Outcome::DangerousUndetected => &self.dangerous_undetected,
         }
         .fetch_add(1, Ordering::Relaxed);
+        self.cycles_simulated
+            .fetch_add(metrics.simulated, Ordering::Relaxed);
+        self.cycles_skipped
+            .fetch_add(metrics.skipped, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -135,6 +149,26 @@ impl CampaignStats {
             self.dangerous_detected.load(Ordering::Relaxed),
             self.dangerous_undetected.load(Ordering::Relaxed),
         )
+    }
+
+    /// Cycles actually evaluated so far (full or sparse).
+    pub fn cycles_simulated(&self) -> u64 {
+        self.cycles_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Cycles answered from the golden trace without evaluation: warm-start
+    /// prefixes and post-convergence suffixes. Always 0 for baseline runs.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Mean wall-clock time per simulated fault so far.
+    pub fn mean_fault_time(&self) -> Duration {
+        let done = self.faults_done() as u64;
+        if done == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed) / done)
     }
 
     /// Wall-clock time since the run started (frozen once it finished;
@@ -179,6 +213,9 @@ impl CampaignStats {
             threads: self.threads(),
             elapsed: self.elapsed(),
             faults_per_sec: self.faults_per_sec(),
+            cycles_simulated: self.cycles_simulated(),
+            cycles_skipped: self.cycles_skipped(),
+            mean_fault_time: self.mean_fault_time(),
         }
     }
 }
@@ -245,12 +282,18 @@ pub struct Campaign<'a> {
     seed: u64,
     chunk: usize,
     early_stop: Option<EarlyStop>,
+    accelerated: bool,
+    checkpoint_interval: usize,
     stats: Arc<CampaignStats>,
 }
 
 impl<'a> Campaign<'a> {
     /// Default chunk size (faults claimed per worker grab).
     pub const DEFAULT_CHUNK: usize = 8;
+
+    /// Default checkpoint interval for [`accelerated`](Self::accelerated)
+    /// campaigns.
+    pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 16;
 
     /// Prepares a campaign over `faults` in `env`, initially single-threaded.
     pub fn new(env: &'a Environment<'a>, faults: &'a [Fault]) -> Campaign<'a> {
@@ -261,6 +304,8 @@ impl<'a> Campaign<'a> {
             seed: 0,
             chunk: Self::DEFAULT_CHUNK,
             early_stop: None,
+            accelerated: false,
+            checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
             stats: Arc::new(CampaignStats::new()),
         }
     }
@@ -295,6 +340,28 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Opts into the checkpointed incremental engine (`socfmea-accel`):
+    /// golden-trace recording with warm-start checkpoints, divergence-set
+    /// propagation for state-override faults, and convergence early exit.
+    ///
+    /// Like every other builder setting, this changes only *how* the
+    /// campaign executes: the [`CampaignResult`] is bit-identical to a
+    /// baseline run. The per-cycle work saved shows up in
+    /// [`CampaignStats::cycles_skipped`].
+    pub fn accelerated(mut self, on: bool) -> Self {
+        self.accelerated = on;
+        self
+    }
+
+    /// Sets the accelerated engine's checkpoint interval (0 is treated
+    /// as 1): smaller intervals shorten warm-start replays at the cost of
+    /// checkpoint memory. No effect unless [`accelerated`](Self::accelerated)
+    /// is on; provably does not affect the result.
+    pub fn checkpoint_interval(mut self, cycles: usize) -> Self {
+        self.checkpoint_interval = cycles.max(1);
+        self
+    }
+
     /// The live progress counters of this campaign. Clone the `Arc` out
     /// before [`run`](Self::run) to poll from another thread.
     pub fn stats(&self) -> Arc<CampaignStats> {
@@ -309,8 +376,13 @@ impl<'a> Campaign<'a> {
     /// Panics if the netlist cannot be levelized (prevented by
     /// construction for `RtlBuilder` designs).
     pub fn run(self) -> CampaignResult {
-        let ctx = prepare_context(self.env, self.faults);
-        let mut coverage = CoverageCollection::new(ctx.injected_zones.iter().copied());
+        let ctx = ExecContext::prepare(
+            self.env,
+            self.faults,
+            self.accelerated,
+            self.checkpoint_interval,
+        );
+        let mut coverage = CoverageCollection::new(ctx.injected_zones().iter().copied());
         self.stats.begin(self.faults.len(), self.threads);
         let outcomes = if self.threads == 1 {
             self.run_serial(&ctx, &mut coverage)
@@ -341,14 +413,18 @@ impl<'a> Campaign<'a> {
 
     fn run_serial(
         &self,
-        ctx: &CampaignContext,
+        ctx: &ExecContext,
         coverage: &mut CoverageCollection,
     ) -> Vec<FaultOutcome> {
         let mut sim = Simulator::new(self.env.netlist).expect("levelizable netlist");
+        let mut sparse = ctx.make_sparse(self.env.netlist);
         let mut outcomes = Vec::with_capacity(self.faults.len());
         for (fi, fault) in self.faults.iter().enumerate() {
-            let fo = simulate_one(self.env, ctx, &mut sim, fi, fault);
-            self.stats.record(fo.outcome);
+            let t0 = Instant::now();
+            let (fo, metrics) =
+                simulate_dispatch(self.env, ctx, &mut sim, sparse.as_mut(), fi, fault);
+            self.stats
+                .record(fo.outcome, &metrics, t0.elapsed().as_nanos() as u64);
             let stop = self.commit(coverage, &fo);
             outcomes.push(fo);
             if stop {
@@ -360,7 +436,7 @@ impl<'a> Campaign<'a> {
 
     fn run_sharded(
         &self,
-        ctx: &CampaignContext,
+        ctx: &ExecContext,
         coverage: &mut CoverageCollection,
     ) -> Vec<FaultOutcome> {
         let n = self.faults.len();
@@ -383,6 +459,7 @@ impl<'a> Campaign<'a> {
                     (&base, &claim_order, &next_claim, &stop);
                 scope.spawn(move || {
                     let mut sim = base.clone_fresh();
+                    let mut sparse = ctx.make_sparse(self.env.netlist);
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             return;
@@ -401,8 +478,17 @@ impl<'a> Campaign<'a> {
                             if stop.load(Ordering::Relaxed) {
                                 return;
                             }
-                            let fo = simulate_one(self.env, ctx, &mut sim, fi, &self.faults[fi]);
-                            self.stats.record(fo.outcome);
+                            let t0 = Instant::now();
+                            let (fo, metrics) = simulate_dispatch(
+                                self.env,
+                                ctx,
+                                &mut sim,
+                                sparse.as_mut(),
+                                fi,
+                                &self.faults[fi],
+                            );
+                            self.stats
+                                .record(fo.outcome, &metrics, t0.elapsed().as_nanos() as u64);
                             chunk_out.push(fo);
                         }
                         if tx.send((ci, chunk_out)).is_err() {

@@ -168,7 +168,7 @@ pub(crate) fn prepare_context(env: &Environment<'_>, faults: &[Fault]) -> Campai
 
 /// The net a fault physically disturbs (used by the SENS monitor to decide
 /// whether the injection actually changed anything).
-fn target_net(fault: &Fault) -> Option<NetId> {
+pub(crate) fn target_net(fault: &Fault) -> Option<NetId> {
     match &fault.kind {
         FaultKind::StuckAt { net, .. } | FaultKind::Glitch { net, .. } => Some(*net),
         FaultKind::Bridge { victim, .. } => Some(*victim),
@@ -201,7 +201,7 @@ fn record_golden(env: &Environment<'_>, target_nets: &[NetId]) -> GoldenTrace {
     trace
 }
 
-fn apply_fault(sim: &mut Simulator<'_>, fault: &Fault) -> Option<usize> {
+pub(crate) fn apply_fault(sim: &mut Simulator<'_>, fault: &Fault) -> Option<usize> {
     // returns remaining clock-suppression cycles if any
     match &fault.kind {
         FaultKind::BitFlip { dff } => {
@@ -320,6 +320,29 @@ pub(crate) fn simulate_one(
         }
     }
 
+    finalize_outcome(
+        env,
+        fault,
+        fault_index,
+        first_mismatch,
+        alarm_cycle,
+        sens_triggered,
+        deviated_zones,
+    )
+}
+
+/// Turns raw monitor observations into a classified [`FaultOutcome`] —
+/// the shared tail of the baseline and accelerated simulation paths, so
+/// both apply identical SENS adjustments and SW-test classification.
+pub(crate) fn finalize_outcome(
+    env: &Environment<'_>,
+    fault: &Fault,
+    fault_index: usize,
+    first_mismatch: Option<usize>,
+    alarm_cycle: Option<usize>,
+    mut sens_triggered: bool,
+    mut deviated_zones: BTreeSet<ZoneId>,
+) -> FaultOutcome {
     // A bit flip or clock outage is itself the zone failure: count the
     // physical act as SENS even if the anchor comparison missed it.
     if matches!(

@@ -21,7 +21,10 @@
 //!   shards the fault list over worker threads and merges outcomes in
 //!   fault-list order, so results are bit-identical for any thread count,
 //!   with live progress counters ([`CampaignStats`]) and optional early
-//!   stop on coverage saturation,
+//!   stop on coverage saturation. `Campaign::accelerated(true)` swaps in
+//!   the checkpointed incremental engine from `socfmea-accel` (golden-trace
+//!   warm starts, divergence-set propagation, convergence early exit) —
+//!   same bit-identical result, far fewer evaluated cycles,
 //! * [`monitors`] — **Monitors and Coverage Collection**: SENS/OBSE/DIAG
 //!   coverage items; the campaign is complete only when every item is
 //!   covered,
@@ -33,6 +36,7 @@
 //!   the open replacement for the commercial fault simulator the paper
 //!   references.
 
+mod accel;
 pub mod analyzer;
 pub mod campaign;
 pub mod env;

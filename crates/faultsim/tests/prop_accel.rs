@@ -1,0 +1,77 @@
+//! Property test: the accelerated campaign engine is exact — for arbitrary
+//! synthetic designs, workloads and fault lists, `accelerated(true)`
+//! produces the bit-identical `CampaignResult` (outcomes *and* coverage
+//! collection) as the baseline lockstep engine, at every checkpoint
+//! interval.
+//!
+//! This is the contract that makes `--accel` safe to reach for: warm
+//! starts, divergence-set propagation and convergence early exit are pure
+//! execution strategies and can never leak into the IEC 61508 evidence.
+
+use proptest::prelude::*;
+use socfmea_core::{extract_zones, ExtractConfig};
+use socfmea_faultsim::{
+    generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
+};
+use socfmea_netlist::Logic;
+use socfmea_rtl::gen;
+use socfmea_sim::{assign_bus, Workload};
+
+proptest! {
+    // each case runs four full campaigns over the same fault list; keep the
+    // count low and the designs small
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accelerated_campaign_matches_baseline(
+        seed in 0u64..1000,
+        gates in 10usize..30,
+        stimulus in 1u64..1_000_000,
+        threads in 1usize..4,
+    ) {
+        let nl = gen::synthetic_datapath("dut", 4, 2, gates, seed).expect("valid");
+        let din: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("din[{i}]")).unwrap())
+            .collect();
+        let rst = nl.net_by_name("rst").unwrap();
+        let mut w = Workload::new("rand");
+        for c in 0..12u64 {
+            let mut v = vec![(rst, if c == 0 { Logic::One } else { Logic::Zero })];
+            assign_bus(&mut v, &din, stimulus.wrapping_mul(c + 1) >> 2);
+            w.push_cycle(v);
+        }
+
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let profile = OperationalProfile::collect(&env);
+        let faults = generate_fault_list(
+            &env,
+            &profile,
+            &FaultListConfig {
+                bitflips_per_zone: 1,
+                stuckats_per_zone: 1,
+                wide_faults: 2,
+                seed,
+                ..FaultListConfig::default()
+            },
+        );
+        prop_assume!(!faults.is_empty());
+
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        for interval in [1usize, 7, 64] {
+            let accel = Campaign::new(&env, &faults)
+                .accelerated(true)
+                .checkpoint_interval(interval)
+                .threads(threads)
+                .run();
+            prop_assert_eq!(
+                &baseline.outcomes, &accel.outcomes,
+                "outcomes diverge at checkpoint interval {} ({} threads)", interval, threads
+            );
+            prop_assert_eq!(
+                &baseline.coverage, &accel.coverage,
+                "coverage diverges at checkpoint interval {} ({} threads)", interval, threads
+            );
+        }
+    }
+}

@@ -46,6 +46,6 @@ pub mod workload;
 pub use coverage::ToggleCoverage;
 pub use fault::BridgeKind;
 pub use probe::Probe;
-pub use sim::Simulator;
+pub use sim::{SimSnapshot, Simulator};
 pub use vcd::VcdWriter;
 pub use workload::{assign_bus, Workload};

@@ -17,6 +17,8 @@
 //!   --threads <n>              campaign worker threads
 //!   --seed <s>                 fault-list sampling seed
 //!   --cycles <n>               synthetic workload length in cycles
+//!   --accel                    use the checkpointed incremental engine
+//!   --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
 //! lint options:
 //!   --example <design>         lint a bundled design (fmem|fmem-baseline|
 //!                              mcu|mcu-single) instead of a netlist file
@@ -173,7 +175,9 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
 
     let campaign = Campaign::new(&env, &faults)
         .threads(opts.threads)
-        .seed(opts.seed);
+        .seed(opts.seed)
+        .accelerated(opts.accel)
+        .checkpoint_interval(opts.checkpoint_interval);
     let stats = campaign.stats();
     let result = campaign.run();
     println!("{}", stats.summary());

@@ -34,6 +34,10 @@ inject options:
   --threads <n>              campaign worker threads (default: host cores, max 8)
   --seed <s>                 fault-list sampling seed (default: 0x5eed)
   --cycles <n>               synthetic workload length in cycles (default: 48)
+  --accel                    use the checkpointed incremental engine
+                             (bit-identical result, fewer evaluated cycles)
+  --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
+                             (default: 16)
 lint options:
   --example <design>         lint a bundled design instead of a netlist file
                              (fmem|fmem-baseline|mcu|mcu-single)
@@ -104,6 +108,11 @@ pub struct InjectOptions {
     pub seed: u64,
     /// Length of the synthetic stimulus, in cycles.
     pub cycles: usize,
+    /// Run the campaign on the checkpointed incremental engine
+    /// (`socfmea-accel`); the result is bit-identical to the baseline.
+    pub accel: bool,
+    /// Checkpoint spacing of the golden trace when `accel` is on.
+    pub checkpoint_interval: usize,
 }
 
 /// One of the example designs bundled with the workspace, lintable without
@@ -215,6 +224,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut threads = default_threads();
     let mut seed = 0x5eed;
     let mut cycles = 48usize;
+    let mut accel = false;
+    let mut checkpoint_interval = 16usize;
     let mut lint_input: Option<String> = None;
     let mut example: Option<ExampleDesign> = None;
     let mut lint_format = LintFormat::Text;
@@ -260,6 +271,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 cycles = n.parse().map_err(|_| format!("bad cycle count `{n}`"))?;
                 if cycles == 0 {
                     return Err("--cycles must be at least 1".into());
+                }
+            }
+            "--accel" if is_inject => accel = true,
+            "--checkpoint-interval" if is_inject => {
+                let n = it.next().ok_or("--checkpoint-interval needs a number")?;
+                checkpoint_interval = n
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint interval `{n}`"))?;
+                if checkpoint_interval == 0 {
+                    return Err("--checkpoint-interval must be at least 1".into());
                 }
             }
             "--example" if is_lint => {
@@ -319,6 +340,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads,
             seed,
             cycles,
+            accel,
+            checkpoint_interval,
         }),
         "lint" => {
             if lint_input.is_some() == example.is_some() {
@@ -408,6 +431,33 @@ mod tests {
         assert!(o.threads >= 1);
         assert_eq!(o.seed, 0x5eed);
         assert_eq!(o.cycles, 48);
+        assert!(!o.accel);
+        assert_eq!(o.checkpoint_interval, 16);
+    }
+
+    #[test]
+    fn inject_parses_accel_options() {
+        let cmd = parse(&argv(&[
+            "inject",
+            "d.v",
+            "--accel",
+            "--checkpoint-interval",
+            "8",
+        ]))
+        .unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert!(o.accel);
+        assert_eq!(o.checkpoint_interval, 8);
+        // degenerate and foreign uses are rejected
+        assert!(
+            parse(&argv(&["inject", "d.v", "--checkpoint-interval", "0"]))
+                .unwrap_err()
+                .contains("at least 1")
+        );
+        assert!(parse(&argv(&["analyze", "d.v", "--accel"])).is_err());
+        assert!(parse(&argv(&["lint", "d.v", "--checkpoint-interval", "4"])).is_err());
     }
 
     #[test]

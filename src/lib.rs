@@ -17,6 +17,7 @@
 //! | [`iec61508`] | `socfmea-iec61508` | SIL/HFT/SFF tables, Annex A techniques, failure modes |
 //! | [`fmea`] | `socfmea-core` | zones, worksheet, SFF/DC, ranking, sensitivity, validation |
 //! | [`faultsim`] | `socfmea-faultsim` | injection environment, monitors, permanent-fault simulator |
+//! | [`accel`] | `socfmea-accel` | golden traces, checkpoints, divergence-set fault simulation |
 //! | [`lint`] | `socfmea-lint` | static safety lints over netlist, zones, and worksheet |
 //! | [`memsys`] | `socfmea-memsys` | the paper's fault-robust memory sub-system (Figure 5) |
 //! | [`mcu`] | `socfmea-mcu` | the fault-robust lockstep microcontroller substrate |
@@ -69,6 +70,10 @@ pub use socfmea_core as fmea;
 
 /// The fault-injection environment and permanent-fault simulator.
 pub use socfmea_faultsim as faultsim;
+
+/// The checkpointed incremental fault-simulation engine behind
+/// [`Campaign::accelerated`](faultsim::Campaign::accelerated).
+pub use socfmea_accel as accel;
 
 /// Clippy-style static safety lints (structural + worksheet rule packs).
 pub use socfmea_lint as lint;
