@@ -155,6 +155,7 @@ pub fn campaign_fault_config() -> FaultListConfig {
         bridge_faults: 6,
         global_faults: true,
         skip_inactive_zones: true,
+        collapse: false,
         seed: 2007, // DATE 2007
     }
 }

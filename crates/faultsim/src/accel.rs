@@ -32,7 +32,7 @@ use crate::inject::{
 };
 use socfmea_accel::{GoldenTrace, SparseSim, Topology};
 use socfmea_core::ZoneId;
-use socfmea_netlist::{Logic, Netlist};
+use socfmea_netlist::{Logic, NetId, Netlist};
 use socfmea_sim::Simulator;
 use std::collections::BTreeSet;
 
@@ -98,6 +98,16 @@ impl ExecContext {
         match self {
             ExecContext::Baseline(_) => None,
             ExecContext::Accel(a) => Some(SparseSim::new(netlist, &a.topo, &a.trace)),
+        }
+    }
+
+    /// Golden value of a fault-targeted net at a cycle, from whichever
+    /// trace this context carries (the collapse planner needs it to
+    /// reproduce the SENS monitor's target-excitation check).
+    pub(crate) fn golden_value(&self, cycle: usize, net: NetId) -> Logic {
+        match self {
+            ExecContext::Baseline(c) => c.golden_target(cycle, net),
+            ExecContext::Accel(a) => a.trace.value(cycle, net),
         }
     }
 }

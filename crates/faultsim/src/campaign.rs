@@ -19,6 +19,7 @@
 //! that.
 
 use crate::accel::{simulate_dispatch, ExecContext, FaultMetrics};
+use crate::collapse::{CollapsePlan, FaultCollapser};
 use crate::env::Environment;
 use crate::faultlist::Fault;
 use crate::inject::{CampaignResult, FaultOutcome, Outcome};
@@ -62,6 +63,9 @@ pub struct CampaignStats {
     scheduled: AtomicUsize,
     threads: AtomicUsize,
     done: AtomicUsize,
+    /// Faults answered from an equivalent representative's outcome instead
+    /// of a simulation (collapsed campaigns only; not counted in `done`).
+    collapsed: AtomicUsize,
     no_effect: AtomicUsize,
     safe_detected: AtomicUsize,
     dangerous_detected: AtomicUsize,
@@ -85,6 +89,7 @@ impl CampaignStats {
             scheduled: AtomicUsize::new(0),
             threads: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
+            collapsed: AtomicUsize::new(0),
             no_effect: AtomicUsize::new(0),
             safe_detected: AtomicUsize::new(0),
             dangerous_detected: AtomicUsize::new(0),
@@ -126,6 +131,20 @@ impl CampaignStats {
         self.done.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a dictionary-annotated outcome: the per-class tallies
+    /// advance (the fault *is* classified), but `done` does not — nothing
+    /// was simulated.
+    fn record_annotated(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::NoEffect => &self.no_effect,
+            Outcome::SafeDetected => &self.safe_detected,
+            Outcome::DangerousDetected => &self.dangerous_detected,
+            Outcome::DangerousUndetected => &self.dangerous_undetected,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.collapsed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Faults scheduled in the campaign (0 until the run starts).
     pub fn scheduled(&self) -> usize {
         self.scheduled.load(Ordering::Relaxed)
@@ -139,6 +158,24 @@ impl CampaignStats {
     /// Faults simulated so far.
     pub fn faults_done(&self) -> usize {
         self.done.load(Ordering::Relaxed)
+    }
+
+    /// Faults classified from an equivalent representative's outcome
+    /// instead of a simulation of their own (0 unless
+    /// [`Campaign::collapse`] is on).
+    pub fn faults_collapsed(&self) -> usize {
+        self.collapsed.load(Ordering::Relaxed)
+    }
+
+    /// Classified-to-simulated ratio so far:
+    /// `(done + collapsed) / done`, or 1.0 before anything ran. A ratio of
+    /// 2.0 means every simulation answered two faults on average.
+    pub fn collapse_ratio(&self) -> f64 {
+        let done = self.faults_done();
+        if done == 0 {
+            return 1.0;
+        }
+        (done + self.faults_collapsed()) as f64 / done as f64
     }
 
     /// Per-class tallies so far: `(no_effect, safe_detected, dd, du)`.
@@ -216,6 +253,8 @@ impl CampaignStats {
             cycles_simulated: self.cycles_simulated(),
             cycles_skipped: self.cycles_skipped(),
             mean_fault_time: self.mean_fault_time(),
+            faults_collapsed: self.faults_collapsed(),
+            collapse_ratio: self.collapse_ratio(),
         }
     }
 }
@@ -284,6 +323,7 @@ pub struct Campaign<'a> {
     early_stop: Option<EarlyStop>,
     accelerated: bool,
     checkpoint_interval: usize,
+    collapse: bool,
     stats: Arc<CampaignStats>,
 }
 
@@ -306,6 +346,7 @@ impl<'a> Campaign<'a> {
             early_stop: None,
             accelerated: false,
             checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
+            collapse: false,
             stats: Arc::new(CampaignStats::new()),
         }
     }
@@ -362,6 +403,24 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Opts into structural fault collapsing with dictionary
+    /// back-annotation: equivalent stuck-at faults (per
+    /// [`FaultCollapser`]) share one simulation, and the representative's
+    /// outcome is copied onto every class member.
+    ///
+    /// Like every other builder setting, this changes only *how* the
+    /// campaign executes: the [`CampaignResult`] — per-fault
+    /// classifications, coverage, DC/SFF, per-zone attribution over the
+    /// *full uncollapsed* list — is bit-identical to an uncollapsed run,
+    /// and it composes freely with [`accelerated`](Self::accelerated) and
+    /// any thread count. The simulations saved show up in
+    /// [`CampaignStats::faults_collapsed`] and
+    /// [`CampaignStats::collapse_ratio`].
+    pub fn collapse(mut self, on: bool) -> Self {
+        self.collapse = on;
+        self
+    }
+
     /// The live progress counters of this campaign. Clone the `Arc` out
     /// before [`run`](Self::run) to poll from another thread.
     pub fn stats(&self) -> Arc<CampaignStats> {
@@ -382,12 +441,27 @@ impl<'a> Campaign<'a> {
             self.accelerated,
             self.checkpoint_interval,
         );
+        let plan = (self.collapse && !self.faults.is_empty()).then(|| {
+            CollapsePlan::build(
+                self.faults,
+                self.env.workload.len(),
+                &FaultCollapser::build(self.env),
+                |cycle, net| ctx.golden_value(cycle, net),
+            )
+        });
+        // The simulation schedule: representatives only under collapsing,
+        // every fault otherwise. Outcomes are still committed for the full
+        // list, in fault-list order, by `commit_expanded`.
+        let order: Vec<usize> = match &plan {
+            Some(p) => p.sim_order.clone(),
+            None => (0..self.faults.len()).collect(),
+        };
         let mut coverage = CoverageCollection::new(ctx.injected_zones().iter().copied());
         self.stats.begin(self.faults.len(), self.threads);
         let outcomes = if self.threads == 1 {
-            self.run_serial(&ctx, &mut coverage)
+            self.run_serial(&ctx, plan.as_ref(), &order, &mut coverage)
         } else {
-            self.run_sharded(&ctx, &mut coverage)
+            self.run_sharded(&ctx, plan.as_ref(), &order, &mut coverage)
         };
         self.stats.finish();
         CampaignResult { outcomes, coverage }
@@ -411,23 +485,61 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// Commits a just-simulated representative, then expands the fault
+    /// dictionary: every following fault whose representative is already
+    /// committed receives a clone of that outcome (re-indexed to itself)
+    /// until the next representative is due. Keeps outcomes committed
+    /// strictly in fault-list order, so coverage evolution — and with it
+    /// any early-stop point — is identical to an uncollapsed run.
+    fn commit_expanded(
+        &self,
+        plan: Option<&CollapsePlan>,
+        coverage: &mut CoverageCollection,
+        outcomes: &mut Vec<FaultOutcome>,
+        fo: FaultOutcome,
+    ) -> bool {
+        debug_assert_eq!(fo.fault_index, outcomes.len(), "out-of-order commit");
+        let mut stop = self.commit(coverage, &fo);
+        outcomes.push(fo);
+        if let Some(plan) = plan {
+            while !stop
+                && outcomes.len() < plan.rep_of.len()
+                && plan.rep_of[outcomes.len()] != outcomes.len()
+            {
+                let next = outcomes.len();
+                let mut annotated = outcomes[plan.rep_of[next]].clone();
+                annotated.fault_index = next;
+                self.stats.record_annotated(annotated.outcome);
+                stop = self.commit(coverage, &annotated);
+                outcomes.push(annotated);
+            }
+        }
+        stop
+    }
+
     fn run_serial(
         &self,
         ctx: &ExecContext,
+        plan: Option<&CollapsePlan>,
+        order: &[usize],
         coverage: &mut CoverageCollection,
     ) -> Vec<FaultOutcome> {
         let mut sim = Simulator::new(self.env.netlist).expect("levelizable netlist");
         let mut sparse = ctx.make_sparse(self.env.netlist);
         let mut outcomes = Vec::with_capacity(self.faults.len());
-        for (fi, fault) in self.faults.iter().enumerate() {
+        for &fi in order {
             let t0 = Instant::now();
-            let (fo, metrics) =
-                simulate_dispatch(self.env, ctx, &mut sim, sparse.as_mut(), fi, fault);
+            let (fo, metrics) = simulate_dispatch(
+                self.env,
+                ctx,
+                &mut sim,
+                sparse.as_mut(),
+                fi,
+                &self.faults[fi],
+            );
             self.stats
                 .record(fo.outcome, &metrics, t0.elapsed().as_nanos() as u64);
-            let stop = self.commit(coverage, &fo);
-            outcomes.push(fo);
-            if stop {
+            if self.commit_expanded(plan, coverage, &mut outcomes, fo) {
                 break;
             }
         }
@@ -437,9 +549,11 @@ impl<'a> Campaign<'a> {
     fn run_sharded(
         &self,
         ctx: &ExecContext,
+        plan: Option<&CollapsePlan>,
+        order: &[usize],
         coverage: &mut CoverageCollection,
     ) -> Vec<FaultOutcome> {
-        let n = self.faults.len();
+        let n = order.len();
         let chunk = self.chunk;
         let n_chunks = n.div_ceil(chunk);
         // The seed shuffles only the order in which workers claim chunks.
@@ -472,7 +586,7 @@ impl<'a> Campaign<'a> {
                         let lo = ci * chunk;
                         let hi = (lo + chunk).min(n);
                         let mut chunk_out = Vec::with_capacity(hi - lo);
-                        for fi in lo..hi {
+                        for &fi in &order[lo..hi] {
                             // A set stop flag means the result is already
                             // fully committed; this chunk can't be needed.
                             if stop.load(Ordering::Relaxed) {
@@ -508,9 +622,7 @@ impl<'a> Campaign<'a> {
                 while let Some(chunk_out) = pending.remove(&next_commit) {
                     next_commit += 1;
                     for fo in chunk_out {
-                        let stop_now = self.commit(coverage, &fo);
-                        outcomes.push(fo);
-                        if stop_now {
+                        if self.commit_expanded(plan, coverage, &mut outcomes, fo) {
                             stop.store(true, Ordering::Relaxed);
                             break 'merge;
                         }
@@ -733,5 +845,117 @@ mod tests {
         let reference = run_campaign(&env, &faults);
         let clamped = Campaign::new(&env, &faults).threads(0).chunk(0).run();
         assert_eq!(reference, clamped);
+    }
+
+    /// Every stuck-at on every driven, non-constant net — the densest list
+    /// the collapser can chew on.
+    fn exhaustive_stuck_list(nl: &socfmea_netlist::Netlist) -> Vec<Fault> {
+        use socfmea_netlist::{Driver, Logic, NetId};
+        let mut faults = Vec::new();
+        for (i, net) in nl.nets().iter().enumerate() {
+            if matches!(net.driver, Driver::None | Driver::Const(_)) {
+                continue;
+            }
+            for value in [Logic::Zero, Logic::One] {
+                faults.push(Fault {
+                    kind: crate::faultlist::FaultKind::StuckAt {
+                        net: NetId::from_index(i),
+                        value,
+                    },
+                    zone: None,
+                    inject_cycle: 0,
+                    label: format!("exhaustive {}-sa{value}", net.name),
+                });
+            }
+        }
+        faults
+    }
+
+    #[test]
+    fn collapse_is_bit_identical_on_generated_lists() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        for threads in [1, 2, 4] {
+            let collapsed = Campaign::new(&env, &faults)
+                .threads(threads)
+                .collapse(true)
+                .run();
+            assert_eq!(
+                baseline, collapsed,
+                "collapse diverges at {threads} threads"
+            );
+        }
+        let composed = Campaign::new(&env, &faults)
+            .threads(2)
+            .collapse(true)
+            .accelerated(true)
+            .checkpoint_interval(4)
+            .run();
+        assert_eq!(baseline, composed, "collapse+accel diverges");
+    }
+
+    #[test]
+    fn collapse_simulates_fewer_faults_and_accounts_for_all() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = exhaustive_stuck_list(&fx.nl);
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        let campaign = Campaign::new(&env, &faults).threads(1).collapse(true);
+        let stats = campaign.stats();
+        let result = campaign.run();
+        assert_eq!(baseline, result, "collapsed outcomes diverge");
+        assert!(
+            stats.faults_collapsed() > 0,
+            "exhaustive list on the protected design must collapse something"
+        );
+        assert_eq!(
+            stats.faults_done() + stats.faults_collapsed(),
+            result.outcomes.len(),
+            "every fault is either simulated or dictionary-annotated"
+        );
+        assert!(stats.collapse_ratio() > 1.0);
+        assert_eq!(stats.outcome_counts(), result.outcome_counts());
+        let summary = stats.summary();
+        assert_eq!(summary.faults_collapsed, stats.faults_collapsed());
+        assert!(summary.collapse_ratio > 1.0);
+        assert!(summary.to_string().contains("via dictionary"), "{summary}");
+    }
+
+    #[test]
+    fn collapse_preserves_early_stop_behaviour() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = exhaustive_stuck_list(&fx.nl);
+        let policy = EarlyStop::CoverageComplete {
+            expect_diagnostics: true,
+        };
+        let baseline = Campaign::new(&env, &faults)
+            .threads(1)
+            .early_stop(policy)
+            .run();
+        for threads in [1, 3] {
+            let collapsed = Campaign::new(&env, &faults)
+                .threads(threads)
+                .collapse(true)
+                .early_stop(policy)
+                .run();
+            assert_eq!(
+                baseline, collapsed,
+                "early-stop divergence under collapse at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_stats_guard_their_zero_denominators() {
+        // Satellite: a stats block with no work done must not divide by
+        // zero — the mean fault time is zero and the collapse ratio is the
+        // identity 1.0.
+        let stats = CampaignStats::new();
+        assert_eq!(stats.mean_fault_time(), std::time::Duration::ZERO);
+        assert_eq!(stats.collapse_ratio(), 1.0);
+        assert_eq!(stats.faults_collapsed(), 0);
     }
 }

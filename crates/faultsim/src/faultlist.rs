@@ -106,8 +106,25 @@ pub struct FaultListConfig {
     pub global_faults: bool,
     /// Skip zones the operational profile shows as never active.
     pub skip_inactive_zones: bool,
+    /// Canonicalise the stuck-at dedup through the full structural
+    /// [`FaultCollapser`](crate::FaultCollapser) (gate equivalence rules,
+    /// transitive chains) instead of buffer/inverter chains only, so the
+    /// generated list is compacted across structurally equivalent sites.
+    ///
+    /// This changes *which faults are generated*. It is independent of
+    /// [`Campaign::collapse`](crate::Campaign::collapse), which never
+    /// changes the list and only skips redundant simulations.
+    pub collapse: bool,
     /// RNG seed: identical seeds give identical lists.
     pub seed: u64,
+}
+
+impl FaultListConfig {
+    /// Sets [`collapse`](Self::collapse) (builder style).
+    pub fn collapse(mut self, on: bool) -> Self {
+        self.collapse = on;
+        self
+    }
 }
 
 impl Default for FaultListConfig {
@@ -120,6 +137,7 @@ impl Default for FaultListConfig {
             bridge_faults: 4,
             global_faults: true,
             skip_inactive_zones: true,
+            collapse: false,
             seed: 0x5eed,
         }
     }
@@ -129,6 +147,15 @@ impl Default for FaultListConfig {
 /// canonical (driver-side) equivalent: `sa-v` on a buffer output is
 /// equivalent to `sa-v` on its input; through an inverter the polarity
 /// flips. Returns the canonical `(net, value)`.
+///
+/// A chain net is only traversed when it is invisible to everything but
+/// the buffer/inverter itself: its sole gate reader is that gate, no
+/// flip-flop samples it, and it is not a primary output. Collapsing
+/// through a fanout stem would *not* be an equivalence — `sa-v` on one
+/// branch leaves the other branches fault-free, while `sa-v` on the stem
+/// faults them all. The full per-gate equivalence rules (AND/OR/NAND/NOR
+/// controlling values, const-degenerate gates) live in
+/// [`FaultCollapser`](crate::FaultCollapser).
 ///
 /// # Example
 ///
@@ -148,20 +175,28 @@ impl Default for FaultListConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn collapse_stuck_at(netlist: &Netlist, mut net: NetId, mut value: Logic) -> (NetId, Logic) {
+    let gate_fanout = netlist.gate_fanout();
+    let dff_fanout = netlist.dff_fanout();
     loop {
-        match netlist.net(net).driver {
-            Driver::Gate(g) => {
-                let gate = netlist.gate(g);
-                match gate.kind {
-                    GateKind::Buf => net = gate.inputs[0],
-                    GateKind::Not => {
-                        net = gate.inputs[0];
-                        value = value.not();
-                    }
-                    _ => return (net, value),
-                }
-            }
+        let Driver::Gate(g) = netlist.net(net).driver else {
+            return (net, value);
+        };
+        let gate = netlist.gate(g);
+        let flip = match gate.kind {
+            GateKind::Buf => false,
+            GateKind::Not => true,
             _ => return (net, value),
+        };
+        let src = gate.inputs[0];
+        if gate_fanout[src.index()].len() != 1
+            || !dff_fanout[src.index()].is_empty()
+            || netlist.outputs().contains(&src)
+        {
+            return (net, value);
+        }
+        net = src;
+        if flip {
+            value = value.not();
         }
     }
 }
@@ -181,7 +216,16 @@ pub fn generate_fault_list(
     let horizon = (env.workload.len().saturating_mul(4) / 5).max(1);
     let pick_cycle = |rng: &mut StdRng| rng.random_range(0..horizon);
 
+    let collapser = config
+        .collapse
+        .then(|| crate::collapse::FaultCollapser::build(env));
+    let canonical_of = |net: NetId, value: Logic| match &collapser {
+        Some(c) => c.canonical(net, value),
+        None => collapse_stuck_at(env.netlist, net, value),
+    };
     let mut seen_stuck: std::collections::HashSet<(NetId, Logic)> =
+        std::collections::HashSet::new();
+    let mut seen_zone_stuck: std::collections::HashSet<(NetId, Logic, ZoneId)> =
         std::collections::HashSet::new();
 
     for zone in env.zones.zones() {
@@ -211,15 +255,25 @@ pub fn generate_fault_list(
         anchors.shuffle(&mut rng);
         for &net in anchors.iter().take(config.stuckats_per_zone) {
             for value in [Logic::Zero, Logic::One] {
-                let canonical = collapse_stuck_at(env.netlist, net, value);
-                if !seen_stuck.insert(canonical) {
+                let (cnet, cval) = canonical_of(net, value);
+                // The dedup is per zone: a second anchor of the *same* zone
+                // landing on an already-scheduled canonical site adds
+                // nothing, but when the anchors of two zones collapse to a
+                // shared site (e.g. a buffered anchor net), each zone keeps
+                // its own attributed fault — silently dropping the second
+                // would lose that zone's DC evidence.
+                if !seen_zone_stuck.insert((cnet, cval, zone.id)) {
                     continue;
+                }
+                let mut label = format!("{}: stuck-at-{value} on {net}", zone.name);
+                if !seen_stuck.insert((cnet, cval)) {
+                    label.push_str(" (canonical site shared with another zone)");
                 }
                 faults.push(Fault {
                     kind: FaultKind::StuckAt { net, value },
                     zone: Some(zone.id),
                     inject_cycle: 0,
-                    label: format!("{}: stuck-at-{value} on {net}", zone.name),
+                    label,
                 });
             }
         }
@@ -261,7 +315,7 @@ pub fn generate_fault_list(
         } else {
             Logic::Zero
         };
-        let canonical = collapse_stuck_at(env.netlist, net, value);
+        let canonical = canonical_of(net, value);
         if !seen_stuck.insert(canonical) {
             continue;
         }
@@ -412,6 +466,133 @@ mod tests {
         let bf_net = nl.net_by_name("bf").unwrap();
         // two inverters cancel: sa1 on bf == sa1 on a
         assert_eq!(collapse_stuck_at(&nl, bf_net, Logic::One), (a, Logic::One));
+    }
+
+    #[test]
+    fn collapse_stops_at_fanout_stems() {
+        let mut b = socfmea_netlist::NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let x = b.gate(GateKind::Not, &[a], "x");
+        let y1 = b.gate(GateKind::Buf, &[x], "y1");
+        let y2 = b.gate(GateKind::Buf, &[x], "y2");
+        b.output("o1", y1);
+        b.output("o2", y2);
+        let nl = b.finish().unwrap();
+        // `x` fans out to two buffers: sa0 on branch `y1` leaves `y2`
+        // fault-free, so neither branch may collapse onto the stem — the
+        // two branch faults must stay distinct
+        assert_eq!(collapse_stuck_at(&nl, y1, Logic::Zero), (y1, Logic::Zero));
+        assert_eq!(collapse_stuck_at(&nl, y2, Logic::Zero), (y2, Logic::Zero));
+        assert_ne!(
+            collapse_stuck_at(&nl, y1, Logic::Zero),
+            collapse_stuck_at(&nl, y2, Logic::Zero)
+        );
+        // the single-fanout inverter input still collapses
+        assert_eq!(collapse_stuck_at(&nl, x, Logic::Zero), (a, Logic::One));
+    }
+
+    #[test]
+    fn collapse_stops_at_dff_readers_and_primary_outputs() {
+        let mut b = socfmea_netlist::NetlistBuilder::new("edge");
+        let d = b.input("d");
+        let y = b.gate(GateKind::Buf, &[d], "y");
+        let q = b.dff("q", d);
+        let z = b.gate(GateKind::Buf, &[q], "z");
+        b.output("o", y);
+        b.output("oq", z);
+        let nl = b.finish().unwrap();
+        // `d` feeds a flip-flop D pin besides the buffer: not collapsible
+        assert_eq!(collapse_stuck_at(&nl, y, Logic::One), (y, Logic::One));
+        // `q` is only read by `z`, so that link still collapses
+        assert_eq!(collapse_stuck_at(&nl, z, Logic::One), (q, Logic::One));
+        // a port net never collapses past another primary output
+        let o = nl.net_by_name("o").unwrap();
+        assert_eq!(collapse_stuck_at(&nl, o, Logic::Zero), (y, Logic::Zero));
+    }
+
+    #[test]
+    fn shared_canonical_site_keeps_both_zones_attribution() {
+        // The `q` register zone anchors the q nets; the `po/o` output zone
+        // anchors the port nets, which are port buffers of those same q
+        // nets — so every po anchor collapses onto a q anchor's canonical
+        // site. Before the per-zone dedup, the second zone's stuck-at
+        // evidence was silently dropped.
+        let mut r = RtlBuilder::new("share");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let d_nets: Vec<_> = (0..2)
+            .map(|i| nl.net_by_name(&format!("d[{i}]")).unwrap())
+            .collect();
+        let mut w = Workload::new("count");
+        for c in 0..8u64 {
+            let mut v = Vec::new();
+            assign_bus(&mut v, &d_nets, c);
+            w.push_cycle(v);
+        }
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let profile = OperationalProfile::collect(&env);
+        let faults = generate_fault_list(
+            &env,
+            &profile,
+            &FaultListConfig {
+                bitflips_per_zone: 0,
+                stuckats_per_zone: 4,
+                local_faults_per_zone: 0,
+                wide_faults: 0,
+                bridge_faults: 0,
+                global_faults: false,
+                skip_inactive_zones: false,
+                collapse: false,
+                seed: 1,
+            },
+        );
+        let q_id = zones.zone_by_name("q").unwrap().id;
+        let po_id = zones.zone_by_name("po/o").unwrap().id;
+        let stuckats_of = |zone| {
+            faults
+                .iter()
+                .filter(|f| matches!(f.kind, FaultKind::StuckAt { .. }) && f.zone == Some(zone))
+                .count()
+        };
+        // both zones keep their full evidence: 2 anchors × 2 polarities
+        assert_eq!(stuckats_of(q_id), 4, "faults: {faults:#?}");
+        assert_eq!(stuckats_of(po_id), 4, "faults: {faults:#?}");
+        // and the merge is recorded on the labels of the later zone
+        assert_eq!(
+            faults.iter().filter(|f| f.label.contains("shared")).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn collapse_config_is_deterministic_and_never_grows_the_list() {
+        let (nl, w) = setup();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let profile = OperationalProfile::collect(&env);
+        let cfg = FaultListConfig {
+            seed: 7,
+            ..FaultListConfig::default()
+        };
+        let plain = generate_fault_list(&env, &profile, &cfg);
+        let collapsed = generate_fault_list(&env, &profile, &cfg.clone().collapse(true));
+        assert_eq!(
+            collapsed,
+            generate_fault_list(&env, &profile, &cfg.clone().collapse(true))
+        );
+        // structural canonicalisation can only merge more sites
+        assert!(collapsed.len() <= plain.len());
+        // non-stuck-at faults are untouched by the collapser
+        let non_stuck = |fs: &[Fault]| {
+            fs.iter()
+                .filter(|f| !matches!(f.kind, FaultKind::StuckAt { .. }))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(non_stuck(&collapsed), non_stuck(&plain));
     }
 
     #[test]

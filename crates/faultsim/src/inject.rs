@@ -143,6 +143,19 @@ pub(crate) struct CampaignContext {
     pub(crate) injected_zones: BTreeSet<ZoneId>,
 }
 
+impl CampaignContext {
+    /// Golden value of a fault-targeted net at a cycle (the SENS monitor's
+    /// reference; used by the collapse planner to reproduce target
+    /// excitation without re-simulating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a target of any fault in the campaign.
+    pub(crate) fn golden_target(&self, cycle: usize, net: NetId) -> Logic {
+        self.golden.targets[cycle][self.target_col[&net]]
+    }
+}
+
 /// Records the golden trace and SENS lookup for `faults` over `env`.
 ///
 /// # Panics

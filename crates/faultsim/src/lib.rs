@@ -14,6 +14,13 @@
 //!   generation from zone failure modes (bit flips, stuck-at, glitches),
 //!   local gate faults, wide (shared-cone) faults and global faults;
 //!   equivalence collapsing through buffer/inverter chains; seeded sampling,
+//! * [`collapse`] — the structural **Fault Collapser**: per-gate stuck-at
+//!   equivalence classes (controlling values, const-degenerate gates,
+//!   transitive single-fanout chains) with deterministic canonical
+//!   representatives plus reported dominance pairs;
+//!   `Campaign::collapse(true)` simulates one representative per class and
+//!   back-annotates the outcome onto every member (fault dictionary) —
+//!   bit-identical results over the full uncollapsed list,
 //! * [`inject`] — **Fault Injection Manager**: runs the campaign, lockstep
 //!   golden-vs-faulty, classifying each injection as safe / dangerous
 //!   detected / dangerous undetected,
@@ -39,6 +46,7 @@
 mod accel;
 pub mod analyzer;
 pub mod campaign;
+pub mod collapse;
 pub mod env;
 pub mod faultlist;
 pub mod inject;
@@ -48,6 +56,7 @@ pub mod profile;
 
 pub use analyzer::{analyze, CampaignAnalysis};
 pub use campaign::{Campaign, CampaignStats, EarlyStop};
+pub use collapse::{DominancePair, FaultCollapser};
 pub use env::{Environment, EnvironmentBuilder};
 pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};
 pub use inject::{run_campaign, CampaignResult, FaultOutcome, Outcome};

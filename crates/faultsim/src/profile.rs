@@ -191,4 +191,36 @@ mod tests {
         assert_eq!(mk(95, 100).measured_freq_class(), FreqClass::VeryHigh);
         assert_eq!(ZoneActivity::default().activity(), 0.0);
     }
+
+    #[test]
+    fn measured_freq_class_band_boundaries_are_half_open() {
+        // Each band is [lo, hi): activity exactly at a threshold belongs to
+        // the *upper* class. The fractions n/1000 and the threshold
+        // literals round to the same doubles, so the comparisons are exact.
+        let mk = |active| ZoneActivity {
+            active_cycles: active,
+            total_cycles: 1000,
+            known_cycles: 1000,
+        };
+        assert_eq!(mk(74).measured_freq_class(), FreqClass::VeryLow);
+        assert_eq!(mk(75).measured_freq_class(), FreqClass::Low);
+        assert_eq!(mk(249).measured_freq_class(), FreqClass::Low);
+        assert_eq!(mk(250).measured_freq_class(), FreqClass::Medium);
+        assert_eq!(mk(499).measured_freq_class(), FreqClass::Medium);
+        assert_eq!(mk(500).measured_freq_class(), FreqClass::High);
+        assert_eq!(mk(799).measured_freq_class(), FreqClass::High);
+        assert_eq!(mk(800).measured_freq_class(), FreqClass::VeryHigh);
+    }
+
+    #[test]
+    fn empty_profile_guards_its_zero_denominators() {
+        // A design with no zones has nothing uncovered: coverage is the
+        // identity 1.0, not a 0/0 NaN, and there are no inactive zones.
+        let profile = OperationalProfile {
+            zones: Vec::new(),
+            cycles: 0,
+        };
+        assert_eq!(profile.zone_coverage(), 1.0);
+        assert!(profile.inactive_zones().is_empty());
+    }
 }

@@ -19,6 +19,8 @@
 //!   --cycles <n>               synthetic workload length in cycles
 //!   --accel                    use the checkpointed incremental engine
 //!   --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
+//!   --collapse                 simulate one representative per equivalence
+//!                              class, back-annotate the rest
 //! lint options:
 //!   --example <design>         lint a bundled design (fmem|fmem-baseline|
 //!                              mcu|mcu-single) instead of a netlist file
@@ -177,7 +179,8 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
         .threads(opts.threads)
         .seed(opts.seed)
         .accelerated(opts.accel)
-        .checkpoint_interval(opts.checkpoint_interval);
+        .checkpoint_interval(opts.checkpoint_interval)
+        .collapse(opts.collapse);
     let stats = campaign.stats();
     let result = campaign.run();
     println!("{}", stats.summary());

@@ -38,6 +38,8 @@ inject options:
                              (bit-identical result, fewer evaluated cycles)
   --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
                              (default: 16)
+  --collapse                 simulate one representative per equivalence
+                             class, back-annotate the rest (bit-identical)
 lint options:
   --example <design>         lint a bundled design instead of a netlist file
                              (fmem|fmem-baseline|mcu|mcu-single)
@@ -113,6 +115,9 @@ pub struct InjectOptions {
     pub accel: bool,
     /// Checkpoint spacing of the golden trace when `accel` is on.
     pub checkpoint_interval: usize,
+    /// Collapse equivalent faults: simulate one representative per class
+    /// and expand the rest from the fault dictionary (bit-identical).
+    pub collapse: bool,
 }
 
 /// One of the example designs bundled with the workspace, lintable without
@@ -226,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut cycles = 48usize;
     let mut accel = false;
     let mut checkpoint_interval = 16usize;
+    let mut collapse = false;
     let mut lint_input: Option<String> = None;
     let mut example: Option<ExampleDesign> = None;
     let mut lint_format = LintFormat::Text;
@@ -274,6 +280,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--accel" if is_inject => accel = true,
+            "--collapse" if is_inject => collapse = true,
             "--checkpoint-interval" if is_inject => {
                 let n = it.next().ok_or("--checkpoint-interval needs a number")?;
                 checkpoint_interval = n
@@ -342,6 +349,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cycles,
             accel,
             checkpoint_interval,
+            collapse,
         }),
         "lint" => {
             if lint_input.is_some() == example.is_some() {
@@ -433,6 +441,7 @@ mod tests {
         assert_eq!(o.cycles, 48);
         assert!(!o.accel);
         assert_eq!(o.checkpoint_interval, 16);
+        assert!(!o.collapse);
     }
 
     #[test]
@@ -458,6 +467,19 @@ mod tests {
         );
         assert!(parse(&argv(&["analyze", "d.v", "--accel"])).is_err());
         assert!(parse(&argv(&["lint", "d.v", "--checkpoint-interval", "4"])).is_err());
+    }
+
+    #[test]
+    fn inject_parses_collapse() {
+        let cmd = parse(&argv(&["inject", "d.v", "--collapse", "--accel"])).unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert!(o.collapse);
+        assert!(o.accel, "collapse composes with accel");
+        // --collapse is an inject-only option
+        assert!(parse(&argv(&["analyze", "d.v", "--collapse"])).is_err());
+        assert!(parse(&argv(&["zones", "d.v", "--collapse"])).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn fault_config() -> FaultListConfig {
         bridge_faults: 3,
         global_faults: true,
         skip_inactive_zones: true,
+        collapse: false,
         seed: 2007,
     }
 }
