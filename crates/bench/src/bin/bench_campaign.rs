@@ -7,9 +7,16 @@
 //! Determinism, however, is unconditional — the binary asserts that every
 //! thread count produced the identical `CampaignResult` before writing
 //! anything.
+//!
+//! The snapshot also quantifies the observability tax: the same campaign
+//! with full tracing (per-fault JSONL records streamed to a null sink, so
+//! serialization and channel cost are measured without disk noise) must
+//! stay within 5% of the untraced throughput, best-of-3 on each side, and
+//! the traced run's metrics-registry snapshot is embedded in the JSON.
 
 use socfmea_bench::{banner, campaign_fault_config, MemSysSetup};
 use socfmea_memsys::config::MemSysConfig;
+use socfmea_obs::{Observer, TraceSink};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -51,6 +58,49 @@ fn main() {
         ));
     }
 
+    // The observability tax: untraced vs fully-traced serial campaigns,
+    // best of 3 each. Tracing streams to io::sink() so the measurement is
+    // the instrumentation cost (record building, serialization, channel),
+    // not the disk.
+    println!("\nobservability overhead (tracing to a null sink, best of 3):");
+    let reference = reference.expect("scaling loop ran");
+    let mut metrics: Option<String> = None;
+    let mut best = |traced: bool| -> f64 {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..3 {
+            let observer = traced
+                .then(|| Observer::with_sink(TraceSink::to_writer(Box::new(std::io::sink()))));
+            let t0 = Instant::now();
+            let run = match &observer {
+                Some(obs) => setup.campaign_observed(&campaign_fault_config(), 1, None, obs),
+                None => setup.campaign_threaded(&campaign_fault_config(), 1),
+            };
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                reference, run.result,
+                "observation changed the campaign result"
+            );
+            if let Some(obs) = observer {
+                metrics = Some(obs.metrics_snapshot().render_json());
+                obs.finish().expect("null sink never fails");
+            }
+        }
+        best_secs
+    };
+    let plain_secs = best(false);
+    let traced_secs = best(true);
+    let faults = rows[0].1 as f64;
+    let (plain_fps, traced_fps) = (faults / plain_secs, faults / traced_secs);
+    let overhead_pct = 100.0 * (1.0 - traced_fps / plain_fps);
+    println!(
+        "plain  {plain_secs:.2}s ({plain_fps:.0} faults/s)\ntraced {traced_secs:.2}s ({traced_fps:.0} faults/s) -> {overhead_pct:+.1}% overhead"
+    );
+    assert!(
+        traced_fps >= 0.95 * plain_fps,
+        "tracing overhead {overhead_pct:.1}% exceeds the 5% budget"
+    );
+    let metrics = metrics.expect("traced run recorded a snapshot");
+
     let serial_secs = rows[0].2;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"campaign_threads\",");
@@ -69,7 +119,12 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"observability\": {{\"plain_seconds\": {plain_secs:.4}, \"traced_seconds\": {traced_secs:.4}, \"plain_faults_per_sec\": {plain_fps:.1}, \"traced_faults_per_sec\": {traced_fps:.1}, \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": 5.0, \"within_budget\": true}},"
+    );
+    let _ = writeln!(json, "  \"metrics\": {}", metrics.trim_end());
     json.push_str("}\n");
 
     let path = "BENCH_campaign.json";

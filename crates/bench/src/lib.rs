@@ -13,6 +13,7 @@ use socfmea_faultsim::{
 };
 use socfmea_memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
 use socfmea_netlist::Netlist;
+use socfmea_obs::Observer;
 use socfmea_sim::Workload;
 
 /// A fully-assembled memory-sub-system experiment: design, zones, workload.
@@ -90,11 +91,36 @@ impl MemSysSetup {
         self.campaign_configured(list, threads, Some(checkpoint_interval))
     }
 
+    /// Runs a campaign with an [`Observer`] attached: spans, engine-path
+    /// counters and (when the observer carries a trace sink) one record per
+    /// fault land in `observer`. The measurements are bit-identical to the
+    /// unobserved variants — observation is how the benches quantify its
+    /// own overhead.
+    pub fn campaign_observed(
+        &self,
+        list: &FaultListConfig,
+        threads: usize,
+        accel_interval: Option<usize>,
+        observer: &Observer,
+    ) -> CampaignRun {
+        self.campaign_full(list, threads, accel_interval, Some(observer))
+    }
+
     fn campaign_configured(
         &self,
         list: &FaultListConfig,
         threads: usize,
         accel_interval: Option<usize>,
+    ) -> CampaignRun {
+        self.campaign_full(list, threads, accel_interval, None)
+    }
+
+    fn campaign_full(
+        &self,
+        list: &FaultListConfig,
+        threads: usize,
+        accel_interval: Option<usize>,
+        observer: Option<&Observer>,
     ) -> CampaignRun {
         let env = EnvironmentBuilder::new(&self.netlist, &self.zones, &self.workload)
             .alarms_matching("alarm_")
@@ -102,10 +128,13 @@ impl MemSysSetup {
             .build();
         let profile = OperationalProfile::collect(&env);
         let faults = generate_fault_list(&env, &profile, list);
-        let campaign = Campaign::new(&env, &faults)
+        let mut campaign = Campaign::new(&env, &faults)
             .threads(threads)
             .accelerated(accel_interval.is_some())
             .checkpoint_interval(accel_interval.unwrap_or(Campaign::DEFAULT_CHECKPOINT_INTERVAL));
+        if let Some(obs) = observer {
+            campaign = campaign.observe(obs);
+        }
         let stats = campaign.stats();
         let result = campaign.run();
         let analysis = analyze(&faults, &result, &profile);

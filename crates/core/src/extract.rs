@@ -408,6 +408,23 @@ pub fn extract_zones(netlist: &Netlist, config: &ExtractConfig) -> ZoneSet {
     }
 }
 
+/// [`extract_zones`] timed as the pipeline's `extract-zones` phase, with
+/// the extraction's headline numbers (zone, gate, and flip-flop counts)
+/// recorded into the observer's metrics registry. The returned zone set is
+/// identical to the unobserved call.
+pub fn extract_zones_observed(
+    netlist: &Netlist,
+    config: &ExtractConfig,
+    obs: &socfmea_obs::Observer,
+) -> ZoneSet {
+    let zones = obs.phase("extract-zones", || extract_zones(netlist, config));
+    let reg = obs.registry();
+    reg.gauge("extract.zones").set(zones.len() as f64);
+    reg.gauge("extract.gates").set(netlist.gate_count() as f64);
+    reg.gauge("extract.dffs").set(netlist.dff_count() as f64);
+    zones
+}
+
 /// Groups port nets by bus base name, preserving bit order.
 fn group_ports(netlist: &Netlist, ports: &[NetId]) -> Vec<(String, Vec<NetId>)> {
     let mut map: BTreeMap<String, Vec<(u32, NetId)>> = BTreeMap::new();
@@ -629,5 +646,23 @@ mod tests {
         // the only gates are the two output-port buffers, local to the
         // primary-output zone's cone; nothing is wide or unassigned
         assert_eq!(zones.membership().census(), (0, 2, 0));
+    }
+
+    #[test]
+    fn observed_extraction_is_identical_and_records_metrics() {
+        let nl = demo_netlist();
+        let plain = extract_zones(&nl, &ExtractConfig::default());
+        let obs = socfmea_obs::Observer::new();
+        let observed = extract_zones_observed(&nl, &ExtractConfig::default(), &obs);
+        assert_eq!(plain.len(), observed.len());
+        for (a, b) in plain.zones().iter().zip(observed.zones()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.anchors, b.anchors);
+            assert_eq!(a.cone.gates, b.cone.gates);
+        }
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.gauges["extract.zones"], plain.len() as f64);
+        assert_eq!(snap.gauges["extract.dffs"], nl.dff_count() as f64);
+        assert!(snap.gauges.contains_key("phase.extract-zones.nanos"));
     }
 }

@@ -56,7 +56,7 @@ pub mod worksheet;
 pub mod zone;
 
 pub use effects::{predict_all_effects, predict_effects, ZoneEffects, ZoneGraph};
-pub use extract::{extract_zones, ExtractConfig, ZoneSet};
+pub use extract::{extract_zones, extract_zones_observed, ExtractConfig, ZoneSet};
 pub use faultclass::{census, classify_gate, wide_fault_sites, FaultClass, FaultClassCensus};
 pub use fit_model::FitModel;
 pub use sensitivity::{sweep, SensitivityReport, SensitivitySpec};

@@ -39,12 +39,25 @@ use std::collections::BTreeSet;
 /// Per-fault work accounting: how many cycles the engine actually
 /// evaluated versus how many it answered from the golden trace (the
 /// warm-start prefix plus the post-convergence suffix).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct FaultMetrics {
     /// Cycles evaluated (sparsely or in full).
     pub(crate) simulated: u64,
     /// Cycles answered from the golden trace without evaluation.
     pub(crate) skipped: u64,
+    /// Engine path that classified the fault: `lockstep`, `sparse`, or
+    /// `warm` (the trace and metrics attribute work per path).
+    pub(crate) engine: &'static str,
+}
+
+impl Default for FaultMetrics {
+    fn default() -> FaultMetrics {
+        FaultMetrics {
+            simulated: 0,
+            skipped: 0,
+            engine: "lockstep",
+        }
+    }
 }
 
 /// Everything the accelerated path shares across faults: the golden trace
@@ -165,6 +178,7 @@ pub(crate) fn simulate_dispatch(
             let metrics = FaultMetrics {
                 simulated: env.workload.len() as u64,
                 skipped: 0,
+                engine: "lockstep",
             };
             (fo, metrics)
         }
@@ -205,6 +219,7 @@ fn simulate_sparse(
         // Everything before activation is golden by construction; a fault
         // scheduled past the workload never activates at all.
         skipped: inject.min(len) as u64,
+        engine: "sparse",
     };
 
     if inject < len {
@@ -284,7 +299,11 @@ fn simulate_warm(
     let mut deviated_zones = BTreeSet::new();
     let mut sens_triggered = false;
     let mut clock_off: Option<usize> = None;
-    let mut metrics = FaultMetrics::default();
+    let mut metrics = FaultMetrics {
+        simulated: 0,
+        skipped: 0,
+        engine: "warm",
+    };
 
     if inject < len {
         let cp = trace

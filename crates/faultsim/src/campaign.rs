@@ -21,13 +21,16 @@
 use crate::accel::{simulate_dispatch, ExecContext, FaultMetrics};
 use crate::collapse::{CollapsePlan, FaultCollapser};
 use crate::env::Environment;
-use crate::faultlist::Fault;
+use crate::faultlist::{Fault, FaultKind};
 use crate::inject::{CampaignResult, FaultOutcome, Outcome};
 use crate::monitors::CoverageCollection;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use socfmea_core::CampaignStatsSummary;
+use socfmea_obs::metrics::{Counter, Histogram};
+use socfmea_obs::trace::{FaultRecord, TraceEvent};
+use socfmea_obs::{Observer, ProgressSample};
 use socfmea_sim::Simulator;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -115,6 +118,10 @@ impl CampaignStats {
             .store(self.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    // Per-class tallies advance *before* `done`/`collapsed`, and all four
+    // use `SeqCst`, so at every instant
+    //   done + collapsed <= sum(class tallies) <= done + collapsed + in-flight
+    // — the invariant `consistent_counts` relies on.
     fn record(&self, outcome: Outcome, metrics: &FaultMetrics, nanos: u64) {
         match outcome {
             Outcome::NoEffect => &self.no_effect,
@@ -122,13 +129,13 @@ impl CampaignStats {
             Outcome::DangerousDetected => &self.dangerous_detected,
             Outcome::DangerousUndetected => &self.dangerous_undetected,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::SeqCst);
         self.cycles_simulated
             .fetch_add(metrics.simulated, Ordering::Relaxed);
         self.cycles_skipped
             .fetch_add(metrics.skipped, Ordering::Relaxed);
         self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.done.fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Records a dictionary-annotated outcome: the per-class tallies
@@ -141,8 +148,44 @@ impl CampaignStats {
             Outcome::DangerousDetected => &self.dangerous_detected,
             Outcome::DangerousUndetected => &self.dangerous_undetected,
         }
-        .fetch_add(1, Ordering::Relaxed);
-        self.collapsed.fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::SeqCst);
+        self.collapsed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A mutually consistent `(done, collapsed, class tallies)` triple.
+    ///
+    /// The individual counters are updated lock-free by the workers, so
+    /// reading them one by one can catch a fault between its class bump and
+    /// its `done` bump. This re-reads until a stable instant where the
+    /// tallies sum exactly to `done + collapsed`; under sustained update
+    /// pressure it falls back to deriving `done` from the tallies (each
+    /// fault bumps its class exactly once), which is consistent by
+    /// construction.
+    fn consistent_counts(&self) -> (usize, usize, (usize, usize, usize, usize)) {
+        let load_counts = || {
+            (
+                self.no_effect.load(Ordering::SeqCst),
+                self.safe_detected.load(Ordering::SeqCst),
+                self.dangerous_detected.load(Ordering::SeqCst),
+                self.dangerous_undetected.load(Ordering::SeqCst),
+            )
+        };
+        for _ in 0..64 {
+            let done = self.done.load(Ordering::SeqCst);
+            let collapsed = self.collapsed.load(Ordering::SeqCst);
+            let counts = load_counts();
+            let sum = counts.0 + counts.1 + counts.2 + counts.3;
+            if sum == done + collapsed
+                && done == self.done.load(Ordering::SeqCst)
+                && collapsed == self.collapsed.load(Ordering::SeqCst)
+            {
+                return (done, collapsed, counts);
+            }
+        }
+        let counts = load_counts();
+        let sum = counts.0 + counts.1 + counts.2 + counts.3;
+        let collapsed = self.collapsed.load(Ordering::SeqCst).min(sum);
+        (sum - collapsed, collapsed, counts)
     }
 
     /// Faults scheduled in the campaign (0 until the run starts).
@@ -237,11 +280,16 @@ impl CampaignStats {
     }
 
     /// Snapshot as the summary a [`socfmea_core::ValidationReport`] carries.
+    ///
+    /// Safe to call mid-run: the injection count, collapse count and
+    /// per-class tallies come from one [consistent
+    /// instant](Self::consistent_counts), so `injections + faults_collapsed`
+    /// always equals the sum of the four outcome counts.
     pub fn summary(&self) -> CampaignStatsSummary {
-        let (no_effect, safe_detected, dangerous_detected, dangerous_undetected) =
-            self.outcome_counts();
+        let (injections, faults_collapsed, counts) = self.consistent_counts();
+        let (no_effect, safe_detected, dangerous_detected, dangerous_undetected) = counts;
         CampaignStatsSummary {
-            injections: self.faults_done(),
+            injections,
             scheduled: self.scheduled(),
             no_effect,
             safe_detected,
@@ -253,8 +301,30 @@ impl CampaignStats {
             cycles_simulated: self.cycles_simulated(),
             cycles_skipped: self.cycles_skipped(),
             mean_fault_time: self.mean_fault_time(),
-            faults_collapsed: self.faults_collapsed(),
-            collapse_ratio: self.collapse_ratio(),
+            faults_collapsed,
+            collapse_ratio: if injections == 0 {
+                1.0
+            } else {
+                (injections + faults_collapsed) as f64 / injections as f64
+            },
+        }
+    }
+
+    /// A consistent live sample for the progress reporter (faults/s, ETA,
+    /// running DC/SFF and collapse/skip effectiveness all derive from it).
+    pub fn progress_sample(&self) -> ProgressSample {
+        let (done, collapsed, counts) = self.consistent_counts();
+        ProgressSample {
+            faults_total: self.scheduled() as u64,
+            faults_done: (done + collapsed) as u64,
+            collapsed: collapsed as u64,
+            no_effect: counts.0 as u64,
+            safe_detected: counts.1 as u64,
+            dangerous_detected: counts.2 as u64,
+            dangerous_undetected: counts.3 as u64,
+            cycles_simulated: self.cycles_simulated(),
+            cycles_skipped: self.cycles_skipped(),
+            elapsed_nanos: self.elapsed().as_nanos() as u64,
         }
     }
 }
@@ -324,7 +394,116 @@ pub struct Campaign<'a> {
     accelerated: bool,
     checkpoint_interval: usize,
     collapse: bool,
+    observer: Option<&'a Observer>,
     stats: Arc<CampaignStats>,
+}
+
+/// What a worker measured while simulating one fault; rides the merge
+/// channel next to the outcome so per-fault trace records can be emitted
+/// at commit time, in fault-list order.
+struct FaultTelemetry {
+    metrics: FaultMetrics,
+    nanos: u64,
+    shard: u64,
+}
+
+/// Pre-resolved observability handles for the campaign's hot path: one
+/// registry lookup per instrument at `run` start instead of one per fault.
+struct ObsHooks<'o> {
+    obs: &'o Observer,
+    trace_faults: bool,
+    fault_nanos: Arc<Histogram>,
+    engines: [(&'static str, Arc<Counter>); 4],
+}
+
+impl<'o> ObsHooks<'o> {
+    fn new(obs: &'o Observer) -> ObsHooks<'o> {
+        let reg = obs.registry();
+        ObsHooks {
+            trace_faults: obs.tracing(),
+            fault_nanos: reg.histogram("campaign.fault.nanos"),
+            engines: [
+                ("lockstep", reg.counter("campaign.engine.lockstep")),
+                ("sparse", reg.counter("campaign.engine.sparse")),
+                ("warm", reg.counter("campaign.engine.warm")),
+                ("dictionary", reg.counter("campaign.engine.dictionary")),
+            ],
+            obs,
+        }
+    }
+
+    /// Accounts one committed fault; `tel` is `None` for
+    /// dictionary-annotated faults, `rep` names their representative.
+    fn record_fault(
+        &self,
+        env: &Environment<'_>,
+        fault: &Fault,
+        fo: &FaultOutcome,
+        tel: Option<&FaultTelemetry>,
+        rep: Option<u64>,
+    ) {
+        let engine = tel.map_or("dictionary", |t| t.metrics.engine);
+        if let Some((_, counter)) = self.engines.iter().find(|(name, _)| *name == engine) {
+            counter.incr();
+        }
+        if let Some(t) = tel {
+            self.fault_nanos.record(t.nanos);
+        }
+        if !self.trace_faults {
+            return;
+        }
+        self.obs.emit(TraceEvent::Fault(FaultRecord {
+            index: fo.fault_index as u64,
+            label: fault.label.clone(),
+            kind: kind_name(&fault.kind),
+            site: fault_site(env, fault),
+            zone: fault.zone.map(|z| env.zones.zone(z).name.clone()),
+            inject_cycle: fault.inject_cycle as u64,
+            outcome: outcome_code(fo.outcome),
+            first_mismatch: fo.first_mismatch.map(|c| c as u64),
+            alarm_cycle: fo.alarm_cycle.map(|c| c as u64),
+            cycles_simulated: tel.map_or(0, |t| t.metrics.simulated),
+            cycles_skipped: tel.map_or(0, |t| t.metrics.skipped),
+            engine,
+            rep,
+            shard: tel.map(|t| t.shard),
+            nanos: tel.map_or(0, |t| t.nanos),
+        }));
+    }
+}
+
+fn kind_name(kind: &FaultKind) -> String {
+    match kind {
+        FaultKind::BitFlip { .. } => "bitflip",
+        FaultKind::StuckAt { .. } => "stuckat",
+        FaultKind::Glitch { .. } => "glitch",
+        FaultKind::Bridge { .. } => "bridge",
+        FaultKind::ClockStuck { .. } => "clockstuck",
+    }
+    .to_string()
+}
+
+/// The disturbed site as a human-readable name (`agg>victim` for bridges;
+/// `None` for global faults without a single site).
+fn fault_site(env: &Environment<'_>, fault: &Fault) -> Option<String> {
+    let net_name = |n: socfmea_netlist::NetId| env.netlist.net(n).name.clone();
+    match &fault.kind {
+        FaultKind::BitFlip { dff } => Some(net_name(env.netlist.dff(*dff).q)),
+        FaultKind::StuckAt { net, .. } | FaultKind::Glitch { net, .. } => Some(net_name(*net)),
+        FaultKind::Bridge {
+            aggressor, victim, ..
+        } => Some(format!("{}>{}", net_name(*aggressor), net_name(*victim))),
+        FaultKind::ClockStuck { .. } => None,
+    }
+}
+
+fn outcome_code(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::NoEffect => "NE",
+        Outcome::SafeDetected => "SD",
+        Outcome::DangerousDetected => "DD",
+        Outcome::DangerousUndetected => "DU",
+    }
 }
 
 impl<'a> Campaign<'a> {
@@ -347,6 +526,7 @@ impl<'a> Campaign<'a> {
             accelerated: false,
             checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
             collapse: false,
+            observer: None,
             stats: Arc::new(CampaignStats::new()),
         }
     }
@@ -421,10 +601,31 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Attaches a [`socfmea_obs::Observer`]: the run then emits one trace
+    /// record per committed fault (in fault-list order, so the trace is as
+    /// deterministic as the result), per-shard and whole-campaign spans,
+    /// phase timings for context preparation and collapse planning, and
+    /// engine-path counters into the observer's metrics registry.
+    ///
+    /// Like every other builder setting, this changes only *what is
+    /// recorded about* the campaign, never its [`CampaignResult`].
+    pub fn observe(mut self, observer: &'a Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The live progress counters of this campaign. Clone the `Arc` out
     /// before [`run`](Self::run) to poll from another thread.
     pub fn stats(&self) -> Arc<CampaignStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Runs `f` as an observed pipeline phase when an observer is attached.
+    fn obs_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        match self.observer {
+            Some(obs) => obs.phase(name, f),
+            None => f(),
+        }
     }
 
     /// Executes the campaign and returns its (thread-count-independent)
@@ -435,19 +636,34 @@ impl<'a> Campaign<'a> {
     /// Panics if the netlist cannot be levelized (prevented by
     /// construction for `RtlBuilder` designs).
     pub fn run(self) -> CampaignResult {
-        let ctx = ExecContext::prepare(
-            self.env,
-            self.faults,
-            self.accelerated,
-            self.checkpoint_interval,
-        );
-        let plan = (self.collapse && !self.faults.is_empty()).then(|| {
-            CollapsePlan::build(
+        if let Some(obs) = self.observer {
+            obs.emit(TraceEvent::Meta {
+                design: self.env.netlist.name().to_string(),
+                faults: self.faults.len() as u64,
+                threads: self.threads as u64,
+                cycles: self.env.workload.len() as u64,
+                seed: self.seed,
+                accel: self.accelerated,
+                collapse: self.collapse,
+            });
+        }
+        let ctx = self.obs_phase("prepare", || {
+            ExecContext::prepare(
+                self.env,
                 self.faults,
-                self.env.workload.len(),
-                &FaultCollapser::build(self.env),
-                |cycle, net| ctx.golden_value(cycle, net),
+                self.accelerated,
+                self.checkpoint_interval,
             )
+        });
+        let plan = (self.collapse && !self.faults.is_empty()).then(|| {
+            self.obs_phase("collapse-plan", || {
+                CollapsePlan::build(
+                    self.faults,
+                    self.env.workload.len(),
+                    &FaultCollapser::build(self.env),
+                    |cycle, net| ctx.golden_value(cycle, net),
+                )
+            })
         });
         // The simulation schedule: representatives only under collapsing,
         // every fault otherwise. Outcomes are still committed for the full
@@ -456,15 +672,52 @@ impl<'a> Campaign<'a> {
             Some(p) => p.sim_order.clone(),
             None => (0..self.faults.len()).collect(),
         };
+        let hooks = self.observer.map(ObsHooks::new);
         let mut coverage = CoverageCollection::new(ctx.injected_zones().iter().copied());
         self.stats.begin(self.faults.len(), self.threads);
-        let outcomes = if self.threads == 1 {
-            self.run_serial(&ctx, plan.as_ref(), &order, &mut coverage)
-        } else {
-            self.run_sharded(&ctx, plan.as_ref(), &order, &mut coverage)
+        let outcomes = {
+            let _campaign_span = self.observer.map(|obs| obs.span("campaign"));
+            if self.threads == 1 {
+                self.run_serial(&ctx, plan.as_ref(), &order, &mut coverage, hooks.as_ref())
+            } else {
+                self.run_sharded(&ctx, plan.as_ref(), &order, &mut coverage, hooks.as_ref())
+            }
         };
         self.stats.finish();
-        CampaignResult { outcomes, coverage }
+        let result = CampaignResult { outcomes, coverage };
+        if let Some(obs) = self.observer {
+            let (no_effect, safe_detected, dangerous_detected, dangerous_undetected) =
+                result.outcome_counts();
+            obs.emit(TraceEvent::End {
+                faults: result.outcomes.len() as u64,
+                no_effect: no_effect as u64,
+                safe_detected: safe_detected as u64,
+                dangerous_detected: dangerous_detected as u64,
+                dangerous_undetected: dangerous_undetected as u64,
+                dc: result.measured_dc(),
+                sff: result.measured_sff(),
+                elapsed_nanos: self.stats.elapsed().as_nanos() as u64,
+            });
+            // final totals for the metrics snapshot, mirrored once
+            let reg = obs.registry();
+            reg.counter("campaign.faults.simulated")
+                .add(self.stats.faults_done() as u64);
+            reg.counter("campaign.faults.collapsed")
+                .add(self.stats.faults_collapsed() as u64);
+            reg.counter("campaign.cycles.simulated")
+                .add(self.stats.cycles_simulated());
+            reg.counter("campaign.cycles.skipped")
+                .add(self.stats.cycles_skipped());
+            reg.gauge("campaign.elapsed_nanos")
+                .set(self.stats.elapsed().as_nanos() as f64);
+            if let Some(dc) = result.measured_dc() {
+                reg.gauge("campaign.dc").set(dc);
+            }
+            if let Some(sff) = result.measured_sff() {
+                reg.gauge("campaign.sff").set(sff);
+            }
+        }
+        result
     }
 
     /// Commits one in-order outcome to the coverage collection; true when
@@ -497,9 +750,14 @@ impl<'a> Campaign<'a> {
         coverage: &mut CoverageCollection,
         outcomes: &mut Vec<FaultOutcome>,
         fo: FaultOutcome,
+        tel: &FaultTelemetry,
+        hooks: Option<&ObsHooks<'_>>,
     ) -> bool {
         debug_assert_eq!(fo.fault_index, outcomes.len(), "out-of-order commit");
         let mut stop = self.commit(coverage, &fo);
+        if let Some(h) = hooks {
+            h.record_fault(self.env, &self.faults[fo.fault_index], &fo, Some(tel), None);
+        }
         outcomes.push(fo);
         if let Some(plan) = plan {
             while !stop
@@ -507,10 +765,20 @@ impl<'a> Campaign<'a> {
                 && plan.rep_of[outcomes.len()] != outcomes.len()
             {
                 let next = outcomes.len();
-                let mut annotated = outcomes[plan.rep_of[next]].clone();
+                let rep = plan.rep_of[next];
+                let mut annotated = outcomes[rep].clone();
                 annotated.fault_index = next;
                 self.stats.record_annotated(annotated.outcome);
                 stop = self.commit(coverage, &annotated);
+                if let Some(h) = hooks {
+                    h.record_fault(
+                        self.env,
+                        &self.faults[next],
+                        &annotated,
+                        None,
+                        Some(rep as u64),
+                    );
+                }
                 outcomes.push(annotated);
             }
         }
@@ -523,7 +791,9 @@ impl<'a> Campaign<'a> {
         plan: Option<&CollapsePlan>,
         order: &[usize],
         coverage: &mut CoverageCollection,
+        hooks: Option<&ObsHooks<'_>>,
     ) -> Vec<FaultOutcome> {
+        let _shard_span = hooks.map(|h| h.obs.shard_span("campaign/shard", 0));
         let mut sim = Simulator::new(self.env.netlist).expect("levelizable netlist");
         let mut sparse = ctx.make_sparse(self.env.netlist);
         let mut outcomes = Vec::with_capacity(self.faults.len());
@@ -537,9 +807,14 @@ impl<'a> Campaign<'a> {
                 fi,
                 &self.faults[fi],
             );
-            self.stats
-                .record(fo.outcome, &metrics, t0.elapsed().as_nanos() as u64);
-            if self.commit_expanded(plan, coverage, &mut outcomes, fo) {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            self.stats.record(fo.outcome, &metrics, nanos);
+            let tel = FaultTelemetry {
+                metrics,
+                nanos,
+                shard: 0,
+            };
+            if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
                 break;
             }
         }
@@ -552,6 +827,7 @@ impl<'a> Campaign<'a> {
         plan: Option<&CollapsePlan>,
         order: &[usize],
         coverage: &mut CoverageCollection,
+        hooks: Option<&ObsHooks<'_>>,
     ) -> Vec<FaultOutcome> {
         let n = order.len();
         let chunk = self.chunk;
@@ -563,15 +839,17 @@ impl<'a> Campaign<'a> {
         let next_claim = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let base = Simulator::new(self.env.netlist).expect("levelizable netlist");
-        let (tx, rx) = mpsc::channel::<(usize, Vec<FaultOutcome>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Vec<(FaultOutcome, FaultTelemetry)>)>();
         let mut outcomes = Vec::with_capacity(n);
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n_chunks.max(1)) {
+            for shard in 0..self.threads.min(n_chunks.max(1)) {
                 let tx = tx.clone();
                 let (base, claim_order, next_claim, stop) =
                     (&base, &claim_order, &next_claim, &stop);
                 scope.spawn(move || {
+                    let _shard_span =
+                        hooks.map(|h| h.obs.shard_span("campaign/shard", shard as u64));
                     let mut sim = base.clone_fresh();
                     let mut sparse = ctx.make_sparse(self.env.netlist);
                     loop {
@@ -601,9 +879,16 @@ impl<'a> Campaign<'a> {
                                 fi,
                                 &self.faults[fi],
                             );
-                            self.stats
-                                .record(fo.outcome, &metrics, t0.elapsed().as_nanos() as u64);
-                            chunk_out.push(fo);
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            self.stats.record(fo.outcome, &metrics, nanos);
+                            chunk_out.push((
+                                fo,
+                                FaultTelemetry {
+                                    metrics,
+                                    nanos,
+                                    shard: shard as u64,
+                                },
+                            ));
                         }
                         if tx.send((ci, chunk_out)).is_err() {
                             return;
@@ -614,15 +899,17 @@ impl<'a> Campaign<'a> {
             drop(tx);
 
             // Deterministic merge: buffer out-of-order chunks, commit
-            // strictly in fault-list order.
-            let mut pending: BTreeMap<usize, Vec<FaultOutcome>> = BTreeMap::new();
+            // strictly in fault-list order. Trace records are emitted here,
+            // on the merge thread, so their file order matches fault-list
+            // order for any thread count.
+            let mut pending: BTreeMap<usize, Vec<(FaultOutcome, FaultTelemetry)>> = BTreeMap::new();
             let mut next_commit = 0usize;
             'merge: for (ci, chunk_out) in rx.iter() {
                 pending.insert(ci, chunk_out);
                 while let Some(chunk_out) = pending.remove(&next_commit) {
                     next_commit += 1;
-                    for fo in chunk_out {
-                        if self.commit_expanded(plan, coverage, &mut outcomes, fo) {
+                    for (fo, tel) in chunk_out {
+                        if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
                             stop.store(true, Ordering::Relaxed);
                             break 'merge;
                         }
@@ -946,6 +1233,178 @@ mod tests {
                 "early-stop divergence under collapse at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn summary_snapshots_are_internally_consistent_mid_run() {
+        // Satellite: `summary()` used to read each atomic one by one, so a
+        // mid-run snapshot could see a fault's class tally without its
+        // `done` bump. Hammer the recorders from another thread and assert
+        // every snapshot balances.
+        let stats = Arc::new(CampaignStats::new());
+        let total = 200_000usize;
+        stats.begin(total, 1);
+        let writer = {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                let metrics = FaultMetrics::default();
+                for i in 0..total {
+                    let outcome = match i % 4 {
+                        0 => Outcome::NoEffect,
+                        1 => Outcome::SafeDetected,
+                        2 => Outcome::DangerousDetected,
+                        _ => Outcome::DangerousUndetected,
+                    };
+                    if i % 5 == 0 {
+                        stats.record_annotated(outcome);
+                    } else {
+                        stats.record(outcome, &metrics, 3);
+                    }
+                }
+            })
+        };
+        let mut snapshots = 0usize;
+        while !writer.is_finished() {
+            let s = stats.summary();
+            let classified =
+                s.no_effect + s.safe_detected + s.dangerous_detected + s.dangerous_undetected;
+            assert_eq!(
+                classified,
+                s.injections + s.faults_collapsed,
+                "snapshot does not balance"
+            );
+            assert!(
+                s.injections + s.faults_collapsed <= s.scheduled,
+                "more faults classified than scheduled"
+            );
+            let p = stats.progress_sample();
+            assert!(p.faults_done <= p.faults_total);
+            assert_eq!(
+                p.no_effect + p.safe_detected + p.dangerous_detected + p.dangerous_undetected,
+                p.faults_done,
+                "progress sample does not balance"
+            );
+            snapshots += 1;
+        }
+        writer.join().unwrap();
+        assert!(snapshots > 0, "never observed the run in flight");
+        let end = stats.summary();
+        assert_eq!(end.injections, total - total.div_ceil(5));
+        assert_eq!(end.faults_collapsed, total.div_ceil(5));
+    }
+
+    /// A Write sink the trace tests can read back once the campaign (and
+    /// the sink's writer thread) is done.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn traced_observer() -> (Observer, SharedBuf) {
+        let buf = SharedBuf::default();
+        let obs = Observer::with_sink(socfmea_obs::TraceSink::to_writer(Box::new(buf.clone())));
+        (obs, buf)
+    }
+
+    #[test]
+    fn observed_campaign_emits_one_ordered_fault_record_per_fault() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let (obs, buf) = traced_observer();
+        let result = Campaign::new(&env, &faults)
+            .threads(3)
+            .chunk(2)
+            .observe(&obs)
+            .run();
+        obs.finish().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+
+        // one fault record per fault, in fault-list order, framed by
+        // meta-first and end-last
+        let lines: Vec<socfmea_obs::json::Value> = text
+            .lines()
+            .map(|l| socfmea_obs::json::parse(l).expect("every line parses"))
+            .collect();
+        assert_eq!(lines[0].get("ev").unwrap().as_str(), Some("meta"));
+        assert_eq!(
+            lines.last().unwrap().get("ev").unwrap().as_str(),
+            Some("end")
+        );
+        let indices: Vec<u64> = lines
+            .iter()
+            .filter(|v| v.get("ev").unwrap().as_str() == Some("fault"))
+            .map(|v| v.get("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(indices, (0..faults.len() as u64).collect::<Vec<_>>());
+
+        // re-aggregating the trace reproduces the run's numbers exactly
+        let summary = socfmea_obs::TraceSummary::from_str(&text).unwrap();
+        assert_eq!(summary.faults as usize, result.outcomes.len());
+        let (ne, sd, dd, du) = result.outcome_counts();
+        assert_eq!(summary.counts.no_effect as usize, ne);
+        assert_eq!(summary.counts.safe_detected as usize, sd);
+        assert_eq!(summary.counts.dangerous_detected as usize, dd);
+        assert_eq!(summary.counts.dangerous_undetected as usize, du);
+        assert_eq!(summary.dc(), result.measured_dc());
+        assert_eq!(summary.sff(), result.measured_sff());
+        assert_eq!(summary.end.as_ref().unwrap().counts, summary.counts);
+    }
+
+    #[test]
+    fn observing_does_not_change_the_result() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let plain = Campaign::new(&env, &faults).threads(2).run();
+        let (obs, _buf) = traced_observer();
+        let observed = Campaign::new(&env, &faults).threads(2).observe(&obs).run();
+        obs.finish().unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn collapsed_campaign_traces_dictionary_faults_with_their_representative() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = exhaustive_stuck_list(&fx.nl);
+        let (obs, buf) = traced_observer();
+        let campaign = Campaign::new(&env, &faults).collapse(true).observe(&obs);
+        let stats = campaign.stats();
+        let _ = campaign.run();
+        let snap = obs.metrics_snapshot();
+        obs.finish().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let summary = socfmea_obs::TraceSummary::from_str(&text).unwrap();
+        let dict = summary.per_engine.get("dictionary").expect("dict faults");
+        assert_eq!(dict.counts.total() as usize, stats.faults_collapsed());
+        assert_eq!(
+            snap.counters["campaign.engine.dictionary"] as usize,
+            stats.faults_collapsed()
+        );
+        // every dictionary record points at an earlier representative
+        for line in text.lines() {
+            let v = socfmea_obs::json::parse(line).unwrap();
+            if v.get("ev").unwrap().as_str() != Some("fault") {
+                continue;
+            }
+            let rep = v.get("rep").unwrap();
+            if v.get("engine").unwrap().as_str() == Some("dictionary") {
+                assert!(rep.as_u64().unwrap() < v.get("i").unwrap().as_u64().unwrap());
+            } else {
+                assert!(rep.is_null());
+            }
+        }
+        // the collapse planning phase was traced
+        assert!(summary.phases.iter().any(|(n, _)| n == "collapse-plan"));
     }
 
     #[test]

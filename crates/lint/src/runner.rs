@@ -130,10 +130,48 @@ impl LintRunner {
         zones: &ZoneSet,
         worksheet: Option<&Worksheet<'_>>,
     ) -> LintReport {
+        self.run_inner(netlist, zones, worksheet, None)
+    }
+
+    /// [`run`](Self::run) with each rule pack timed as an observed phase
+    /// (`lint-structural`, `lint-worksheet`) and the report's finding
+    /// counts recorded into the observer's metrics registry. The report is
+    /// identical to the unobserved call.
+    pub fn run_observed(
+        &self,
+        netlist: &Netlist,
+        zones: &ZoneSet,
+        worksheet: Option<&Worksheet<'_>>,
+        obs: &socfmea_obs::Observer,
+    ) -> LintReport {
+        let report = self.run_inner(netlist, zones, worksheet, Some(obs));
+        let reg = obs.registry();
+        reg.counter("lint.diagnostics")
+            .add(report.diagnostics.len() as u64);
+        reg.counter("lint.errors").add(report.errors() as u64);
+        reg.counter("lint.warnings").add(report.warnings() as u64);
+        report
+    }
+
+    fn run_inner(
+        &self,
+        netlist: &Netlist,
+        zones: &ZoneSet,
+        worksheet: Option<&Worksheet<'_>>,
+        obs: Option<&socfmea_obs::Observer>,
+    ) -> LintReport {
+        let phase = |name: &str, f: &mut dyn FnMut()| match obs {
+            Some(o) => o.phase(name, f),
+            None => f(),
+        };
         let mut raw = Vec::new();
-        check_structural(netlist, zones, &self.config, &mut raw);
+        phase("lint-structural", &mut || {
+            check_structural(netlist, zones, &self.config, &mut raw)
+        });
         if let Some(ws) = worksheet {
-            check_worksheet(netlist.name(), ws, &self.config, &mut raw);
+            phase("lint-worksheet", &mut || {
+                check_worksheet(netlist.name(), ws, &self.config, &mut raw)
+            });
         }
 
         let mut diagnostics: Vec<Diagnostic> = raw

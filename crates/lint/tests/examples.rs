@@ -175,3 +175,26 @@ fn rule_levels_map_to_expected_severities() {
         assert_eq!(cfg.effective_severity("SL0002", Severity::Warning), expect);
     }
 }
+
+/// `run_observed` must not change the report — it only adds phase timings
+/// and finding counters to the observer.
+#[test]
+fn observed_run_matches_plain_run_and_times_both_packs() {
+    let cfg = MemSysConfig::hardened();
+    let netlist = build_netlist(&cfg).expect("fmem builds");
+    let zones = extract_zones(&netlist, &socfmea_memsys::fmea::extract_config());
+    let worksheet = socfmea_memsys::fmea::build_worksheet(&zones, &cfg);
+    let runner = LintRunner::with_defaults();
+    let plain = runner.run(&netlist, &zones, Some(&worksheet));
+    let obs = socfmea_obs::Observer::new();
+    let observed = runner.run_observed(&netlist, &zones, Some(&worksheet), &obs);
+    assert_eq!(plain.render_json(), observed.render_json());
+    let snap = obs.metrics_snapshot();
+    assert!(snap.gauges.contains_key("phase.lint-structural.nanos"));
+    assert!(snap.gauges.contains_key("phase.lint-worksheet.nanos"));
+    assert_eq!(
+        snap.counters["lint.diagnostics"],
+        observed.diagnostics.len() as u64
+    );
+    assert_eq!(snap.counters["lint.errors"], observed.errors() as u64);
+}

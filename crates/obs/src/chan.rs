@@ -1,0 +1,202 @@
+//! A small bounded MPSC channel (std `Mutex` + `Condvar`).
+//!
+//! The trace sink needs a queue whose senders are shareable by reference
+//! across scoped campaign workers (`&Sender: Send + Sync`) with a hard
+//! capacity bound, so a stalled writer back-pressures producers instead of
+//! buffering without limit. Per-sender FIFO order is guaranteed, which is
+//! what keeps the per-fault records of a trace in committed (fault-list)
+//! order: they are all enqueued by the single merge thread.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// The sending half; clone freely, drop all clones to close the channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with room for `capacity` queued items
+/// (clamped to at least 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues an item, blocking while the channel is full. Returns the
+    /// item back if the receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the receiving half has been dropped.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if !state.receiver_alive {
+                return Err(item);
+            }
+            if state.buf.len() < state.capacity {
+                state.buf.push_back(item);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("channel lock");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.state.lock().expect("channel lock").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // wake a receiver blocked on an empty queue so it can see EOF
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next item, blocking while the channel is empty.
+    /// `None` once every sender is gone and the queue has drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self.shared.not_empty.wait(state).expect("channel lock");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.receiver_alive = false;
+        // unblock senders waiting for room; their sends will now fail fast
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_per_sender() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        assert_eq!(got, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_backpressures_then_drains() {
+        let (tx, rx) = bounded(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receiver_gone_fails_send_with_the_item() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(41), Err(41));
+    }
+
+    #[test]
+    fn all_senders_gone_ends_recv() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn many_producers_lose_nothing() {
+        let (tx, rx) = bounded(3);
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    tx.send((p, i)).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut per_sender = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        while let Some((p, i)) = rx.recv() {
+            per_sender[p as usize].push(i);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for lane in &per_sender {
+            assert_eq!(*lane, (0..250).collect::<Vec<_>>(), "per-sender FIFO");
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The thread-safe counter/gauge/histogram registry.
+//!
+//! Handles are `Arc`-shared atomics: resolving a name takes the registry
+//! lock once, after which every update is a single relaxed atomic op —
+//! cheap enough to leave on inside campaign worker loops. For genuinely
+//! per-cycle hot paths, [`SampleEvery`] thins observations to every n-th
+//! event so the instrument cost stays bounded.
+//!
+//! [`Registry::snapshot`] freezes all instruments into a
+//! [`MetricsSnapshot`] that renders as one JSON document — the
+//! `--metrics-out` artefact and the `metrics` section of the bench
+//! snapshots.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two histogram buckets (bucket `i` counts values whose
+/// highest set bit is `i`; bucket 0 additionally holds zeros).
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over `u64` observations (log2 buckets plus exact
+/// count/sum/min/max).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the histogram into plain numbers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // upper bound of the bucket: 2^(i+1) - 1
+                    return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                }
+            }
+            self.max.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Frozen view of one [`Histogram`]: exact count/sum/min/max/mean plus
+/// bucket-resolution (power-of-two upper bound) p50/p99 estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median, rounded up to the enclosing power-of-two bucket bound.
+    pub p50: u64,
+    /// 99th percentile, same resolution.
+    pub p99: u64,
+}
+
+/// A deterministic sampler for per-cycle hot paths: [`hit`](Self::hit)
+/// returns true on every `n`-th call, so a hot loop can record one
+/// histogram observation per `n` events at the cost of one atomic increment
+/// per event.
+#[derive(Debug)]
+pub struct SampleEvery {
+    n: u64,
+    seen: AtomicU64,
+}
+
+impl SampleEvery {
+    /// A sampler keeping every `n`-th event (`n` is clamped to at least 1).
+    pub fn new(n: u64) -> SampleEvery {
+        SampleEvery {
+            n: n.max(1),
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// True when this event should be recorded.
+    pub fn hit(&self) -> bool {
+        self.seen
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.n)
+    }
+
+    /// Total events observed (sampled or not).
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The named-instrument registry. Cloning the returned `Arc` handles out of
+/// the registry is the fast path; the internal lock is only held while
+/// resolving names and while snapshotting.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned by a panicking instrument
+    /// user (not reachable from this crate's own code).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        Arc::clone(inner.counters.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        Arc::clone(inner.gauges.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        Arc::clone(inner.histograms.entry(name.to_owned()).or_default())
+    }
+
+    /// Freezes every instrument into one [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen registry: every instrument's value at snapshot time, ordered by
+/// name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a JSON value (`{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`).
+    pub fn to_json(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::uint(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Float(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::obj(vec![
+                        ("count", Value::uint(h.count)),
+                        ("sum", Value::uint(h.sum)),
+                        ("min", Value::uint(h.min)),
+                        ("max", Value::uint(h.max)),
+                        ("mean", Value::Float(h.mean)),
+                        ("p50", Value::uint(h.p50)),
+                        ("p99", Value::uint(h.p99)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::obj(vec![
+            ("counters", Value::Obj(counters)),
+            ("gauges", Value::Obj(gauges)),
+            ("histograms", Value::Obj(histograms)),
+        ])
+    }
+
+    /// The snapshot rendered as one compact JSON document.
+    pub fn render_json(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let reg = Registry::new();
+        let c = reg.counter("campaign.faults");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        // same name resolves to the same instrument
+        reg.counter("campaign.faults").add(1);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("campaign.dc");
+        g.set(0.875);
+        assert_eq!(reg.gauge("campaign.dc").get(), 0.875);
+    }
+
+    #[test]
+    fn histogram_statistics_are_exact_where_promised() {
+        let reg = Registry::new();
+        let h = reg.histogram("fault.nanos");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 221.2).abs() < 1e-9);
+        // p50 of {1,2,3,100,1000} is 3 -> bucket bound 3
+        assert_eq!(s.p50, 3);
+        assert!(s.p99 >= 1000, "p99 bound must cover the max: {}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p99),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn zero_observations_land_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p50, 1, "bucket-0 upper bound");
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("n");
+        let h = reg.histogram("h");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (c, h) = (Arc::clone(&c), Arc::clone(&h));
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        c.incr();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+        assert_eq!(reg.snapshot().counters["n"], 4000);
+    }
+
+    #[test]
+    fn sampler_keeps_every_nth() {
+        let s = SampleEvery::new(3);
+        let hits: Vec<bool> = (0..9).map(|_| s.hit()).collect();
+        assert_eq!(
+            hits,
+            [true, false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(s.seen(), 9);
+        // degenerate n is clamped
+        let every = SampleEvery::new(0);
+        assert!(every.hit() && every.hit());
+    }
+
+    #[test]
+    fn snapshot_renders_parseable_json() {
+        let reg = Registry::new();
+        reg.counter("a.b").add(7);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(12);
+        let json = reg.snapshot().render_json();
+        let v = crate::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a.b"))
+                .and_then(crate::json::Value::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("g"))
+                .and_then(crate::json::Value::as_f64),
+            Some(1.5)
+        );
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("h"))
+            .expect("histogram");
+        assert_eq!(h.get("count").and_then(crate::json::Value::as_u64), Some(1));
+        assert_eq!(h.get("sum").and_then(crate::json::Value::as_u64), Some(12));
+    }
+}

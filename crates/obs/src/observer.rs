@@ -1,0 +1,249 @@
+//! The [`Observer`]: one handle bundling the trace sink and the metrics
+//! registry, passed by reference into the pipeline stages.
+//!
+//! Instrumented code never owns I/O: it asks the observer for a
+//! [`Span`] guard (timed, emitted on drop), calls
+//! [`emit`](Observer::emit) for structured records, or touches
+//! pre-resolved registry instruments. An observer without a sink is valid
+//! and cheap — metrics still aggregate, trace events go nowhere — so
+//! callers can instrument unconditionally and let the CLI decide what to
+//! collect.
+
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::trace::{TraceEvent, TraceSink};
+use std::io;
+use std::time::Instant;
+
+/// The shared telemetry handle for one pipeline run.
+#[derive(Default)]
+pub struct Observer {
+    sink: Option<TraceSink>,
+    registry: Registry,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("tracing", &self.tracing())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Observer {
+    /// A metrics-only observer (no trace sink).
+    pub fn new() -> Observer {
+        Observer::default()
+    }
+
+    /// An observer that also streams trace events into `sink`.
+    pub fn with_sink(sink: TraceSink) -> Observer {
+        Observer {
+            sink: Some(sink),
+            registry: Registry::default(),
+        }
+    }
+
+    /// The metrics registry (get-or-create instruments by name).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Whether trace events are being collected.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Sends one structured record to the sink, if any.
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(ev);
+        }
+    }
+
+    /// Opens a timed span; closing (dropping) it emits a `span` record and
+    /// feeds the `span.<name>.nanos` histogram. Nest by naming:
+    /// `parent.child("sub")` yields `parent/sub`.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            obs: self,
+            name: name.into(),
+            shard: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// A span attributed to one campaign worker shard.
+    pub fn shard_span(&self, name: impl Into<String>, shard: u64) -> Span<'_> {
+        Span {
+            obs: self,
+            name: name.into(),
+            shard: Some(shard),
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` as a named pipeline phase: emits a `phase` record and sets
+    /// the `phase.<name>.nanos` gauge.
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.registry
+            .gauge(&format!("phase.{name}.nanos"))
+            .set(nanos as f64);
+        self.emit(TraceEvent::Phase {
+            name: name.to_string(),
+            nanos,
+        });
+        out
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Closes the sink (flushing the writer thread) and surfaces any I/O
+    /// error. Metrics-only observers finish trivially.
+    ///
+    /// # Errors
+    ///
+    /// The first write/flush error the sink's writer thread hit.
+    pub fn finish(self) -> io::Result<()> {
+        match self.sink {
+            Some(sink) => sink.finish(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// An RAII timing guard from [`Observer::span`]; the measurement happens
+/// on drop.
+pub struct Span<'a> {
+    obs: &'a Observer,
+    name: String,
+    shard: Option<u64>,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Opens a nested span named `<self>/<name>` starting now.
+    pub fn child(&self, name: &str) -> Span<'_> {
+        self.obs.span(format!("{}/{}", self.name, name))
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.elapsed_nanos();
+        self.obs
+            .registry
+            .histogram(&format!("span.{}.nanos", self.name))
+            .record(nanos);
+        self.obs.emit(TraceEvent::Span {
+            name: std::mem::take(&mut self.name),
+            nanos,
+            shard: self.shard,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn traced() -> (Observer, SharedBuf) {
+        let buf = SharedBuf::default();
+        let obs = Observer::with_sink(TraceSink::to_writer(Box::new(buf.clone())));
+        (obs, buf)
+    }
+
+    #[test]
+    fn metrics_only_observer_collects_without_a_sink() {
+        let obs = Observer::new();
+        assert!(!obs.tracing());
+        obs.registry().counter("faults.done").add(3);
+        {
+            let _s = obs.span("quiet");
+        }
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters["faults.done"], 3);
+        assert_eq!(snap.histograms["span.quiet.nanos"].count, 1);
+        obs.finish().unwrap();
+    }
+
+    #[test]
+    fn spans_emit_records_and_histograms_on_drop() {
+        let (obs, buf) = traced();
+        {
+            let outer = obs.span("campaign");
+            let _inner = outer.child("merge");
+        }
+        let snap = obs.metrics_snapshot();
+        obs.finish().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let names: Vec<String> = text
+            .lines()
+            .map(|l| {
+                parse(l)
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        // inner drops first
+        assert_eq!(names, ["campaign/merge", "campaign"]);
+        assert_eq!(snap.histograms["span.campaign.nanos"].count, 1);
+        assert_eq!(snap.histograms["span.campaign/merge.nanos"].count, 1);
+    }
+
+    #[test]
+    fn phase_times_the_closure_and_emits_a_record() {
+        let (obs, buf) = traced();
+        let answer = obs.phase("extract", || 41 + 1);
+        assert_eq!(answer, 42);
+        let snap = obs.metrics_snapshot();
+        assert!(snap.gauges.contains_key("phase.extract.nanos"));
+        obs.finish().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let v = parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("phase"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("extract"));
+    }
+
+    #[test]
+    fn shard_spans_carry_the_shard_id() {
+        let (obs, buf) = traced();
+        {
+            let _s = obs.shard_span("campaign/shard", 3);
+        }
+        obs.finish().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let v = parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(3));
+    }
+}

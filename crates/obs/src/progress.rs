@@ -1,0 +1,298 @@
+//! Live campaign progress: periodic samples rendered to stderr (or to a
+//! capture buffer under test).
+//!
+//! The campaign exposes a cheap sampling closure over its atomic stats; a
+//! [`ProgressReporter`] polls it on a helper thread and hands formatted
+//! lines to a [`Render`] implementation. Rendering is pluggable precisely
+//! so tests can assert on the lines without a terminal.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A point-in-time view of a running campaign, cheap to produce from the
+/// live atomic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Faults scheduled for the whole campaign.
+    pub faults_total: u64,
+    /// Faults committed so far (simulated + dictionary-annotated).
+    pub faults_done: u64,
+    /// Of those, faults answered from the collapse dictionary.
+    pub collapsed: u64,
+    /// No-effect outcomes so far.
+    pub no_effect: u64,
+    /// Safe-detected outcomes so far.
+    pub safe_detected: u64,
+    /// Dangerous-detected outcomes so far.
+    pub dangerous_detected: u64,
+    /// Dangerous-undetected outcomes so far.
+    pub dangerous_undetected: u64,
+    /// Cycles actually evaluated so far.
+    pub cycles_simulated: u64,
+    /// Cycles answered from the golden trace without evaluation.
+    pub cycles_skipped: u64,
+    /// Wall-clock nanoseconds since the campaign started.
+    pub elapsed_nanos: u64,
+}
+
+impl ProgressSample {
+    /// Committed faults per wall-clock second.
+    pub fn faults_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            return 0.0;
+        }
+        self.faults_done as f64 / (self.elapsed_nanos as f64 / 1e9)
+    }
+
+    /// Estimated seconds to completion at the current rate, when a rate
+    /// exists.
+    pub fn eta_secs(&self) -> Option<f64> {
+        let rate = self.faults_per_sec();
+        if rate <= 0.0 || self.faults_done >= self.faults_total {
+            return None;
+        }
+        Some((self.faults_total - self.faults_done) as f64 / rate)
+    }
+
+    /// Running diagnostic coverage DD/(DD+DU), when any dangerous fault
+    /// has been seen.
+    pub fn running_dc(&self) -> Option<f64> {
+        let dangerous = self.dangerous_detected + self.dangerous_undetected;
+        if dangerous == 0 {
+            return None;
+        }
+        Some(self.dangerous_detected as f64 / dangerous as f64)
+    }
+
+    /// Running safe failure fraction (NE+SD+DD)/total, when any fault has
+    /// been classified.
+    pub fn running_sff(&self) -> Option<f64> {
+        let total = self.no_effect
+            + self.safe_detected
+            + self.dangerous_detected
+            + self.dangerous_undetected;
+        if total == 0 {
+            return None;
+        }
+        Some((total - self.dangerous_undetected) as f64 / total as f64)
+    }
+
+    /// Fraction of cycle work avoided (skipped cycles plus dictionary
+    /// faults never simulated have no cycle cost).
+    pub fn skip_fraction(&self) -> Option<f64> {
+        let total = self.cycles_simulated + self.cycles_skipped;
+        if total == 0 {
+            return None;
+        }
+        Some(self.cycles_skipped as f64 / total as f64)
+    }
+
+    /// One human-readable status line.
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "[{}/{}] {:.0} faults/s",
+            self.faults_done,
+            self.faults_total,
+            self.faults_per_sec()
+        );
+        match self.eta_secs() {
+            Some(eta) => line.push_str(&format!(" eta {eta:.0}s")),
+            None => line.push_str(" eta --"),
+        }
+        line.push_str(&format!(
+            " | NE {} SD {} DD {} DU {}",
+            self.no_effect, self.safe_detected, self.dangerous_detected, self.dangerous_undetected
+        ));
+        match self.running_dc() {
+            Some(dc) => line.push_str(&format!(" | DC {:.1}%", dc * 100.0)),
+            None => line.push_str(" | DC --"),
+        }
+        match self.running_sff() {
+            Some(sff) => line.push_str(&format!(" SFF {:.1}%", sff * 100.0)),
+            None => line.push_str(" SFF --"),
+        }
+        if self.collapsed > 0 {
+            line.push_str(&format!(" | dict {}", self.collapsed));
+        }
+        if let Some(skip) = self.skip_fraction() {
+            if self.cycles_skipped > 0 {
+                line.push_str(&format!(" | skip {:.1}%", skip * 100.0));
+            }
+        }
+        line
+    }
+}
+
+/// Where progress lines go. Implementations must tolerate being called
+/// from a helper thread.
+pub trait Render: Send {
+    /// Shows one status line (typically replacing the previous one).
+    fn render(&mut self, line: &str);
+    /// Called once after the final line, for cleanup (e.g. a newline).
+    fn done(&mut self) {}
+}
+
+/// Renders to stderr with carriage-return overwrite, ending in a newline.
+#[derive(Default)]
+pub struct StderrRender {
+    widest: usize,
+}
+
+impl Render for StderrRender {
+    fn render(&mut self, line: &str) {
+        // pad over leftovers of a longer previous line
+        let pad = self.widest.saturating_sub(line.len());
+        self.widest = self.widest.max(line.len());
+        eprint!("\r{line}{}", " ".repeat(pad));
+    }
+    fn done(&mut self) {
+        eprintln!();
+    }
+}
+
+/// Collects every rendered line for assertions in tests.
+#[derive(Clone, Default)]
+pub struct CaptureRender {
+    lines: Arc<Mutex<Vec<String>>>,
+    finished: Arc<AtomicBool>,
+}
+
+impl CaptureRender {
+    /// Every line rendered so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("capture lock").clone()
+    }
+
+    /// Whether `done()` has been called.
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::SeqCst)
+    }
+}
+
+impl Render for CaptureRender {
+    fn render(&mut self, line: &str) {
+        self.lines
+            .lock()
+            .expect("capture lock")
+            .push(line.to_string());
+    }
+    fn done(&mut self) {
+        self.finished.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A helper thread that polls a sample source at a fixed interval and
+/// renders each sample; always renders one final sample on
+/// [`finish`](Self::finish).
+pub struct ProgressReporter {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl ProgressReporter {
+    /// Starts polling `sample` every `interval`, rendering via `render`.
+    pub fn start(
+        mut render: Box<dyn Render>,
+        interval: Duration,
+        sample: impl Fn() -> ProgressSample + Send + 'static,
+    ) -> ProgressReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_seen = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            loop {
+                if stop_seen.load(Ordering::SeqCst) {
+                    break;
+                }
+                render.render(&sample().render_line());
+                // sleep in short slices so finish() is prompt
+                let mut waited = Duration::ZERO;
+                let slice = Duration::from_millis(10).min(interval);
+                while waited < interval && !stop_seen.load(Ordering::SeqCst) {
+                    std::thread::sleep(slice);
+                    waited += slice;
+                }
+            }
+            render.render(&sample().render_line());
+            render.done();
+        });
+        ProgressReporter { stop, handle }
+    }
+
+    /// Stops polling, renders the final state, and joins the thread.
+    pub fn finish(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProgressSample {
+        ProgressSample {
+            faults_total: 100,
+            faults_done: 40,
+            collapsed: 10,
+            no_effect: 10,
+            safe_detected: 5,
+            dangerous_detected: 20,
+            dangerous_undetected: 5,
+            cycles_simulated: 300,
+            cycles_skipped: 700,
+            elapsed_nanos: 2_000_000_000,
+        }
+    }
+
+    #[test]
+    fn derived_rates_are_consistent() {
+        let s = sample();
+        assert!((s.faults_per_sec() - 20.0).abs() < 1e-9);
+        assert!((s.eta_secs().unwrap() - 3.0).abs() < 1e-9);
+        assert!((s.running_dc().unwrap() - 0.8).abs() < 1e-9);
+        assert!((s.running_sff().unwrap() - 0.875).abs() < 1e-9);
+        assert!((s.skip_fraction().unwrap() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_renders_placeholders_not_panics() {
+        let line = ProgressSample::default().render_line();
+        assert!(line.contains("eta --"), "{line}");
+        assert!(line.contains("DC --"), "{line}");
+        assert!(line.contains("SFF --"), "{line}");
+    }
+
+    #[test]
+    fn render_line_mentions_every_headline_number() {
+        let line = sample().render_line();
+        for needle in [
+            "[40/100]",
+            "20 faults/s",
+            "NE 10",
+            "SD 5",
+            "DD 20",
+            "DU 5",
+            "DC 80.0%",
+            "SFF 87.5%",
+            "dict 10",
+            "skip 70.0%",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+        }
+    }
+
+    #[test]
+    fn reporter_renders_final_sample_and_signals_done() {
+        let capture = CaptureRender::default();
+        let reporter =
+            ProgressReporter::start(Box::new(capture.clone()), Duration::from_millis(5), sample);
+        std::thread::sleep(Duration::from_millis(30));
+        reporter.finish();
+        let lines = capture.lines();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.contains("[40/100]")));
+        assert!(capture.finished());
+    }
+}

@@ -1,0 +1,396 @@
+//! The JSONL event sink: structured trace records over a bounded channel.
+//!
+//! A [`TraceSink`] owns a writer thread; [`emit`](TraceSink::emit) enqueues
+//! a [`TraceEvent`] and returns immediately — serialization and I/O happen
+//! on the writer thread, so simulation threads never block on disk (they
+//! only back-pressure if the writer falls a full queue behind). One event
+//! serializes to one JSON object per line.
+//!
+//! The record vocabulary (`ev` discriminator):
+//!
+//! | `ev` | meaning | per run |
+//! |---|---|---|
+//! | `meta` | campaign parameters, schema version | 1, first |
+//! | `fault` | one injected fault's classification and cost | one per fault |
+//! | `span` | a closed timing span (hierarchical `/` names) | many |
+//! | `phase` | a named pipeline phase's duration | one per phase |
+//! | `end` | outcome totals and DC/SFF for cross-checking | 1, last |
+//!
+//! `fault` records are emitted at *commit* time by the campaign's
+//! deterministic merge, so their order in the file is fault-list order for
+//! any thread count; only `shard` and `nanos` are wall-clock-dependent.
+
+use crate::chan::{bounded, Receiver, Sender};
+use crate::json::Value;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::thread::JoinHandle;
+
+/// Version tag written into every `meta` record.
+pub const TRACE_SCHEMA_VERSION: i64 = 1;
+
+/// One per-fault trace record — the evidence row behind a DC/SFF claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Index into the campaign's fault list.
+    pub index: u64,
+    /// Human-readable fault label.
+    pub label: String,
+    /// Fault kind: `bitflip`, `stuckat`, `glitch`, `bridge`, `clockstuck`.
+    pub kind: String,
+    /// The disturbed site (net/FF name; `agg>victim` for bridges; `None`
+    /// for global faults without a single site).
+    pub site: Option<String>,
+    /// Name of the targeted sensible zone, when the fault exercises one.
+    pub zone: Option<String>,
+    /// Workload cycle at which the fault activates.
+    pub inject_cycle: u64,
+    /// Outcome class: `NE`, `SD`, `DD`, or `DU`.
+    pub outcome: &'static str,
+    /// First functional-output mismatch cycle.
+    pub first_mismatch: Option<u64>,
+    /// First alarm-assertion cycle.
+    pub alarm_cycle: Option<u64>,
+    /// Cycles actually evaluated for this fault.
+    pub cycles_simulated: u64,
+    /// Cycles answered from the golden trace without evaluation.
+    pub cycles_skipped: u64,
+    /// Engine path that classified it: `lockstep`, `sparse`, `warm`, or
+    /// `dictionary` (collapse back-annotation, no simulation).
+    pub engine: &'static str,
+    /// Representative fault index when dictionary-annotated, else `None`
+    /// (the collapse class is `rep` + every fault pointing at it).
+    pub rep: Option<u64>,
+    /// Worker shard that simulated it (`None` for annotated faults).
+    pub shard: Option<u64>,
+    /// Wall-clock nanoseconds of the simulation (0 when annotated).
+    pub nanos: u64,
+}
+
+/// One structured trace event; see the module docs for the vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Campaign parameters; always the first record.
+    Meta {
+        /// Design name.
+        design: String,
+        /// Scheduled fault count.
+        faults: u64,
+        /// Worker threads.
+        threads: u64,
+        /// Workload length in cycles.
+        cycles: u64,
+        /// Sampling seed.
+        seed: u64,
+        /// Whether the checkpointed incremental engine is on.
+        accel: bool,
+        /// Whether fault collapsing is on.
+        collapse: bool,
+    },
+    /// One injected fault.
+    Fault(FaultRecord),
+    /// A closed timing span.
+    Span {
+        /// Hierarchical name (`/`-separated path).
+        name: String,
+        /// Wall-clock duration.
+        nanos: u64,
+        /// Worker shard, for per-shard spans.
+        shard: Option<u64>,
+    },
+    /// A named pipeline phase's duration.
+    Phase {
+        /// Phase name.
+        name: String,
+        /// Wall-clock duration.
+        nanos: u64,
+    },
+    /// Outcome totals; always the last record.
+    End {
+        /// Faults committed to the result.
+        faults: u64,
+        /// No-effect outcomes.
+        no_effect: u64,
+        /// Safe-detected outcomes.
+        safe_detected: u64,
+        /// Dangerous-detected outcomes.
+        dangerous_detected: u64,
+        /// Dangerous-undetected outcomes.
+        dangerous_undetected: u64,
+        /// Measured diagnostic coverage, when defined.
+        dc: Option<f64>,
+        /// Measured safe failure fraction, when defined.
+        sff: Option<f64>,
+        /// Campaign wall-clock.
+        elapsed_nanos: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (the line the sink writes).
+    pub fn to_json(&self) -> Value {
+        match self {
+            TraceEvent::Meta {
+                design,
+                faults,
+                threads,
+                cycles,
+                seed,
+                accel,
+                collapse,
+            } => Value::obj(vec![
+                ("ev", Value::Str("meta".into())),
+                ("schema", Value::Int(TRACE_SCHEMA_VERSION)),
+                ("design", Value::Str(design.clone())),
+                ("faults", Value::uint(*faults)),
+                ("threads", Value::uint(*threads)),
+                ("cycles", Value::uint(*cycles)),
+                ("seed", Value::uint(*seed)),
+                ("accel", Value::Bool(*accel)),
+                ("collapse", Value::Bool(*collapse)),
+            ]),
+            TraceEvent::Fault(r) => Value::obj(vec![
+                ("ev", Value::Str("fault".into())),
+                ("i", Value::uint(r.index)),
+                ("label", Value::Str(r.label.clone())),
+                ("kind", Value::Str(r.kind.clone())),
+                ("site", Value::opt(r.site.clone(), Value::Str)),
+                ("zone", Value::opt(r.zone.clone(), Value::Str)),
+                ("inject", Value::uint(r.inject_cycle)),
+                ("outcome", Value::Str(r.outcome.into())),
+                ("mismatch", Value::opt(r.first_mismatch, Value::uint)),
+                ("alarm", Value::opt(r.alarm_cycle, Value::uint)),
+                ("sim", Value::uint(r.cycles_simulated)),
+                ("skip", Value::uint(r.cycles_skipped)),
+                ("engine", Value::Str(r.engine.into())),
+                ("rep", Value::opt(r.rep, Value::uint)),
+                ("shard", Value::opt(r.shard, Value::uint)),
+                ("nanos", Value::uint(r.nanos)),
+            ]),
+            TraceEvent::Span { name, nanos, shard } => Value::obj(vec![
+                ("ev", Value::Str("span".into())),
+                ("name", Value::Str(name.clone())),
+                ("nanos", Value::uint(*nanos)),
+                ("shard", Value::opt(*shard, Value::uint)),
+            ]),
+            TraceEvent::Phase { name, nanos } => Value::obj(vec![
+                ("ev", Value::Str("phase".into())),
+                ("name", Value::Str(name.clone())),
+                ("nanos", Value::uint(*nanos)),
+            ]),
+            TraceEvent::End {
+                faults,
+                no_effect,
+                safe_detected,
+                dangerous_detected,
+                dangerous_undetected,
+                dc,
+                sff,
+                elapsed_nanos,
+            } => Value::obj(vec![
+                ("ev", Value::Str("end".into())),
+                ("faults", Value::uint(*faults)),
+                ("ne", Value::uint(*no_effect)),
+                ("sd", Value::uint(*safe_detected)),
+                ("dd", Value::uint(*dangerous_detected)),
+                ("du", Value::uint(*dangerous_undetected)),
+                ("dc", Value::opt(*dc, Value::Float)),
+                ("sff", Value::opt(*sff, Value::Float)),
+                ("elapsed_nanos", Value::uint(*elapsed_nanos)),
+            ]),
+        }
+    }
+}
+
+/// Queue capacity of the sink: deep enough that the writer thread absorbs
+/// bursts, small enough that a wedged writer back-pressures promptly.
+const SINK_CAPACITY: usize = 4096;
+
+/// A JSONL sink writing trace events on a dedicated thread.
+pub struct TraceSink {
+    tx: Sender<TraceEvent>,
+    writer: JoinHandle<io::Result<()>>,
+}
+
+fn drain(rx: &Receiver<TraceEvent>, mut out: Box<dyn Write + Send>) -> io::Result<()> {
+    let mut line = String::new();
+    while let Some(ev) = rx.recv() {
+        line.clear();
+        use std::fmt::Write as _;
+        let _ = write!(line, "{}", ev.to_json());
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    out.flush()
+}
+
+impl TraceSink {
+    /// A sink appending JSONL to a freshly created (truncated) file.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<TraceSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceSink::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// A sink over any writer (tests capture into a shared buffer).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> TraceSink {
+        let (tx, rx) = bounded::<TraceEvent>(SINK_CAPACITY);
+        let writer = std::thread::spawn(move || drain(&rx, out));
+        TraceSink { tx, writer }
+    }
+
+    /// Enqueues one event. Serialization and I/O happen on the writer
+    /// thread; this blocks only when the queue is a full `SINK_CAPACITY`
+    /// events ahead of the writer. Events emitted after a writer I/O error
+    /// are silently dropped (the error surfaces from
+    /// [`finish`](Self::finish)).
+    pub fn emit(&self, ev: TraceEvent) {
+        let _ = self.tx.send(ev);
+    }
+
+    /// Closes the queue, joins the writer, and surfaces any I/O error.
+    ///
+    /// # Errors
+    ///
+    /// The first write/flush error the writer thread hit, if any.
+    pub fn finish(self) -> io::Result<()> {
+        drop(self.tx);
+        match self.writer.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("trace writer thread panicked")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write sink tests can read back after the writer thread is done.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub(crate) Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_fault(i: u64) -> FaultRecord {
+        FaultRecord {
+            index: i,
+            label: format!("flip #{i}"),
+            kind: "bitflip".into(),
+            site: Some("data[0]".into()),
+            zone: Some("regs/data".into()),
+            inject_cycle: 3,
+            outcome: "DD",
+            first_mismatch: Some(4),
+            alarm_cycle: Some(4),
+            cycles_simulated: 21,
+            cycles_skipped: 3,
+            engine: "sparse",
+            rep: None,
+            shard: Some(0),
+            nanos: 1234,
+        }
+    }
+
+    #[test]
+    fn events_serialize_to_one_parseable_line_each() {
+        let events = [
+            TraceEvent::Meta {
+                design: "prot".into(),
+                faults: 8,
+                threads: 2,
+                cycles: 24,
+                seed: 7,
+                accel: true,
+                collapse: false,
+            },
+            TraceEvent::Fault(sample_fault(0)),
+            TraceEvent::Span {
+                name: "campaign/shard/1".into(),
+                nanos: 99,
+                shard: Some(1),
+            },
+            TraceEvent::Phase {
+                name: "extract".into(),
+                nanos: 5,
+            },
+            TraceEvent::End {
+                faults: 8,
+                no_effect: 1,
+                safe_detected: 2,
+                dangerous_detected: 4,
+                dangerous_undetected: 1,
+                dc: Some(0.8),
+                sff: Some(0.875),
+                elapsed_nanos: 1000,
+            },
+        ];
+        for ev in &events {
+            let line = ev.to_json().to_string();
+            assert!(!line.contains('\n'));
+            let v = parse(&line).expect("line parses");
+            assert!(v.get("ev").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn sink_writes_events_in_emit_order() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::to_writer(Box::new(buf.clone()));
+        for i in 0..100 {
+            sink.emit(TraceEvent::Fault(sample_fault(i)));
+        }
+        sink.finish().expect("writer ok");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let indices: Vec<u64> = text
+            .lines()
+            .map(|l| parse(l).unwrap().get("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(indices, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_record_round_trips_through_json() {
+        let r = sample_fault(7);
+        let line = TraceEvent::Fault(r.clone()).to_json().to_string();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("i").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("bitflip"));
+        assert_eq!(v.get("site").unwrap().as_str(), Some("data[0]"));
+        assert_eq!(v.get("zone").unwrap().as_str(), Some("regs/data"));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("DD"));
+        assert_eq!(v.get("sim").unwrap().as_u64(), Some(21));
+        assert_eq!(v.get("skip").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("engine").unwrap().as_str(), Some("sparse"));
+        assert!(v.get("rep").unwrap().is_null());
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn file_sink_produces_a_readable_trace() {
+        let path = std::env::temp_dir().join(format!("obs_sink_{}.jsonl", std::process::id()));
+        let sink = TraceSink::to_file(&path).expect("create");
+        sink.emit(TraceEvent::Phase {
+            name: "p".into(),
+            nanos: 1,
+        });
+        sink.finish().expect("flush");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(parse(text.trim()).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -3,8 +3,9 @@
 //! ```text
 //! socfmea zones   <netlist.v> [options]   list the extracted sensible zones
 //! socfmea analyze <netlist.v> [options]   run the FMEA and print the report
-//! socfmea inject  <netlist.v> [options]   run a fault-injection campaign
+//! socfmea inject  [<netlist.v>] [options] run a fault-injection campaign
 //! socfmea lint    [<netlist.v>] [options] run the structural safety lints
+//! socfmea trace summarize <trace.jsonl>   re-aggregate a campaign trace
 //!
 //! common options:
 //!   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -21,6 +22,11 @@
 //!   --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
 //!   --collapse                 simulate one representative per equivalence
 //!                              class, back-annotate the rest
+//!   --example <design>         inject into a bundled design
+//!   --trace-out <f.jsonl>      stream one JSONL record per fault
+//!   --metrics-out <f.json>     write the metrics-registry snapshot
+//!   --progress                 live progress line on stderr
+//!   --quiet                    suppress the stderr stats/progress lines
 //! lint options:
 //!   --example <design>         lint a bundled design (fmem|fmem-baseline|
 //!                              mcu|mcu-single) instead of a netlist file
@@ -40,16 +46,21 @@
 
 use soc_fmea::cli::{
     self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, LintFormat, LintOptions,
-    ReportFormat, ZonesOptions,
+    ReportFormat, TraceOptions, ZonesOptions,
 };
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
 };
-use soc_fmea::fmea::{extract_zones, predict_all_effects, report, Worksheet, ZoneGraph};
+use soc_fmea::fmea::{
+    extract_zones, predict_all_effects, report, ExtractConfig, Worksheet, ZoneGraph,
+};
 use soc_fmea::lint::{LintConfig, LintRunner};
 use soc_fmea::netlist::{parse_verilog, Logic, Netlist};
+use soc_fmea::obs::{Observer, ProgressReporter, StderrRender, TraceSink, TraceSummary};
 use soc_fmea::sim::Workload;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!("{}", cli::USAGE);
@@ -138,9 +149,48 @@ fn random_workload(netlist: &Netlist, seed: u64, cycles: usize) -> Workload {
     w
 }
 
+/// Builds one of the bundled example designs together with its zone
+/// classification, for `inject --example`.
+fn example_netlist(example: ExampleDesign) -> Result<(Netlist, ExtractConfig), ExitCode> {
+    match example {
+        ExampleDesign::Fmem | ExampleDesign::FmemBaseline => {
+            use soc_fmea::memsys::{build_netlist, fmea, MemSysConfig};
+            let cfg = if example == ExampleDesign::Fmem {
+                MemSysConfig::hardened()
+            } else {
+                MemSysConfig::baseline()
+            };
+            let netlist = build_netlist(&cfg).map_err(|e| {
+                eprintln!("socfmea: building example: {e}");
+                ExitCode::FAILURE
+            })?;
+            Ok((netlist, fmea::extract_config()))
+        }
+        ExampleDesign::Mcu | ExampleDesign::McuSingle => {
+            use soc_fmea::mcu::{build_mcu, fmea, programs, McuConfig};
+            let cfg = if example == ExampleDesign::Mcu {
+                McuConfig::lockstep(programs::checksum_loop())
+            } else {
+                McuConfig::single(programs::checksum_loop())
+            };
+            let netlist = build_mcu(&cfg).map_err(|e| {
+                eprintln!("socfmea: building example: {e}");
+                ExitCode::FAILURE
+            })?;
+            Ok((netlist, fmea::extract_config()))
+        }
+    }
+}
+
 fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
-    let netlist = load_netlist(&opts.input)?;
-    let zones = extract_zones(&netlist, &opts.config);
+    let (netlist, config) = match opts.example {
+        Some(example) => example_netlist(example)?,
+        None => {
+            let input = opts.input.as_deref().expect("validated by the parser");
+            (load_netlist(input)?, opts.config.clone())
+        }
+    };
+    let zones = extract_zones(&netlist, &config);
     let workload = random_workload(&netlist, opts.seed, opts.cycles);
     let env = EnvironmentBuilder::new(&netlist, &zones, &workload)
         .alarms_matching("alarm")
@@ -175,15 +225,45 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
         opts.seed
     );
 
+    // The observer is optional machinery: without --trace-out it still
+    // collects metrics (cheap), with it every fault streams a JSONL record
+    // through a bounded channel to a writer thread.
+    let observer = match &opts.trace_out {
+        Some(path) => {
+            let sink = TraceSink::to_file(path).map_err(|e| {
+                eprintln!("socfmea: cannot create `{path}`: {e}");
+                ExitCode::FAILURE
+            })?;
+            Observer::with_sink(sink)
+        }
+        None => Observer::new(),
+    };
+
     let campaign = Campaign::new(&env, &faults)
         .threads(opts.threads)
         .seed(opts.seed)
         .accelerated(opts.accel)
         .checkpoint_interval(opts.checkpoint_interval)
-        .collapse(opts.collapse);
+        .collapse(opts.collapse)
+        .observe(&observer);
     let stats = campaign.stats();
+    let reporter = (opts.progress && !opts.quiet).then(|| {
+        let stats = Arc::clone(&stats);
+        ProgressReporter::start(
+            Box::new(StderrRender::default()),
+            Duration::from_millis(200),
+            move || stats.progress_sample(),
+        )
+    });
     let result = campaign.run();
-    println!("{}", stats.summary());
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    // The stats line carries wall-clock timing, so it goes to stderr and
+    // stdout stays deterministic for a given seed.
+    if !opts.quiet {
+        eprintln!("{}", stats.summary());
+    }
 
     let analysis = analyze(&faults, &result, &profile);
     println!(
@@ -217,6 +297,28 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
     println!("\nmeasured DC  = {}", fmt(result.measured_dc()));
     println!("measured SFF = {}", fmt(result.measured_sff()));
     println!("{}", result.coverage);
+
+    if let Some(path) = &opts.metrics_out {
+        let mut json = observer.metrics_snapshot().render_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| {
+            eprintln!("socfmea: cannot write `{path}`: {e}");
+            ExitCode::FAILURE
+        })?;
+    }
+    observer.finish().map_err(|e| {
+        eprintln!("socfmea: trace write failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    Ok(())
+}
+
+fn run_trace_summarize(opts: &TraceOptions) -> Result<(), ExitCode> {
+    let summary = TraceSummary::from_file(&opts.input).map_err(|e| {
+        eprintln!("socfmea: {}: {e}", opts.input);
+        ExitCode::FAILURE
+    })?;
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -301,6 +403,7 @@ fn main() -> ExitCode {
         Command::Analyze(o) => run_analyze(o),
         Command::Inject(o) => run_inject(o),
         Command::Lint(o) => run_lint(o),
+        Command::TraceSummarize(o) => run_trace_summarize(o),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -6,8 +6,9 @@
 //!
 //! * `socfmea zones <netlist.v>` → [`ZonesOptions`],
 //! * `socfmea analyze <netlist.v>` → [`AnalyzeOptions`],
-//! * `socfmea inject <netlist.v>` → [`InjectOptions`],
-//! * `socfmea lint [<netlist.v>]` → [`LintOptions`].
+//! * `socfmea inject [<netlist.v>]` → [`InjectOptions`],
+//! * `socfmea lint [<netlist.v>]` → [`LintOptions`],
+//! * `socfmea trace summarize <trace.jsonl>` → [`TraceOptions`].
 //!
 //! [`parse`] turns `std::env::args` (minus the program name) into a
 //! [`Command`]; errors carry a message for stderr, and the caller prints
@@ -17,11 +18,14 @@ use socfmea_core::extract::ExtractConfig;
 use socfmea_iec61508::{ComponentClass, Hft, Sil, SubsystemType};
 
 /// The usage string printed on argument errors.
-pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint> [<netlist.v>] [options]
+pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace> [<netlist.v>] [options]
   zones   <netlist.v>   list the extracted sensible zones
   analyze <netlist.v>   run the FMEA and print the report
   inject  <netlist.v>   run a fault-injection campaign, print measured DC/SFF
+                        (or --example <design>)
   lint    <netlist.v>   run the structural safety lints (or --example <design>)
+  trace summarize <trace.jsonl>
+                        re-aggregate a --trace-out file into summary tables
 
 common options:
   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -40,6 +44,14 @@ inject options:
                              (default: 16)
   --collapse                 simulate one representative per equivalence
                              class, back-annotate the rest (bit-identical)
+  --example <design>         inject into a bundled design instead of a
+                             netlist file (fmem|fmem-baseline|mcu|mcu-single)
+  --trace-out <f.jsonl>      stream one JSONL record per fault (plus span,
+                             phase, and end-of-run records) to a file
+  --metrics-out <f.json>     write the metrics-registry snapshot as JSON
+  --progress                 live progress line on stderr (faults/s, ETA,
+                             running DC/SFF, per-outcome counts)
+  --quiet                    suppress the stderr stats and progress lines
 lint options:
   --example <design>         lint a bundled design instead of a netlist file
                              (fmem|fmem-baseline|mcu|mcu-single)
@@ -60,6 +72,8 @@ pub enum Command {
     Inject(InjectOptions),
     /// `socfmea lint`.
     Lint(LintOptions),
+    /// `socfmea trace summarize`.
+    TraceSummarize(TraceOptions),
 }
 
 /// Options of `socfmea zones`.
@@ -100,8 +114,10 @@ pub struct AnalyzeOptions {
 /// Options of `socfmea inject`.
 #[derive(Debug)]
 pub struct InjectOptions {
-    /// Path of the Verilog netlist.
-    pub input: String,
+    /// Path of the Verilog netlist; `None` when injecting into an example.
+    pub input: Option<String>,
+    /// A bundled example design; `None` when reading a netlist file.
+    pub example: Option<ExampleDesign>,
     /// Zone-extraction configuration.
     pub config: ExtractConfig,
     /// Campaign worker threads.
@@ -118,6 +134,22 @@ pub struct InjectOptions {
     /// Collapse equivalent faults: simulate one representative per class
     /// and expand the rest from the fault dictionary (bit-identical).
     pub collapse: bool,
+    /// Stream a JSONL trace (one record per fault, plus span/phase/end
+    /// records) to this path.
+    pub trace_out: Option<String>,
+    /// Write the metrics-registry snapshot as JSON to this path.
+    pub metrics_out: Option<String>,
+    /// Show a live progress line on stderr while the campaign runs.
+    pub progress: bool,
+    /// Suppress the stderr stats and progress reporting.
+    pub quiet: bool,
+}
+
+/// Options of `socfmea trace summarize`.
+#[derive(Debug)]
+pub struct TraceOptions {
+    /// Path of the JSONL trace written by `inject --trace-out`.
+    pub input: String,
 }
 
 /// One of the example designs bundled with the workspace, lintable without
@@ -212,14 +244,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let is_analyze = command == "analyze";
     let is_inject = command == "inject";
     let is_lint = command == "lint";
-    if !matches!(command.as_str(), "zones" | "analyze" | "inject" | "lint") {
+    if !matches!(
+        command.as_str(),
+        "zones" | "analyze" | "inject" | "lint" | "trace"
+    ) {
         return Err(format!("unknown command `{command}`"));
     }
 
-    // lint's netlist path is optional (an --example may stand in), so it is
-    // collected as a positional inside the option loop instead of up front
+    // `trace` takes an action word and a single path, no shared options
+    if command == "trace" {
+        let action = it.next().ok_or("trace needs an action (summarize)")?;
+        if action != "summarize" {
+            return Err(format!("unknown trace action `{action}`"));
+        }
+        let input = it
+            .next()
+            .ok_or("trace summarize needs a trace file")?
+            .clone();
+        if let Some(extra) = it.next() {
+            return Err(format!("unknown option `{extra}`"));
+        }
+        return Ok(Command::TraceSummarize(TraceOptions { input }));
+    }
+
+    // inject's and lint's netlist paths are optional (an --example may stand
+    // in), so they are collected as positionals inside the option loop
+    // instead of up front
     let mut input = String::new();
-    if !is_lint {
+    if !is_lint && !is_inject {
         input = it.next().ok_or("missing input file")?.clone();
     }
     let mut config = ExtractConfig::default();
@@ -232,7 +284,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut accel = false;
     let mut checkpoint_interval = 16usize;
     let mut collapse = false;
-    let mut lint_input: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut progress = false;
+    let mut quiet = false;
+    let mut positional: Option<String> = None;
     let mut example: Option<ExampleDesign> = None;
     let mut lint_format = LintFormat::Text;
     let mut deny_warnings = false;
@@ -290,7 +346,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("--checkpoint-interval must be at least 1".into());
                 }
             }
-            "--example" if is_lint => {
+            "--trace-out" if is_inject => {
+                let p = it.next().ok_or("--trace-out needs a file path")?;
+                trace_out = Some(p.clone());
+            }
+            "--metrics-out" if is_inject => {
+                let p = it.next().ok_or("--metrics-out needs a file path")?;
+                metrics_out = Some(p.clone());
+            }
+            "--progress" if is_inject => progress = true,
+            "--quiet" if is_inject => quiet = true,
+            "--example" if is_lint || is_inject => {
                 let e = it.next().ok_or("--example needs a design name")?;
                 example = Some(
                     ExampleDesign::parse(e)
@@ -325,8 +391,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 target_sil =
                     Some(Sil::from_level(level).ok_or_else(|| format!("bad SIL level `{n}`"))?);
             }
-            other if is_lint && !other.starts_with('-') && lint_input.is_none() => {
-                lint_input = Some(other.to_owned());
+            other if (is_lint || is_inject) && !other.starts_with('-') && positional.is_none() => {
+                positional = Some(other.to_owned());
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -341,22 +407,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             subsystem,
             format,
         }),
-        "inject" => Command::Inject(InjectOptions {
-            input,
-            config,
-            threads,
-            seed,
-            cycles,
-            accel,
-            checkpoint_interval,
-            collapse,
-        }),
+        "inject" => {
+            if positional.is_some() == example.is_some() {
+                return Err("inject needs exactly one of <netlist.v> or --example".into());
+            }
+            Command::Inject(InjectOptions {
+                input: positional,
+                example,
+                config,
+                threads,
+                seed,
+                cycles,
+                accel,
+                checkpoint_interval,
+                collapse,
+                trace_out,
+                metrics_out,
+                progress,
+                quiet,
+            })
+        }
         "lint" => {
-            if lint_input.is_some() == example.is_some() {
+            if positional.is_some() == example.is_some() {
                 return Err("lint needs exactly one of <netlist.v> or --example".into());
             }
             Command::Lint(LintOptions {
-                input: lint_input,
+                input: positional,
                 example,
                 config,
                 format: lint_format,
@@ -436,12 +512,86 @@ mod tests {
         let Command::Inject(o) = cmd else {
             panic!("inject expected")
         };
+        assert_eq!(o.input.as_deref(), Some("d.v"));
+        assert!(o.example.is_none());
         assert!(o.threads >= 1);
         assert_eq!(o.seed, 0x5eed);
         assert_eq!(o.cycles, 48);
         assert!(!o.accel);
         assert_eq!(o.checkpoint_interval, 16);
         assert!(!o.collapse);
+        assert!(o.trace_out.is_none());
+        assert!(o.metrics_out.is_none());
+        assert!(!o.progress);
+        assert!(!o.quiet);
+    }
+
+    #[test]
+    fn inject_parses_observability_flags() {
+        let cmd = parse(&argv(&[
+            "inject",
+            "d.v",
+            "--trace-out",
+            "t.jsonl",
+            "--metrics-out",
+            "m.json",
+            "--progress",
+            "--quiet",
+        ]))
+        .unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(o.progress);
+        assert!(o.quiet);
+        // observability flags are inject-only
+        assert!(parse(&argv(&["analyze", "d.v", "--trace-out", "t.jsonl"])).is_err());
+        assert!(parse(&argv(&["lint", "d.v", "--progress"])).is_err());
+        assert!(parse(&argv(&["zones", "d.v", "--quiet"])).is_err());
+        // missing values are named
+        assert!(parse(&argv(&["inject", "d.v", "--trace-out"]))
+            .unwrap_err()
+            .contains("--trace-out"));
+    }
+
+    #[test]
+    fn inject_takes_a_netlist_or_an_example_but_not_both() {
+        let cmd = parse(&argv(&["inject", "--example", "fmem"])).unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert!(o.input.is_none());
+        assert_eq!(o.example, Some(ExampleDesign::Fmem));
+        assert!(parse(&argv(&["inject"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&argv(&["inject", "d.v", "--example", "mcu"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&argv(&["inject", "--example", "dsp"]))
+            .unwrap_err()
+            .contains("unknown example"));
+    }
+
+    #[test]
+    fn trace_summarize_parses_one_path() {
+        let cmd = parse(&argv(&["trace", "summarize", "run.jsonl"])).unwrap();
+        let Command::TraceSummarize(o) = cmd else {
+            panic!("trace summarize expected")
+        };
+        assert_eq!(o.input, "run.jsonl");
+        assert!(parse(&argv(&["trace"]))
+            .unwrap_err()
+            .contains("needs an action"));
+        assert!(parse(&argv(&["trace", "replay", "run.jsonl"]))
+            .unwrap_err()
+            .contains("unknown trace action"));
+        assert!(parse(&argv(&["trace", "summarize"]))
+            .unwrap_err()
+            .contains("needs a trace file"));
+        assert!(parse(&argv(&["trace", "summarize", "a.jsonl", "b.jsonl"])).is_err());
     }
 
     #[test]

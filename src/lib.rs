@@ -18,6 +18,7 @@
 //! | [`fmea`] | `socfmea-core` | zones, worksheet, SFF/DC, ranking, sensitivity, validation |
 //! | [`faultsim`] | `socfmea-faultsim` | injection environment, monitors, permanent-fault simulator |
 //! | [`accel`] | `socfmea-accel` | golden traces, checkpoints, divergence-set fault simulation |
+//! | [`obs`] | `socfmea-obs` | spans, metrics registry, JSONL fault traces, live progress |
 //! | [`lint`] | `socfmea-lint` | static safety lints over netlist, zones, and worksheet |
 //! | [`memsys`] | `socfmea-memsys` | the paper's fault-robust memory sub-system (Figure 5) |
 //! | [`mcu`] | `socfmea-mcu` | the fault-robust lockstep microcontroller substrate |
@@ -74,6 +75,11 @@ pub use socfmea_faultsim as faultsim;
 /// The checkpointed incremental fault-simulation engine behind
 /// [`Campaign::accelerated`](faultsim::Campaign::accelerated).
 pub use socfmea_accel as accel;
+
+/// Structured tracing, metrics, and live campaign telemetry: hierarchical
+/// spans, a thread-safe counter/gauge/histogram registry, the JSONL trace
+/// sink behind `inject --trace-out`, and its offline re-aggregation.
+pub use socfmea_obs as obs;
 
 /// Clippy-style static safety lints (structural + worksheet rule packs).
 pub use socfmea_lint as lint;
