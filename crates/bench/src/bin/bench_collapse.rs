@@ -10,9 +10,11 @@
 //!   reported by the campaign statistics, plus the purely structural
 //!   site-collapse ratio of the `FaultCollapser` for comparison,
 //! * effective throughput (faults classified per second, counting the
-//!   dictionary-annotated ones) for baseline, collapsed, and collapsed
-//!   composed with the accelerated engine,
-//! * the speedup of each collapsed run against the baseline.
+//!   dictionary-annotated ones) for baseline, collapsed, collapsed
+//!   composed with the sparse engine, the bit-parallel PPSFP engine, and
+//!   PPSFP composed with collapsing (representatives packed 63 per word),
+//! * the speedup of each run against the baseline, and for the PPSFP runs
+//!   the lanes-per-word packing density and words evaluated.
 //!
 //! Correctness is asserted, not assumed: every collapsed run must be
 //! bit-identical to the baseline `CampaignResult` before anything is
@@ -21,7 +23,7 @@
 use socfmea_bench::banner;
 use socfmea_core::{extract_zones, ZoneSet};
 use socfmea_faultsim::{
-    Campaign, CampaignStats, EnvironmentBuilder, Fault, FaultCollapser, FaultKind,
+    Campaign, CampaignStats, Collapse, Engine, EnvironmentBuilder, Fault, FaultCollapser, FaultKind,
 };
 use socfmea_mcu::{build_mcu, fmea as mcu_fmea, programs, rtl::run_workload, McuConfig, McuPins};
 use socfmea_memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
@@ -101,6 +103,16 @@ struct Row {
     accel_secs: f64,
     accel_fps: f64,
     accel_speedup: f64,
+    ppsfp_secs: f64,
+    ppsfp_fps: f64,
+    ppsfp_speedup: f64,
+    ppsfp_lanes_per_word: f64,
+    ppsfp_words: u64,
+    cp_secs: f64,
+    cp_fps: f64,
+    cp_speedup: f64,
+    cp_lanes_per_word: f64,
+    cp_words: u64,
     simulated: usize,
     collapsed: usize,
     collapse_ratio: f64,
@@ -148,18 +160,28 @@ fn bench_design(design: &Design) -> Row {
     );
 
     let n = faults.len();
-    let run = |collapse: bool, accel: bool| {
+    let run = |collapse: Collapse, engine: Engine| {
         let campaign = Campaign::new(&env, &faults)
             .threads(1)
-            .collapse(collapse)
-            .accelerated(accel);
+            .collapsing(collapse)
+            .engine(engine);
         let stats = campaign.stats();
         (campaign.run(), stats)
     };
-    let (baseline, _, base_secs, base_fps) = timed("baseline       ", n, || run(false, false));
-    let (collapsed, cstats, collapse_secs, collapse_fps) =
-        timed("collapse       ", n, || run(true, false));
-    let (composed, _, accel_secs, accel_fps) = timed("collapse+accel ", n, || run(true, true));
+    let (baseline, _, base_secs, base_fps) = timed("baseline       ", n, || {
+        run(Collapse::Off, Engine::Lockstep)
+    });
+    let (collapsed, cstats, collapse_secs, collapse_fps) = timed("collapse       ", n, || {
+        run(Collapse::Dictionary, Engine::Lockstep)
+    });
+    let (composed, _, accel_secs, accel_fps) = timed("collapse+accel ", n, || {
+        run(Collapse::Dictionary, Engine::Sparse)
+    });
+    let (ppsfp, pstats, ppsfp_secs, ppsfp_fps) =
+        timed("ppsfp          ", n, || run(Collapse::Off, Engine::Ppsfp));
+    let (cppsfp, cpstats, cp_secs, cp_fps) = timed("collapse+ppsfp ", n, || {
+        run(Collapse::Dictionary, Engine::Ppsfp)
+    });
     assert_eq!(
         baseline, collapsed,
         "{}: collapsed result diverges from baseline",
@@ -168,6 +190,16 @@ fn bench_design(design: &Design) -> Row {
     assert_eq!(
         baseline, composed,
         "{}: collapse+accel result diverges from baseline",
+        design.name
+    );
+    assert_eq!(
+        baseline, ppsfp,
+        "{}: ppsfp result diverges from baseline",
+        design.name
+    );
+    assert_eq!(
+        baseline, cppsfp,
+        "{}: collapse+ppsfp result diverges from baseline",
         design.name
     );
 
@@ -182,6 +214,16 @@ fn bench_design(design: &Design) -> Row {
         accel_secs,
         accel_fps,
         accel_speedup: base_secs / accel_secs,
+        ppsfp_secs,
+        ppsfp_fps,
+        ppsfp_speedup: base_secs / ppsfp_secs,
+        ppsfp_lanes_per_word: pstats.ppsfp_lanes_per_word(),
+        ppsfp_words: pstats.ppsfp_words(),
+        cp_secs,
+        cp_fps,
+        cp_speedup: base_secs / cp_secs,
+        cp_lanes_per_word: cpstats.ppsfp_lanes_per_word(),
+        cp_words: cpstats.ppsfp_words(),
         simulated: cstats.faults_done(),
         collapsed: cstats.faults_collapsed(),
         collapse_ratio: cstats.collapse_ratio(),
@@ -247,7 +289,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"design\": \"{}\", \"faults\": {}, \"simulated\": {}, \"annotated\": {}, \"collapse_ratio\": {:.3}, \"structural_site_ratio\": {:.3}, \"baseline\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}}}, \"collapse\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}, \"collapse_accel\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}}}{}",
+            "    {{\"design\": \"{}\", \"faults\": {}, \"simulated\": {}, \"annotated\": {}, \"collapse_ratio\": {:.3}, \"structural_site_ratio\": {:.3}, \"baseline\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}}}, \"collapse\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}, \"collapse_accel\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}, \"ppsfp\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}, \"lanes_per_word\": {:.2}, \"words_evaluated\": {}}}, \"collapse_ppsfp\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}, \"lanes_per_word\": {:.2}, \"words_evaluated\": {}}}}}{}",
             r.design,
             r.faults,
             r.simulated,
@@ -262,6 +304,16 @@ fn main() {
             r.accel_secs,
             r.accel_fps,
             r.accel_speedup,
+            r.ppsfp_secs,
+            r.ppsfp_fps,
+            r.ppsfp_speedup,
+            r.ppsfp_lanes_per_word,
+            r.ppsfp_words,
+            r.cp_secs,
+            r.cp_fps,
+            r.cp_speedup,
+            r.cp_lanes_per_word,
+            r.cp_words,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -8,8 +8,8 @@
 
 use socfmea_core::{extract_zones, CampaignStatsSummary, FmeaResult, Worksheet, ZoneSet};
 use socfmea_faultsim::{
-    analyze, generate_fault_list, Campaign, CampaignAnalysis, CampaignResult, EnvironmentBuilder,
-    Fault, FaultListConfig, OperationalProfile,
+    analyze, generate_fault_list, Campaign, CampaignAnalysis, CampaignResult, Engine,
+    EnvironmentBuilder, Fault, FaultListConfig, OperationalProfile,
 };
 use socfmea_memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
 use socfmea_netlist::Netlist;
@@ -128,9 +128,14 @@ impl MemSysSetup {
             .build();
         let profile = OperationalProfile::collect(&env);
         let faults = generate_fault_list(&env, &profile, list);
+        let engine = if accel_interval.is_some() {
+            Engine::Sparse
+        } else {
+            Engine::Lockstep
+        };
         let mut campaign = Campaign::new(&env, &faults)
             .threads(threads)
-            .accelerated(accel_interval.is_some())
+            .engine(engine)
             .checkpoint_interval(accel_interval.unwrap_or(Campaign::DEFAULT_CHECKPOINT_INTERVAL));
         if let Some(obs) = observer {
             campaign = campaign.observe(obs);

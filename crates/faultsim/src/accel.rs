@@ -1,7 +1,8 @@
 //! Accelerated campaign execution: checkpointed warm starts and
 //! divergence-set propagation, with bit-identical outcomes.
 //!
-//! Opt in with [`Campaign::accelerated`](crate::Campaign::accelerated). The
+//! Opt in with [`Campaign::engine`](crate::Campaign::engine)
+//! ([`Engine::Sparse`]). The
 //! campaign then records one [`GoldenTrace`] (full per-cycle value matrix
 //! plus periodic checkpoints) instead of the baseline's monitor-column
 //! trace, and each fault takes one of two exact fast paths:
@@ -24,6 +25,7 @@
 //! differential tests in this module and `tests/prop_accel.rs` assert
 //! bit-identical [`FaultOutcome`]s on every fault kind.
 
+use crate::campaign::Engine;
 use crate::env::Environment;
 use crate::faultlist::{Fault, FaultKind};
 use crate::inject::{
@@ -33,7 +35,7 @@ use crate::inject::{
 use socfmea_accel::{GoldenTrace, SparseSim, Topology};
 use socfmea_core::ZoneId;
 use socfmea_netlist::{Logic, NetId, Netlist};
-use socfmea_sim::Simulator;
+use socfmea_sim::{Simulator, WordSim};
 use std::collections::BTreeSet;
 
 /// Per-fault work accounting: how many cycles the engine actually
@@ -45,8 +47,8 @@ pub(crate) struct FaultMetrics {
     pub(crate) simulated: u64,
     /// Cycles answered from the golden trace without evaluation.
     pub(crate) skipped: u64,
-    /// Engine path that classified the fault: `lockstep`, `sparse`, or
-    /// `warm` (the trace and metrics attribute work per path).
+    /// Engine path that classified the fault: `lockstep`, `sparse`,
+    /// `warm`, or `ppsfp` (the trace and metrics attribute work per path).
     pub(crate) engine: &'static str,
 }
 
@@ -75,33 +77,40 @@ pub(crate) struct AccelContext {
 }
 
 /// The campaign's execution strategy, fixed at [`Campaign::run`] time:
-/// either the baseline lockstep context or the accelerated one.
+/// the baseline lockstep context, the accelerated one, or the bit-parallel
+/// PPSFP one (which keeps a lockstep context around for the collapse
+/// planner and for faults that cannot ride a word lane).
 ///
 /// [`Campaign::run`]: crate::Campaign::run
 pub(crate) enum ExecContext {
     Baseline(CampaignContext),
     Accel(AccelContext),
+    Ppsfp(CampaignContext),
 }
 
 impl ExecContext {
-    /// Prepares the context for `env`/`faults` under the chosen strategy.
+    /// Prepares the context for `env`/`faults` under the chosen (already
+    /// resolved — never [`Engine::Auto`]) strategy.
     pub(crate) fn prepare(
         env: &Environment<'_>,
         faults: &[Fault],
-        accelerated: bool,
+        engine: Engine,
         checkpoint_interval: usize,
     ) -> ExecContext {
-        if accelerated {
-            ExecContext::Accel(prepare_accel_context(env, faults, checkpoint_interval))
-        } else {
-            ExecContext::Baseline(prepare_context(env, faults))
+        match engine {
+            Engine::Lockstep => ExecContext::Baseline(prepare_context(env, faults)),
+            Engine::Sparse => {
+                ExecContext::Accel(prepare_accel_context(env, faults, checkpoint_interval))
+            }
+            Engine::Ppsfp => ExecContext::Ppsfp(prepare_context(env, faults)),
+            Engine::Auto => unreachable!("Engine::Auto is resolved before context preparation"),
         }
     }
 
     /// Zones the fault list targets (drives the coverage collection).
     pub(crate) fn injected_zones(&self) -> &BTreeSet<ZoneId> {
         match self {
-            ExecContext::Baseline(c) => &c.injected_zones,
+            ExecContext::Baseline(c) | ExecContext::Ppsfp(c) => &c.injected_zones,
             ExecContext::Accel(a) => &a.injected_zones,
         }
     }
@@ -109,8 +118,16 @@ impl ExecContext {
     /// The per-worker sparse kernel, if this context is accelerated.
     pub(crate) fn make_sparse<'c>(&'c self, netlist: &'c Netlist) -> Option<SparseSim<'c>> {
         match self {
-            ExecContext::Baseline(_) => None,
+            ExecContext::Baseline(_) | ExecContext::Ppsfp(_) => None,
             ExecContext::Accel(a) => Some(SparseSim::new(netlist, &a.topo, &a.trace)),
+        }
+    }
+
+    /// The per-worker word-level kernel, if this context is PPSFP.
+    pub(crate) fn make_word<'c>(&self, netlist: &'c Netlist) -> Option<WordSim<'c>> {
+        match self {
+            ExecContext::Baseline(_) | ExecContext::Accel(_) => None,
+            ExecContext::Ppsfp(_) => Some(WordSim::new(netlist).expect("levelizable netlist")),
         }
     }
 
@@ -119,7 +136,7 @@ impl ExecContext {
     /// reproduce the SENS monitor's target-excitation check).
     pub(crate) fn golden_value(&self, cycle: usize, net: NetId) -> Logic {
         match self {
-            ExecContext::Baseline(c) => c.golden_target(cycle, net),
+            ExecContext::Baseline(c) | ExecContext::Ppsfp(c) => c.golden_target(cycle, net),
             ExecContext::Accel(a) => a.trace.value(cycle, net),
         }
     }
@@ -173,7 +190,10 @@ pub(crate) fn simulate_dispatch(
     fault: &Fault,
 ) -> (FaultOutcome, FaultMetrics) {
     match ctx {
-        ExecContext::Baseline(c) => {
+        // Under PPSFP, batchable stuck-ats never reach this dispatcher (the
+        // campaign routes them through `ppsfp::simulate_batch`); whatever is
+        // left falls back to the lockstep path, fault by fault.
+        ExecContext::Baseline(c) | ExecContext::Ppsfp(c) => {
             let fo = simulate_one(env, c, sim, fault_index, fault);
             let metrics = FaultMetrics {
                 simulated: env.workload.len() as u64,
@@ -481,7 +501,7 @@ mod tests {
         let baseline = Campaign::new(&env, &faults).run();
         for interval in [1, 5, 64] {
             let accel = Campaign::new(&env, &faults)
-                .accelerated(true)
+                .engine(Engine::Sparse)
                 .checkpoint_interval(interval)
                 .run();
             assert_eq!(
@@ -503,7 +523,7 @@ mod tests {
         let reference = Campaign::new(&env, &faults).run();
         for threads in [1, 3] {
             let accel = Campaign::new(&env, &faults)
-                .accelerated(true)
+                .engine(Engine::Sparse)
                 .threads(threads)
                 .chunk(2)
                 .run();
@@ -531,7 +551,7 @@ mod tests {
             label: "late flip".into(),
         }];
         let baseline = Campaign::new(&env, &faults).run();
-        let accel = Campaign::new(&env, &faults).accelerated(true).run();
+        let accel = Campaign::new(&env, &faults).engine(Engine::Sparse).run();
         assert_eq!(baseline, accel);
         assert_eq!(
             baseline.outcomes[0].outcome,
@@ -559,7 +579,7 @@ mod tests {
             inject_cycle: 20,
             label: "late flip".into(),
         }];
-        let campaign = Campaign::new(&env, &faults).accelerated(true);
+        let campaign = Campaign::new(&env, &faults).engine(Engine::Sparse);
         let stats = campaign.stats();
         let _ = campaign.run();
         assert!(

@@ -24,14 +24,16 @@ use crate::env::Environment;
 use crate::faultlist::{Fault, FaultKind};
 use crate::inject::{CampaignResult, FaultOutcome, Outcome};
 use crate::monitors::CoverageCollection;
+use crate::ppsfp;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use socfmea_accel::SparseSim;
 use socfmea_core::CampaignStatsSummary;
 use socfmea_obs::metrics::{Counter, Histogram};
 use socfmea_obs::trace::{FaultRecord, TraceEvent};
 use socfmea_obs::{Observer, ProgressSample};
-use socfmea_sim::Simulator;
+use socfmea_sim::{Simulator, WordSim, FAULT_LANES};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -51,6 +53,48 @@ pub enum EarlyStop {
         /// design has diagnostic alarms).
         expect_diagnostics: bool,
     },
+}
+
+/// The simulation engine a [`Campaign`] runs its faults on.
+///
+/// Every engine computes the same [`CampaignResult`] — the choice only
+/// changes *how fast* the verdicts arrive and which counters advance in
+/// [`CampaignStats`] / the observer's metrics registry:
+///
+/// | Engine       | Fault kinds                    | Mechanism |
+/// |--------------|--------------------------------|-----------|
+/// | `Lockstep`   | all                            | full golden-vs-faulty co-simulation, one fault at a time |
+/// | `Sparse`     | bit flips, stuck-ats, glitches | divergence-set propagation from the activation cycle (bridges and clock outages take a checkpointed warm start) |
+/// | `Ppsfp`      | known-value stuck-ats          | bit-parallel word-level simulation, up to [`FAULT_LANES`] faults per `u64` word with lane 0 golden (other kinds fall back to lockstep, fault by fault) |
+/// | `Auto`       | —                              | picks `Ppsfp` when every fault in the list is a known-value stuck-at, `Sparse` otherwise |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Resolve per fault list: [`Ppsfp`](Engine::Ppsfp) for pure
+    /// known-value stuck-at lists, [`Sparse`](Engine::Sparse) otherwise.
+    #[default]
+    Auto,
+    /// The baseline golden-vs-faulty lockstep engine.
+    Lockstep,
+    /// The checkpointed incremental engine (`socfmea-accel`): warm starts,
+    /// divergence-set propagation, convergence early exit.
+    Sparse,
+    /// The bit-parallel (pattern-parallel single-fault propagation) engine:
+    /// batches of up to [`FAULT_LANES`] stuck-at faults share one
+    /// word-level netlist evaluation per cycle.
+    Ppsfp,
+}
+
+/// Whether a [`Campaign`] simulates equivalence-class representatives only
+/// and back-annotates their outcomes (the fault dictionary), or every fault
+/// on its own. Orthogonal to the [`Engine`] choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Collapse {
+    /// Simulate every fault in the list.
+    #[default]
+    Off,
+    /// Simulate one representative per structural equivalence class (per
+    /// [`FaultCollapser`]) and copy its outcome onto every class member.
+    Dictionary,
 }
 
 /// Live progress counters of a running campaign, updated by the worker
@@ -80,6 +124,14 @@ pub struct CampaignStats {
     cycles_skipped: AtomicU64,
     /// Total wall-clock nanoseconds spent inside per-fault simulation.
     sim_nanos: AtomicU64,
+    /// PPSFP batches launched (each evaluates the netlist word-wide).
+    ppsfp_batches: AtomicU64,
+    /// Fault lanes packed across all PPSFP batches (≤ [`FAULT_LANES`]
+    /// per batch; lane 0 is always the golden machine and is not counted).
+    ppsfp_lanes: AtomicU64,
+    /// Word-level cycle evaluations across all PPSFP batches (one per
+    /// workload cycle per batch — each answers every packed lane at once).
+    ppsfp_words: AtomicU64,
     /// Nanoseconds from `anchor` to run start / end; `u64::MAX` = not yet.
     started_nanos: AtomicU64,
     finished_nanos: AtomicU64,
@@ -100,6 +152,9 @@ impl CampaignStats {
             cycles_simulated: AtomicU64::new(0),
             cycles_skipped: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
+            ppsfp_batches: AtomicU64::new(0),
+            ppsfp_lanes: AtomicU64::new(0),
+            ppsfp_words: AtomicU64::new(0),
             started_nanos: AtomicU64::new(u64::MAX),
             finished_nanos: AtomicU64::new(u64::MAX),
             anchor: Instant::now(),
@@ -136,6 +191,14 @@ impl CampaignStats {
             .fetch_add(metrics.skipped, Ordering::Relaxed);
         self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Accounts one finished PPSFP batch: `lanes` faults answered by
+    /// `words` word-level cycle evaluations.
+    fn record_ppsfp_batch(&self, lanes: u64, words: u64) {
+        self.ppsfp_batches.fetch_add(1, Ordering::Relaxed);
+        self.ppsfp_lanes.fetch_add(lanes, Ordering::Relaxed);
+        self.ppsfp_words.fetch_add(words, Ordering::Relaxed);
     }
 
     /// Records a dictionary-annotated outcome: the per-class tallies
@@ -242,6 +305,33 @@ impl CampaignStats {
         self.cycles_skipped.load(Ordering::Relaxed)
     }
 
+    /// PPSFP batches launched so far (0 unless the campaign runs on
+    /// [`Engine::Ppsfp`]).
+    pub fn ppsfp_batches(&self) -> u64 {
+        self.ppsfp_batches.load(Ordering::Relaxed)
+    }
+
+    /// Fault lanes packed into PPSFP words so far (lane 0, the golden
+    /// machine, is not counted).
+    pub fn ppsfp_lanes(&self) -> u64 {
+        self.ppsfp_lanes.load(Ordering::Relaxed)
+    }
+
+    /// Word-level cycle evaluations performed by the PPSFP engine so far.
+    pub fn ppsfp_words(&self) -> u64 {
+        self.ppsfp_words.load(Ordering::Relaxed)
+    }
+
+    /// Mean fault lanes per PPSFP batch so far (the packing efficiency
+    /// against the [`FAULT_LANES`] ceiling), or 0.0 before any batch ran.
+    pub fn ppsfp_lanes_per_word(&self) -> f64 {
+        let batches = self.ppsfp_batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.ppsfp_lanes() as f64 / batches as f64
+    }
+
     /// Mean wall-clock time per simulated fault so far.
     pub fn mean_fault_time(&self) -> Duration {
         let done = self.faults_done() as u64;
@@ -307,6 +397,9 @@ impl CampaignStats {
             } else {
                 (injections + faults_collapsed) as f64 / injections as f64
             },
+            ppsfp_batches: self.ppsfp_batches(),
+            ppsfp_lanes: self.ppsfp_lanes(),
+            ppsfp_lanes_per_word: self.ppsfp_lanes_per_word(),
         }
     }
 
@@ -391,9 +484,9 @@ pub struct Campaign<'a> {
     seed: u64,
     chunk: usize,
     early_stop: Option<EarlyStop>,
-    accelerated: bool,
+    engine: Engine,
     checkpoint_interval: usize,
-    collapse: bool,
+    collapse: Collapse,
     observer: Option<&'a Observer>,
     stats: Arc<CampaignStats>,
 }
@@ -413,7 +506,7 @@ struct ObsHooks<'o> {
     obs: &'o Observer,
     trace_faults: bool,
     fault_nanos: Arc<Histogram>,
-    engines: [(&'static str, Arc<Counter>); 4],
+    engines: [(&'static str, Arc<Counter>); 5],
 }
 
 impl<'o> ObsHooks<'o> {
@@ -426,6 +519,7 @@ impl<'o> ObsHooks<'o> {
                 ("lockstep", reg.counter("campaign.engine.lockstep")),
                 ("sparse", reg.counter("campaign.engine.sparse")),
                 ("warm", reg.counter("campaign.engine.warm")),
+                ("ppsfp", reg.counter("campaign.engine.ppsfp")),
                 ("dictionary", reg.counter("campaign.engine.dictionary")),
             ],
             obs,
@@ -510,11 +604,11 @@ impl<'a> Campaign<'a> {
     /// Default chunk size (faults claimed per worker grab).
     pub const DEFAULT_CHUNK: usize = 8;
 
-    /// Default checkpoint interval for [`accelerated`](Self::accelerated)
-    /// campaigns.
+    /// Default checkpoint interval for [`Engine::Sparse`] campaigns.
     pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 16;
 
-    /// Prepares a campaign over `faults` in `env`, initially single-threaded.
+    /// Prepares a campaign over `faults` in `env`, initially
+    /// single-threaded on [`Engine::Lockstep`].
     pub fn new(env: &'a Environment<'a>, faults: &'a [Fault]) -> Campaign<'a> {
         Campaign {
             env,
@@ -523,9 +617,9 @@ impl<'a> Campaign<'a> {
             seed: 0,
             chunk: Self::DEFAULT_CHUNK,
             early_stop: None,
-            accelerated: false,
+            engine: Engine::Lockstep,
             checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
-            collapse: false,
+            collapse: Collapse::Off,
             observer: None,
             stats: Arc::new(CampaignStats::new()),
         }
@@ -561,44 +655,61 @@ impl<'a> Campaign<'a> {
         self
     }
 
-    /// Opts into the checkpointed incremental engine (`socfmea-accel`):
-    /// golden-trace recording with warm-start checkpoints, divergence-set
-    /// propagation for state-override faults, and convergence early exit.
+    /// Selects the simulation [`Engine`]. [`Engine::Auto`] resolves per
+    /// fault list at [`run`](Self::run) time.
     ///
     /// Like every other builder setting, this changes only *how* the
-    /// campaign executes: the [`CampaignResult`] is bit-identical to a
-    /// baseline run. The per-cycle work saved shows up in
-    /// [`CampaignStats::cycles_skipped`].
-    pub fn accelerated(mut self, on: bool) -> Self {
-        self.accelerated = on;
+    /// campaign executes: the [`CampaignResult`] is bit-identical across
+    /// engines. The work saved shows up in
+    /// [`CampaignStats::cycles_skipped`] (sparse) and
+    /// [`CampaignStats::ppsfp_lanes_per_word`] (PPSFP).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
-    /// Sets the accelerated engine's checkpoint interval (0 is treated
-    /// as 1): smaller intervals shorten warm-start replays at the cost of
-    /// checkpoint memory. No effect unless [`accelerated`](Self::accelerated)
-    /// is on; provably does not affect the result.
+    /// Opts into the checkpointed incremental engine (`socfmea-accel`).
+    #[deprecated(note = "use `engine(Engine::Sparse)` (or `Engine::Lockstep` for `false`)")]
+    pub fn accelerated(self, on: bool) -> Self {
+        self.engine(if on { Engine::Sparse } else { Engine::Lockstep })
+    }
+
+    /// Sets the sparse engine's checkpoint interval (0 is treated as 1):
+    /// smaller intervals shorten warm-start replays at the cost of
+    /// checkpoint memory. No effect unless the campaign runs on
+    /// [`Engine::Sparse`]; provably does not affect the result.
     pub fn checkpoint_interval(mut self, cycles: usize) -> Self {
         self.checkpoint_interval = cycles.max(1);
         self
     }
 
-    /// Opts into structural fault collapsing with dictionary
-    /// back-annotation: equivalent stuck-at faults (per
-    /// [`FaultCollapser`]) share one simulation, and the representative's
-    /// outcome is copied onto every class member.
+    /// Selects the fault-collapsing mode. [`Collapse::Dictionary`] shares
+    /// one simulation per structural equivalence class (per
+    /// [`FaultCollapser`]) and copies the representative's outcome onto
+    /// every class member.
     ///
     /// Like every other builder setting, this changes only *how* the
     /// campaign executes: the [`CampaignResult`] — per-fault
     /// classifications, coverage, DC/SFF, per-zone attribution over the
     /// *full uncollapsed* list — is bit-identical to an uncollapsed run,
-    /// and it composes freely with [`accelerated`](Self::accelerated) and
-    /// any thread count. The simulations saved show up in
+    /// and it composes freely with any [`engine`](Self::engine) and any
+    /// thread count. The simulations saved show up in
     /// [`CampaignStats::faults_collapsed`] and
     /// [`CampaignStats::collapse_ratio`].
-    pub fn collapse(mut self, on: bool) -> Self {
-        self.collapse = on;
+    pub fn collapsing(mut self, mode: Collapse) -> Self {
+        self.collapse = mode;
         self
+    }
+
+    /// Opts into structural fault collapsing with dictionary
+    /// back-annotation.
+    #[deprecated(note = "use `collapsing(Collapse::Dictionary)` (or `Collapse::Off` for `false`)")]
+    pub fn collapse(self, on: bool) -> Self {
+        self.collapsing(if on {
+            Collapse::Dictionary
+        } else {
+            Collapse::Off
+        })
     }
 
     /// Attaches a [`socfmea_obs::Observer`]: the run then emits one trace
@@ -628,6 +739,24 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// The engine the run will actually use: [`Engine::Auto`] picks PPSFP
+    /// when every fault can ride a word lane (a known-value stuck-at) and
+    /// the sparse engine otherwise.
+    fn resolved_engine(&self) -> Engine {
+        match self.engine {
+            Engine::Auto => {
+                if self.faults.is_empty() {
+                    Engine::Lockstep
+                } else if self.faults.iter().all(ppsfp::batchable) {
+                    Engine::Ppsfp
+                } else {
+                    Engine::Sparse
+                }
+            }
+            fixed => fixed,
+        }
+    }
+
     /// Executes the campaign and returns its (thread-count-independent)
     /// result.
     ///
@@ -636,6 +765,8 @@ impl<'a> Campaign<'a> {
     /// Panics if the netlist cannot be levelized (prevented by
     /// construction for `RtlBuilder` designs).
     pub fn run(self) -> CampaignResult {
+        let engine = self.resolved_engine();
+        let collapse = self.collapse == Collapse::Dictionary;
         if let Some(obs) = self.observer {
             obs.emit(TraceEvent::Meta {
                 design: self.env.netlist.name().to_string(),
@@ -643,19 +774,14 @@ impl<'a> Campaign<'a> {
                 threads: self.threads as u64,
                 cycles: self.env.workload.len() as u64,
                 seed: self.seed,
-                accel: self.accelerated,
-                collapse: self.collapse,
+                accel: engine == Engine::Sparse,
+                collapse,
             });
         }
         let ctx = self.obs_phase("prepare", || {
-            ExecContext::prepare(
-                self.env,
-                self.faults,
-                self.accelerated,
-                self.checkpoint_interval,
-            )
+            ExecContext::prepare(self.env, self.faults, engine, self.checkpoint_interval)
         });
-        let plan = (self.collapse && !self.faults.is_empty()).then(|| {
+        let plan = (collapse && !self.faults.is_empty()).then(|| {
             self.obs_phase("collapse-plan", || {
                 CollapsePlan::build(
                     self.faults,
@@ -710,6 +836,16 @@ impl<'a> Campaign<'a> {
                 .add(self.stats.cycles_skipped());
             reg.gauge("campaign.elapsed_nanos")
                 .set(self.stats.elapsed().as_nanos() as f64);
+            if self.stats.ppsfp_batches() > 0 {
+                reg.counter("campaign.ppsfp.batches")
+                    .add(self.stats.ppsfp_batches());
+                reg.counter("campaign.ppsfp.lanes")
+                    .add(self.stats.ppsfp_lanes());
+                reg.counter("campaign.ppsfp.words")
+                    .add(self.stats.ppsfp_words());
+                reg.gauge("campaign.ppsfp.lanes_per_word")
+                    .set(self.stats.ppsfp_lanes_per_word());
+            }
             if let Some(dc) = result.measured_dc() {
                 reg.gauge("campaign.dc").set(dc);
             }
@@ -785,6 +921,113 @@ impl<'a> Campaign<'a> {
         stop
     }
 
+    /// Simulates one slice of the simulation order, recording live stats
+    /// per verdict, and returns the outcomes with their telemetry in slice
+    /// order. Under PPSFP, the slice's batchable stuck-ats share word-level
+    /// batches of up to [`FAULT_LANES`]; everything else goes through the
+    /// per-fault dispatcher. A set `stop` flag (sharded runs: the merged
+    /// result is already complete) aborts between simulations — the
+    /// returned prefix is then never committed.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_slice(
+        &self,
+        ctx: &ExecContext,
+        sim: &mut Simulator<'_>,
+        mut sparse: Option<&mut SparseSim<'_>>,
+        word: Option<&mut WordSim<'_>>,
+        slice: &[usize],
+        shard: u64,
+        stop: Option<&AtomicBool>,
+    ) -> Vec<(FaultOutcome, FaultTelemetry)> {
+        let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+        let mut slots: Vec<Option<(FaultOutcome, FaultTelemetry)>> =
+            (0..slice.len()).map(|_| None).collect();
+        if let Some(word) = word {
+            // Word positions first: every batchable fault of the slice,
+            // packed greedily FAULT_LANES at a time.
+            let cycles = self.env.workload.len() as u64;
+            let batchable: Vec<usize> = (0..slice.len())
+                .filter(|&p| ppsfp::batchable(&self.faults[slice[p]]))
+                .collect();
+            for group in batchable.chunks(FAULT_LANES) {
+                if stopped() {
+                    break;
+                }
+                let batch: Vec<(usize, &Fault)> = group
+                    .iter()
+                    .map(|&p| (slice[p], &self.faults[slice[p]]))
+                    .collect();
+                let t0 = Instant::now();
+                let fos = ppsfp::simulate_batch(self.env, word, &batch);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                self.stats.record_ppsfp_batch(batch.len() as u64, cycles);
+                // Per-fault attribution of the shared batch: the first lane
+                // carries the evaluated cycles (the word walk ran once), the
+                // others ride along for free; wall-clock splits evenly with
+                // the rounding remainder on the first.
+                let share = nanos / batch.len() as u64;
+                let mut remainder = nanos - share * batch.len() as u64;
+                for (k, (&p, fo)) in group.iter().zip(fos).enumerate() {
+                    let metrics = FaultMetrics {
+                        simulated: if k == 0 { cycles } else { 0 },
+                        skipped: if k == 0 { 0 } else { cycles },
+                        engine: "ppsfp",
+                    };
+                    let lane_nanos = share + std::mem::take(&mut remainder);
+                    self.stats.record(fo.outcome, &metrics, lane_nanos);
+                    slots[p] = Some((
+                        fo,
+                        FaultTelemetry {
+                            metrics,
+                            nanos: lane_nanos,
+                            shard,
+                        },
+                    ));
+                }
+            }
+        }
+        // Everything not answered by a word batch (all faults on the
+        // lockstep and sparse engines; non-batchable stragglers under
+        // PPSFP) runs fault by fault.
+        for (p, &fi) in slice.iter().enumerate() {
+            if slots[p].is_some() {
+                continue;
+            }
+            if stopped() {
+                break;
+            }
+            let t0 = Instant::now();
+            let (fo, metrics) = simulate_dispatch(
+                self.env,
+                ctx,
+                sim,
+                sparse.as_deref_mut(),
+                fi,
+                &self.faults[fi],
+            );
+            let nanos = t0.elapsed().as_nanos() as u64;
+            self.stats.record(fo.outcome, &metrics, nanos);
+            slots[p] = Some((
+                fo,
+                FaultTelemetry {
+                    metrics,
+                    nanos,
+                    shard,
+                },
+            ));
+        }
+        // In-order prefix; only a stopped slice leaves holes, and its
+        // results are discarded by the caller anyway.
+        let mut results = Vec::with_capacity(slice.len());
+        for slot in slots {
+            match slot {
+                Some(r) => results.push(r),
+                None => break,
+            }
+        }
+        results
+    }
+
     fn run_serial(
         &self,
         ctx: &ExecContext,
@@ -796,26 +1039,23 @@ impl<'a> Campaign<'a> {
         let _shard_span = hooks.map(|h| h.obs.shard_span("campaign/shard", 0));
         let mut sim = Simulator::new(self.env.netlist).expect("levelizable netlist");
         let mut sparse = ctx.make_sparse(self.env.netlist);
+        let mut word = ctx.make_word(self.env.netlist);
+        let step = if word.is_some() { FAULT_LANES } else { 1 };
         let mut outcomes = Vec::with_capacity(self.faults.len());
-        for &fi in order {
-            let t0 = Instant::now();
-            let (fo, metrics) = simulate_dispatch(
-                self.env,
+        'order: for slice in order.chunks(step) {
+            let results = self.simulate_slice(
                 ctx,
                 &mut sim,
                 sparse.as_mut(),
-                fi,
-                &self.faults[fi],
+                word.as_mut(),
+                slice,
+                0,
+                None,
             );
-            let nanos = t0.elapsed().as_nanos() as u64;
-            self.stats.record(fo.outcome, &metrics, nanos);
-            let tel = FaultTelemetry {
-                metrics,
-                nanos,
-                shard: 0,
-            };
-            if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
-                break;
+            for (fo, tel) in results {
+                if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
+                    break 'order;
+                }
             }
         }
         outcomes
@@ -830,7 +1070,14 @@ impl<'a> Campaign<'a> {
         hooks: Option<&ObsHooks<'_>>,
     ) -> Vec<FaultOutcome> {
         let n = order.len();
-        let chunk = self.chunk;
+        // PPSFP wants whole words per claim: a chunk below FAULT_LANES
+        // would cap every batch at the chunk size and waste lanes.
+        let base_word = ctx.make_word(self.env.netlist);
+        let chunk = if base_word.is_some() {
+            self.chunk.max(FAULT_LANES)
+        } else {
+            self.chunk
+        };
         let n_chunks = n.div_ceil(chunk);
         // The seed shuffles only the order in which workers claim chunks.
         let mut claim_order: Vec<usize> = (0..n_chunks).collect();
@@ -845,14 +1092,19 @@ impl<'a> Campaign<'a> {
         std::thread::scope(|scope| {
             for shard in 0..self.threads.min(n_chunks.max(1)) {
                 let tx = tx.clone();
-                let (base, claim_order, next_claim, stop) =
-                    (&base, &claim_order, &next_claim, &stop);
+                let (base, base_word, claim_order, next_claim, stop) =
+                    (&base, &base_word, &claim_order, &next_claim, &stop);
                 scope.spawn(move || {
                     let _shard_span =
                         hooks.map(|h| h.obs.shard_span("campaign/shard", shard as u64));
                     let mut sim = base.clone_fresh();
                     let mut sparse = ctx.make_sparse(self.env.netlist);
+                    // cloning shares the levelization; each batch resets
+                    // the dynamic state anyway
+                    let mut word = base_word.clone();
                     loop {
+                        // A set stop flag means the result is already
+                        // fully committed; no further chunk can be needed.
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
@@ -863,33 +1115,15 @@ impl<'a> Campaign<'a> {
                         let ci = claim_order[claim];
                         let lo = ci * chunk;
                         let hi = (lo + chunk).min(n);
-                        let mut chunk_out = Vec::with_capacity(hi - lo);
-                        for &fi in &order[lo..hi] {
-                            // A set stop flag means the result is already
-                            // fully committed; this chunk can't be needed.
-                            if stop.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            let t0 = Instant::now();
-                            let (fo, metrics) = simulate_dispatch(
-                                self.env,
-                                ctx,
-                                &mut sim,
-                                sparse.as_mut(),
-                                fi,
-                                &self.faults[fi],
-                            );
-                            let nanos = t0.elapsed().as_nanos() as u64;
-                            self.stats.record(fo.outcome, &metrics, nanos);
-                            chunk_out.push((
-                                fo,
-                                FaultTelemetry {
-                                    metrics,
-                                    nanos,
-                                    shard: shard as u64,
-                                },
-                            ));
-                        }
+                        let chunk_out = self.simulate_slice(
+                            ctx,
+                            &mut sim,
+                            sparse.as_mut(),
+                            word.as_mut(),
+                            &order[lo..hi],
+                            shard as u64,
+                            Some(stop),
+                        );
                         if tx.send((ci, chunk_out)).is_err() {
                             return;
                         }
@@ -1167,7 +1401,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let collapsed = Campaign::new(&env, &faults)
                 .threads(threads)
-                .collapse(true)
+                .collapsing(Collapse::Dictionary)
                 .run();
             assert_eq!(
                 baseline, collapsed,
@@ -1176,8 +1410,8 @@ mod tests {
         }
         let composed = Campaign::new(&env, &faults)
             .threads(2)
-            .collapse(true)
-            .accelerated(true)
+            .collapsing(Collapse::Dictionary)
+            .engine(Engine::Sparse)
             .checkpoint_interval(4)
             .run();
         assert_eq!(baseline, composed, "collapse+accel diverges");
@@ -1189,7 +1423,9 @@ mod tests {
         let env = fx.env();
         let faults = exhaustive_stuck_list(&fx.nl);
         let baseline = Campaign::new(&env, &faults).threads(1).run();
-        let campaign = Campaign::new(&env, &faults).threads(1).collapse(true);
+        let campaign = Campaign::new(&env, &faults)
+            .threads(1)
+            .collapsing(Collapse::Dictionary);
         let stats = campaign.stats();
         let result = campaign.run();
         assert_eq!(baseline, result, "collapsed outcomes diverge");
@@ -1225,7 +1461,7 @@ mod tests {
         for threads in [1, 3] {
             let collapsed = Campaign::new(&env, &faults)
                 .threads(threads)
-                .collapse(true)
+                .collapsing(Collapse::Dictionary)
                 .early_stop(policy)
                 .run();
             assert_eq!(
@@ -1377,7 +1613,9 @@ mod tests {
         let env = fx.env();
         let faults = exhaustive_stuck_list(&fx.nl);
         let (obs, buf) = traced_observer();
-        let campaign = Campaign::new(&env, &faults).collapse(true).observe(&obs);
+        let campaign = Campaign::new(&env, &faults)
+            .collapsing(Collapse::Dictionary)
+            .observe(&obs);
         let stats = campaign.stats();
         let _ = campaign.run();
         let snap = obs.metrics_snapshot();
@@ -1416,5 +1654,133 @@ mod tests {
         assert_eq!(stats.mean_fault_time(), std::time::Duration::ZERO);
         assert_eq!(stats.collapse_ratio(), 1.0);
         assert_eq!(stats.faults_collapsed(), 0);
+        assert_eq!(stats.ppsfp_batches(), 0);
+        assert_eq!(stats.ppsfp_lanes_per_word(), 0.0);
+    }
+
+    #[test]
+    fn auto_engine_resolves_per_fault_list() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        // pure known-value stuck-at list → the bit-parallel engine
+        let stuck = exhaustive_stuck_list(&fx.nl);
+        assert_eq!(
+            Campaign::new(&env, &stuck)
+                .engine(Engine::Auto)
+                .resolved_engine(),
+            Engine::Ppsfp
+        );
+        // a generated list carries bit flips and glitches → sparse
+        let mixed = fault_list(&env);
+        assert!(mixed.iter().any(|f| !crate::ppsfp::batchable(f)));
+        assert_eq!(
+            Campaign::new(&env, &mixed)
+                .engine(Engine::Auto)
+                .resolved_engine(),
+            Engine::Sparse
+        );
+        // nothing to run → the cheapest prepare
+        assert_eq!(
+            Campaign::new(&env, &[])
+                .engine(Engine::Auto)
+                .resolved_engine(),
+            Engine::Lockstep
+        );
+        // a fixed engine is never second-guessed, and the builder default
+        // stays lockstep
+        assert_eq!(
+            Campaign::new(&env, &mixed)
+                .engine(Engine::Ppsfp)
+                .resolved_engine(),
+            Engine::Ppsfp
+        );
+        assert_eq!(
+            Campaign::new(&env, &mixed).resolved_engine(),
+            Engine::Lockstep
+        );
+    }
+
+    #[test]
+    fn ppsfp_on_a_mixed_list_batches_stuck_ats_and_falls_back_for_the_rest() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let mut faults = fault_list(&env);
+        faults.extend(exhaustive_stuck_list(&fx.nl));
+        let batchable = faults.iter().filter(|f| crate::ppsfp::batchable(f)).count() as u64;
+        assert!(batchable > 0 && batchable < faults.len() as u64);
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        for threads in [1usize, 4] {
+            let campaign = Campaign::new(&env, &faults)
+                .engine(Engine::Ppsfp)
+                .threads(threads);
+            let stats = campaign.stats();
+            let result = campaign.run();
+            assert_eq!(baseline, result, "ppsfp diverges at {threads} threads");
+            assert!(stats.ppsfp_batches() > 0);
+            assert_eq!(
+                stats.ppsfp_lanes(),
+                batchable,
+                "every batchable fault rides a lane exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn ppsfp_stats_account_batches_lanes_and_words() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let mut faults = exhaustive_stuck_list(&fx.nl);
+        while faults.len() <= FAULT_LANES {
+            faults.extend(exhaustive_stuck_list(&fx.nl));
+        }
+        let n = faults.len() as u64;
+        assert!(n > FAULT_LANES as u64, "want more than one batch");
+        let campaign = Campaign::new(&env, &faults)
+            .engine(Engine::Ppsfp)
+            .threads(1);
+        let stats = campaign.stats();
+        let result = campaign.run();
+        assert_eq!(result.outcomes.len(), faults.len());
+        let cycles = fx.w.len() as u64;
+        let batches = n.div_ceil(FAULT_LANES as u64);
+        assert_eq!(stats.ppsfp_batches(), batches);
+        assert_eq!(stats.ppsfp_lanes(), n);
+        assert_eq!(stats.ppsfp_words(), batches * cycles);
+        let lanes_per_word = stats.ppsfp_lanes_per_word();
+        assert!(lanes_per_word > 1.0 && lanes_per_word <= FAULT_LANES as f64);
+        // per-fault cycle accounting stays balanced: each fault's workload
+        // is either simulated (one lane per batch pays for the word) or
+        // skipped (it shared the word)
+        assert_eq!(
+            stats.cycles_simulated() + stats.cycles_skipped(),
+            n * cycles
+        );
+        assert_eq!(stats.cycles_simulated(), batches * cycles);
+    }
+
+    #[test]
+    fn observed_ppsfp_campaign_counts_engine_and_batches() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = exhaustive_stuck_list(&fx.nl);
+        let (obs, _buf) = traced_observer();
+        let campaign = Campaign::new(&env, &faults)
+            .engine(Engine::Ppsfp)
+            .observe(&obs);
+        let stats = campaign.stats();
+        let _ = campaign.run();
+        let snap = obs.metrics_snapshot();
+        obs.finish().unwrap();
+        assert_eq!(
+            snap.counters["campaign.engine.ppsfp"] as usize,
+            faults.len(),
+            "every fault is classified by the ppsfp engine"
+        );
+        assert_eq!(
+            snap.counters["campaign.ppsfp.batches"],
+            stats.ppsfp_batches()
+        );
+        assert_eq!(snap.counters["campaign.ppsfp.lanes"], stats.ppsfp_lanes());
+        assert_eq!(snap.counters["campaign.ppsfp.words"], stats.ppsfp_words());
     }
 }

@@ -18,9 +18,10 @@
 //!   equivalence classes (controlling values, const-degenerate gates,
 //!   transitive single-fanout chains) with deterministic canonical
 //!   representatives plus reported dominance pairs;
-//!   `Campaign::collapse(true)` simulates one representative per class and
-//!   back-annotates the outcome onto every member (fault dictionary) —
-//!   bit-identical results over the full uncollapsed list,
+//!   `Campaign::collapsing(Collapse::Dictionary)` simulates one
+//!   representative per class and back-annotates the outcome onto every
+//!   member (fault dictionary) — bit-identical results over the full
+//!   uncollapsed list,
 //! * [`inject`] — **Fault Injection Manager**: runs the campaign, lockstep
 //!   golden-vs-faulty, classifying each injection as safe / dangerous
 //!   detected / dangerous undetected,
@@ -28,9 +29,13 @@
 //!   shards the fault list over worker threads and merges outcomes in
 //!   fault-list order, so results are bit-identical for any thread count,
 //!   with live progress counters ([`CampaignStats`]) and optional early
-//!   stop on coverage saturation. `Campaign::accelerated(true)` swaps in
-//!   the checkpointed incremental engine from `socfmea-accel` (golden-trace
-//!   warm starts, divergence-set propagation, convergence early exit) —
+//!   stop on coverage saturation. `Campaign::engine(Engine::…)` selects the
+//!   execution strategy — [`Engine::Sparse`] swaps in the checkpointed
+//!   incremental engine from `socfmea-accel` (golden-trace warm starts,
+//!   divergence-set propagation, convergence early exit),
+//!   [`Engine::Ppsfp`] batches stuck-at faults into the 63 fault lanes of
+//!   the word-level simulator next to the golden machine in lane 0, and
+//!   [`Engine::Auto`] resolves per fault list — every engine yields the
 //!   same bit-identical result, far fewer evaluated cycles,
 //! * [`monitors`] — **Monitors and Coverage Collection**: SENS/OBSE/DIAG
 //!   coverage items; the campaign is complete only when every item is
@@ -38,10 +43,10 @@
 //! * [`analyzer`] — **Result analyzer**: fills the measured S/D/DDF sheet
 //!   ([`socfmea_core::MeasuredZone`]) and the per-zone table of effects for
 //!   the FMEA cross-check,
-//! * [`permfault`] — a permanent-fault simulator (serial and 64-way
-//!   bit-parallel PPSFP) measuring stuck-at fault coverage of a workload,
-//!   the open replacement for the commercial fault simulator the paper
-//!   references.
+//! * [`permfault`] — a permanent-fault simulator (serial reference and
+//!   word-level bit-parallel PPSFP) measuring stuck-at fault coverage of a
+//!   workload, the open replacement for the commercial fault simulator the
+//!   paper references.
 
 mod accel;
 pub mod analyzer;
@@ -52,10 +57,11 @@ pub mod faultlist;
 pub mod inject;
 pub mod monitors;
 pub mod permfault;
+mod ppsfp;
 pub mod profile;
 
 pub use analyzer::{analyze, CampaignAnalysis};
-pub use campaign::{Campaign, CampaignStats, EarlyStop};
+pub use campaign::{Campaign, CampaignStats, Collapse, EarlyStop, Engine};
 pub use collapse::{DominancePair, FaultCollapser};
 pub use env::{Environment, EnvironmentBuilder};
 pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};

@@ -7,18 +7,22 @@
 //! coverage vs permanent faults respect the workload and the implemented
 //! diagnostic". The commercial tool the paper references is replaced here by
 //!
-//! * [`serial_coverage`] — one four-state simulation per fault (exact,
-//!   including X-propagation), and
-//! * [`ppsfp_coverage`] — parallel-pattern single-fault-propagation packing
-//!   63 faulty machines plus the golden machine into the 64 bits of a word
-//!   (two-state; exact for designs that reset to known state, which the
-//!   memory sub-system does).
+//! * [`serial_coverage`] — one four-state simulation per fault. This is the
+//!   *differential reference*: deliberately simple (one [`Simulator`] run
+//!   per fault, no batching), it exists so the bit-parallel path has an
+//!   independent implementation to be tested against, and
+//! * [`ppsfp_coverage`] — parallel-pattern single-fault-propagation on the
+//!   word-level [`WordSim`] core: [`FAULT_LANES`] faulty machines ride the
+//!   lanes of each word next to the golden machine in lane 0, so the
+//!   netlist is evaluated once per cycle for the whole batch. Four-state
+//!   exact — the same two-plane encoding the campaign's `Engine::Ppsfp`
+//!   uses, so X-propagation matches the serial reference bit for bit.
 //!
 //! Both report per-fault detection (any cycle where a functional output
-//! differs from golden) and aggregate coverage.
+//! differs from a known golden value) and aggregate coverage.
 
-use socfmea_netlist::{levelize, Driver, GateId, GateKind, Logic, NetId, Netlist};
-use socfmea_sim::{Simulator, Workload};
+use socfmea_netlist::{Logic, NetId, Netlist};
+use socfmea_sim::{Simulator, WordSim, Workload, FAULT_LANES};
 
 /// A collapsed single stuck-at fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -125,8 +129,9 @@ impl PermanentFaultReport {
 
 /// Serial fault simulation: one full four-state run per fault.
 ///
-/// Exact but slow — the reference against which [`ppsfp_coverage`] is
-/// validated.
+/// Exact but slow — kept as the independent differential reference against
+/// which [`ppsfp_coverage`] (and, transitively, the campaign's bit-parallel
+/// engine) is validated. Reach for [`ppsfp_coverage`] in production code.
 ///
 /// # Panics
 ///
@@ -183,139 +188,12 @@ pub fn serial_coverage(
     PermanentFaultReport { faults: results }
 }
 
-/// Two-state packed simulator: 64 machines per word (bit 0 = golden).
-struct PackedSim<'a> {
-    netlist: &'a Netlist,
-    order: Vec<GateId>,
-    values: Vec<u64>,
-    ff: Vec<u64>,
-    stuck_mask: Vec<u64>,
-    stuck_ones: Vec<u64>,
-}
-
-impl<'a> PackedSim<'a> {
-    fn new(netlist: &'a Netlist, batch: &[StuckAtFault]) -> PackedSim<'a> {
-        assert!(batch.len() <= 63, "at most 63 faults per PPSFP batch");
-        let order = levelize(netlist).expect("levelizable netlist");
-        let mut stuck_mask = vec![0u64; netlist.net_count()];
-        let mut stuck_ones = vec![0u64; netlist.net_count()];
-        for (i, f) in batch.iter().enumerate() {
-            let bit = 1u64 << (i + 1);
-            stuck_mask[f.net.index()] |= bit;
-            if f.stuck_high {
-                stuck_ones[f.net.index()] |= bit;
-            }
-        }
-        let ff = netlist
-            .dffs()
-            .iter()
-            .map(|ff| if ff.init == Logic::One { u64::MAX } else { 0 })
-            .collect();
-        PackedSim {
-            netlist,
-            order,
-            values: vec![0; netlist.net_count()],
-            ff,
-            stuck_mask,
-            stuck_ones,
-        }
-    }
-
-    #[inline]
-    fn pin(&self, net: NetId, raw: u64) -> u64 {
-        let i = net.index();
-        (raw & !self.stuck_mask[i]) | (self.stuck_ones[i] & self.stuck_mask[i])
-    }
-
-    fn set_input(&mut self, net: NetId, value: Logic) {
-        let raw = match value {
-            Logic::One => u64::MAX,
-            _ => 0, // two-state: X/Z collapse to 0
-        };
-        self.values[net.index()] = self.pin(net, raw);
-    }
-
-    fn eval(&mut self) {
-        // sources: constants + ff outputs (inputs already set)
-        for (i, net) in self.netlist.nets().iter().enumerate() {
-            if let Driver::Const(v) = net.driver {
-                let raw = if v == Logic::One { u64::MAX } else { 0 };
-                self.values[i] = self.pin(NetId::from_index(i), raw);
-            }
-        }
-        for (fi, ff) in self.netlist.dffs().iter().enumerate() {
-            self.values[ff.q.index()] = self.pin(ff.q, self.ff[fi]);
-        }
-        let order = std::mem::take(&mut self.order);
-        for &g in &order {
-            let gate = self.netlist.gate(g);
-            let v = match gate.kind {
-                GateKind::Buf => self.values[gate.inputs[0].index()],
-                GateKind::Not => !self.values[gate.inputs[0].index()],
-                GateKind::And => gate
-                    .inputs
-                    .iter()
-                    .fold(u64::MAX, |acc, &i| acc & self.values[i.index()]),
-                GateKind::Nand => !gate
-                    .inputs
-                    .iter()
-                    .fold(u64::MAX, |acc, &i| acc & self.values[i.index()]),
-                GateKind::Or => gate
-                    .inputs
-                    .iter()
-                    .fold(0, |acc, &i| acc | self.values[i.index()]),
-                GateKind::Nor => !gate
-                    .inputs
-                    .iter()
-                    .fold(0, |acc, &i| acc | self.values[i.index()]),
-                GateKind::Xor => gate
-                    .inputs
-                    .iter()
-                    .fold(0, |acc, &i| acc ^ self.values[i.index()]),
-                GateKind::Xnor => !gate
-                    .inputs
-                    .iter()
-                    .fold(0, |acc, &i| acc ^ self.values[i.index()]),
-                GateKind::Mux2 => {
-                    let s = self.values[gate.inputs[0].index()];
-                    let a = self.values[gate.inputs[1].index()];
-                    let b = self.values[gate.inputs[2].index()];
-                    (!s & a) | (s & b)
-                }
-            };
-            self.values[gate.output.index()] = self.pin(gate.output, v);
-        }
-        self.order = order;
-    }
-
-    fn tick(&mut self) {
-        let mut next = Vec::with_capacity(self.ff.len());
-        for (fi, ff) in self.netlist.dffs().iter().enumerate() {
-            let cur = self.ff[fi];
-            let d = self.values[ff.d.index()];
-            let en = ff
-                .enable
-                .map(|e| self.values[e.index()])
-                .unwrap_or(u64::MAX);
-            let rst = ff.reset.map(|r| self.values[r.index()]).unwrap_or(0);
-            let rv = if ff.reset_value == Logic::One {
-                u64::MAX
-            } else {
-                0
-            };
-            let loaded = (en & d) | (!en & cur);
-            next.push((rst & rv) | (!rst & loaded));
-        }
-        self.ff = next;
-    }
-}
-
-/// PPSFP fault simulation: packs up to 63 faults per pass.
+/// PPSFP fault simulation: packs up to [`FAULT_LANES`] faults per pass on
+/// the word-level [`WordSim`] core (lane 0 = golden).
 ///
-/// Two-state semantics (`X`/`Z` inputs collapse to `0`): exact for designs
-/// whose state is fully defined by resets/initial values, which holds for
-/// every design this workspace generates (flip-flops power up at a defined
-/// value).
+/// Four-state exact: the two-plane lane encoding carries `X`/`Z`, so the
+/// grading matches [`serial_coverage`] bit for bit — including designs
+/// whose state is not fully defined at power-on.
 ///
 /// # Panics
 ///
@@ -326,33 +204,47 @@ pub fn ppsfp_coverage(
     outputs: &[NetId],
     faults: &[StuckAtFault],
 ) -> PermanentFaultReport {
+    let mut word = WordSim::new(netlist).expect("levelizable netlist");
     let mut results = Vec::with_capacity(faults.len());
-    for batch in faults.chunks(63) {
-        let mut sim = PackedSim::new(netlist, batch);
+    for batch in faults.chunks(FAULT_LANES) {
+        word.reset_to_power_on();
+        for (i, f) in batch.iter().enumerate() {
+            let value = if f.stuck_high {
+                Logic::One
+            } else {
+                Logic::Zero
+            };
+            word.force_lane(f.net, i + 1, value);
+        }
         let mut detected_mask = 0u64;
-        let mut excited = [false; 63];
+        let mut excited = vec![false; batch.len()];
         for cycle in workload.iter() {
             for &(n, v) in cycle {
-                sim.set_input(n, v);
+                word.set(n, v);
             }
-            sim.eval();
-            // excitation: golden value (bit 0 plane) of the fault net
-            // differs from the stuck value. The pinned bit hides the golden
-            // value in the fault's own machine, so read plane bit 0.
+            word.eval();
+            // excitation: the golden machine (lane 0) drives the fault net
+            // to the exact opposite of the stuck value — the forced lane
+            // hides it in the fault's own machine, so read lane 0.
             for (i, f) in batch.iter().enumerate() {
                 if !excited[i] {
-                    let golden_bit = sim.values[f.net.index()] & 1 == 1;
-                    if golden_bit != f.stuck_high {
-                        excited[i] = true;
-                    }
+                    let golden_one = word.one_mask(f.net) & 1 != 0;
+                    excited[i] = if f.stuck_high {
+                        word.golden_known(f.net) && !golden_one
+                    } else {
+                        golden_one
+                    };
                 }
             }
+            // detection: a faulty lane deviates from a *known* golden value
+            // at a functional output (same monitor form as the serial
+            // reference and the campaign engine)
             for &o in outputs {
-                let w = sim.values[o.index()];
-                let golden = 0u64.wrapping_sub(w & 1); // broadcast bit 0
-                detected_mask |= w ^ golden;
+                if word.golden_known(o) {
+                    detected_mask |= word.diff_mask(o);
+                }
             }
-            sim.tick();
+            word.tick();
         }
         for (i, &f) in batch.iter().enumerate() {
             results.push((
@@ -480,17 +372,42 @@ mod tests {
             w.push_cycle(v);
         }
         let faults = fault_universe(&nl);
-        assert!(faults.len() > 63);
+        assert!(faults.len() > FAULT_LANES);
         let serial = serial_coverage(&nl, &w, nl.outputs(), &faults);
         let packed = ppsfp_coverage(&nl, &w, nl.outputs(), &faults);
         let agree = serial
             .faults
             .iter()
             .zip(&packed.faults)
-            .filter(|(s, p)| s.1.detected == p.1.detected)
+            .filter(|(s, p)| s.1 == p.1)
             .count();
-        // X-collapse can differ only where golden is X; with a reset
-        // workload the two must agree everywhere.
         assert_eq!(agree, faults.len());
+    }
+
+    #[test]
+    fn ppsfp_matches_serial_under_x_stimulus() {
+        // the four-state lane encoding must track X-propagation exactly:
+        // drive X onto the inputs for whole cycles and compare gradings
+        let nl = pipeline_design();
+        let d: Vec<_> = (0..4)
+            .map(|i| nl.net_by_name(&format!("d[{i}]")).unwrap())
+            .collect();
+        let mut w = Workload::new("xmix");
+        for c in 0..16u64 {
+            let mut v = Vec::new();
+            if c % 3 == 0 {
+                v.extend(d.iter().map(|&n| (n, Logic::X)));
+            } else {
+                assign_bus(&mut v, &d, c % 16);
+            }
+            w.push_cycle(v);
+        }
+        let faults = fault_universe(&nl);
+        let serial = serial_coverage(&nl, &w, nl.outputs(), &faults);
+        let packed = ppsfp_coverage(&nl, &w, nl.outputs(), &faults);
+        for (s, p) in serial.faults.iter().zip(&packed.faults) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1, p.1, "fault {:?} disagrees under X stimulus", s.0);
+        }
     }
 }

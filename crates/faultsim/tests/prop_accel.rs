@@ -1,5 +1,5 @@
 //! Property test: the accelerated campaign engine is exact — for arbitrary
-//! synthetic designs, workloads and fault lists, `accelerated(true)`
+//! synthetic designs, workloads and fault lists, `Engine::Sparse`
 //! produces the bit-identical `CampaignResult` (outcomes *and* coverage
 //! collection) as the baseline lockstep engine, at every checkpoint
 //! interval.
@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use socfmea_core::{extract_zones, ExtractConfig};
 use socfmea_faultsim::{
-    generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
+    generate_fault_list, Campaign, Engine, EnvironmentBuilder, FaultListConfig, OperationalProfile,
 };
 use socfmea_netlist::Logic;
 use socfmea_rtl::gen;
@@ -60,7 +60,7 @@ proptest! {
         let baseline = Campaign::new(&env, &faults).threads(1).run();
         for interval in [1usize, 7, 64] {
             let accel = Campaign::new(&env, &faults)
-                .accelerated(true)
+                .engine(Engine::Sparse)
                 .checkpoint_interval(interval)
                 .threads(threads)
                 .run();

@@ -1,8 +1,8 @@
 //! Property test: fault collapsing is exact — for arbitrary synthetic
-//! designs, workloads and fault lists, `collapse(true)` produces the
+//! designs, workloads and fault lists, `Collapse::Dictionary` produces the
 //! bit-identical `CampaignResult` (outcomes *and* coverage collection) as
-//! the uncollapsed baseline, at every thread count, alone and composed
-//! with the accelerated engine.
+//! the uncollapsed baseline, at every thread count, composed with every
+//! engine (lockstep, sparse, and whatever `Engine::Auto` resolves to).
 //!
 //! This is the contract that makes `--collapse` safe to reach for:
 //! equivalence collapsing and fault-dictionary back-annotation are pure
@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 use socfmea_core::{extract_zones, ExtractConfig};
 use socfmea_faultsim::{
-    generate_fault_list, Campaign, EnvironmentBuilder, Fault, FaultKind, FaultListConfig,
-    OperationalProfile,
+    generate_fault_list, Campaign, Collapse, Engine, EnvironmentBuilder, Fault, FaultKind,
+    FaultListConfig, OperationalProfile,
 };
 use socfmea_netlist::{Driver, Logic, NetId};
 use socfmea_rtl::gen;
@@ -74,20 +74,25 @@ proptest! {
         prop_assume!(!faults.is_empty());
 
         let baseline = Campaign::new(&env, &faults).threads(1).run();
-        for (collapse_threads, accel) in [(1usize, false), (threads, false), (threads, true)] {
+        for (collapse_threads, engine) in [
+            (1usize, Engine::Lockstep),
+            (threads, Engine::Lockstep),
+            (threads, Engine::Sparse),
+            (threads, Engine::Auto),
+        ] {
             let collapsed = Campaign::new(&env, &faults)
-                .collapse(true)
-                .accelerated(accel)
+                .collapsing(Collapse::Dictionary)
+                .engine(engine)
                 .checkpoint_interval(7)
                 .threads(collapse_threads)
                 .run();
             prop_assert_eq!(
                 &baseline.outcomes, &collapsed.outcomes,
-                "outcomes diverge at {} threads (accel: {})", collapse_threads, accel
+                "outcomes diverge at {} threads ({:?})", collapse_threads, engine
             );
             prop_assert_eq!(
                 &baseline.coverage, &collapsed.coverage,
-                "coverage diverges at {} threads (accel: {})", collapse_threads, accel
+                "coverage diverges at {} threads ({:?})", collapse_threads, engine
             );
         }
     }

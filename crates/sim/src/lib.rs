@@ -41,6 +41,7 @@ pub mod fault;
 pub mod probe;
 pub mod sim;
 pub mod vcd;
+pub mod word;
 pub mod workload;
 
 pub use coverage::ToggleCoverage;
@@ -48,4 +49,5 @@ pub use fault::BridgeKind;
 pub use probe::Probe;
 pub use sim::{SimSnapshot, Simulator};
 pub use vcd::VcdWriter;
+pub use word::{WordSim, FAULT_LANES, LANES};
 pub use workload::{assign_bus, Workload};

@@ -1,0 +1,692 @@
+//! Word-level (bit-parallel) four-state simulation: 64 lanes per net.
+//!
+//! [`WordSim`] evaluates the same netlist as [`Simulator`](crate::Simulator)
+//! but holds **64 independent simulations** in each net — one per bit lane
+//! of a `u64` — so the levelized gate walk is paid once per cycle for all
+//! lanes. This is the classic PPSFP (parallel-pattern single-fault
+//! propagation) substrate turned sideways: here the lanes carry *faults*,
+//! not patterns, which suits a fault-injection campaign where every fault
+//! sees the same workload.
+//!
+//! # Lane convention
+//!
+//! Lane 0 is the **golden** (fault-free) machine; lanes `1..=FAULT_LANES`
+//! carry faulty machines. [`FAULT_LANES`] (= [`LANES`]` - 1` = 63) is the
+//! batch capacity every PPSFP consumer shares — the historical 63-vs-64
+//! confusion ("64 lanes" vs "at most 63 faults") is resolved here, in one
+//! place: 64 lanes of simulation, 63 of which may be faulty.
+//!
+//! # Encoding
+//!
+//! Each net stores two bit-planes, `lo` and `hi`, one bit per lane:
+//!
+//! | value | `lo` | `hi` |
+//! |---|---|---|
+//! | `0` | 1 | 0 |
+//! | `1` | 0 | 1 |
+//! | `X` (and `Z`) | 1 | 1 |
+//!
+//! `(0,0)` is unreachable. `Z` is conflated with `X` at encoding time —
+//! exactly the [`Logic::resolved`] collapse every gate input applies —
+//! which is sound for fault classification because every campaign monitor
+//! gates on [`Logic::is_known`] (false for both) or compares against
+//! `Logic::One` (distinct from both). Under this encoding the gate
+//! operations become plane-parallel bitwise ops: AND folds `hi &=`,
+//! `lo |=`; NOT swaps the planes; XOR is a 4-AND/2-OR plane product.
+//!
+//! Per-lane stuck-at faults are injected with [`WordSim::force_lane`]: a
+//! per-net pin mask overrides the chosen lane at every source load and
+//! gate-output write, leaving all other lanes untouched — the word-level
+//! analogue of [`Simulator::force`](crate::Simulator::force).
+
+use socfmea_netlist::{levelize, Driver, GateId, GateKind, LevelizeError, Logic, NetId, Netlist};
+
+/// Bit lanes in one simulation word.
+pub const LANES: usize = 64;
+
+/// Fault capacity of one word: lane 0 is reserved for the golden machine,
+/// so a PPSFP batch holds at most `LANES - 1 = 63` faults.
+pub const FAULT_LANES: usize = LANES - 1;
+
+/// Broadcasts a logic value to all 64 lanes as `(lo, hi)` planes.
+#[inline]
+fn encode(v: Logic) -> (u64, u64) {
+    match v {
+        Logic::Zero => (!0, 0),
+        Logic::One => (0, !0),
+        Logic::X | Logic::Z => (!0, !0),
+    }
+}
+
+/// Decodes one lane's `(lo, hi)` bit pair.
+#[inline]
+fn decode(lo: bool, hi: bool) -> Logic {
+    match (lo, hi) {
+        (true, false) => Logic::Zero,
+        (false, true) => Logic::One,
+        // (0,0) is unreachable by construction; decode it as X too so the
+        // function is total.
+        _ => Logic::X,
+    }
+}
+
+/// A 64-lane bit-parallel four-state simulator over a gate-level netlist.
+///
+/// Mirrors the [`Simulator`](crate::Simulator) evaluation model exactly —
+/// levelized combinational propagation, simultaneous DFF sampling on
+/// [`tick`](Self::tick), persistent primary inputs — such that lane 0
+/// tracks a fault-free `Simulator` run bit for bit, and a lane with a
+/// [`force_lane`](Self::force_lane) pin tracks a `Simulator` run carrying
+/// the equivalent [`force`](crate::Simulator::force).
+#[derive(Debug, Clone)]
+pub struct WordSim<'a> {
+    netlist: &'a Netlist,
+    order: Vec<GateId>,
+    /// `lo` plane per net (bit set ⇒ lane may be 0 or X).
+    lo: Vec<u64>,
+    /// `hi` plane per net (bit set ⇒ lane may be 1 or X).
+    hi: Vec<u64>,
+    ff_lo: Vec<u64>,
+    ff_hi: Vec<u64>,
+    /// Per-net pin masks: lanes where a stuck-at force overrides the value.
+    pin_mask: Vec<u64>,
+    pin_lo: Vec<u64>,
+    pin_hi: Vec<u64>,
+    /// Nets with a nonzero `pin_mask`, for cheap re-application in `eval`.
+    pinned: Vec<NetId>,
+    cycle: u64,
+    dirty: bool,
+}
+
+impl<'a> WordSim<'a> {
+    /// Prepares a 64-lane simulator: levelizes the netlist, initialises
+    /// every flip-flop to its declared power-on value in all lanes, and
+    /// settles the combinational network. Primary inputs start at `X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] if the netlist contains a combinational
+    /// cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<WordSim<'a>, LevelizeError> {
+        let order = levelize(netlist)?;
+        let n = netlist.net_count();
+        let mut sim = WordSim {
+            netlist,
+            order,
+            lo: vec![!0; n],
+            hi: vec![!0; n],
+            ff_lo: Vec::with_capacity(netlist.dff_count()),
+            ff_hi: Vec::with_capacity(netlist.dff_count()),
+            pin_mask: vec![0; n],
+            pin_lo: vec![0; n],
+            pin_hi: vec![0; n],
+            pinned: Vec::new(),
+            cycle: 0,
+            dirty: true,
+        };
+        for ff in netlist.dffs() {
+            let (l, h) = encode(ff.init);
+            sim.ff_lo.push(l);
+            sim.ff_hi.push(h);
+        }
+        sim.load_constants();
+        sim.load_ff_outputs();
+        sim.eval();
+        Ok(sim)
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn load_constants(&mut self) {
+        for (i, net) in self.netlist.nets().iter().enumerate() {
+            if let Driver::Const(v) = net.driver {
+                let (l, h) = encode(v);
+                self.lo[i] = l;
+                self.hi[i] = h;
+            }
+        }
+    }
+
+    fn load_ff_outputs(&mut self) {
+        for (fi, ff) in self.netlist.dffs().iter().enumerate() {
+            let q = ff.q.index();
+            self.lo[q] = self.ff_lo[fi];
+            self.hi[q] = self.ff_hi[fi];
+        }
+    }
+
+    /// Resets to power-on in every lane: flip-flops to `init`, inputs to
+    /// `X`, all lane pins removed. The word-level analogue of
+    /// [`Simulator::reset_to_power_on`](crate::Simulator::reset_to_power_on),
+    /// letting one `WordSim` be reused batch after batch without paying
+    /// levelization again.
+    pub fn reset_to_power_on(&mut self) {
+        self.lo.fill(!0);
+        self.hi.fill(!0);
+        for (fi, ff) in self.netlist.dffs().iter().enumerate() {
+            let (l, h) = encode(ff.init);
+            self.ff_lo[fi] = l;
+            self.ff_hi[fi] = h;
+        }
+        self.clear_pins();
+        self.cycle = 0;
+        self.load_constants();
+        self.load_ff_outputs();
+        self.dirty = true;
+        self.eval();
+    }
+
+    /// Removes every lane pin without touching simulation state.
+    pub fn clear_pins(&mut self) {
+        for &net in &self.pinned {
+            self.pin_mask[net.index()] = 0;
+            self.pin_lo[net.index()] = 0;
+            self.pin_hi[net.index()] = 0;
+        }
+        self.pinned.clear();
+        self.dirty = true;
+    }
+
+    /// Drives a primary input in **all** lanes (the whole batch sees the
+    /// same workload). The value persists across cycles until changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set(&mut self, net: NetId, value: Logic) {
+        assert!(
+            matches!(self.netlist.net(net).driver, Driver::Input),
+            "net {net} is not a primary input"
+        );
+        let (l, h) = encode(value);
+        if (self.lo[net.index()], self.hi[net.index()]) != (l, h) {
+            self.lo[net.index()] = l;
+            self.hi[net.index()] = h;
+            self.dirty = true;
+        }
+    }
+
+    /// Pins `net` to `value` in one lane only — a per-lane stuck-at force.
+    /// Lane 0 is the golden lane and must stay clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or ≥ [`LANES`], or if `value` is not `0`/`1`
+    /// (a stuck-at fault is binary by definition).
+    pub fn force_lane(&mut self, net: NetId, lane: usize, value: Logic) {
+        assert!(lane != 0, "lane 0 is the golden lane");
+        assert!(lane < LANES, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        let i = net.index();
+        if self.pin_mask[i] == 0 {
+            self.pinned.push(net);
+        }
+        self.pin_mask[i] |= bit;
+        match value {
+            Logic::Zero => {
+                self.pin_lo[i] |= bit;
+                self.pin_hi[i] &= !bit;
+            }
+            Logic::One => {
+                self.pin_hi[i] |= bit;
+                self.pin_lo[i] &= !bit;
+            }
+            _ => panic!("stuck-at value must be 0 or 1"),
+        }
+        self.dirty = true;
+    }
+
+    /// Reads one lane of a net (call [`eval`](Self::eval) first if inputs
+    /// changed). `Z` reads as `X` — see the module docs on conflation.
+    pub fn get_lane(&self, net: NetId, lane: usize) -> Logic {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        decode(
+            self.lo[net.index()] & bit != 0,
+            self.hi[net.index()] & bit != 0,
+        )
+    }
+
+    /// The golden (lane 0) value of a net.
+    pub fn get(&self, net: NetId) -> Logic {
+        self.get_lane(net, 0)
+    }
+
+    /// Lanes whose value differs from the golden lane: bit `i` is set when
+    /// lane `i` disagrees with lane 0 (bit 0 is always clear).
+    pub fn diff_mask(&self, net: NetId) -> u64 {
+        let lo = self.lo[net.index()];
+        let hi = self.hi[net.index()];
+        let lo0 = (lo & 1).wrapping_neg(); // broadcast bit 0
+        let hi0 = (hi & 1).wrapping_neg();
+        (lo ^ lo0) | (hi ^ hi0)
+    }
+
+    /// True when the golden lane holds a known (`0`/`1`) value.
+    pub fn golden_known(&self, net: NetId) -> bool {
+        let lo = self.lo[net.index()] & 1;
+        let hi = self.hi[net.index()] & 1;
+        lo ^ hi == 1
+    }
+
+    /// Lanes in which the net is exactly `One` (not `X`): `hi & !lo`.
+    pub fn one_mask(&self, net: NetId) -> u64 {
+        self.hi[net.index()] & !self.lo[net.index()]
+    }
+
+    /// Applies lane pins to a stored value pair.
+    #[inline]
+    fn pinned_planes(&self, i: usize, lo: u64, hi: u64) -> (u64, u64) {
+        let m = self.pin_mask[i];
+        ((lo & !m) | self.pin_lo[i], (hi & !m) | self.pin_hi[i])
+    }
+
+    /// Evaluates the combinational network in all lanes. Idempotent when
+    /// nothing changed since the last call.
+    pub fn eval(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        // Pins on source nets (inputs, constants, FF outputs, undriven
+        // wires) take effect here; pins on gate outputs are re-applied at
+        // the output write during propagation.
+        for pi in 0..self.pinned.len() {
+            let i = self.pinned[pi].index();
+            let (l, h) = self.pinned_planes(i, self.lo[i], self.hi[i]);
+            self.lo[i] = l;
+            self.hi[i] = h;
+        }
+        let order = std::mem::take(&mut self.order);
+        for &g in &order {
+            let gate = self.netlist.gate(g);
+            let ins = &gate.inputs;
+            let (mut lo, mut hi) = match gate.kind {
+                GateKind::Buf => (self.lo[ins[0].index()], self.hi[ins[0].index()]),
+                GateKind::Not => (self.hi[ins[0].index()], self.lo[ins[0].index()]),
+                GateKind::And | GateKind::Nand => {
+                    let (mut lo, mut hi) = (0u64, !0u64);
+                    for &n in ins.iter() {
+                        lo |= self.lo[n.index()];
+                        hi &= self.hi[n.index()];
+                    }
+                    if gate.kind == GateKind::Nand {
+                        (hi, lo)
+                    } else {
+                        (lo, hi)
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let (mut lo, mut hi) = (!0u64, 0u64);
+                    for &n in ins.iter() {
+                        lo &= self.lo[n.index()];
+                        hi |= self.hi[n.index()];
+                    }
+                    if gate.kind == GateKind::Nor {
+                        (hi, lo)
+                    } else {
+                        (lo, hi)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Parity fold starting from encoded Zero.
+                    let (mut lo, mut hi) = (!0u64, 0u64);
+                    for &n in ins.iter() {
+                        let (bl, bh) = (self.lo[n.index()], self.hi[n.index()]);
+                        let nl = (lo & bl) | (hi & bh);
+                        let nh = (lo & bh) | (hi & bl);
+                        lo = nl;
+                        hi = nh;
+                    }
+                    if gate.kind == GateKind::Xnor {
+                        (hi, lo)
+                    } else {
+                        (lo, hi)
+                    }
+                }
+                GateKind::Mux2 => {
+                    let (sl, sh) = (self.lo[ins[0].index()], self.hi[ins[0].index()]);
+                    let (al, ah) = (self.lo[ins[1].index()], self.hi[ins[1].index()]);
+                    let (bl, bh) = (self.lo[ins[2].index()], self.hi[ins[2].index()]);
+                    let sel0 = sl & !sh;
+                    let sel1 = sh & !sl;
+                    let selx = sl & sh;
+                    // Unknown select: the plane union is the pessimistic
+                    // join — known only where both data inputs agree.
+                    (
+                        (sel0 & al) | (sel1 & bl) | (selx & (al | bl)),
+                        (sel0 & ah) | (sel1 & bh) | (selx & (ah | bh)),
+                    )
+                }
+            };
+            let out = gate.output.index();
+            if self.pin_mask[out] != 0 {
+                let (pl, ph) = self.pinned_planes(out, lo, hi);
+                lo = pl;
+                hi = ph;
+            }
+            self.lo[out] = lo;
+            self.hi[out] = hi;
+        }
+        self.order = order;
+        self.dirty = false;
+    }
+
+    /// Advances one clock cycle in all lanes: every flip-flop samples
+    /// simultaneously (per lane, with the same reset/enable/X semantics as
+    /// [`Simulator::tick`](crate::Simulator::tick)), and the combinational
+    /// network is re-evaluated.
+    pub fn tick(&mut self) {
+        self.eval();
+        for (fi, ff) in self.netlist.dffs().iter().enumerate() {
+            let (cl, ch) = (self.ff_lo[fi], self.ff_hi[fi]);
+            let (dl, dh) = (self.lo[ff.d.index()], self.hi[ff.d.index()]);
+            // Reset plane masks; no reset net behaves as constant 0
+            // (the `_` arm of the Simulator's reset match).
+            let (r1, r0, rx) = match ff.reset {
+                Some(r) => {
+                    let (rl, rh) = (self.lo[r.index()], self.hi[r.index()]);
+                    (rh & !rl, rl & !rh, rl & rh)
+                }
+                None => (0, !0, 0),
+            };
+            // Enable plane masks; no enable net behaves as constant 1.
+            let (e1, e0, ex) = match ff.enable {
+                Some(e) => {
+                    let (el, eh) = (self.lo[e.index()], self.hi[e.index()]);
+                    (eh & !el, el & !eh, el & eh)
+                }
+                None => (!0, 0, 0),
+            };
+            let (rvl, rvh) = encode(ff.reset_value);
+            // Per lane: rst==1 → reset_value; rst X → X; rst==0 →
+            // (en==1 → d, en==0 → hold, en X → X).
+            let loaded_lo = (e1 & dl) | (e0 & cl) | ex;
+            let loaded_hi = (e1 & dh) | (e0 & ch) | ex;
+            self.ff_lo[fi] = (r1 & rvl) | rx | (r0 & loaded_lo);
+            self.ff_hi[fi] = (r1 & rvh) | rx | (r0 & loaded_hi);
+        }
+        self.load_ff_outputs();
+        self.cycle += 1;
+        self.dirty = true;
+        self.eval();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use socfmea_netlist::NetlistBuilder;
+
+    /// 2-bit counter with reset — the Simulator's own reference fixture.
+    fn counter2() -> Netlist {
+        let mut b = NetlistBuilder::new("cnt2");
+        let rst = b.input("rst");
+        let q0 = b.dff_placeholder("q0");
+        let q1 = b.dff_placeholder("q1");
+        let n0 = b.gate(GateKind::Not, &[q0], "n0");
+        let t1 = b.gate(GateKind::Xor, &[q1, q0], "t1");
+        b.bind_dff("q0", n0);
+        b.bind_dff("q1", t1);
+        b.set_dff_controls(q0, None, Some(rst), Logic::Zero);
+        b.set_dff_controls(q1, None, Some(rst), Logic::Zero);
+        b.output("o0", q0);
+        b.output("o1", q1);
+        b.finish().unwrap()
+    }
+
+    /// A fixture exercising every gate kind plus an enabled DFF.
+    fn all_gates() -> Netlist {
+        let mut b = NetlistBuilder::new("allg");
+        let a = b.input("a");
+        let c = b.input("c");
+        let en = b.input("en");
+        let q = b.dff_placeholder("q");
+        let and = b.gate(GateKind::And, &[a, c], "g_and");
+        let nand = b.gate(GateKind::Nand, &[a, c], "g_nand");
+        let or = b.gate(GateKind::Or, &[a, c], "g_or");
+        let nor = b.gate(GateKind::Nor, &[a, c], "g_nor");
+        let xor = b.gate(GateKind::Xor, &[a, c, q], "g_xor");
+        let xnor = b.gate(GateKind::Xnor, &[a, c], "g_xnor");
+        let mux = b.gate(GateKind::Mux2, &[a, c, xor], "g_mux");
+        let nb = b.gate(GateKind::Not, &[mux], "g_not");
+        let bf = b.gate(GateKind::Buf, &[nb], "g_buf");
+        b.bind_dff("q", bf);
+        b.set_dff_controls(q, Some(en), None, Logic::Zero);
+        for (name, net) in [
+            ("o_and", and),
+            ("o_nand", nand),
+            ("o_or", or),
+            ("o_nor", nor),
+            ("o_xnor", xnor),
+            ("o_buf", bf),
+        ] {
+            b.output(name, net);
+        }
+        b.finish().unwrap()
+    }
+
+    /// Asserts that every net of `word` lane `lane` equals `scalar`.
+    fn assert_lane_matches(word: &WordSim, scalar: &Simulator, lane: usize, tag: &str) {
+        for (i, net) in word.netlist().nets().iter().enumerate() {
+            let id = NetId::from_index(i);
+            assert_eq!(
+                word.get_lane(id, lane),
+                scalar.get(id).resolved(),
+                "{tag}: lane {lane} diverges on net {}",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn golden_lane_matches_the_scalar_simulator_cycle_by_cycle() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        let mut scalar = Simulator::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        for (cycle, r) in [Logic::One, Logic::Zero, Logic::Zero, Logic::Zero, Logic::X]
+            .iter()
+            .cycle()
+            .take(12)
+            .enumerate()
+        {
+            word.set(rst, *r);
+            scalar.set(rst, *r);
+            word.eval();
+            scalar.eval();
+            assert_lane_matches(&word, &scalar, 0, &format!("cycle {cycle}"));
+            word.tick();
+            scalar.tick();
+        }
+        assert_eq!(word.cycle(), scalar.cycle());
+    }
+
+    #[test]
+    fn every_gate_kind_matches_the_scalar_simulator_on_all_input_values() {
+        let nl = all_gates();
+        let mut word = WordSim::new(&nl).unwrap();
+        let mut scalar = Simulator::new(&nl).unwrap();
+        let a = nl.net_by_name("a").unwrap();
+        let c = nl.net_by_name("c").unwrap();
+        let en = nl.net_by_name("en").unwrap();
+        for va in Logic::ALL {
+            for vc in Logic::ALL {
+                for ve in Logic::ALL {
+                    for (n, v) in [(a, va), (c, vc), (en, ve)] {
+                        word.set(n, v);
+                        scalar.set(n, v);
+                    }
+                    word.eval();
+                    scalar.eval();
+                    assert_lane_matches(&word, &scalar, 0, &format!("{va}{vc}{ve}"));
+                    word.tick();
+                    scalar.tick();
+                    assert_lane_matches(&word, &scalar, 0, &format!("{va}{vc}{ve} post-tick"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_lane_matches_a_forced_scalar_simulator() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        let mut golden = Simulator::new(&nl).unwrap();
+        let mut faulty = Simulator::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        let q0 = nl.net_by_name("q0").unwrap();
+        word.force_lane(q0, 3, Logic::Zero);
+        faulty.force(q0, Logic::Zero);
+        for r in [
+            Logic::One,
+            Logic::Zero,
+            Logic::Zero,
+            Logic::Zero,
+            Logic::Zero,
+        ] {
+            word.set(rst, r);
+            golden.set(rst, r);
+            faulty.set(rst, r);
+            word.eval();
+            golden.eval();
+            faulty.eval();
+            assert_lane_matches(&word, &golden, 0, "golden");
+            assert_lane_matches(&word, &faulty, 3, "faulty");
+            word.tick();
+            golden.tick();
+            faulty.tick();
+        }
+    }
+
+    #[test]
+    fn diff_mask_flags_exactly_the_diverged_lanes() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        let q0 = nl.net_by_name("q0").unwrap();
+        let q1 = nl.net_by_name("q1").unwrap();
+        // lane 5: q0 stuck at 0 — after reset+count the counter freezes
+        word.force_lane(q0, 5, Logic::Zero);
+        word.set(rst, Logic::One);
+        word.eval();
+        word.tick();
+        word.set(rst, Logic::Zero);
+        word.eval();
+        word.tick(); // golden q0 = 1, lane 5 pinned to 0
+        assert!(word.golden_known(q0));
+        assert_eq!(word.diff_mask(q0), 1 << 5);
+        word.tick(); // golden: q1 = 1; lane 5: frozen at 0
+        assert_eq!(word.diff_mask(q1), 1 << 5);
+        // one_mask: golden q1 is One everywhere except the frozen lane
+        assert_eq!(word.one_mask(q1), !(1u64 << 5));
+    }
+
+    #[test]
+    fn x_reset_poisons_all_lanes() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        word.set(rst, Logic::X);
+        word.tick();
+        let q0 = nl.net_by_name("q0").unwrap();
+        assert_eq!(word.get(q0), Logic::X);
+        assert!(!word.golden_known(q0));
+        assert_eq!(word.diff_mask(q0), 0);
+    }
+
+    #[test]
+    fn reset_to_power_on_clears_pins_and_state() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        let q0 = nl.net_by_name("q0").unwrap();
+        word.force_lane(q0, 7, Logic::One);
+        word.set(rst, Logic::Zero);
+        word.eval();
+        word.tick();
+        word.reset_to_power_on();
+        assert_eq!(word.cycle(), 0);
+        assert_eq!(word.diff_mask(q0), 0);
+        let mut scalar = Simulator::new(&nl).unwrap();
+        assert_lane_matches(&word, &scalar, 0, "power-on");
+        word.set(rst, Logic::Zero);
+        scalar.set(rst, Logic::Zero);
+        word.eval();
+        scalar.eval();
+        word.tick();
+        scalar.tick();
+        assert_lane_matches(&word, &scalar, 7, "ex-faulty lane after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "golden lane")]
+    fn forcing_lane_zero_panics() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        word.force_lane(nl.net_by_name("q0").unwrap(), 0, Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn driving_internal_net_panics() {
+        let nl = counter2();
+        let mut word = WordSim::new(&nl).unwrap();
+        word.set(nl.net_by_name("n0").unwrap(), Logic::One);
+    }
+
+    #[test]
+    fn sixty_three_independent_faults_each_match_their_own_scalar_run() {
+        // A wider register file so 63 distinct fault sites exist.
+        let mut b = NetlistBuilder::new("wide");
+        let rst = b.input("rst");
+        let mut qs = Vec::new();
+        for i in 0..32 {
+            let q = b.dff_placeholder(format!("q{i}"));
+            let n = b.gate(GateKind::Not, &[q], format!("n{i}"));
+            b.bind_dff(&format!("q{i}"), n);
+            b.set_dff_controls(q, None, Some(rst), Logic::Zero);
+            b.output(format!("o{i}"), q);
+            qs.push((q, n));
+        }
+        let nl = b.finish().unwrap();
+        let mut word = WordSim::new(&nl).unwrap();
+        let rst = nl.net_by_name("rst").unwrap();
+        let mut scalars = Vec::new();
+        for lane in 1..LANES {
+            let (q, n) = qs[lane % qs.len()];
+            let v = Logic::from_bool(lane % 2 == 0);
+            let site = if lane % 3 == 0 { n } else { q };
+            word.force_lane(site, lane, v);
+            let mut s = Simulator::new(&nl).unwrap();
+            s.force(site, v);
+            scalars.push(s);
+        }
+        let mut golden = Simulator::new(&nl).unwrap();
+        for r in [Logic::One, Logic::Zero, Logic::Zero, Logic::Zero] {
+            word.set(rst, r);
+            golden.set(rst, r);
+            word.eval();
+            golden.eval();
+            assert_lane_matches(&word, &golden, 0, "golden");
+            for (li, s) in scalars.iter_mut().enumerate() {
+                s.set(rst, r);
+                s.eval();
+                assert_lane_matches(&word, s, li + 1, "fault lane");
+            }
+            word.tick();
+            golden.tick();
+            for s in scalars.iter_mut() {
+                s.tick();
+            }
+        }
+    }
+}

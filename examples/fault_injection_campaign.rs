@@ -77,9 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         faults.len(),
         w.len()
     );
-    // shard across two worker threads; the merge is deterministic, so the
-    // result is identical to `run_campaign(&env, &faults)`
-    let runner = Campaign::new(&env, &faults).threads(2);
+    // shard across two worker threads; the merge is deterministic and
+    // every engine is bit-identical, so the result equals
+    // `run_campaign(&env, &faults)` — `Engine::Auto` just picks the
+    // fastest strategy the fault list admits
+    let runner = Campaign::new(&env, &faults).engine(Engine::Auto).threads(2);
     let stats = runner.stats();
     let campaign = runner.run();
     println!("{}", stats.summary());

@@ -18,8 +18,9 @@
 //!   --threads <n>              campaign worker threads
 //!   --seed <s>                 fault-list sampling seed
 //!   --cycles <n>               synthetic workload length in cycles
-//!   --accel                    use the checkpointed incremental engine
-//!   --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
+//!   --engine <e>               campaign engine (auto|lockstep|sparse|ppsfp)
+//!   --accel                    deprecated alias for --engine sparse
+//!   --checkpoint-interval <n>  golden-trace checkpoint spacing (sparse)
 //!   --collapse                 simulate one representative per equivalence
 //!                              class, back-annotate the rest
 //!   --example <design>         inject into a bundled design
@@ -242,9 +243,9 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
     let campaign = Campaign::new(&env, &faults)
         .threads(opts.threads)
         .seed(opts.seed)
-        .accelerated(opts.accel)
+        .engine(opts.engine)
         .checkpoint_interval(opts.checkpoint_interval)
-        .collapse(opts.collapse)
+        .collapsing(opts.collapse)
         .observe(&observer);
     let stats = campaign.stats();
     let reporter = (opts.progress && !opts.quiet).then(|| {

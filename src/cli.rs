@@ -15,6 +15,7 @@
 //! [`USAGE`].
 
 use socfmea_core::extract::ExtractConfig;
+use socfmea_faultsim::{Collapse, Engine};
 use socfmea_iec61508::{ComponentClass, Hft, Sil, SubsystemType};
 
 /// The usage string printed on argument errors.
@@ -38,10 +39,13 @@ inject options:
   --threads <n>              campaign worker threads (default: host cores, max 8)
   --seed <s>                 fault-list sampling seed (default: 0x5eed)
   --cycles <n>               synthetic workload length in cycles (default: 48)
-  --accel                    use the checkpointed incremental engine
-                             (bit-identical result, fewer evaluated cycles)
-  --checkpoint-interval <n>  golden-trace checkpoint spacing for --accel
-                             (default: 16)
+  --engine <e>               campaign execution engine (auto|lockstep|sparse|
+                             ppsfp); every engine yields the bit-identical
+                             result (default: auto — ppsfp for all-stuck-at
+                             lists, sparse otherwise)
+  --accel                    deprecated alias for --engine sparse
+  --checkpoint-interval <n>  golden-trace checkpoint spacing for the sparse
+                             engine (default: 16)
   --collapse                 simulate one representative per equivalence
                              class, back-annotate the rest (bit-identical)
   --example <design>         inject into a bundled design instead of a
@@ -126,14 +130,14 @@ pub struct InjectOptions {
     pub seed: u64,
     /// Length of the synthetic stimulus, in cycles.
     pub cycles: usize,
-    /// Run the campaign on the checkpointed incremental engine
-    /// (`socfmea-accel`); the result is bit-identical to the baseline.
-    pub accel: bool,
-    /// Checkpoint spacing of the golden trace when `accel` is on.
+    /// Campaign execution engine; every engine yields the bit-identical
+    /// result, so this only selects the execution strategy.
+    pub engine: Engine,
+    /// Checkpoint spacing of the golden trace under [`Engine::Sparse`].
     pub checkpoint_interval: usize,
-    /// Collapse equivalent faults: simulate one representative per class
-    /// and expand the rest from the fault dictionary (bit-identical).
-    pub collapse: bool,
+    /// Fault-collapsing mode: simulate one representative per equivalence
+    /// class and expand the rest from the fault dictionary (bit-identical).
+    pub collapse: Collapse,
     /// Stream a JSONL trace (one record per fault, plus span/phase/end
     /// records) to this path.
     pub trace_out: Option<String>,
@@ -281,9 +285,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut threads = default_threads();
     let mut seed = 0x5eed;
     let mut cycles = 48usize;
-    let mut accel = false;
+    let mut engine = Engine::Auto;
     let mut checkpoint_interval = 16usize;
-    let mut collapse = false;
+    let mut collapse = Collapse::Off;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut progress = false;
@@ -335,8 +339,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err("--cycles must be at least 1".into());
                 }
             }
-            "--accel" if is_inject => accel = true,
-            "--collapse" if is_inject => collapse = true,
+            "--engine" if is_inject => {
+                let e = it.next().ok_or("--engine needs a value")?;
+                engine = match e.as_str() {
+                    "auto" => Engine::Auto,
+                    "lockstep" => Engine::Lockstep,
+                    "sparse" => Engine::Sparse,
+                    "ppsfp" => Engine::Ppsfp,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
+            // deprecated alias, kept so existing scripts continue to work
+            "--accel" if is_inject => engine = Engine::Sparse,
+            "--collapse" if is_inject => collapse = Collapse::Dictionary,
             "--checkpoint-interval" if is_inject => {
                 let n = it.next().ok_or("--checkpoint-interval needs a number")?;
                 checkpoint_interval = n
@@ -418,7 +433,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads,
                 seed,
                 cycles,
-                accel,
+                engine,
                 checkpoint_interval,
                 collapse,
                 trace_out,
@@ -517,9 +532,9 @@ mod tests {
         assert!(o.threads >= 1);
         assert_eq!(o.seed, 0x5eed);
         assert_eq!(o.cycles, 48);
-        assert!(!o.accel);
+        assert_eq!(o.engine, Engine::Auto);
         assert_eq!(o.checkpoint_interval, 16);
-        assert!(!o.collapse);
+        assert_eq!(o.collapse, Collapse::Off);
         assert!(o.trace_out.is_none());
         assert!(o.metrics_out.is_none());
         assert!(!o.progress);
@@ -595,11 +610,24 @@ mod tests {
     }
 
     #[test]
-    fn inject_parses_accel_options() {
+    fn inject_parses_engine_options() {
+        for (name, engine) in [
+            ("auto", Engine::Auto),
+            ("lockstep", Engine::Lockstep),
+            ("sparse", Engine::Sparse),
+            ("ppsfp", Engine::Ppsfp),
+        ] {
+            let cmd = parse(&argv(&["inject", "d.v", "--engine", name])).unwrap();
+            let Command::Inject(o) = cmd else {
+                panic!("inject expected")
+            };
+            assert_eq!(o.engine, engine, "--engine {name}");
+        }
         let cmd = parse(&argv(&[
             "inject",
             "d.v",
-            "--accel",
+            "--engine",
+            "sparse",
             "--checkpoint-interval",
             "8",
         ]))
@@ -607,26 +635,39 @@ mod tests {
         let Command::Inject(o) = cmd else {
             panic!("inject expected")
         };
-        assert!(o.accel);
+        assert_eq!(o.engine, Engine::Sparse);
         assert_eq!(o.checkpoint_interval, 8);
-        // degenerate and foreign uses are rejected
+        // unknown engines, degenerate and foreign uses are rejected
+        assert!(parse(&argv(&["inject", "d.v", "--engine", "warp"]))
+            .unwrap_err()
+            .contains("unknown engine"));
         assert!(
             parse(&argv(&["inject", "d.v", "--checkpoint-interval", "0"]))
                 .unwrap_err()
                 .contains("at least 1")
         );
-        assert!(parse(&argv(&["analyze", "d.v", "--accel"])).is_err());
+        assert!(parse(&argv(&["analyze", "d.v", "--engine", "sparse"])).is_err());
         assert!(parse(&argv(&["lint", "d.v", "--checkpoint-interval", "4"])).is_err());
     }
 
     #[test]
-    fn inject_parses_collapse() {
-        let cmd = parse(&argv(&["inject", "d.v", "--collapse", "--accel"])).unwrap();
+    fn inject_accel_is_a_deprecated_alias_for_engine_sparse() {
+        let cmd = parse(&argv(&["inject", "d.v", "--accel"])).unwrap();
         let Command::Inject(o) = cmd else {
             panic!("inject expected")
         };
-        assert!(o.collapse);
-        assert!(o.accel, "collapse composes with accel");
+        assert_eq!(o.engine, Engine::Sparse);
+        assert!(parse(&argv(&["analyze", "d.v", "--accel"])).is_err());
+    }
+
+    #[test]
+    fn inject_parses_collapse() {
+        let cmd = parse(&argv(&["inject", "d.v", "--collapse", "--engine", "ppsfp"])).unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert_eq!(o.collapse, Collapse::Dictionary);
+        assert_eq!(o.engine, Engine::Ppsfp, "collapse composes with any engine");
         // --collapse is an inject-only option
         assert!(parse(&argv(&["analyze", "d.v", "--collapse"])).is_err());
         assert!(parse(&argv(&["zones", "d.v", "--collapse"])).is_err());

@@ -73,7 +73,7 @@ pub use socfmea_core as fmea;
 pub use socfmea_faultsim as faultsim;
 
 /// The checkpointed incremental fault-simulation engine behind
-/// [`Campaign::accelerated`](faultsim::Campaign::accelerated).
+/// [`Engine::Sparse`](faultsim::Engine::Sparse).
 pub use socfmea_accel as accel;
 
 /// Structured tracing, metrics, and live campaign telemetry: hierarchical

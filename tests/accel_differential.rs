@@ -1,6 +1,6 @@
-//! Differential tests: the accelerated campaign engine (`--accel`,
-//! `Campaign::accelerated(true)`) produces bit-identical results to the
-//! baseline lockstep engine on all four bundled example designs.
+//! Differential tests: the accelerated campaign engine (`--engine sparse`,
+//! `Campaign::engine(Engine::Sparse)`) produces bit-identical results to
+//! the baseline lockstep engine on all four bundled example designs.
 //!
 //! These are the acceptance tests of the `socfmea-accel` subsystem: warm
 //! starts, divergence-set propagation and convergence early exit are pure
@@ -14,7 +14,7 @@
 //! run.
 
 use soc_fmea::faultsim::{
-    generate_fault_list, Campaign, CampaignResult, EnvironmentBuilder, FaultListConfig,
+    generate_fault_list, Campaign, CampaignResult, Engine, EnvironmentBuilder, FaultListConfig,
     OperationalProfile,
 };
 use soc_fmea::fmea::extract_zones;
@@ -60,7 +60,7 @@ fn assert_differential(
     let baseline: CampaignResult = Campaign::new(&env, &faults).run();
     for interval in [1usize, 16] {
         let accel = Campaign::new(&env, &faults)
-            .accelerated(true)
+            .engine(Engine::Sparse)
             .checkpoint_interval(interval)
             .threads(2)
             .run();

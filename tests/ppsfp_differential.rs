@@ -1,18 +1,17 @@
-//! Differential tests: fault collapsing (`--collapse`,
-//! `Campaign::collapsing(Collapse::Dictionary)`) produces bit-identical
-//! results to the uncollapsed baseline on all four bundled example designs.
+//! Differential tests: the bit-parallel PPSFP campaign engine
+//! (`--engine ppsfp`, `Campaign::engine(Engine::Ppsfp)`) produces
+//! bit-identical results to the baseline lockstep engine on all four
+//! bundled example designs.
 //!
-//! These are the acceptance tests of the `FaultCollapser`: equivalence
-//! collapsing plus fault-dictionary back-annotation is a pure execution
-//! strategy — the campaign simulates one representative per class and
-//! expands the rest from the dictionary, so outcomes, per-zone coverage
-//! and measured DC/SFF must match exactly. Exercised on generated fault
-//! lists (every fault kind) and on dense exhaustive stuck-at lists (where
-//! collapsing actually bites), serial and sharded, and composed with the
-//! accelerated engine.
+//! These are the acceptance tests of the word-level simulation core and the
+//! batched campaign kernel: packing up to `FAULT_LANES` faulty machines
+//! into the lanes of each word is a pure execution strategy, so outcomes,
+//! per-zone coverage and measured DC/SFF must match exactly — serial and
+//! sharded, alone and composed with fault collapsing, and all the way out
+//! to the byte-identical stdout of the `socfmea inject` binary.
 //!
 //! Kept deliberately small (reduced memory size, strided stuck-at lists)
-//! so the suite stays fast in debug builds; the CI `collapse-differential`
+//! so the suite stays fast in debug builds; the CI `ppsfp-differential`
 //! job also runs it under `--release` together with a
 //! `bench_collapse --quick` smoke run.
 
@@ -29,6 +28,8 @@ use soc_fmea::netlist::{Driver, Logic, NetId, Netlist};
 use soc_fmea::sim::Workload;
 
 /// A fault list exercising every fault kind, small enough for debug builds.
+/// The non-stuck-at kinds exercise the per-fault fallback inside a forced
+/// PPSFP run.
 fn fault_config() -> FaultListConfig {
     FaultListConfig {
         bitflips_per_zone: 2,
@@ -45,7 +46,7 @@ fn fault_config() -> FaultListConfig {
 
 /// A strided exhaustive stuck-at list: both polarities on every `stride`-th
 /// driven, non-constant net, capped so debug builds stay fast. Dense enough
-/// that equivalence classes actually form.
+/// to fill several 63-fault words.
 fn strided_stuck_list(netlist: &Netlist, stride: usize, cap: usize) -> Vec<Fault> {
     let mut faults = Vec::new();
     for (i, net) in netlist.nets().iter().enumerate() {
@@ -70,8 +71,8 @@ fn strided_stuck_list(netlist: &Netlist, stride: usize, cap: usize) -> Vec<Fault
     faults
 }
 
-/// Runs baseline and collapsed campaigns over the same environment and
-/// asserts bit-identity, serial, sharded and composed with `--accel`.
+/// Runs baseline and PPSFP campaigns over the same environment and asserts
+/// bit-identity at one and four threads, with and without collapsing.
 fn assert_differential(
     design: &str,
     netlist: &Netlist,
@@ -91,32 +92,31 @@ fn assert_differential(
 
     for (list_name, faults) in [("generated", &generated), ("stuck-at", &stuck)] {
         let baseline: CampaignResult = Campaign::new(&env, faults).run();
-        // Serial-vs-sharded collapse identity is covered by the campaign
-        // unit tests and `prop_collapse`; here one sharded run per list
-        // keeps the debug-build suite affordable.
-        let collapsed = Campaign::new(&env, faults)
-            .collapsing(Collapse::Dictionary)
-            .threads(2)
-            .run();
-        assert_eq!(
-            baseline, collapsed,
-            "{design}/{list_name}: collapsed result diverges"
-        );
-        let composed = Campaign::new(&env, faults)
-            .collapsing(Collapse::Dictionary)
-            .engine(Engine::Sparse)
-            .checkpoint_interval(16)
-            .threads(2)
-            .run();
-        assert_eq!(
-            baseline, composed,
-            "{design}/{list_name}: collapse+accel result diverges"
-        );
-        // DC / SFF / coverage ride on the outcomes, but assert them
-        // explicitly — they are the safety measurements the paper reports.
-        assert_eq!(baseline.measured_dc(), composed.measured_dc());
-        assert_eq!(baseline.measured_sff(), composed.measured_sff());
-        assert_eq!(baseline.coverage, composed.coverage);
+        for threads in [1usize, 4] {
+            let ppsfp = Campaign::new(&env, faults)
+                .engine(Engine::Ppsfp)
+                .threads(threads)
+                .run();
+            assert_eq!(
+                baseline, ppsfp,
+                "{design}/{list_name}: ppsfp result diverges at {threads} threads"
+            );
+            let composed = Campaign::new(&env, faults)
+                .engine(Engine::Ppsfp)
+                .collapsing(Collapse::Dictionary)
+                .threads(threads)
+                .run();
+            assert_eq!(
+                baseline, composed,
+                "{design}/{list_name}: collapse+ppsfp result diverges at {threads} threads"
+            );
+            // DC / SFF / coverage ride on the outcomes, but assert them
+            // explicitly — they are the safety measurements the paper
+            // reports.
+            assert_eq!(baseline.measured_dc(), composed.measured_dc());
+            assert_eq!(baseline.measured_sff(), composed.measured_sff());
+            assert_eq!(baseline.coverage, composed.coverage);
+        }
     }
 }
 
@@ -143,21 +143,55 @@ fn mcu_differential(cfg: McuConfig, design: &str) {
 }
 
 #[test]
-fn fmem_hardened_collapsed_matches_baseline() {
+fn fmem_hardened_ppsfp_matches_baseline() {
     memsys_differential(MemSysConfig::hardened().with_words(8), "fmem");
 }
 
 #[test]
-fn fmem_baseline_collapsed_matches_baseline() {
+fn fmem_baseline_ppsfp_matches_baseline() {
     memsys_differential(MemSysConfig::baseline().with_words(8), "fmem-baseline");
 }
 
 #[test]
-fn mcu_lockstep_collapsed_matches_baseline() {
+fn mcu_lockstep_ppsfp_matches_baseline() {
     mcu_differential(McuConfig::lockstep(programs::checksum_loop()), "mcu");
 }
 
 #[test]
-fn mcu_single_collapsed_matches_baseline() {
+fn mcu_single_ppsfp_matches_baseline() {
     mcu_differential(McuConfig::single(programs::checksum_loop()), "mcu-single");
+}
+
+/// The report on stdout — zone tables, measured DC/SFF, coverage — must be
+/// byte-identical whichever engine classified the faults, for every example
+/// design the binary bundles.
+#[test]
+fn inject_stdout_is_byte_identical_across_engines() {
+    for example in ["fmem", "fmem-baseline", "mcu", "mcu-single"] {
+        let run = |engine: &str| {
+            let out = std::process::Command::new(env!("CARGO_BIN_EXE_socfmea"))
+                .args([
+                    "inject",
+                    "--example",
+                    example,
+                    "--cycles",
+                    "12",
+                    "--quiet",
+                    "--engine",
+                    engine,
+                ])
+                .output()
+                .expect("binary runs");
+            assert!(out.status.success(), "{example}: inject --engine {engine}");
+            out.stdout
+        };
+        let lockstep = run("lockstep");
+        for engine in ["ppsfp", "sparse", "auto"] {
+            assert_eq!(
+                lockstep,
+                run(engine),
+                "{example}: stdout differs between lockstep and {engine}"
+            );
+        }
+    }
 }

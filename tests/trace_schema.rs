@@ -172,7 +172,10 @@ fn trace_has_meta_first_end_last_and_one_typed_record_per_fault() {
     assert_eq!(u64_field(meta, "threads"), 2);
     assert_eq!(u64_field(meta, "cycles"), 24);
     assert_eq!(u64_field(meta, "seed"), 42);
-    assert_eq!(meta.get("accel").and_then(Value::as_bool), Some(false));
+    // The CLI defaults to `--engine auto`, which resolves to the sparse
+    // engine for this mixed generated fault list (bit flips can't ride a
+    // PPSFP word lane), so the meta record reports the accelerated path.
+    assert_eq!(meta.get("accel").and_then(Value::as_bool), Some(true));
     assert_eq!(meta.get("collapse").and_then(Value::as_bool), Some(false));
 
     // end closes it with the totals
@@ -199,7 +202,10 @@ fn trace_has_meta_first_end_last_and_one_typed_record_per_fault() {
         *tally.entry(outcome.to_owned()).or_insert(0u64) += 1;
         let engine = str_field(f, "engine");
         assert!(
-            matches!(engine, "lockstep" | "sparse" | "warm" | "dictionary"),
+            matches!(
+                engine,
+                "lockstep" | "sparse" | "warm" | "ppsfp" | "dictionary"
+            ),
             "bad engine `{engine}`"
         );
         for k in ["inject", "sim", "skip", "nanos"] {
@@ -240,6 +246,29 @@ fn trace_deterministic_fields_are_identical_across_thread_counts() {
     }
     // serial campaigns run on one shard; the merge keeps order regardless
     assert!(f1.iter().all(|f| opt_u64_field(f, "shard") == Some(0)));
+}
+
+#[test]
+fn ppsfp_trace_labels_batched_faults_and_matches_baseline_outcomes() {
+    let (base, _) = inject_traced("pbase", &["--threads", "2", "--engine", "lockstep"]);
+    let (records, _) = inject_traced("ppsfp", &["--threads", "2", "--engine", "ppsfp"]);
+    let (fb, fp) = (faults_of(&base), faults_of(&records));
+    assert_eq!(fb.len(), fp.len());
+    // bit-identical contract again: only the engine column may differ
+    for (b, p) in fb.iter().zip(&fp) {
+        assert_eq!(outcome_key(b), outcome_key(p));
+    }
+    // known-value stuck-ats ride word lanes; the other kinds in the
+    // generated list fall back to the per-fault dispatcher
+    assert!(fp.iter().any(|f| str_field(f, "engine") == "ppsfp"));
+    assert!(fp.iter().any(|f| str_field(f, "engine") != "ppsfp"));
+    // batched faults evaluate either the whole workload (first lane of the
+    // word) or nothing (the lanes riding along)
+    for f in fp.iter().filter(|f| str_field(f, "engine") == "ppsfp") {
+        let (sim, skip) = (u64_field(f, "sim"), u64_field(f, "skip"));
+        assert_eq!(sim + skip, 24, "ppsfp lane cycles in {f}");
+        assert!(sim == 0 || skip == 0, "ppsfp lane split in {f}");
+    }
 }
 
 #[test]
