@@ -5,19 +5,25 @@
 //! sparse kernel needs it to (a) wake exactly the gates reading a divergent
 //! net and (b) pop woken gates in dependency order.
 
-use socfmea_netlist::{levelize, DffId, GateId, LevelizeError, Netlist};
+use socfmea_netlist::{levelize, DffId, GateId, LevelizeError, NetId, Netlist};
 
 /// Per-netlist propagation structure: the same topological gate order a
 /// [`Simulator`](socfmea_sim::Simulator) evaluates in, inverted into
 /// reader lists so a change on one net wakes only its fan-out.
 #[derive(Debug, Clone)]
 pub struct Topology {
+    /// The levelized gate evaluation order itself.
+    order: Vec<GateId>,
     /// Position of each gate (by [`GateId::index`]) in the levelized order.
     pos: Vec<u32>,
     /// Gates reading each net (by [`NetId::index`]).
     gate_readers: Vec<Vec<GateId>>,
     /// Flip-flops reading each net through `d`/`enable`/`reset`.
     dff_readers: Vec<Vec<DffId>>,
+    /// Output net of each gate (by [`GateId::index`]).
+    gate_out: Vec<NetId>,
+    /// `q` net of each flip-flop (by [`DffId::index`]).
+    dff_q: Vec<NetId>,
 }
 
 impl Topology {
@@ -34,10 +40,48 @@ impl Topology {
             pos[g.index()] = p as u32;
         }
         Ok(Topology {
+            order,
             pos,
             gate_readers: netlist.gate_fanout(),
             dff_readers: netlist.dff_fanout(),
+            gate_out: netlist.gates().iter().map(|g| g.output).collect(),
+            dff_q: netlist.dffs().iter().map(|ff| ff.q).collect(),
         })
+    }
+
+    /// The levelized gate evaluation order (every gate exactly once, each
+    /// after all gates driving its inputs).
+    #[inline]
+    pub fn levels(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Per-net reachability flags for the forward structural fan-out cone
+    /// of `net`: `true` for every net (including `net` itself) reachable
+    /// from it through gate evaluation *and* flip-flop state transfer
+    /// (`d`/`enable`/`reset` → `q`). This is the set of nets a value
+    /// change on `net` could ever influence, across any number of cycles.
+    pub fn fanout_cone(&self, net: NetId) -> Vec<bool> {
+        let mut reach = vec![false; self.gate_readers.len()];
+        let mut stack = vec![net];
+        reach[net.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &g in &self.gate_readers[n.index()] {
+                let out = self.gate_out[g.index()];
+                if !reach[out.index()] {
+                    reach[out.index()] = true;
+                    stack.push(out);
+                }
+            }
+            for &ff in &self.dff_readers[n.index()] {
+                let q = self.dff_q[ff.index()];
+                if !reach[q.index()] {
+                    reach[q.index()] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        reach
     }
 
     /// The position of `gate` in the levelized evaluation order.
@@ -89,5 +133,45 @@ mod tests {
             let id = DffId::from_index(fi);
             assert!(topo.dff_readers(ff.d.index()).contains(&id));
         }
+    }
+
+    #[test]
+    fn levels_cover_every_gate_in_dependency_order() {
+        let mut r = RtlBuilder::new("lv");
+        let d = r.input_word("d", 3);
+        let q = r.register("q", &d, None, None);
+        let p = r.parity(&q);
+        r.output("flag", p);
+        let nl = r.finish().unwrap();
+        let topo = Topology::build(&nl).unwrap();
+        assert_eq!(topo.levels().len(), nl.gate_count());
+        for (p, &g) in topo.levels().iter().enumerate() {
+            assert_eq!(topo.position(g) as usize, p);
+        }
+    }
+
+    #[test]
+    fn fanout_cone_crosses_dff_boundaries_and_stays_forward() {
+        let mut r = RtlBuilder::new("fc");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        let p = r.parity(&q);
+        r.output_word("o", &q);
+        r.output("flag", p);
+        let nl = r.finish().unwrap();
+        let topo = Topology::build(&nl).unwrap();
+        let d0 = nl.net_by_name("d[0]").unwrap();
+        let d1 = nl.net_by_name("d[1]").unwrap();
+        let cone = topo.fanout_cone(d0);
+        assert!(cone[d0.index()], "a net is in its own cone");
+        // d[0] reaches q[0] through the register and the parity flag past it
+        assert!(cone[nl.net_by_name("q[0]").unwrap().index()]);
+        assert!(cone[nl.net_by_name("flag").unwrap().index()]);
+        // but never its sibling input
+        assert!(!cone[d1.index()]);
+        // and the flag output's cone is only itself (nothing reads it)
+        let flag = nl.net_by_name("flag").unwrap();
+        let fcone = topo.fanout_cone(flag);
+        assert_eq!(fcone.iter().filter(|&&b| b).count(), 1);
     }
 }

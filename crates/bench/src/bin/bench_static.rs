@@ -1,0 +1,293 @@
+//! Static-pruning snapshot: the unpruned baseline vs the static pre-pass
+//! (`Campaign::pruning(Prune::Static)`) on all four bundled example
+//! designs, written to `BENCH_static.json`.
+//!
+//! Three measurements per design, over an exhaustive stuck-at list (both
+//! polarities on every driven net, constant-driven nets *included* — a
+//! stuck-at matching a tied-off value is exactly what the `ConstantSite`
+//! proof answers without simulation):
+//!
+//! * the pruning ratio (faults answered by a proof / total faults) with
+//!   the proof-kind breakdown (constant-site vs no-path-to-monitor),
+//! * effective throughput (faults classified per second, counting the
+//!   synthesized ones) for the baseline, the pruned run, and pruning
+//!   composed with fault collapsing,
+//! * the speedup of each pruned run against the baseline.
+//!
+//! Correctness is asserted, not assumed: every pruned run must be
+//! bit-identical to the baseline `CampaignResult` before anything is
+//! written — and the plan builder's golden-trace cross-check makes each
+//! pruned run a soundness oracle in itself. `--quick` shrinks the designs
+//! and workloads for CI smoke runs.
+
+use socfmea_bench::banner;
+use socfmea_core::{extract_zones, ZoneSet};
+use socfmea_faultsim::{
+    Campaign, CampaignStats, Collapse, Engine, EnvironmentBuilder, Fault, FaultKind, Prune,
+};
+use socfmea_mcu::{build_mcu, fmea as mcu_fmea, programs, rtl::run_workload, McuConfig, McuPins};
+use socfmea_memsys::{certification_workload, config::MemSysConfig, fmea, rtl, MemSysPins};
+use socfmea_netlist::{Driver, Logic, NetId, Netlist};
+use socfmea_sim::Workload;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One fully-assembled design under test.
+struct Design {
+    name: &'static str,
+    netlist: Netlist,
+    zones: ZoneSet,
+    workload: Workload,
+    sw_test_window: Option<(usize, usize)>,
+}
+
+fn memsys_design(name: &'static str, cfg: MemSysConfig) -> Design {
+    let netlist = rtl::build_netlist(&cfg).expect("valid memsys netlist");
+    let zones = extract_zones(&netlist, &fmea::extract_config());
+    let pins = MemSysPins::find(&netlist, &cfg);
+    let cert = certification_workload(&pins, &cfg);
+    Design {
+        name,
+        netlist,
+        zones,
+        workload: cert.workload,
+        sw_test_window: cert.sw_test_window,
+    }
+}
+
+fn mcu_design(name: &'static str, cfg: McuConfig, cycles: usize) -> Design {
+    let netlist = build_mcu(&cfg).expect("valid mcu netlist");
+    let zones = extract_zones(&netlist, &mcu_fmea::extract_config());
+    let pins = McuPins::find(&netlist);
+    let workload = run_workload(&pins, cycles);
+    Design {
+        name,
+        netlist,
+        zones,
+        workload,
+        sw_test_window: None,
+    }
+}
+
+/// Both stuck-at polarities on every driven net, constants included.
+fn exhaustive_stuck_list(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (i, net) in netlist.nets().iter().enumerate() {
+        if matches!(net.driver, Driver::None) {
+            continue;
+        }
+        for value in [Logic::Zero, Logic::One] {
+            faults.push(Fault {
+                kind: FaultKind::StuckAt {
+                    net: NetId::from_index(i),
+                    value,
+                },
+                zone: None,
+                inject_cycle: 0,
+                label: format!("stuck {}-sa{value}", net.name),
+            });
+        }
+    }
+    faults
+}
+
+struct Row {
+    design: &'static str,
+    faults: usize,
+    pruned: usize,
+    pruned_constant: usize,
+    pruned_no_path: usize,
+    base_secs: f64,
+    base_fps: f64,
+    prune_secs: f64,
+    prune_fps: f64,
+    prune_speedup: f64,
+    pc_secs: f64,
+    pc_fps: f64,
+    pc_speedup: f64,
+}
+
+impl Row {
+    fn pruning_ratio(&self) -> f64 {
+        self.pruned as f64 / self.faults as f64
+    }
+}
+
+fn timed(
+    label: &str,
+    faults: usize,
+    run: impl FnOnce() -> (socfmea_faultsim::CampaignResult, Arc<CampaignStats>),
+) -> (
+    socfmea_faultsim::CampaignResult,
+    Arc<CampaignStats>,
+    f64,
+    f64,
+) {
+    let t0 = Instant::now();
+    let (result, stats) = run();
+    let secs = t0.elapsed().as_secs_f64();
+    // effective throughput: the full list is classified either way, so all
+    // runs are normalised to faults-classified per second
+    let fps = faults as f64 / secs;
+    println!(
+        "  {label}: {faults} faults in {secs:.2}s ({fps:.0} faults/s; {} simulated, {} pruned)",
+        stats.faults_done(),
+        stats.faults_pruned()
+    );
+    (result, stats, secs, fps)
+}
+
+fn bench_design(design: &Design) -> Row {
+    let env = EnvironmentBuilder::new(&design.netlist, &design.zones, &design.workload)
+        .alarms_matching("alarm_")
+        .sw_test_window(design.sw_test_window)
+        .build();
+    let faults = exhaustive_stuck_list(&design.netlist);
+    println!(
+        "{}: {} gates / {} FFs, {} cycles, {} stuck-at faults",
+        design.name,
+        design.netlist.gate_count(),
+        design.netlist.dff_count(),
+        design.workload.len(),
+        faults.len(),
+    );
+
+    let n = faults.len();
+    let run = |prune: Prune, collapse: Collapse| {
+        let campaign = Campaign::new(&env, &faults)
+            .threads(1)
+            .engine(Engine::Lockstep)
+            .pruning(prune)
+            .collapsing(collapse);
+        let stats = campaign.stats();
+        (campaign.run(), stats)
+    };
+    let (baseline, _, base_secs, base_fps) =
+        timed("baseline      ", n, || run(Prune::Off, Collapse::Off));
+    let (pruned, pstats, prune_secs, prune_fps) =
+        timed("prune         ", n, || run(Prune::Static, Collapse::Off));
+    let (composed, _, pc_secs, pc_fps) = timed("prune+collapse", n, || {
+        run(Prune::Static, Collapse::Dictionary)
+    });
+    assert_eq!(
+        baseline, pruned,
+        "{}: pruned result diverges from baseline",
+        design.name
+    );
+    assert_eq!(
+        baseline, composed,
+        "{}: prune+collapse result diverges from baseline",
+        design.name
+    );
+
+    let (pruned_constant, pruned_no_path) = pstats.pruned_breakdown();
+    Row {
+        design: design.name,
+        faults: n,
+        pruned: pstats.faults_pruned(),
+        pruned_constant,
+        pruned_no_path,
+        base_secs,
+        base_fps,
+        prune_secs,
+        prune_fps,
+        prune_speedup: base_secs / prune_secs,
+        pc_secs,
+        pc_fps,
+        pc_speedup: base_secs / pc_secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "BENCH",
+        "static pruning: proven-undetectable faults answered without simulation",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let words = if quick { 8 } else { 16 };
+    let mcu_cycles = if quick { 24 } else { 48 };
+    println!(
+        "host: {cores} core{}; threads: 1 (algorithmic gain only)",
+        if cores == 1 { "" } else { "s" }
+    );
+
+    let designs = [
+        memsys_design("fmem", MemSysConfig::hardened().with_words(words)),
+        memsys_design("fmem-baseline", MemSysConfig::baseline().with_words(words)),
+        mcu_design(
+            "mcu",
+            McuConfig::lockstep(programs::checksum_loop()),
+            mcu_cycles,
+        ),
+        mcu_design(
+            "mcu-single",
+            McuConfig::single(programs::checksum_loop()),
+            mcu_cycles,
+        ),
+    ];
+    let rows: Vec<Row> = designs.iter().map(bench_design).collect();
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.pruning_ratio().total_cmp(&b.pruning_ratio()))
+        .expect("at least one design");
+    println!(
+        "\nbest pruning ratio: {:.1}% on {} ({} of {} faults proven undetectable); all pruned runs bit-identical to baseline",
+        100.0 * best.pruning_ratio(),
+        best.design,
+        best.pruned,
+        best.faults
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"static_prune\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"fault_list\": \"exhaustive stuck-at, both polarities, constants included\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"all pruned runs asserted bit-identical to baseline\","
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"faults\": {}, \"pruned\": {}, \"pruned_constant\": {}, \"pruned_no_path\": {}, \"pruning_ratio\": {:.4}, \"baseline\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}}}, \"prune\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}, \"prune_collapse\": {{\"seconds\": {:.4}, \"faults_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.2}}}}}{}",
+            r.design,
+            r.faults,
+            r.pruned,
+            r.pruned_constant,
+            r.pruned_no_path,
+            r.pruning_ratio(),
+            r.base_secs,
+            r.base_fps,
+            r.prune_secs,
+            r.prune_fps,
+            r.prune_speedup,
+            r.pc_secs,
+            r.pc_fps,
+            r.pc_speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"best\": {{\"design\": \"{}\", \"pruning_ratio\": {:.4}}}",
+        best.design,
+        best.pruning_ratio()
+    );
+    json.push_str("}\n");
+
+    let path = "BENCH_static.json";
+    std::fs::write(path, &json).expect("write snapshot");
+    println!("snapshot written to {path}");
+}

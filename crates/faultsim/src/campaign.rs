@@ -25,6 +25,7 @@ use crate::faultlist::{Fault, FaultKind};
 use crate::inject::{CampaignResult, FaultOutcome, Outcome};
 use crate::monitors::CoverageCollection;
 use crate::ppsfp;
+use crate::prune::PrunePlan;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,6 +35,7 @@ use socfmea_obs::metrics::{Counter, Histogram};
 use socfmea_obs::trace::{FaultRecord, TraceEvent};
 use socfmea_obs::{Observer, ProgressSample};
 use socfmea_sim::{Simulator, WordSim, FAULT_LANES};
+use socfmea_static::ProofKind;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -97,6 +99,25 @@ pub enum Collapse {
     Dictionary,
 }
 
+/// Whether a [`Campaign`] runs the static testability pre-pass: stuck-at
+/// faults proven undetectable (site stuck at a proven constant, or no
+/// structural path to any monitored net) are skipped and their outcomes
+/// synthesized from the proof. Orthogonal to both the [`Engine`] choice
+/// and [`Collapse`] — a pruned fault is excluded from the collapse
+/// grouping and committed straight from its proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prune {
+    /// Simulate every fault in the list.
+    #[default]
+    Off,
+    /// Run `socfmea-static` over the netlist first and answer
+    /// proven-undetectable faults without simulating them. The proofs
+    /// double as a permanent soundness oracle: a golden trace that
+    /// contradicts a constant-site proof panics the run, and the
+    /// differential suite asserts pruned results stay bit-identical.
+    Static,
+}
+
 /// Live progress counters of a running campaign, updated by the worker
 /// threads and safe to poll from any other thread.
 ///
@@ -113,6 +134,13 @@ pub struct CampaignStats {
     /// Faults answered from an equivalent representative's outcome instead
     /// of a simulation (collapsed campaigns only; not counted in `done`).
     collapsed: AtomicUsize,
+    /// Faults answered by a static proven-undetectable proof instead of a
+    /// simulation (pruned campaigns only; not counted in `done`).
+    pruned: AtomicUsize,
+    /// Pruned faults whose proof is a proven-constant site.
+    pruned_constant: AtomicUsize,
+    /// Pruned faults whose proof is a missing path to any monitored net.
+    pruned_no_path: AtomicUsize,
     no_effect: AtomicUsize,
     safe_detected: AtomicUsize,
     dangerous_detected: AtomicUsize,
@@ -145,6 +173,9 @@ impl CampaignStats {
             threads: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             collapsed: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            pruned_constant: AtomicUsize::new(0),
+            pruned_no_path: AtomicUsize::new(0),
             no_effect: AtomicUsize::new(0),
             safe_detected: AtomicUsize::new(0),
             dangerous_detected: AtomicUsize::new(0),
@@ -215,16 +246,36 @@ impl CampaignStats {
         self.collapsed.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Records a statically pruned outcome: the per-class tallies advance
+    /// (the fault *is* classified), but `done` does not — nothing was
+    /// simulated.
+    fn record_pruned(&self, outcome: Outcome, kind: ProofKind) {
+        match outcome {
+            Outcome::NoEffect => &self.no_effect,
+            Outcome::SafeDetected => &self.safe_detected,
+            Outcome::DangerousDetected => &self.dangerous_detected,
+            Outcome::DangerousUndetected => &self.dangerous_undetected,
+        }
+        .fetch_add(1, Ordering::SeqCst);
+        match kind {
+            ProofKind::ConstantSite => &self.pruned_constant,
+            ProofKind::NoPathToMonitor => &self.pruned_no_path,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.pruned.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// A mutually consistent `(done, collapsed, class tallies)` triple.
     ///
     /// The individual counters are updated lock-free by the workers, so
     /// reading them one by one can catch a fault between its class bump and
     /// its `done` bump. This re-reads until a stable instant where the
-    /// tallies sum exactly to `done + collapsed`; under sustained update
-    /// pressure it falls back to deriving `done` from the tallies (each
-    /// fault bumps its class exactly once), which is consistent by
+    /// tallies sum exactly to `done + collapsed + pruned`; under sustained
+    /// update pressure it falls back to deriving `done` from the tallies
+    /// (each fault bumps its class exactly once), which is consistent by
     /// construction.
-    fn consistent_counts(&self) -> (usize, usize, (usize, usize, usize, usize)) {
+    #[allow(clippy::type_complexity)]
+    fn consistent_counts(&self) -> (usize, usize, usize, (usize, usize, usize, usize)) {
         let load_counts = || {
             (
                 self.no_effect.load(Ordering::SeqCst),
@@ -236,19 +287,22 @@ impl CampaignStats {
         for _ in 0..64 {
             let done = self.done.load(Ordering::SeqCst);
             let collapsed = self.collapsed.load(Ordering::SeqCst);
+            let pruned = self.pruned.load(Ordering::SeqCst);
             let counts = load_counts();
             let sum = counts.0 + counts.1 + counts.2 + counts.3;
-            if sum == done + collapsed
+            if sum == done + collapsed + pruned
                 && done == self.done.load(Ordering::SeqCst)
                 && collapsed == self.collapsed.load(Ordering::SeqCst)
+                && pruned == self.pruned.load(Ordering::SeqCst)
             {
-                return (done, collapsed, counts);
+                return (done, collapsed, pruned, counts);
             }
         }
         let counts = load_counts();
         let sum = counts.0 + counts.1 + counts.2 + counts.3;
-        let collapsed = self.collapsed.load(Ordering::SeqCst).min(sum);
-        (sum - collapsed, collapsed, counts)
+        let pruned = self.pruned.load(Ordering::SeqCst).min(sum);
+        let collapsed = self.collapsed.load(Ordering::SeqCst).min(sum - pruned);
+        (sum - collapsed - pruned, collapsed, pruned, counts)
     }
 
     /// Faults scheduled in the campaign (0 until the run starts).
@@ -271,6 +325,20 @@ impl CampaignStats {
     /// [`Campaign::collapse`] is on).
     pub fn faults_collapsed(&self) -> usize {
         self.collapsed.load(Ordering::Relaxed)
+    }
+
+    /// Faults answered by a static undetectability proof instead of a
+    /// simulation (0 unless [`Campaign::pruning`] is on).
+    pub fn faults_pruned(&self) -> usize {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Pruned faults split by proof kind: `(constant-site, no-path)`.
+    pub fn pruned_breakdown(&self) -> (usize, usize) {
+        (
+            self.pruned_constant.load(Ordering::Relaxed),
+            self.pruned_no_path.load(Ordering::Relaxed),
+        )
     }
 
     /// Classified-to-simulated ratio so far:
@@ -376,8 +444,9 @@ impl CampaignStats {
     /// instant](Self::consistent_counts), so `injections + faults_collapsed`
     /// always equals the sum of the four outcome counts.
     pub fn summary(&self) -> CampaignStatsSummary {
-        let (injections, faults_collapsed, counts) = self.consistent_counts();
+        let (injections, faults_collapsed, faults_pruned, counts) = self.consistent_counts();
         let (no_effect, safe_detected, dangerous_detected, dangerous_undetected) = counts;
+        let (pruned_constant, pruned_no_path) = self.pruned_breakdown();
         CampaignStatsSummary {
             injections,
             scheduled: self.scheduled(),
@@ -397,6 +466,9 @@ impl CampaignStats {
             } else {
                 (injections + faults_collapsed) as f64 / injections as f64
             },
+            faults_pruned,
+            pruned_constant,
+            pruned_no_path,
             ppsfp_batches: self.ppsfp_batches(),
             ppsfp_lanes: self.ppsfp_lanes(),
             ppsfp_lanes_per_word: self.ppsfp_lanes_per_word(),
@@ -406,10 +478,10 @@ impl CampaignStats {
     /// A consistent live sample for the progress reporter (faults/s, ETA,
     /// running DC/SFF and collapse/skip effectiveness all derive from it).
     pub fn progress_sample(&self) -> ProgressSample {
-        let (done, collapsed, counts) = self.consistent_counts();
+        let (done, collapsed, pruned, counts) = self.consistent_counts();
         ProgressSample {
             faults_total: self.scheduled() as u64,
-            faults_done: (done + collapsed) as u64,
+            faults_done: (done + collapsed + pruned) as u64,
             collapsed: collapsed as u64,
             no_effect: counts.0 as u64,
             safe_detected: counts.1 as u64,
@@ -487,6 +559,7 @@ pub struct Campaign<'a> {
     engine: Engine,
     checkpoint_interval: usize,
     collapse: Collapse,
+    prune: Prune,
     observer: Option<&'a Observer>,
     stats: Arc<CampaignStats>,
 }
@@ -506,7 +579,7 @@ struct ObsHooks<'o> {
     obs: &'o Observer,
     trace_faults: bool,
     fault_nanos: Arc<Histogram>,
-    engines: [(&'static str, Arc<Counter>); 5],
+    engines: [(&'static str, Arc<Counter>); 6],
 }
 
 impl<'o> ObsHooks<'o> {
@@ -521,13 +594,16 @@ impl<'o> ObsHooks<'o> {
                 ("warm", reg.counter("campaign.engine.warm")),
                 ("ppsfp", reg.counter("campaign.engine.ppsfp")),
                 ("dictionary", reg.counter("campaign.engine.dictionary")),
+                ("pruned", reg.counter("campaign.engine.pruned")),
             ],
             obs,
         }
     }
 
-    /// Accounts one committed fault; `tel` is `None` for
-    /// dictionary-annotated faults, `rep` names their representative.
+    /// Accounts one committed fault under `engine` ("dictionary" for
+    /// collapse-annotated faults, "pruned" for statically proven ones);
+    /// `tel` is `None` for both of those, `rep` names a dictionary fault's
+    /// representative.
     fn record_fault(
         &self,
         env: &Environment<'_>,
@@ -535,8 +611,8 @@ impl<'o> ObsHooks<'o> {
         fo: &FaultOutcome,
         tel: Option<&FaultTelemetry>,
         rep: Option<u64>,
+        engine: &'static str,
     ) {
-        let engine = tel.map_or("dictionary", |t| t.metrics.engine);
         if let Some((_, counter)) = self.engines.iter().find(|(name, _)| *name == engine) {
             counter.incr();
         }
@@ -620,6 +696,7 @@ impl<'a> Campaign<'a> {
             engine: Engine::Lockstep,
             checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
             collapse: Collapse::Off,
+            prune: Prune::Off,
             observer: None,
             stats: Arc::new(CampaignStats::new()),
         }
@@ -712,6 +789,22 @@ impl<'a> Campaign<'a> {
         })
     }
 
+    /// Enables the static testability pre-pass; see [`Prune`]. Faults the
+    /// pre-pass proves undetectable are answered by their proof instead of
+    /// a simulation and back-annotated in fault-list order, exactly like
+    /// collapse-dictionary followers.
+    ///
+    /// Like every other builder setting, this changes only *how* the
+    /// campaign executes: the [`CampaignResult`] is bit-identical to an
+    /// unpruned run, and it composes freely with any
+    /// [`engine`](Self::engine), thread count and
+    /// [`collapsing`](Self::collapsing) mode. The simulations saved show
+    /// up in [`CampaignStats::faults_pruned`].
+    pub fn pruning(mut self, mode: Prune) -> Self {
+        self.prune = mode;
+        self
+    }
+
     /// Attaches a [`socfmea_obs::Observer`]: the run then emits one trace
     /// record per committed fault (in fault-list order, so the trace is as
     /// deterministic as the result), per-shard and whole-campaign spans,
@@ -781,6 +874,13 @@ impl<'a> Campaign<'a> {
         let ctx = self.obs_phase("prepare", || {
             ExecContext::prepare(self.env, self.faults, engine, self.checkpoint_interval)
         });
+        let prune_plan = (self.prune == Prune::Static && !self.faults.is_empty()).then(|| {
+            self.obs_phase("static-prune", || {
+                PrunePlan::build(self.env, self.faults, |cycle, net| {
+                    ctx.golden_value(cycle, net)
+                })
+            })
+        });
         let plan = (collapse && !self.faults.is_empty()).then(|| {
             self.obs_phase("collapse-plan", || {
                 CollapsePlan::build(
@@ -788,25 +888,28 @@ impl<'a> Campaign<'a> {
                     self.env.workload.len(),
                     &FaultCollapser::build(self.env),
                     |cycle, net| ctx.golden_value(cycle, net),
+                    |i| prune_plan.as_ref().is_some_and(|pp| pp.pruned(i)),
                 )
             })
         });
         // The simulation schedule: representatives only under collapsing,
-        // every fault otherwise. Outcomes are still committed for the full
-        // list, in fault-list order, by `commit_expanded`.
-        let order: Vec<usize> = match &plan {
-            Some(p) => p.sim_order.clone(),
-            None => (0..self.faults.len()).collect(),
+        // every unpruned fault otherwise. Outcomes are still committed for
+        // the full list, in fault-list order, by `commit_expanded`.
+        let order: Vec<usize> = match (&plan, &prune_plan) {
+            (Some(p), _) => p.sim_order.clone(),
+            (None, Some(pp)) => (0..self.faults.len()).filter(|&i| !pp.pruned(i)).collect(),
+            (None, None) => (0..self.faults.len()).collect(),
         };
         let hooks = self.observer.map(ObsHooks::new);
         let mut coverage = CoverageCollection::new(ctx.injected_zones().iter().copied());
         self.stats.begin(self.faults.len(), self.threads);
         let outcomes = {
             let _campaign_span = self.observer.map(|obs| obs.span("campaign"));
+            let plans = (plan.as_ref(), prune_plan.as_ref());
             if self.threads == 1 {
-                self.run_serial(&ctx, plan.as_ref(), &order, &mut coverage, hooks.as_ref())
+                self.run_serial(&ctx, plans, &order, &mut coverage, hooks.as_ref())
             } else {
-                self.run_sharded(&ctx, plan.as_ref(), &order, &mut coverage, hooks.as_ref())
+                self.run_sharded(&ctx, plans, &order, &mut coverage, hooks.as_ref())
             }
         };
         self.stats.finish();
@@ -834,6 +937,15 @@ impl<'a> Campaign<'a> {
                 .add(self.stats.cycles_simulated());
             reg.counter("campaign.cycles.skipped")
                 .add(self.stats.cycles_skipped());
+            if self.stats.faults_pruned() > 0 {
+                let (constant, no_path) = self.stats.pruned_breakdown();
+                reg.counter("campaign.static.pruned")
+                    .add(self.stats.faults_pruned() as u64);
+                reg.counter("campaign.static.pruned.constant")
+                    .add(constant as u64);
+                reg.counter("campaign.static.pruned.no-path")
+                    .add(no_path as u64);
+            }
             reg.gauge("campaign.elapsed_nanos")
                 .set(self.stats.elapsed().as_nanos() as f64);
             if self.stats.ppsfp_batches() > 0 {
@@ -874,15 +986,14 @@ impl<'a> Campaign<'a> {
         }
     }
 
-    /// Commits a just-simulated representative, then expands the fault
-    /// dictionary: every following fault whose representative is already
-    /// committed receives a clone of that outcome (re-indexed to itself)
-    /// until the next representative is due. Keeps outcomes committed
-    /// strictly in fault-list order, so coverage evolution — and with it
-    /// any early-stop point — is identical to an uncollapsed run.
+    /// Commits a just-simulated representative, then
+    /// [expands](Self::expand_annotated) every annotated fault now due.
+    /// Keeps outcomes committed strictly in fault-list order, so coverage
+    /// evolution — and with it any early-stop point — is identical to an
+    /// unpruned, uncollapsed run.
     fn commit_expanded(
         &self,
-        plan: Option<&CollapsePlan>,
+        plans: (Option<&CollapsePlan>, Option<&PrunePlan>),
         coverage: &mut CoverageCollection,
         outcomes: &mut Vec<FaultOutcome>,
         fo: FaultOutcome,
@@ -890,35 +1001,80 @@ impl<'a> Campaign<'a> {
         hooks: Option<&ObsHooks<'_>>,
     ) -> bool {
         debug_assert_eq!(fo.fault_index, outcomes.len(), "out-of-order commit");
-        let mut stop = self.commit(coverage, &fo);
+        let stop = self.commit(coverage, &fo);
         if let Some(h) = hooks {
-            h.record_fault(self.env, &self.faults[fo.fault_index], &fo, Some(tel), None);
+            h.record_fault(
+                self.env,
+                &self.faults[fo.fault_index],
+                &fo,
+                Some(tel),
+                None,
+                tel.metrics.engine,
+            );
         }
         outcomes.push(fo);
-        if let Some(plan) = plan {
-            while !stop
-                && outcomes.len() < plan.rep_of.len()
-                && plan.rep_of[outcomes.len()] != outcomes.len()
-            {
-                let next = outcomes.len();
-                let rep = plan.rep_of[next];
-                let mut annotated = outcomes[rep].clone();
-                annotated.fault_index = next;
-                self.stats.record_annotated(annotated.outcome);
-                stop = self.commit(coverage, &annotated);
+        if stop {
+            return true;
+        }
+        self.expand_annotated(plans, coverage, outcomes, hooks)
+    }
+
+    /// Commits every fault at the head of the remaining list whose outcome
+    /// is already known without a simulation of its own: statically pruned
+    /// faults get their synthesized proof outcome, collapse followers get
+    /// a re-indexed clone of their committed representative. Stops at the
+    /// first fault that still needs its own simulation (or at the
+    /// early-stop point, returning true).
+    fn expand_annotated(
+        &self,
+        (plan, prune): (Option<&CollapsePlan>, Option<&PrunePlan>),
+        coverage: &mut CoverageCollection,
+        outcomes: &mut Vec<FaultOutcome>,
+        hooks: Option<&ObsHooks<'_>>,
+    ) -> bool {
+        loop {
+            let next = outcomes.len();
+            if next >= self.faults.len() {
+                return false;
+            }
+            if let Some(pp) = prune.filter(|pp| pp.pruned(next)) {
+                let fo = pp.synthesize(next);
+                let kind = pp.proof(next).expect("pruned fault has a proof").kind();
+                self.stats.record_pruned(fo.outcome, kind);
+                let stop = self.commit(coverage, &fo);
                 if let Some(h) = hooks {
-                    h.record_fault(
-                        self.env,
-                        &self.faults[next],
-                        &annotated,
-                        None,
-                        Some(rep as u64),
-                    );
+                    h.record_fault(self.env, &self.faults[next], &fo, None, None, "pruned");
                 }
-                outcomes.push(annotated);
+                outcomes.push(fo);
+                if stop {
+                    return true;
+                }
+                continue;
+            }
+            let Some(plan) = plan else { return false };
+            let rep = plan.rep_of[next];
+            if rep == next {
+                return false;
+            }
+            let mut annotated = outcomes[rep].clone();
+            annotated.fault_index = next;
+            self.stats.record_annotated(annotated.outcome);
+            let stop = self.commit(coverage, &annotated);
+            if let Some(h) = hooks {
+                h.record_fault(
+                    self.env,
+                    &self.faults[next],
+                    &annotated,
+                    None,
+                    Some(rep as u64),
+                    "dictionary",
+                );
+            }
+            outcomes.push(annotated);
+            if stop {
+                return true;
             }
         }
-        stop
     }
 
     /// Simulates one slice of the simulation order, recording live stats
@@ -1031,7 +1187,7 @@ impl<'a> Campaign<'a> {
     fn run_serial(
         &self,
         ctx: &ExecContext,
-        plan: Option<&CollapsePlan>,
+        plans: (Option<&CollapsePlan>, Option<&PrunePlan>),
         order: &[usize],
         coverage: &mut CoverageCollection,
         hooks: Option<&ObsHooks<'_>>,
@@ -1042,6 +1198,11 @@ impl<'a> Campaign<'a> {
         let mut word = ctx.make_word(self.env.netlist);
         let step = if word.is_some() { FAULT_LANES } else { 1 };
         let mut outcomes = Vec::with_capacity(self.faults.len());
+        // Leading pruned faults precede the first simulated commit (an
+        // all-pruned list never simulates at all).
+        if self.expand_annotated(plans, coverage, &mut outcomes, hooks) {
+            return outcomes;
+        }
         'order: for slice in order.chunks(step) {
             let results = self.simulate_slice(
                 ctx,
@@ -1053,7 +1214,7 @@ impl<'a> Campaign<'a> {
                 None,
             );
             for (fo, tel) in results {
-                if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
+                if self.commit_expanded(plans, coverage, &mut outcomes, fo, &tel, hooks) {
                     break 'order;
                 }
             }
@@ -1064,7 +1225,7 @@ impl<'a> Campaign<'a> {
     fn run_sharded(
         &self,
         ctx: &ExecContext,
-        plan: Option<&CollapsePlan>,
+        plans: (Option<&CollapsePlan>, Option<&PrunePlan>),
         order: &[usize],
         coverage: &mut CoverageCollection,
         hooks: Option<&ObsHooks<'_>>,
@@ -1087,7 +1248,12 @@ impl<'a> Campaign<'a> {
         let stop = AtomicBool::new(false);
         let base = Simulator::new(self.env.netlist).expect("levelizable netlist");
         let (tx, rx) = mpsc::channel::<(usize, Vec<(FaultOutcome, FaultTelemetry)>)>();
-        let mut outcomes = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(self.faults.len());
+        // Leading pruned faults precede the first simulated commit (an
+        // all-pruned list never simulates at all).
+        if self.expand_annotated(plans, coverage, &mut outcomes, hooks) {
+            return outcomes;
+        }
 
         std::thread::scope(|scope| {
             for shard in 0..self.threads.min(n_chunks.max(1)) {
@@ -1143,7 +1309,7 @@ impl<'a> Campaign<'a> {
                 while let Some(chunk_out) = pending.remove(&next_commit) {
                     next_commit += 1;
                     for (fo, tel) in chunk_out {
-                        if self.commit_expanded(plan, coverage, &mut outcomes, fo, &tel, hooks) {
+                        if self.commit_expanded(plans, coverage, &mut outcomes, fo, &tel, hooks) {
                             stop.store(true, Ordering::Relaxed);
                             break 'merge;
                         }
@@ -1467,6 +1633,99 @@ mod tests {
             assert_eq!(
                 baseline, collapsed,
                 "early-stop divergence under collapse at {threads} threads"
+            );
+        }
+    }
+
+    /// The live path of [`protected_design`] plus two statically dead
+    /// corners: a constant-zero cone (an AND leg tied to `const 0`,
+    /// registered and re-masked) and a cone that never reaches any
+    /// output, alarm or observation net.
+    fn dead_corner_fixture() -> (socfmea_netlist::Netlist, socfmea_core::ZoneSet, Workload) {
+        use socfmea_netlist::{GateKind, Logic, NetlistBuilder};
+        let mut b = NetlistBuilder::new("deadcorner");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let c0 = b.constant(Logic::Zero);
+        // live, observable path
+        let live = b.gate(GateKind::Or, &[d0, d1], "live");
+        let q = b.dff("q", live);
+        b.output("o", q);
+        // constant cone: provably stuck at 0 through a register and a mask
+        let gz = b.gate(GateKind::And, &[d0, c0], "gz");
+        let qz = b.dff("qz", gz);
+        let masked = b.gate(GateKind::And, &[qz, d1], "masked");
+        b.output("oz", masked);
+        // dead cone: structurally disconnected from every monitor
+        let dead = b.gate(GateKind::Xor, &[d0, d1], "dead");
+        let qd = b.dff("qd", dead);
+        b.gate(GateKind::Not, &[qd], "deadtail");
+        let nl = b.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let mut w = Workload::new("toggle");
+        for c in 0..10u64 {
+            w.push_cycle(vec![
+                (d0, if c % 2 == 0 { Logic::Zero } else { Logic::One }),
+                (d1, if c % 3 == 0 { Logic::One } else { Logic::Zero }),
+            ]);
+        }
+        (nl, zones, w)
+    }
+
+    #[test]
+    fn static_pruning_is_bit_identical_and_saves_simulations() {
+        let (nl, zones, w) = dead_corner_fixture();
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let faults = exhaustive_stuck_list(&nl);
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        let campaign = Campaign::new(&env, &faults)
+            .threads(1)
+            .pruning(Prune::Static);
+        let stats = campaign.stats();
+        let result = campaign.run();
+        assert_eq!(baseline, result, "pruned outcomes diverge");
+        assert!(
+            stats.faults_pruned() > 0,
+            "the dead corners must prune something"
+        );
+        let (constant, no_path) = stats.pruned_breakdown();
+        assert!(constant > 0, "constant cone never proven");
+        assert!(no_path > 0, "dead cone never proven");
+        assert_eq!(constant + no_path, stats.faults_pruned());
+        assert_eq!(
+            stats.faults_done() + stats.faults_collapsed() + stats.faults_pruned(),
+            result.outcomes.len(),
+            "every fault is simulated, annotated or pruned"
+        );
+        let summary = stats.summary();
+        assert_eq!(summary.faults_pruned, stats.faults_pruned());
+        assert_eq!(summary.pruned_constant, constant);
+        assert_eq!(summary.pruned_no_path, no_path);
+        assert!(summary.to_string().contains("statically"), "{summary}");
+    }
+
+    #[test]
+    fn static_pruning_composes_with_collapse_engines_and_threads() {
+        let (nl, zones, w) = dead_corner_fixture();
+        let env = EnvironmentBuilder::new(&nl, &zones, &w).build();
+        let faults = exhaustive_stuck_list(&nl);
+        let baseline = Campaign::new(&env, &faults).threads(1).run();
+        for (threads, engine, collapse) in [
+            (1, Engine::Lockstep, Collapse::Dictionary),
+            (2, Engine::Sparse, Collapse::Off),
+            (3, Engine::Ppsfp, Collapse::Dictionary),
+            (4, Engine::Auto, Collapse::Dictionary),
+        ] {
+            let pruned = Campaign::new(&env, &faults)
+                .threads(threads)
+                .engine(engine)
+                .collapsing(collapse)
+                .pruning(Prune::Static)
+                .chunk(3)
+                .run();
+            assert_eq!(
+                baseline, pruned,
+                "prune diverges at {threads} threads on {engine:?}/{collapse:?}"
             );
         }
     }

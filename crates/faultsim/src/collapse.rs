@@ -364,17 +364,24 @@ pub(crate) struct CollapsePlan {
 impl CollapsePlan {
     /// Builds the plan for a fault list over a workload of `cycles` cycles.
     /// `golden` reads the fault-free value of a targeted net at a cycle.
+    /// Faults with `skip(i)` true are answered elsewhere (statically
+    /// pruned): they neither simulate nor join any dictionary group, and
+    /// `rep_of[i]` stays `i` without entering `sim_order`.
     pub(crate) fn build(
         faults: &[Fault],
         cycles: usize,
         collapser: &FaultCollapser,
         golden: impl Fn(usize, NetId) -> Logic,
+        skip: impl Fn(usize) -> bool,
     ) -> CollapsePlan {
         type GroupKey = (NetId, Logic, usize, Option<ZoneId>, bool);
         let mut groups: HashMap<GroupKey, usize> = HashMap::new();
         let mut quiet_rep: Option<usize> = None;
         let mut rep_of: Vec<usize> = (0..faults.len()).collect();
         for (fi, fault) in faults.iter().enumerate() {
+            if skip(fi) {
+                continue;
+            }
             let FaultKind::StuckAt { net, value } = fault.kind else {
                 continue; // only stuck-ats collapse; everything else is its own rep
             };
@@ -405,7 +412,9 @@ impl CollapsePlan {
                 .entry((cnet, cval, fault.inject_cycle, fault.zone, excited))
                 .or_insert(fi);
         }
-        let sim_order = (0..faults.len()).filter(|&i| rep_of[i] == i).collect();
+        let sim_order = (0..faults.len())
+            .filter(|&i| rep_of[i] == i && !skip(i))
+            .collect();
         CollapsePlan { rep_of, sim_order }
     }
 }
@@ -573,12 +582,18 @@ mod tests {
         // — every fault sees its own value or X, so none is excited, and the
         // X cycle inside each injection window keeps them out of the quiet
         // group. Grouping must then follow (canonical site, inject cycle).
-        let plan = CollapsePlan::build(&faults, 4, &c, |cycle, net| match net {
-            n if n == a && cycle == 0 => Logic::X,
-            n if n == a => Logic::One,
-            _ if cycle <= 1 => Logic::X,
-            _ => Logic::Zero,
-        });
+        let plan = CollapsePlan::build(
+            &faults,
+            4,
+            &c,
+            |cycle, net| match net {
+                n if n == a && cycle == 0 => Logic::X,
+                n if n == a => Logic::One,
+                _ if cycle <= 1 => Logic::X,
+                _ => Logic::Zero,
+            },
+            |_| false,
+        );
         assert_eq!(plan.rep_of, vec![0, 0, 2, 3]);
         assert_eq!(plan.sim_order, vec![0, 2, 3]);
     }
@@ -606,19 +621,25 @@ mod tests {
             sa(y, Logic::One, None, 1),
             sa(a, Logic::Zero, None, 0), // golden differs → excited, own rep
         ];
-        let plan = CollapsePlan::build(&faults, 4, &c, |_c, net| {
-            if net == a || net == y {
-                Logic::One
-            } else {
-                Logic::Zero
-            }
-        });
+        let plan = CollapsePlan::build(
+            &faults,
+            4,
+            &c,
+            |_c, net| {
+                if net == a || net == y {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            },
+            |_| false,
+        );
         assert_eq!(plan.rep_of, vec![0, 0, 0, 3]);
         assert_eq!(plan.sim_order, vec![0, 3]);
         // a fault whose window starts past the workload end is trivially
         // quiet: it is never applied at all
         let late = [sa(a, Logic::Zero, None, 9)];
-        let plan = CollapsePlan::build(&late, 4, &c, |_c, _n| Logic::One);
+        let plan = CollapsePlan::build(&late, 4, &c, |_c, _n| Logic::One, |_| false);
         assert_eq!(plan.rep_of, vec![0]);
     }
 
@@ -637,15 +658,21 @@ mod tests {
         // (never excites x sa-0) → the SENS monitor can fire for one and
         // not the other, so they must NOT share an outcome
         let faults = [sa(a, Logic::One), sa(x, Logic::Zero)];
-        let plan = CollapsePlan::build(&faults, 4, &c, |cycle, net| {
-            if net == a && cycle == 2 {
-                Logic::Zero
-            } else if net == a {
-                Logic::One
-            } else {
-                Logic::Zero
-            }
-        });
+        let plan = CollapsePlan::build(
+            &faults,
+            4,
+            &c,
+            |cycle, net| {
+                if net == a && cycle == 2 {
+                    Logic::Zero
+                } else if net == a {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            },
+            |_| false,
+        );
         assert_eq!(plan.rep_of, vec![0, 1], "excitation split ignored");
     }
 
@@ -667,7 +694,7 @@ mod tests {
                 label: String::new(),
             },
         ];
-        let plan = CollapsePlan::build(&faults, 4, &c, |_c, _n| Logic::X);
+        let plan = CollapsePlan::build(&faults, 4, &c, |_c, _n| Logic::X, |_| false);
         assert_eq!(plan.rep_of, vec![0, 1]);
     }
 }

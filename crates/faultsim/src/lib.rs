@@ -59,9 +59,10 @@ pub mod monitors;
 pub mod permfault;
 mod ppsfp;
 pub mod profile;
+mod prune;
 
 pub use analyzer::{analyze, CampaignAnalysis};
-pub use campaign::{Campaign, CampaignStats, Collapse, EarlyStop, Engine};
+pub use campaign::{Campaign, CampaignStats, Collapse, EarlyStop, Engine, Prune};
 pub use collapse::{DominancePair, FaultCollapser};
 pub use env::{Environment, EnvironmentBuilder};
 pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};
@@ -71,3 +72,4 @@ pub use permfault::{
     fault_universe, ppsfp_coverage, serial_coverage, FaultGrade, PermanentFaultReport, StuckAtFault,
 };
 pub use profile::{OperationalProfile, ZoneActivity};
+pub use socfmea_static::{Proof, ProofKind, TestabilityAnalysis};

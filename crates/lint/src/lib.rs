@@ -15,7 +15,12 @@
 //!   against the IEC 61508 data model: S/D splits and usage factors outside
 //!   [0, 1], DDF claims above their Annex A caps, mode weights that silently
 //!   drop failure rate, dangerous zones with no claimed diagnostics, and
-//!   SFF/HFT combinations that cannot reach the targeted SIL.
+//!   SFF/HFT combinations that cannot reach the targeted SIL;
+//! * the **testability pack** (`SL02xx`) reads the static constant/SCOAP
+//!   analysis (`socfmea-static`) against the fault lists and monitors:
+//!   statically dead fault sites in a zone's anchor set, DDF claims beyond
+//!   what the zone's observable cone can support, alarms that provably
+//!   never fire, and comparator legs tied off by derived constants.
 //!
 //! Every rule has a stable code, a default severity, and an *anchor* (gate,
 //! net, zone, worksheet row, or the whole design) instead of a source span.
@@ -39,6 +44,7 @@ mod diag;
 mod registry;
 mod runner;
 mod structural;
+mod testability;
 mod worksheet;
 
 pub use diag::{Anchor, Diagnostic, Severity};

@@ -3,8 +3,10 @@
 //!
 //! Codes are stable identifiers in the clippy tradition: `SL00xx` for the
 //! structural pack (netlist + zone extraction), `SL01xx` for the worksheet
-//! pack (FMEA assumptions + IEC 61508 tables). A code, once shipped, never
-//! changes meaning; retiring a rule retires its code.
+//! pack (FMEA assumptions + IEC 61508 tables), `SL02xx` for the testability
+//! pack (static constant/SCOAP analysis versus fault lists and monitors).
+//! A code, once shipped, never changes meaning; retiring a rule retires its
+//! code.
 
 use crate::diag::Severity;
 
@@ -15,6 +17,8 @@ pub enum RulePack {
     Structural,
     /// Worksheet assumptions, diagnostic claims, SIL/SFF tables.
     Worksheet,
+    /// Static testability: proven constants, SCOAP scores, monitor cones.
+    Testability,
 }
 
 impl RulePack {
@@ -23,6 +27,7 @@ impl RulePack {
         match self {
             RulePack::Structural => "structural",
             RulePack::Worksheet => "worksheet",
+            RulePack::Testability => "testability",
         }
     }
 }
@@ -137,6 +142,36 @@ pub const RULES: &[RuleInfo] = &[
         default_severity: Severity::Info,
         summary: "a zone contributes dangerous failure rate but claims no diagnostic at all",
     },
+    RuleInfo {
+        code: "SL0201",
+        name: "statically-dead-fault-sites",
+        pack: RulePack::Testability,
+        default_severity: Severity::Info,
+        summary:
+            "zone anchors proven constant or unreachable from any monitor: statically dead fault sites",
+    },
+    RuleInfo {
+        code: "SL0202",
+        name: "ddf-exceeds-observable-cone",
+        pack: RulePack::Testability,
+        default_severity: Severity::Warning,
+        summary: "a zone's claimed DDF exceeds the fraction of its anchors any monitor can observe",
+    },
+    RuleInfo {
+        code: "SL0203",
+        name: "inert-monitor",
+        pack: RulePack::Testability,
+        default_severity: Severity::Warning,
+        summary: "an alarm is fed by constants only: no live logic can ever make it fire",
+    },
+    RuleInfo {
+        code: "SL0204",
+        name: "constant-fed-comparator",
+        pack: RulePack::Testability,
+        default_severity: Severity::Info,
+        summary:
+            "a derived-constant net feeds a gate in an alarm's fan-in cone (comparator leg tied off)",
+    },
 ];
 
 /// Looks a rule up by its stable code.
@@ -155,8 +190,13 @@ mod tests {
         }
         for r in RULES {
             assert!(r.code.starts_with("SL") && r.code.len() == 6, "{}", r.code);
-            let structural = r.code.as_bytes()[2] == b'0' && r.code.as_bytes()[3] == b'0';
-            assert_eq!(structural, r.pack == RulePack::Structural, "{}", r.code);
+            let expected = match (r.code.as_bytes()[2], r.code.as_bytes()[3]) {
+                (b'0', b'0') => RulePack::Structural,
+                (b'0', b'1') => RulePack::Worksheet,
+                (b'0', b'2') => RulePack::Testability,
+                _ => panic!("{}: unknown code block", r.code),
+            };
+            assert_eq!(expected, r.pack, "{}", r.code);
         }
     }
 

@@ -4,11 +4,14 @@
 use crate::diag::{Diagnostic, Severity};
 use crate::registry::{rule_info, RULES};
 use crate::structural::check_structural;
+use crate::testability::check_testability;
 use crate::worksheet::check_worksheet;
+use socfmea_accel::Topology;
 use socfmea_core::worksheet::Worksheet;
 use socfmea_core::ZoneSet;
 use socfmea_iec61508::Sil;
 use socfmea_netlist::Netlist;
+use socfmea_static::TestabilityAnalysis;
 
 /// What to do with a rule's findings — the clippy `allow`/`warn`/`deny`
 /// triple.
@@ -34,8 +37,9 @@ pub struct LintConfig {
     /// Minimum number of distinct zones a flip-flop enable/reset net must
     /// steer before `SL0005` flags it as an undeclared global net.
     pub global_fanout_threshold: usize,
-    /// Substrings identifying alarm nets for the observability rule
-    /// (`SL0006`), matched against output-net names.
+    /// Substrings identifying alarm nets for the monitor-facing
+    /// testability rules (`SL0203`, `SL0204`), matched against output-net
+    /// names.
     pub alarm_patterns: Vec<String>,
     /// The SIL the design is meant to reach; enables `SL0103`.
     pub target_sil: Option<Sil>,
@@ -134,7 +138,7 @@ impl LintRunner {
     }
 
     /// [`run`](Self::run) with each rule pack timed as an observed phase
-    /// (`lint-structural`, `lint-worksheet`) and the report's finding
+    /// (`lint-structural`, `lint-testability`, `lint-worksheet`) and the report's finding
     /// counts recorded into the observer's metrics registry. The report is
     /// identical to the unobserved call.
     pub fn run_observed(
@@ -164,10 +168,21 @@ impl LintRunner {
             Some(o) => o.phase(name, f),
             None => f(),
         };
+        // One static testability result shared by the structural
+        // observability rule and the whole testability pack. `None` only
+        // for un-levelizable netlists, which SL0001 reports anyway.
+        let statics = Topology::build(netlist)
+            .ok()
+            .map(|topo| TestabilityAnalysis::analyze(netlist, &topo, netlist.outputs()));
         let mut raw = Vec::new();
         phase("lint-structural", &mut || {
-            check_structural(netlist, zones, &self.config, &mut raw)
+            check_structural(netlist, zones, statics.as_ref(), &self.config, &mut raw)
         });
+        if let Some(statics) = &statics {
+            phase("lint-testability", &mut || {
+                check_testability(netlist, zones, worksheet, statics, &self.config, &mut raw)
+            });
+        }
         if let Some(ws) = worksheet {
             phase("lint-worksheet", &mut || {
                 check_worksheet(netlist.name(), ws, &self.config, &mut raw)

@@ -11,20 +11,22 @@
 use crate::diag::{Anchor, Diagnostic, Severity};
 use crate::runner::LintConfig;
 use socfmea_core::ZoneSet;
-use socfmea_faultsim::EnvironmentBuilder;
 use socfmea_netlist::{levelize, Driver, Netlist};
-use socfmea_sim::Workload;
+use socfmea_static::TestabilityAnalysis;
 
 /// Cap on individually-anchored findings per rule; the remainder is folded
 /// into one aggregate diagnostic so a degenerate design cannot flood the
 /// report.
-const MAX_PER_RULE: usize = 12;
+pub(crate) const MAX_PER_RULE: usize = 12;
 
 /// Runs every structural rule, appending raw findings (default severities;
-/// the runner applies per-rule overrides afterwards).
+/// the runner applies per-rule overrides afterwards). `statics` is the
+/// shared static testability result (`None` when the netlist is not
+/// levelizable — then only `SL0001` has anything to say anyway).
 pub(crate) fn check_structural(
     netlist: &Netlist,
     zones: &ZoneSet,
+    statics: Option<&TestabilityAnalysis>,
     cfg: &LintConfig,
     out: &mut Vec<Diagnostic>,
 ) {
@@ -33,7 +35,9 @@ pub(crate) fn check_structural(
     check_unzoned_gates(netlist, zones, out);
     check_wide_hotspots(zones, cfg, out);
     check_undeclared_global_nets(netlist, zones, cfg, out);
-    check_unobservable_zones(netlist, zones, cfg, out);
+    if let Some(statics) = statics {
+        check_unobservable_zones(netlist, zones, statics, out);
+    }
 }
 
 /// SL0001: a combinational cycle (defensive — the builder rejects them, but
@@ -255,31 +259,34 @@ fn check_undeclared_global_nets(
     }
 }
 
-/// SL0006: zones none of whose anchors can influence a functional output or
-/// an alarm net — no monitor of the injection environment can ever witness
-/// their failures.
+/// SL0006: zones none of whose anchors can influence a primary output
+/// (functional or alarm) — no monitor of the injection environment can ever
+/// witness their failures. Reads the static backward-reachability result
+/// instead of spinning up a faultsim environment: same verdict, no
+/// simulator in the loop.
 fn check_unobservable_zones(
     netlist: &Netlist,
     zones: &ZoneSet,
-    cfg: &LintConfig,
+    statics: &TestabilityAnalysis,
     out: &mut Vec<Diagnostic>,
 ) {
-    // An empty workload suffices: observability here is structural.
-    let workload = Workload::new("lint");
-    let mut builder = EnvironmentBuilder::new(netlist, zones, &workload);
-    for p in &cfg.alarm_patterns {
-        builder = builder.alarms_matching(p.clone());
-    }
-    let env = builder.build();
-    let unobservable = env.unobservable_zones();
+    // Critical-net (clock/reset) zones are exempt: their faults perturb
+    // every register out-of-band, not through the structural net graph.
+    let unobservable: Vec<&str> = zones
+        .zones()
+        .iter()
+        .filter(|z| !matches!(z.kind, socfmea_core::ZoneKind::CriticalNet { .. }))
+        .filter(|z| !z.anchors.is_empty() && z.anchors.iter().all(|&a| !statics.observable(a)))
+        .map(|z| z.name.as_str())
+        .collect();
     emit_capped(
         out,
         unobservable.len(),
-        unobservable.iter().map(|&z| {
+        unobservable.iter().map(|name| {
             Diagnostic::new(
                 "SL0006",
                 Severity::Warning,
-                Anchor::Zone(zones.zone(z).name.clone()),
+                Anchor::Zone((*name).to_owned()),
                 "no observation point: anchors reach no functional output or alarm net",
             )
             .with_help(
@@ -300,7 +307,7 @@ fn check_unobservable_zones(
 
 /// Pushes up to [`MAX_PER_RULE`] diagnostics from `iter`, then one aggregate
 /// produced by `summary` for the remainder.
-fn emit_capped<I, F>(out: &mut Vec<Diagnostic>, total: usize, iter: I, summary: F)
+pub(crate) fn emit_capped<I, F>(out: &mut Vec<Diagnostic>, total: usize, iter: I, summary: F)
 where
     I: Iterator<Item = Diagnostic>,
     F: FnOnce(usize) -> Diagnostic,

@@ -1,0 +1,432 @@
+//! The testability rule pack: static constant/SCOAP analysis versus the
+//! fault lists and monitors the campaign will use (`SL02xx`).
+//!
+//! All four rules read one shared [`TestabilityAnalysis`] — the same
+//! result the campaign's static pre-pass uses to prune proven-undetectable
+//! faults — and flag the testability problems that make a validation
+//! campaign lie before it even starts: fault sites that are statically
+//! dead (their outcomes are foregone, yet they inflate the coverage
+//! denominator), DDF claims no monitor cone can support, alarms that can
+//! never fire, and comparator legs tied to derived constants.
+
+use crate::diag::{Anchor, Diagnostic, Severity};
+use crate::runner::LintConfig;
+use crate::structural::emit_capped;
+use socfmea_core::worksheet::Worksheet;
+use socfmea_core::{SensibleZone, ZoneKind, ZoneSet};
+use socfmea_netlist::{Driver, GateKind, NetId, Netlist};
+use socfmea_static::TestabilityAnalysis;
+
+/// Runs every testability rule, appending raw findings (default
+/// severities; the runner applies per-rule overrides afterwards). The
+/// worksheet-dependent rule (`SL0202`) is skipped when no worksheet is
+/// supplied.
+pub(crate) fn check_testability(
+    netlist: &Netlist,
+    zones: &ZoneSet,
+    worksheet: Option<&Worksheet<'_>>,
+    statics: &TestabilityAnalysis,
+    cfg: &LintConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let alarms = alarm_nets(netlist, cfg);
+    check_dead_fault_sites(netlist, zones, statics, out);
+    if let Some(ws) = worksheet {
+        check_ddf_vs_observable_cone(zones, ws, statics, out);
+    }
+    check_inert_monitors(netlist, &alarms, out);
+    check_constant_fed_comparators(netlist, &alarms, statics, out);
+}
+
+/// Whether a zone's faults propagate through the structural net graph.
+/// Critical-net (clock/reset) zones do not: their faults perturb every
+/// register out-of-band, so static cone arguments say nothing about them.
+fn structurally_faultable(zone: &SensibleZone) -> bool {
+    !matches!(zone.kind, ZoneKind::CriticalNet { .. })
+}
+
+/// Primary outputs whose names match any configured alarm pattern — the
+/// same selection `EnvironmentBuilder::alarms_matching` makes.
+fn alarm_nets(netlist: &Netlist, cfg: &LintConfig) -> Vec<NetId> {
+    netlist
+        .outputs()
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let name = &netlist.net(n).name;
+            cfg.alarm_patterns.iter().any(|p| name.contains(p.as_str()))
+        })
+        .collect()
+}
+
+/// SL0201: zone anchors that are proven constant or structurally
+/// unreachable from every monitor. Every stuck-at fault on such a site has
+/// a foregone outcome — it pads the zone's fault list and dilutes its
+/// measured coverage without testing anything.
+fn check_dead_fault_sites(
+    netlist: &Netlist,
+    zones: &ZoneSet,
+    statics: &TestabilityAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    let dead: Vec<(String, usize, usize, usize)> = zones
+        .zones()
+        .iter()
+        .filter(|z| structurally_faultable(z))
+        .filter_map(|z| {
+            let constant = z
+                .anchors
+                .iter()
+                .filter(|&&a| statics.constant(a).is_some())
+                .count();
+            let unobservable = z
+                .anchors
+                .iter()
+                .filter(|&&a| statics.constant(a).is_none() && !statics.observable(a))
+                .count();
+            (constant + unobservable > 0)
+                .then(|| (z.name.clone(), constant, unobservable, z.anchors.len()))
+        })
+        .collect();
+    emit_capped(
+        out,
+        dead.len(),
+        dead.iter().map(|(name, constant, unobservable, total)| {
+            Diagnostic::new(
+                "SL0201",
+                Severity::Info,
+                Anchor::Zone(name.clone()),
+                format!(
+                    "{}/{total} anchor site(s) are statically dead \
+                     ({constant} proven constant, {unobservable} unreachable from any monitor)",
+                    constant + unobservable
+                ),
+            )
+            .with_help(
+                "their stuck-at outcomes are foregone; the campaign's static pre-pass \
+                 prunes them, but they still dilute the zone's raw coverage figures",
+            )
+        }),
+        |more| {
+            Diagnostic::new(
+                "SL0201",
+                Severity::Info,
+                Anchor::Design(netlist.name().to_owned()),
+                format!("{more} more zone(s) with statically dead fault sites not listed"),
+            )
+        },
+    );
+}
+
+/// SL0202: a zone claims more diagnostic coverage than its observable cone
+/// can support. A diagnostic can at best witness faults on anchors some
+/// monitor can structurally see; claiming DDF above the live-anchor
+/// fraction asserts coverage of sites whose failures provably never reach
+/// a monitor.
+fn check_ddf_vs_observable_cone(
+    zones: &ZoneSet,
+    ws: &Worksheet<'_>,
+    statics: &TestabilityAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    for zone in zones.zones() {
+        if zone.anchors.is_empty() || !structurally_faultable(zone) {
+            continue;
+        }
+        let claim = ws
+            .assumptions(zone.id)
+            .diagnostics
+            .iter()
+            .map(|c| c.ddf_transient.max(c.ddf_permanent))
+            .fold(0.0_f64, f64::max);
+        if claim <= 0.0 {
+            continue;
+        }
+        let live = zone
+            .anchors
+            .iter()
+            .filter(|&&a| statics.constant(a).is_none() && statics.observable(a))
+            .count();
+        let bound = live as f64 / zone.anchors.len() as f64;
+        if claim > bound + 1e-9 {
+            out.push(
+                Diagnostic::new(
+                    "SL0202",
+                    Severity::Warning,
+                    Anchor::Zone(zone.name.clone()),
+                    format!(
+                        "claims DDF {claim:.2} but only {live}/{} anchor site(s) are \
+                         statically observable (support bound {bound:.2})",
+                        zone.anchors.len()
+                    ),
+                )
+                .with_help(
+                    "coverage beyond the observable-anchor fraction is unvalidatable by \
+                     any monitor; re-derive the claim or fix the zone's observability",
+                ),
+            );
+        }
+    }
+}
+
+/// SL0203: an alarm fed by no live logic — its fan-in cone contains no
+/// primary input and no flip-flop, only constants (or nothing at all).
+/// Such a monitor can never respond to the design it is supposed to watch.
+///
+/// Note the criterion is deliberately *not* "proven constant": a healthy
+/// redundancy monitor (lockstep compare, syndrome check) is provably
+/// quiescent in the fault-free machine — that is its job — and only a
+/// hardware fault in its live fan-in can raise it. Inert means there *is*
+/// no live fan-in.
+fn check_inert_monitors(netlist: &Netlist, alarms: &[NetId], out: &mut Vec<Diagnostic>) {
+    for &alarm in alarms {
+        if is_const_stub(netlist, alarm) {
+            continue; // directly tied off: a declared feature-off stub, not a wiring defect
+        }
+        let cone = fanin_cone(netlist, &[alarm]);
+        let live = netlist
+            .nets()
+            .iter()
+            .enumerate()
+            .any(|(i, n)| cone[i] && matches!(n.driver, Driver::Input | Driver::Dff(_)));
+        if !live {
+            out.push(
+                Diagnostic::new(
+                    "SL0203",
+                    Severity::Warning,
+                    Anchor::Net(netlist.net(alarm).name.clone()),
+                    "fed by constants only: no primary input or register reaches this alarm",
+                )
+                .with_help(
+                    "a monitor disconnected from all live logic can never respond to the \
+                     design; check the comparator wiring",
+                ),
+            );
+        }
+    }
+}
+
+/// SL0204: a *derived* constant (not an intentional `Const` driver)
+/// feeding a gate inside an alarm's fan-in cone — the classic tied-off
+/// comparator leg: the diagnostic compares live data against a value that
+/// can never change.
+fn check_constant_fed_comparators(
+    netlist: &Netlist,
+    alarms: &[NetId],
+    statics: &TestabilityAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    let cone = fanin_cone(netlist, alarms);
+    let suspicious: Vec<(String, String, socfmea_netlist::Logic)> = netlist
+        .gates()
+        .iter()
+        .filter(|g| cone[g.output.index()] && statics.constant(g.output).is_none())
+        .flat_map(|g| {
+            g.inputs.iter().filter_map(|&input| {
+                let v = statics.constant(input)?;
+                if matches!(netlist.net(input).driver, Driver::Const(_)) {
+                    return None; // an intentional tie-off, not a finding
+                }
+                Some((g.name.clone(), netlist.net(input).name.clone(), v))
+            })
+        })
+        .collect();
+    emit_capped(
+        out,
+        suspicious.len(),
+        suspicious.iter().map(|(gate, net, v)| {
+            Diagnostic::new(
+                "SL0204",
+                Severity::Info,
+                Anchor::Gate(gate.clone()),
+                format!("in an alarm's fan-in cone, input `{net}` is a derived constant {v}"),
+            )
+            .with_help(
+                "one comparator leg is tied off by upstream logic: the diagnostic \
+                 compares against a value that can never change",
+            )
+        }),
+        |more| {
+            Diagnostic::new(
+                "SL0204",
+                Severity::Info,
+                Anchor::Design(netlist.name().to_owned()),
+                format!("{more} more constant-fed gate(s) in alarm cones not listed"),
+            )
+        },
+    );
+}
+
+/// Whether `net` is a constant tie-off: driven by a `Const` net through
+/// nothing but buffers. Output ports alias their payload through a `Buf`,
+/// so a feature-off alarm stub looks like `output ← Buf ← Const`.
+fn is_const_stub(netlist: &Netlist, mut net: NetId) -> bool {
+    loop {
+        match netlist.net(net).driver {
+            Driver::Const(_) => return true,
+            Driver::Gate(g) if netlist.gate(g).kind == GateKind::Buf => {
+                net = netlist.gate(g).inputs[0];
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Nets with a structural path *to* any of `seeds`, walking drivers
+/// backwards through gates and flip-flop `d`/`enable`/`reset` pins.
+fn fanin_cone(netlist: &Netlist, seeds: &[NetId]) -> Vec<bool> {
+    let mut reach = vec![false; netlist.net_count()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &s in seeds {
+        if !reach[s.index()] {
+            reach[s.index()] = true;
+            stack.push(s.index());
+        }
+    }
+    while let Some(i) = stack.pop() {
+        let visit = |n: NetId, reach: &mut Vec<bool>, stack: &mut Vec<usize>| {
+            if !reach[n.index()] {
+                reach[n.index()] = true;
+                stack.push(n.index());
+            }
+        };
+        match netlist.nets()[i].driver {
+            Driver::Gate(g) => {
+                for &input in &netlist.gate(g).inputs {
+                    visit(input, &mut reach, &mut stack);
+                }
+            }
+            Driver::Dff(f) => {
+                let ff = netlist.dff(f);
+                visit(ff.d, &mut reach, &mut stack);
+                if let Some(e) = ff.enable {
+                    visit(e, &mut reach, &mut stack);
+                }
+                if let Some(r) = ff.reset {
+                    visit(r, &mut reach, &mut stack);
+                }
+            }
+            Driver::Input | Driver::Const(_) | Driver::None => {}
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LintRunner, Severity};
+    use socfmea_core::extract::ExtractConfig;
+    use socfmea_core::extract_zones;
+    use socfmea_core::worksheet::{DiagnosticClaim, Worksheet};
+    use socfmea_iec61508::TechniqueId;
+    use socfmea_rtl::RtlBuilder;
+
+    /// One design seeding all four testability rules:
+    /// * a `dead` register cone no monitor can see (SL0201, SL0202 once a
+    ///   DDF is claimed on it),
+    /// * an alarm output computed from constants through a non-buffer gate
+    ///   (SL0203 — a tied-off comparator, not a declared stub),
+    /// * a comparator leg tied off by derived-constant logic inside a live
+    ///   alarm's fan-in cone (SL0204),
+    /// * plus a healthy live path so the design is not degenerate.
+    fn seeded_design() -> socfmea_netlist::Netlist {
+        let mut r = RtlBuilder::new("tdemo");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        // dead cone: parity into a register nothing reads
+        let side = r.parity(&d);
+        let _dead = r.register_bit("dead", side, None, None);
+        // SL0203: alarm driven by an AND over two constants — a gate, so
+        // not a declared stub, yet no live logic can ever reach it
+        let c0 = r.constant_bit(false);
+        let c1 = r.constant_bit(true);
+        let stuck = r.and2_bit(c0, c1);
+        r.output("alarm_stuck", stuck);
+        // intentional stub: directly tied off through the output buffer
+        let off = r.constant_bit(false);
+        r.output("alarm_off", off);
+        // SL0204: compare q[0] against a *derived* constant (d[0] AND 0)
+        let derived0 = r.and2_bit(d.bit(0), c0);
+        let cmp = r.xor2_bit(q.bit(0), derived0);
+        let alarm = r.register_bit("alarm_cmp_q", cmp, None, None);
+        r.output("alarm_cmp", alarm);
+        r.finish().unwrap()
+    }
+
+    #[test]
+    fn testability_rules_fire_on_seeded_defects() {
+        let nl = seeded_design();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let mut ws = Worksheet::new(&zones);
+        let dead = zones.zone_by_name("dead").expect("dead zone extracted").id;
+        ws.add_diagnostic(dead, DiagnosticClaim::at_max(TechniqueId::RamEcc));
+        let report = LintRunner::with_defaults().run(&nl, &zones, Some(&ws));
+
+        // SL0201: the dead zone's anchor is unreachable from any monitor
+        let dead_sites = report.by_code("SL0201");
+        assert!(
+            dead_sites
+                .iter()
+                .any(|d| d.anchor.location().contains("dead")),
+            "expected SL0201 on the dead zone; got:\n{}",
+            report.render_text()
+        );
+
+        // SL0202: the claimed DDF on the dead zone has zero observable support
+        let ddf = report.by_code("SL0202");
+        assert!(
+            ddf.iter()
+                .any(|d| d.anchor.location().contains("dead") && d.severity == Severity::Warning),
+            "expected SL0202 on the dead zone; got:\n{}",
+            report.render_text()
+        );
+
+        // SL0203: the constant-computed alarm fires; the declared stub does not
+        let inert = report.by_code("SL0203");
+        assert!(
+            inert
+                .iter()
+                .any(|d| d.anchor.location().contains("alarm_stuck")),
+            "expected SL0203 on alarm_stuck; got:\n{}",
+            report.render_text()
+        );
+        assert!(
+            !inert
+                .iter()
+                .any(|d| d.anchor.location().contains("alarm_off")),
+            "the Const-through-buffer stub must be exempt:\n{}",
+            report.render_text()
+        );
+
+        // SL0204: the derived-constant comparator leg in alarm_cmp's cone
+        let tied = report.by_code("SL0204");
+        assert!(
+            !tied.is_empty(),
+            "expected SL0204 in alarm_cmp's fan-in cone; got:\n{}",
+            report.render_text()
+        );
+    }
+
+    /// A clean design produces no testability findings at all.
+    #[test]
+    fn healthy_design_is_quiet() {
+        let mut r = RtlBuilder::new("clean");
+        let d = r.input_word("d", 2);
+        let q = r.register("q", &d, None, None);
+        r.output_word("o", &q);
+        let par = r.parity(&q);
+        let alarm = r.register_bit("alarm_par_q", par, None, None);
+        r.output("alarm_par", alarm);
+        let nl = r.finish().unwrap();
+        let zones = extract_zones(&nl, &ExtractConfig::default());
+        let report = LintRunner::with_defaults().run(&nl, &zones, None);
+        for code in ["SL0201", "SL0202", "SL0203", "SL0204"] {
+            assert!(
+                report.by_code(code).is_empty(),
+                "unexpected {code}:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}

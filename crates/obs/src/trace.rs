@@ -55,8 +55,9 @@ pub struct FaultRecord {
     pub cycles_simulated: u64,
     /// Cycles answered from the golden trace without evaluation.
     pub cycles_skipped: u64,
-    /// Engine path that classified it: `lockstep`, `sparse`, `warm`, or
-    /// `dictionary` (collapse back-annotation, no simulation).
+    /// Engine path that classified it: `lockstep`, `sparse`, `warm`,
+    /// `ppsfp`, `dictionary` (collapse back-annotation, no simulation) or
+    /// `pruned` (static undetectability proof, no simulation).
     pub engine: &'static str,
     /// Representative fault index when dictionary-annotated, else `None`
     /// (the collapse class is `rep` + every fault pointing at it).

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! socfmea zones   <netlist.v> [options]   list the extracted sensible zones
-//! socfmea analyze <netlist.v> [options]   run the FMEA and print the report
+//! socfmea analyze [<netlist.v>] [options] run the FMEA and print the report
+//!                                         with per-zone testability tables
 //! socfmea inject  [<netlist.v>] [options] run a fault-injection campaign
 //! socfmea lint    [<netlist.v>] [options] run the structural safety lints
 //! socfmea trace summarize <trace.jsonl>   re-aggregate a campaign trace
@@ -13,7 +14,8 @@
 //! analyze options:
 //!   --hft <n>                  hardware fault tolerance for the SIL grant
 //!   --type-a                   assess as a type-A subsystem (default: B)
-//!   --format text|csv|srs      report format (default: text)
+//!   --format text|csv|srs|json report format (default: text)
+//!   --example <design>         analyze a bundled design
 //! inject options:
 //!   --threads <n>              campaign worker threads
 //!   --seed <s>                 fault-list sampling seed
@@ -23,6 +25,8 @@
 //!   --checkpoint-interval <n>  golden-trace checkpoint spacing (sparse)
 //!   --collapse                 simulate one representative per equivalence
 //!                              class, back-annotate the rest
+//!   --prune                    skip statically proven-undetectable faults,
+//!                              synthesize their outcomes (bit-identical)
 //!   --example <design>         inject into a bundled design
 //!   --trace-out <f.jsonl>      stream one JSONL record per fault
 //!   --metrics-out <f.json>     write the metrics-registry snapshot
@@ -45,6 +49,7 @@
 //! analysis starts from, while `inject` measures DC/SFF directly by
 //! golden-vs-faulty co-simulation under a seeded random workload.
 
+use soc_fmea::accel::Topology;
 use soc_fmea::cli::{
     self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, LintFormat, LintOptions,
     ReportFormat, TraceOptions, ZonesOptions,
@@ -59,6 +64,7 @@ use soc_fmea::lint::{LintConfig, LintRunner};
 use soc_fmea::netlist::{parse_verilog, Logic, Netlist};
 use soc_fmea::obs::{Observer, ProgressReporter, StderrRender, TraceSink, TraceSummary};
 use soc_fmea::sim::Workload;
+use soc_fmea::static_analysis::TestabilityAnalysis;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,12 +104,41 @@ fn run_zones(opts: &ZonesOptions) -> Result<(), ExitCode> {
 }
 
 fn run_analyze(opts: &AnalyzeOptions) -> Result<(), ExitCode> {
-    let netlist = load_netlist(&opts.input)?;
-    let zones = extract_zones(&netlist, &opts.config);
-    let mut ws = Worksheet::new(&zones);
+    let (netlist, config) = match opts.example {
+        Some(example) => example_netlist(example)?,
+        None => {
+            let input = opts.input.as_deref().expect("validated by the parser");
+            (load_netlist(input)?, opts.config.clone())
+        }
+    };
+    let zones = extract_zones(&netlist, &config);
+    // The bundled examples carry their own diagnostic claims; a netlist
+    // file starts from the uncovered worksheet.
+    let mut ws = match opts.example {
+        Some(ExampleDesign::Fmem) => soc_fmea::memsys::fmea::build_worksheet(
+            &zones,
+            &soc_fmea::memsys::MemSysConfig::hardened(),
+        ),
+        Some(ExampleDesign::FmemBaseline) => soc_fmea::memsys::fmea::build_worksheet(
+            &zones,
+            &soc_fmea::memsys::MemSysConfig::baseline(),
+        ),
+        Some(ExampleDesign::Mcu) => soc_fmea::mcu::fmea::build_worksheet(
+            &zones,
+            &soc_fmea::mcu::McuConfig::lockstep(soc_fmea::mcu::programs::checksum_loop()),
+        ),
+        Some(ExampleDesign::McuSingle) => soc_fmea::mcu::fmea::build_worksheet(
+            &zones,
+            &soc_fmea::mcu::McuConfig::single(soc_fmea::mcu::programs::checksum_loop()),
+        ),
+        None => Worksheet::new(&zones),
+    };
     ws.set_hft(opts.hft);
     ws.set_subsystem(opts.subsystem);
     let result = ws.compute();
+    let statics = Topology::build(&netlist)
+        .ok()
+        .map(|topo| TestabilityAnalysis::analyze(&netlist, &topo, netlist.outputs()));
     match opts.format {
         ReportFormat::Csv => print!("{}", report::render_csv(&result, &zones)),
         ReportFormat::Srs => {
@@ -114,9 +149,187 @@ fn run_analyze(opts: &AnalyzeOptions) -> Result<(), ExitCode> {
                 report::render_srs(netlist.name(), &result, &zones, &effects)
             );
         }
-        ReportFormat::Text => print!("{}", report::render_text(&result, &zones)),
+        ReportFormat::Text => {
+            print!("{}", report::render_text(&result, &zones));
+            if let Some(statics) = &statics {
+                print!("{}", render_testability_text(&netlist, &zones, statics));
+            }
+        }
+        ReportFormat::Json => match &statics {
+            Some(statics) => println!(
+                "{}",
+                render_analyze_json(&netlist, &zones, &result, statics)
+            ),
+            None => {
+                eprintln!("socfmea: design is not levelizable; no static analysis possible");
+                return Err(ExitCode::FAILURE);
+            }
+        },
     }
     Ok(())
+}
+
+/// Per-zone static testability gathered for one zone of the report: anchor
+/// sites split into proven-constant, structurally unobservable and live,
+/// plus the SCOAP observability / sequential-depth extremes of the live
+/// sites.
+struct ZoneTestability {
+    sites: usize,
+    constant: usize,
+    unobservable: usize,
+    co_max: Option<u32>,
+    seq_max: Option<u32>,
+}
+
+impl ZoneTestability {
+    fn gather(
+        zone: &soc_fmea::fmea::SensibleZone,
+        statics: &TestabilityAnalysis,
+    ) -> ZoneTestability {
+        let mut t = ZoneTestability {
+            sites: zone.anchors.len(),
+            constant: 0,
+            unobservable: 0,
+            co_max: None,
+            seq_max: None,
+        };
+        for &a in &zone.anchors {
+            if statics.constant(a).is_some() {
+                t.constant += 1;
+            } else if !statics.observable(a) {
+                t.unobservable += 1;
+            } else {
+                let co = statics.co(a);
+                if co != soc_fmea::static_analysis::UNREACHABLE {
+                    t.co_max = Some(t.co_max.unwrap_or(0).max(co));
+                }
+                let seq = statics.seq_depth(a);
+                if seq != soc_fmea::static_analysis::UNREACHABLE {
+                    t.seq_max = Some(t.seq_max.unwrap_or(0).max(seq));
+                }
+            }
+        }
+        t
+    }
+
+    fn live(&self) -> usize {
+        self.sites - self.constant - self.unobservable
+    }
+}
+
+/// The `analyze` text-format appendix: one static-testability row per zone.
+fn render_testability_text(
+    netlist: &Netlist,
+    zones: &soc_fmea::fmea::ZoneSet,
+    statics: &TestabilityAnalysis,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\nstatic testability ({} monitored outputs)",
+        netlist.outputs().len()
+    );
+    let _ = writeln!(
+        s,
+        "{:<30} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8}",
+        "zone", "sites", "const", "unobs", "live", "co max", "seq max"
+    );
+    let (mut dead, mut total) = (0usize, 0usize);
+    let opt = |v: Option<u32>| v.map_or("-".to_owned(), |x| x.to_string());
+    for z in zones.zones() {
+        let t = ZoneTestability::gather(z, statics);
+        dead += t.constant + t.unobservable;
+        total += t.sites;
+        let _ = writeln!(
+            s,
+            "{:<30} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8}",
+            z.name,
+            t.sites,
+            t.constant,
+            t.unobservable,
+            t.live(),
+            opt(t.co_max),
+            opt(t.seq_max)
+        );
+    }
+    if total > 0 {
+        let _ = writeln!(
+            s,
+            "statically dead fault sites: {dead}/{total} ({:.1}%)",
+            100.0 * dead as f64 / total as f64
+        );
+    }
+    s
+}
+
+/// The `analyze --format json` document: worksheet summary plus the same
+/// per-zone testability table the text format appends. Hand-rolled JSON in
+/// the style of the lint report (no serialization dependency).
+fn render_analyze_json(
+    netlist: &Netlist,
+    zones: &soc_fmea::fmea::ZoneSet,
+    result: &soc_fmea::fmea::worksheet::FmeaResult,
+    statics: &TestabilityAnalysis,
+) -> String {
+    let num = |v: Option<f64>| v.map_or("null".to_owned(), |x| format!("{x:.6}"));
+    let mut zone_docs = Vec::new();
+    let (mut dead, mut total) = (0usize, 0usize);
+    for z in zones.zones() {
+        let t = ZoneTestability::gather(z, statics);
+        dead += t.constant + t.unobservable;
+        total += t.sites;
+        let opt = |v: Option<u32>| v.map_or("null".to_owned(), |x| x.to_string());
+        zone_docs.push(format!(
+            "{{\"name\":\"{}\",\"lambda_fit\":{:.4},\"dc\":{},\"sff\":{},\
+             \"sites\":{},\"constant\":{},\"unobservable\":{},\"live\":{},\
+             \"co_max\":{},\"seq_max\":{}}}",
+            json_escape(&z.name),
+            result.zone_totals[z.id.index()].total().0,
+            num(result.zone_dc(z.id)),
+            num(result.zone_sff(z.id)),
+            t.sites,
+            t.constant,
+            t.unobservable,
+            t.live(),
+            opt(t.co_max),
+            opt(t.seq_max)
+        ));
+    }
+    format!(
+        "{{\"design\":\"{}\",\"hft\":{},\"subsystem\":\"{:?}\",\"sff\":{},\"dc\":{},\
+         \"sil\":{},\"monitored_outputs\":{},\"dead_sites\":{},\"total_sites\":{},\
+         \"zones\":[{}]}}",
+        json_escape(netlist.name()),
+        result.hft.0,
+        result.subsystem,
+        num(result.sff()),
+        num(result.dc()),
+        result
+            .sil()
+            .map_or("null".to_owned(), |s| s.level().to_string()),
+        netlist.outputs().len(),
+        dead,
+        total,
+        zone_docs.join(",")
+    )
+}
+
+/// Minimal JSON string escaping (mirrors the lint crate's).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A deterministic random workload: every non-critical primary input gets a
@@ -246,6 +459,7 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
         .engine(opts.engine)
         .checkpoint_interval(opts.checkpoint_interval)
         .collapsing(opts.collapse)
+        .pruning(opts.prune)
         .observe(&observer);
     let stats = campaign.stats();
     let reporter = (opts.progress && !opts.quiet).then(|| {

@@ -15,13 +15,14 @@
 //! [`USAGE`].
 
 use socfmea_core::extract::ExtractConfig;
-use socfmea_faultsim::{Collapse, Engine};
+use socfmea_faultsim::{Collapse, Engine, Prune};
 use socfmea_iec61508::{ComponentClass, Hft, Sil, SubsystemType};
 
 /// The usage string printed on argument errors.
 pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace> [<netlist.v>] [options]
   zones   <netlist.v>   list the extracted sensible zones
-  analyze <netlist.v>   run the FMEA and print the report
+  analyze <netlist.v>   run the FMEA with per-zone testability tables
+                        (or --example <design>)
   inject  <netlist.v>   run a fault-injection campaign, print measured DC/SFF
                         (or --example <design>)
   lint    <netlist.v>   run the structural safety lints (or --example <design>)
@@ -34,7 +35,9 @@ common options:
 analyze options:
   --hft <n>                  hardware fault tolerance for the SIL grant
   --type-a                   assess as a type-A subsystem (default: B)
-  --format text|csv|srs      report format (default: text)
+  --format text|csv|srs|json report format (default: text)
+  --example <design>         analyze a bundled design instead of a netlist
+                             file (fmem|fmem-baseline|mcu|mcu-single)
 inject options:
   --threads <n>              campaign worker threads (default: host cores, max 8)
   --seed <s>                 fault-list sampling seed (default: 0x5eed)
@@ -48,6 +51,8 @@ inject options:
                              engine (default: 16)
   --collapse                 simulate one representative per equivalence
                              class, back-annotate the rest (bit-identical)
+  --prune                    statically prove faults undetectable and skip
+                             their simulation (bit-identical)
   --example <design>         inject into a bundled design instead of a
                              netlist file (fmem|fmem-baseline|mcu|mcu-single)
   --trace-out <f.jsonl>      stream one JSONL record per fault (plus span,
@@ -98,13 +103,17 @@ pub enum ReportFormat {
     Csv,
     /// Safety Requirements Specification draft.
     Srs,
+    /// One JSON document (worksheet summary + testability tables).
+    Json,
 }
 
 /// Options of `socfmea analyze`.
 #[derive(Debug)]
 pub struct AnalyzeOptions {
-    /// Path of the Verilog netlist.
-    pub input: String,
+    /// Path of the Verilog netlist; `None` when analyzing an example.
+    pub input: Option<String>,
+    /// A bundled example design; `None` when reading a netlist file.
+    pub example: Option<ExampleDesign>,
     /// Zone-extraction configuration.
     pub config: ExtractConfig,
     /// Hardware fault tolerance assumed for the SIL grant.
@@ -138,6 +147,9 @@ pub struct InjectOptions {
     /// Fault-collapsing mode: simulate one representative per equivalence
     /// class and expand the rest from the fault dictionary (bit-identical).
     pub collapse: Collapse,
+    /// Static pre-pass mode: skip faults proven undetectable and
+    /// synthesize their outcomes (bit-identical).
+    pub prune: Prune,
     /// Stream a JSONL trace (one record per fault, plus span/phase/end
     /// records) to this path.
     pub trace_out: Option<String>,
@@ -271,11 +283,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::TraceSummarize(TraceOptions { input }));
     }
 
-    // inject's and lint's netlist paths are optional (an --example may stand
-    // in), so they are collected as positionals inside the option loop
-    // instead of up front
+    // analyze's, inject's and lint's netlist paths are optional (an
+    // --example may stand in), so they are collected as positionals inside
+    // the option loop instead of up front
+    let takes_example = is_analyze || is_inject || is_lint;
     let mut input = String::new();
-    if !is_lint && !is_inject {
+    if !takes_example {
         input = it.next().ok_or("missing input file")?.clone();
     }
     let mut config = ExtractConfig::default();
@@ -288,6 +301,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut engine = Engine::Auto;
     let mut checkpoint_interval = 16usize;
     let mut collapse = Collapse::Off;
+    let mut prune = Prune::Off;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut progress = false;
@@ -321,6 +335,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "text" => ReportFormat::Text,
                     "csv" => ReportFormat::Csv,
                     "srs" => ReportFormat::Srs,
+                    "json" => ReportFormat::Json,
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
@@ -352,6 +367,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             // deprecated alias, kept so existing scripts continue to work
             "--accel" if is_inject => engine = Engine::Sparse,
             "--collapse" if is_inject => collapse = Collapse::Dictionary,
+            "--prune" if is_inject => prune = Prune::Static,
             "--checkpoint-interval" if is_inject => {
                 let n = it.next().ok_or("--checkpoint-interval needs a number")?;
                 checkpoint_interval = n
@@ -371,7 +387,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--progress" if is_inject => progress = true,
             "--quiet" if is_inject => quiet = true,
-            "--example" if is_lint || is_inject => {
+            "--example" if takes_example => {
                 let e = it.next().ok_or("--example needs a design name")?;
                 example = Some(
                     ExampleDesign::parse(e)
@@ -406,7 +422,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 target_sil =
                     Some(Sil::from_level(level).ok_or_else(|| format!("bad SIL level `{n}`"))?);
             }
-            other if (is_lint || is_inject) && !other.starts_with('-') && positional.is_none() => {
+            other if takes_example && !other.starts_with('-') && positional.is_none() => {
                 positional = Some(other.to_owned());
             }
             other => return Err(format!("unknown option `{other}`")),
@@ -415,13 +431,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     Ok(match command.as_str() {
         "zones" => Command::Zones(ZonesOptions { input, config }),
-        "analyze" => Command::Analyze(AnalyzeOptions {
-            input,
-            config,
-            hft,
-            subsystem,
-            format,
-        }),
+        "analyze" => {
+            if positional.is_some() == example.is_some() {
+                return Err("analyze needs exactly one of <netlist.v> or --example".into());
+            }
+            Command::Analyze(AnalyzeOptions {
+                input: positional,
+                example,
+                config,
+                hft,
+                subsystem,
+                format,
+            })
+        }
         "inject" => {
             if positional.is_some() == example.is_some() {
                 return Err("inject needs exactly one of <netlist.v> or --example".into());
@@ -436,6 +458,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 engine,
                 checkpoint_interval,
                 collapse,
+                prune,
                 trace_out,
                 metrics_out,
                 progress,
@@ -495,9 +518,50 @@ mod tests {
         let Command::Analyze(o) = cmd else {
             panic!("analyze expected")
         };
+        assert_eq!(o.input.as_deref(), Some("d.v"));
+        assert!(o.example.is_none());
         assert_eq!(o.hft, Hft(1));
         assert_eq!(o.subsystem, SubsystemType::A);
         assert_eq!(o.format, ReportFormat::Csv);
+    }
+
+    #[test]
+    fn analyze_takes_an_example_and_a_json_format() {
+        let cmd = parse(&argv(&["analyze", "--example", "mcu", "--format", "json"])).unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("analyze expected")
+        };
+        assert!(o.input.is_none());
+        assert_eq!(o.example, Some(ExampleDesign::Mcu));
+        assert_eq!(o.format, ReportFormat::Json);
+        // exactly one of <netlist.v> / --example
+        assert!(parse(&argv(&["analyze"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&argv(&["analyze", "d.v", "--example", "mcu"]))
+            .unwrap_err()
+            .contains("exactly one"));
+    }
+
+    #[test]
+    fn inject_parses_prune() {
+        let cmd = parse(&argv(&["inject", "d.v", "--prune", "--collapse"])).unwrap();
+        let Command::Inject(o) = cmd else {
+            panic!("inject expected")
+        };
+        assert_eq!(o.prune, Prune::Static);
+        assert_eq!(
+            o.collapse,
+            Collapse::Dictionary,
+            "prune composes with collapse"
+        );
+        // default is off, and the flag is inject-only
+        let Command::Inject(o) = parse(&argv(&["inject", "d.v"])).unwrap() else {
+            panic!("inject expected")
+        };
+        assert_eq!(o.prune, Prune::Off);
+        assert!(parse(&argv(&["analyze", "d.v", "--prune"])).is_err());
+        assert!(parse(&argv(&["lint", "d.v", "--prune"])).is_err());
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub use socfmea_faultsim as faultsim;
 /// [`Engine::Sparse`](faultsim::Engine::Sparse).
 pub use socfmea_accel as accel;
 
+/// Static testability analysis: ternary constant propagation, SCOAP
+/// controllability/observability, and the proven-undetectable fault
+/// classifier behind `inject --prune` and `analyze`'s testability tables.
+pub use socfmea_static as static_analysis;
+
 /// Structured tracing, metrics, and live campaign telemetry: hierarchical
 /// spans, a thread-safe counter/gauge/histogram registry, the JSONL trace
 /// sink behind `inject --trace-out`, and its offline re-aggregation.

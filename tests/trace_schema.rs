@@ -34,10 +34,34 @@ fn temp_path(tag: &str, ext: &str) -> PathBuf {
     std::env::temp_dir().join(format!("socfmea_trace_{tag}_{}.{ext}", std::process::id()))
 }
 
+/// The lockstep accumulator plus a tied-off (feature-disabled) alarm stub:
+/// stuck-ats matching the tied value are provably silent, so `--prune`
+/// answers them statically and the trace grows `engine: "pruned"` records.
+const TIED: &str = "
+    module pruned_acc(clk, rst, en, din, q, alarm_cmp, alarm_stub);
+    input clk, rst, en, din;
+    output q;
+    output alarm_cmp;
+    output alarm_stub;
+    wire d_a; wire d_b; wire q_a; wire q_b; wire stub;
+    xor g0 (d_a, q_a, din);
+    xor g1 (d_b, q_b, din);
+    dffre r0 (q_a, d_a, en, rst);
+    dffre r1 (q_b, d_b, en, rst);
+    buf g2 (q, q_a);
+    xor g3 (alarm_cmp, q_a, q_b);
+    tie0 t0 (stub);
+    buf g4 (alarm_stub, stub);
+    endmodule";
+
 fn write_design(tag: &str) -> PathBuf {
+    write_design_src(tag, PROTECTED)
+}
+
+fn write_design_src(tag: &str, src: &str) -> PathBuf {
     let path = temp_path(tag, "v");
     let mut f = std::fs::File::create(&path).expect("temp file");
-    f.write_all(PROTECTED.as_bytes()).expect("write");
+    f.write_all(src.as_bytes()).expect("write");
     path
 }
 
@@ -56,7 +80,11 @@ fn run(args: &[&str]) -> (String, String, bool) {
 /// Runs an injection campaign writing a trace, returns the parsed records
 /// and the campaign's stdout report.
 fn inject_traced(tag: &str, extra: &[&str]) -> (Vec<Value>, String) {
-    let design = write_design(tag);
+    inject_traced_src(tag, PROTECTED, extra)
+}
+
+fn inject_traced_src(tag: &str, src: &str, extra: &[&str]) -> (Vec<Value>, String) {
+    let design = write_design_src(tag, src);
     let trace = temp_path(tag, "jsonl");
     let mut args = vec![
         "inject",
@@ -204,7 +232,7 @@ fn trace_has_meta_first_end_last_and_one_typed_record_per_fault() {
         assert!(
             matches!(
                 engine,
-                "lockstep" | "sparse" | "warm" | "ppsfp" | "dictionary"
+                "lockstep" | "sparse" | "warm" | "ppsfp" | "dictionary" | "pruned"
             ),
             "bad engine `{engine}`"
         );
@@ -330,5 +358,70 @@ fn accel_collapse_trace_matches_baseline_outcomes_and_reaggregates() {
     assert_eq!(printed.len(), 2, "inject printed no DC/SFF: {stdout}");
     assert_eq!(printed, claims(&summary));
     assert!(summary.contains("consistent with fault records"));
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn pruned_trace_matches_baseline_outcomes_and_summarizes_per_engine() {
+    let (base, _) = inject_traced_src("prbase", TIED, &["--threads", "2"]);
+    let design = write_design_src("pruned", TIED);
+    let trace = temp_path("pruned", "jsonl");
+    let (_, stderr, ok) = run(&[
+        "inject",
+        design.to_str().unwrap(),
+        "--seed",
+        "42",
+        "--cycles",
+        "24",
+        "--quiet",
+        "--threads",
+        "2",
+        "--prune",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "pruned inject failed: {stderr}");
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let records: Vec<Value> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+    let _ = std::fs::remove_file(design);
+
+    // bit-identical contract: synthesized outcomes equal the simulated
+    // baseline's, record for record
+    let (fb, fp) = (faults_of(&base), faults_of(&records));
+    assert_eq!(fb.len(), fp.len());
+    for (b, p) in fb.iter().zip(&fp) {
+        assert_eq!(outcome_key(b), outcome_key(p));
+    }
+    // the tied-off alarm stub guarantees the pre-pass actually fires
+    let pruned: Vec<_> = fp
+        .iter()
+        .filter(|f| str_field(f, "engine") == "pruned")
+        .collect();
+    assert!(!pruned.is_empty(), "no pruned records in the trace");
+    for f in &pruned {
+        // a proof replaces a simulation: quiet outcome, zero cycle budget,
+        // no representative, no shard placement
+        assert_eq!(str_field(f, "outcome"), "NE");
+        assert_eq!(u64_field(f, "sim"), 0);
+        assert_eq!(u64_field(f, "skip"), 0);
+        assert_eq!(opt_u64_field(f, "rep"), None);
+        assert_eq!(opt_u64_field(f, "shard"), None);
+    }
+
+    // the offline re-aggregation stays consistent and breaks the run down
+    // by engine, pruned column included
+    let (summary, _, ok) = run(&["trace", "summarize", trace.to_str().unwrap()]);
+    assert!(ok, "trace summarize failed");
+    assert!(summary.contains("consistent with fault records"));
+    let per_engine: Vec<&str> = summary
+        .lines()
+        .skip_while(|l| !l.starts_with("per-engine"))
+        .collect();
+    assert!(
+        per_engine
+            .iter()
+            .any(|l| l.trim_start().starts_with("pruned")),
+        "per-engine table lacks a pruned row:\n{summary}"
+    );
     let _ = std::fs::remove_file(trace);
 }
