@@ -1,0 +1,270 @@
+//! Campaign-server snapshot: submission latency, streaming first-record
+//! latency and cold-vs-warm artifact-cache timing for an in-process
+//! `socfmea serve` daemon, written to `BENCH_serve.json`.
+//!
+//! Three measurements:
+//!
+//! * per bundled example, the wall-clock of a **cold** job (design and
+//!   spec caches empty — topology, golden trace, collapse plan and prune
+//!   plans all built on the submission path) vs a **warm** resubmission
+//!   of the identical `(design, spec)` that reuses every artifact, plus
+//!   the submission→first-streamed-record latency of each, measured by a
+//!   live `GET /v1/jobs/<id>/trace` watcher attached right after the
+//!   202,
+//! * sustained throughput: a burst of identical warm jobs on the
+//!   smallest example, submitted back-to-back and drained, reported as
+//!   jobs per second,
+//! * the server's own cache counters after the run (design/spec
+//!   hits and misses, evictions), asserting the warm path did zero
+//!   rebuild work.
+//!
+//! Correctness is asserted, not assumed: every warm trace must be
+//! byte-identical to its cold counterpart before anything is written.
+//! `--quick` shrinks the workloads for CI smoke runs.
+
+use socfmea_bench::banner;
+use socfmea_obs::json::{self, Value};
+use socfmea_serve::{Client, Server, ServerConfig, EXAMPLES};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+/// A sink that timestamps the first byte the server streams into it.
+struct FirstByte {
+    t0: Instant,
+    first: Option<f64>,
+    buf: Vec<u8>,
+}
+
+impl FirstByte {
+    fn new(t0: Instant) -> FirstByte {
+        FirstByte {
+            t0,
+            first: None,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Write for FirstByte {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if self.first.is_none() && !data.is_empty() {
+            self.first = Some(self.t0.elapsed().as_secs_f64());
+        }
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn doc(body: &str) -> Value {
+    json::parse(body).unwrap_or_else(|e| panic!("malformed response `{body}`: {e}"))
+}
+
+fn counter(client: &Client, name: &str) -> u64 {
+    let resp = client.metrics().expect("metrics");
+    assert_eq!(resp.status, 200);
+    doc(&resp.text())
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+/// One submitted job, watched live to completion: total wall-clock from
+/// submission to a drained trace stream, plus submission→first-record
+/// latency and the full streamed trace for the bit-identity assertion.
+struct Run {
+    total_secs: f64,
+    first_record_secs: f64,
+    trace: Vec<u8>,
+}
+
+fn submit_and_watch(client: &Client, body: &str) -> Run {
+    let t0 = Instant::now();
+    let resp = client.submit_raw(body).expect("submit");
+    assert_eq!(resp.status, 202, "rejected: {}", resp.text());
+    let job = doc(&resp.text())
+        .get("job")
+        .and_then(|v| v.as_str().map(str::to_owned))
+        .expect("job id");
+    let mut sink = FirstByte::new(t0);
+    let status = client.watch(&job, &mut sink).expect("watch");
+    assert_eq!(status, 200);
+    let total_secs = t0.elapsed().as_secs_f64();
+    // the stream closes when the job reaches a terminal state, but poll the
+    // status document anyway so `done` (not `failed`) is what we timed
+    for _ in 0..400 {
+        let d = doc(&client.status(&job).expect("status").text());
+        match d.get("state").unwrap().as_str().unwrap() {
+            "done" => {
+                return Run {
+                    total_secs,
+                    first_record_secs: sink.first.expect("at least one streamed record"),
+                    trace: sink.buf,
+                }
+            }
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(25)),
+            other => panic!("job {job} ended {other}: {:?}", d.get("error")),
+        }
+    }
+    panic!("job {job} never reached a terminal state");
+}
+
+struct Row {
+    design: &'static str,
+    cold: Run,
+    warm: Run,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "BENCH",
+        "campaign server: cold vs warm artifact cache, streaming latency, throughput",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cycles = if quick { 12 } else { 32 };
+    let burst = if quick { 6 } else { 16 };
+    let threads = cores.min(8);
+    println!(
+        "host: {cores} core{}; campaign threads: {threads}; cycles: {cycles}",
+        if cores == 1 { "" } else { "s" }
+    );
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: burst + 8,
+        cache_bytes: usize::MAX,
+        default_threads: threads,
+    })
+    .expect("bind campaign server");
+    let client = Client::new(server.addr().to_string());
+    println!("server: {}", server.addr());
+
+    let rows: Vec<Row> = EXAMPLES
+        .iter()
+        .map(|example| {
+            let spec = format!(
+                r#"{{"example":"{}","cycles":{cycles},"seed":7,"collapse":true,"prune":true}}"#,
+                example.name()
+            );
+            let cold = submit_and_watch(&client, &spec);
+            let builds = counter(&client, "serve.build.artifacts");
+            let warm = submit_and_watch(&client, &spec);
+            assert_eq!(
+                counter(&client, "serve.build.artifacts"),
+                builds,
+                "{}: warm run rebuilt campaign artifacts",
+                example.name()
+            );
+            assert_eq!(
+                cold.trace,
+                warm.trace,
+                "{}: warm trace is not bit-identical to the cold one",
+                example.name()
+            );
+            println!(
+                "  {:13} cold {:7.3}s (first record {:6.1}ms) | warm {:7.3}s (first record {:6.1}ms) | {:.2}x",
+                example.name(),
+                cold.total_secs,
+                cold.first_record_secs * 1e3,
+                warm.total_secs,
+                warm.first_record_secs * 1e3,
+                cold.total_secs / warm.total_secs,
+            );
+            Row {
+                design: example.name(),
+                cold,
+                warm,
+            }
+        })
+        .collect();
+
+    // throughput: a burst of identical warm jobs on the smallest example,
+    // submitted back-to-back and drained through the status endpoint
+    let spec = format!(
+        r#"{{"example":"mcu-single","cycles":{cycles},"seed":7,"collapse":true,"prune":true}}"#
+    );
+    let t0 = Instant::now();
+    let jobs: Vec<String> = (0..burst)
+        .map(|_| {
+            let resp = client.submit_raw(&spec).expect("submit");
+            assert_eq!(resp.status, 202, "rejected: {}", resp.text());
+            doc(&resp.text())
+                .get("job")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .expect("job id")
+        })
+        .collect();
+    for job in &jobs {
+        loop {
+            let d = doc(&client.status(job).expect("status").text());
+            match d.get("state").unwrap().as_str().unwrap() {
+                "done" => break,
+                "queued" | "running" => std::thread::sleep(Duration::from_millis(10)),
+                other => panic!("job {job} ended {other}: {:?}", d.get("error")),
+            }
+        }
+    }
+    let burst_secs = t0.elapsed().as_secs_f64();
+    let jobs_per_sec = burst as f64 / burst_secs;
+    println!(
+        "\nburst: {burst} warm mcu-single jobs in {burst_secs:.3}s ({jobs_per_sec:.1} jobs/s); all warm traces bit-identical to cold"
+    );
+
+    let design_hits = counter(&client, "serve.cache.design.hit");
+    let design_misses = counter(&client, "serve.cache.design.miss");
+    let spec_hits = counter(&client, "serve.cache.spec.hit");
+    let spec_misses = counter(&client, "serve.cache.spec.miss");
+    let evictions = counter(&client, "serve.cache.evict");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve\",");
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    let _ = writeln!(out, "  \"campaign_threads\": {threads},");
+    let _ = writeln!(out, "  \"cycles\": {cycles},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"all warm traces asserted bit-identical to cold; warm runs rebuilt no artifacts\","
+    );
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"design\": \"{}\", \"cold\": {{\"seconds\": {:.4}, \"first_record_ms\": {:.2}}}, \"warm\": {{\"seconds\": {:.4}, \"first_record_ms\": {:.2}}}, \"warm_speedup\": {:.2}}}{}",
+            r.design,
+            r.cold.total_secs,
+            r.cold.first_record_secs * 1e3,
+            r.warm.total_secs,
+            r.warm.first_record_secs * 1e3,
+            r.cold.total_secs / r.warm.total_secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"burst\": {{\"design\": \"mcu-single\", \"jobs\": {burst}, \"seconds\": {burst_secs:.4}, \"jobs_per_sec\": {jobs_per_sec:.2}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"design_hits\": {design_hits}, \"design_misses\": {design_misses}, \"spec_hits\": {spec_hits}, \"spec_misses\": {spec_misses}, \"evictions\": {evictions}}}"
+    );
+    out.push_str("}\n");
+
+    let path = "BENCH_serve.json";
+    std::fs::write(path, &out).expect("write snapshot");
+    println!("snapshot written to {path}");
+
+    let resp = client.shutdown().expect("admin shutdown");
+    assert_eq!(resp.status, 200);
+    server.join();
+}

@@ -37,6 +37,15 @@ use socfmea_core::ZoneId;
 use socfmea_netlist::{Logic, NetId, Netlist};
 use socfmea_sim::{Simulator, WordSim};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// True when a cooperative cancellation token has fired. Checked once per
+/// simulated cycle on every engine path, so a `DELETE`d server job stops
+/// promptly even inside a long single-fault simulation; the aborted
+/// fault's (garbage) outcome is discarded by the campaign loop.
+pub(crate) fn cancel_fired(cancel: Option<&AtomicBool>) -> bool {
+    cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+}
 
 /// Per-fault work accounting: how many cycles the engine actually
 /// evaluated versus how many it answered from the golden trace (the
@@ -140,6 +149,19 @@ impl ExecContext {
             ExecContext::Accel(a) => a.trace.value(cycle, net),
         }
     }
+
+    /// Approximate resident size in bytes (the artifact cache's eviction
+    /// currency): the golden trace (matrix + checkpoints on the
+    /// accelerated path, monitor columns otherwise) plus the per-net
+    /// monitor lookups.
+    pub(crate) fn approx_bytes(&self, env: &Environment<'_>) -> usize {
+        match self {
+            ExecContext::Baseline(c) | ExecContext::Ppsfp(c) => c.approx_bytes(),
+            ExecContext::Accel(a) => {
+                a.trace.matrix_bytes() + a.trace.checkpoint_bytes() + env.netlist.net_count() * 16
+            }
+        }
+    }
 }
 
 /// Records the golden trace (with checkpoints) and builds the monitor
@@ -188,13 +210,14 @@ pub(crate) fn simulate_dispatch(
     sparse: Option<&mut SparseSim<'_>>,
     fault_index: usize,
     fault: &Fault,
+    cancel: Option<&AtomicBool>,
 ) -> (FaultOutcome, FaultMetrics) {
     match ctx {
         // Under PPSFP, batchable stuck-ats never reach this dispatcher (the
         // campaign routes them through `ppsfp::simulate_batch`); whatever is
         // left falls back to the lockstep path, fault by fault.
         ExecContext::Baseline(c) | ExecContext::Ppsfp(c) => {
-            let fo = simulate_one(env, c, sim, fault_index, fault);
+            let fo = simulate_one(env, c, sim, fault_index, fault, cancel);
             let metrics = FaultMetrics {
                 simulated: env.workload.len() as u64,
                 skipped: 0,
@@ -210,10 +233,11 @@ pub(crate) fn simulate_dispatch(
                     sparse.expect("accelerated worker carries a sparse kernel"),
                     fault_index,
                     fault,
+                    cancel,
                 )
             }
             FaultKind::Bridge { .. } | FaultKind::ClockStuck { .. } => {
-                simulate_warm(env, a, sim, fault_index, fault)
+                simulate_warm(env, a, sim, fault_index, fault, cancel)
             }
         },
     }
@@ -226,6 +250,7 @@ fn simulate_sparse(
     sparse: &mut SparseSim<'_>,
     fault_index: usize,
     fault: &Fault,
+    cancel: Option<&AtomicBool>,
 ) -> (FaultOutcome, FaultMetrics) {
     let len = env.workload.len();
     let inject = fault.inject_cycle;
@@ -251,6 +276,9 @@ fn simulate_sparse(
             _ => unreachable!("sparse path only handles state-override faults"),
         }
         for cycle in inject..len {
+            if cancel_fired(cancel) {
+                break;
+            }
             sparse.eval_cycle();
             metrics.simulated += 1;
             // Every monitor only reacts to faulty-vs-golden differences, so
@@ -309,6 +337,7 @@ fn simulate_warm(
     sim: &mut Simulator<'_>,
     fault_index: usize,
     fault: &Fault,
+    cancel: Option<&AtomicBool>,
 ) -> (FaultOutcome, FaultMetrics) {
     let len = env.workload.len();
     let inject = fault.inject_cycle;
@@ -335,6 +364,9 @@ fn simulate_warm(
         let start = cp.cycle() as usize;
         metrics.skipped += start as u64;
         for cycle in start..len {
+            if cancel_fired(cancel) {
+                break;
+            }
             for &(n, v) in env.workload.cycle(cycle) {
                 sim.set(n, v);
             }

@@ -86,6 +86,29 @@ pub enum Engine {
     Ppsfp,
 }
 
+impl Engine {
+    /// The engine a campaign over `faults` will actually run on:
+    /// [`Engine::Auto`] picks PPSFP when every fault can ride a word lane
+    /// (a known-value stuck-at) and the sparse engine otherwise; a fixed
+    /// engine is returned unchanged. [`Campaign::run`] and
+    /// [`CampaignArtifacts::prepare`] resolve with exactly this function,
+    /// so artifacts prepared ahead of time match the run that uses them.
+    pub fn resolve_for(self, faults: &[Fault]) -> Engine {
+        match self {
+            Engine::Auto => {
+                if faults.is_empty() {
+                    Engine::Lockstep
+                } else if faults.iter().all(ppsfp::batchable) {
+                    Engine::Ppsfp
+                } else {
+                    Engine::Sparse
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
 /// Whether a [`Campaign`] simulates equivalence-class representatives only
 /// and back-annotates their outcomes (the fault dictionary), or every fault
 /// on its own. Orthogonal to the [`Engine`] choice.
@@ -163,6 +186,8 @@ pub struct CampaignStats {
     /// Nanoseconds from `anchor` to run start / end; `u64::MAX` = not yet.
     started_nanos: AtomicU64,
     finished_nanos: AtomicU64,
+    /// Set when the run was aborted by a cancellation token.
+    cancelled: AtomicBool,
     anchor: Instant,
 }
 
@@ -188,6 +213,7 @@ impl CampaignStats {
             ppsfp_words: AtomicU64::new(0),
             started_nanos: AtomicU64::new(u64::MAX),
             finished_nanos: AtomicU64::new(u64::MAX),
+            cancelled: AtomicBool::new(false),
             anchor: Instant::now(),
         }
     }
@@ -202,6 +228,17 @@ impl CampaignStats {
     fn finish(&self) {
         self.finished_nanos
             .store(self.anchor.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True when the run was aborted by a [`Campaign::cancel_token`]: the
+    /// result then holds only the in-order prefix committed before the
+    /// abort.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 
     // Per-class tallies advance *before* `done`/`collapsed`, and all four
@@ -562,6 +599,149 @@ pub struct Campaign<'a> {
     prune: Prune,
     observer: Option<&'a Observer>,
     stats: Arc<CampaignStats>,
+    artifacts: Option<Arc<CampaignArtifacts>>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Everything a campaign builds before the first injection, prepared once
+/// and shareable (via `Arc`) across any number of runs over the same
+/// environment and fault list: the execution context (golden trace +
+/// checkpoints, propagation topology, monitor lookups), the collapse
+/// dictionary and the static prune plan.
+///
+/// [`Campaign::run`] normally builds all of this itself; handing a
+/// prepared bundle in through [`Campaign::artifacts`] skips every build
+/// phase, which is what makes a warm-cache campaign server submission
+/// jump straight to injection. A run with supplied artifacts is
+/// bit-identical to a cold run — the artifacts are a pure function of
+/// `(environment, fault list, engine, checkpoint interval, collapse,
+/// prune)` and the run validates the settings match before using them.
+pub struct CampaignArtifacts {
+    engine: Engine,
+    checkpoint_interval: usize,
+    collapse: Collapse,
+    prune: Prune,
+    faults_len: usize,
+    ctx: ExecContext,
+    collapse_plan: Option<CollapsePlan>,
+    prune_plan: Option<PrunePlan>,
+    approx_bytes: usize,
+}
+
+impl std::fmt::Debug for CampaignArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignArtifacts")
+            .field("engine", &self.engine)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("collapse", &self.collapse)
+            .field("prune", &self.prune)
+            .field("faults_len", &self.faults_len)
+            .field("approx_bytes", &self.approx_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs `f` as an observed pipeline phase when an observer is attached.
+fn obs_phase_opt<R>(observer: Option<&Observer>, name: &str, f: impl FnOnce() -> R) -> R {
+    match observer {
+        Some(obs) => obs.phase(name, f),
+        None => f(),
+    }
+}
+
+impl CampaignArtifacts {
+    /// Builds every pre-injection artifact for a campaign over
+    /// `env`/`faults`: the execution context for the (resolved) `engine`,
+    /// plus the collapse dictionary and static prune plan when requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist cannot be levelized, or if a recorded golden
+    /// trace contradicts a static constant-site proof (an engine-soundness
+    /// error; see [`Prune`]).
+    pub fn prepare(
+        env: &Environment<'_>,
+        faults: &[Fault],
+        engine: Engine,
+        checkpoint_interval: usize,
+        collapse: Collapse,
+        prune: Prune,
+    ) -> CampaignArtifacts {
+        Self::prepare_observed(
+            env,
+            faults,
+            engine,
+            checkpoint_interval,
+            collapse,
+            prune,
+            None,
+        )
+    }
+
+    /// [`prepare`](Self::prepare) with the build steps wrapped in the
+    /// observer's `prepare`/`static-prune`/`collapse-plan` phases — the
+    /// exact sequence [`Campaign::run`] records when it builds cold.
+    pub fn prepare_observed(
+        env: &Environment<'_>,
+        faults: &[Fault],
+        engine: Engine,
+        checkpoint_interval: usize,
+        collapse: Collapse,
+        prune: Prune,
+        observer: Option<&Observer>,
+    ) -> CampaignArtifacts {
+        let engine = engine.resolve_for(faults);
+        let checkpoint_interval = checkpoint_interval.max(1);
+        let ctx = obs_phase_opt(observer, "prepare", || {
+            ExecContext::prepare(env, faults, engine, checkpoint_interval)
+        });
+        let prune_plan = (prune == Prune::Static && !faults.is_empty()).then(|| {
+            obs_phase_opt(observer, "static-prune", || {
+                PrunePlan::build(env, faults, |cycle, net| ctx.golden_value(cycle, net))
+            })
+        });
+        let collapse_plan = (collapse == Collapse::Dictionary && !faults.is_empty()).then(|| {
+            obs_phase_opt(observer, "collapse-plan", || {
+                CollapsePlan::build(
+                    faults,
+                    env.workload.len(),
+                    &FaultCollapser::build(env),
+                    |cycle, net| ctx.golden_value(cycle, net),
+                    |i| prune_plan.as_ref().is_some_and(|pp| pp.pruned(i)),
+                )
+            })
+        });
+        let approx_bytes = ctx.approx_bytes(env) + faults.len() * 24;
+        CampaignArtifacts {
+            engine,
+            checkpoint_interval,
+            collapse,
+            prune,
+            faults_len: faults.len(),
+            ctx,
+            collapse_plan,
+            prune_plan,
+            approx_bytes,
+        }
+    }
+
+    /// The resolved engine the artifacts were prepared for (never
+    /// [`Engine::Auto`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The fault-list length the artifacts were prepared over.
+    pub fn faults_len(&self) -> usize {
+        self.faults_len
+    }
+
+    /// Approximate resident size in bytes (golden trace matrix +
+    /// checkpoints, monitor lookups, plans) — the currency of a byte-budget
+    /// artifact cache.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
 }
 
 /// What a worker measured while simulating one fault; rides the merge
@@ -699,6 +879,8 @@ impl<'a> Campaign<'a> {
             prune: Prune::Off,
             observer: None,
             stats: Arc::new(CampaignStats::new()),
+            artifacts: None,
+            cancel: None,
         }
     }
 
@@ -745,12 +927,6 @@ impl<'a> Campaign<'a> {
         self
     }
 
-    /// Opts into the checkpointed incremental engine (`socfmea-accel`).
-    #[deprecated(note = "use `engine(Engine::Sparse)` (or `Engine::Lockstep` for `false`)")]
-    pub fn accelerated(self, on: bool) -> Self {
-        self.engine(if on { Engine::Sparse } else { Engine::Lockstep })
-    }
-
     /// Sets the sparse engine's checkpoint interval (0 is treated as 1):
     /// smaller intervals shorten warm-start replays at the cost of
     /// checkpoint memory. No effect unless the campaign runs on
@@ -776,17 +952,6 @@ impl<'a> Campaign<'a> {
     pub fn collapsing(mut self, mode: Collapse) -> Self {
         self.collapse = mode;
         self
-    }
-
-    /// Opts into structural fault collapsing with dictionary
-    /// back-annotation.
-    #[deprecated(note = "use `collapsing(Collapse::Dictionary)` (or `Collapse::Off` for `false`)")]
-    pub fn collapse(self, on: bool) -> Self {
-        self.collapsing(if on {
-            Collapse::Dictionary
-        } else {
-            Collapse::Off
-        })
     }
 
     /// Enables the static testability pre-pass; see [`Prune`]. Faults the
@@ -818,36 +983,45 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Supplies pre-built [`CampaignArtifacts`]: [`run`](Self::run) then
+    /// skips the `prepare`/`static-prune`/`collapse-plan` build phases
+    /// entirely and injects against the shared bundle. The result is
+    /// bit-identical to a cold run; the artifacts' settings (engine,
+    /// checkpoint interval, collapse, prune, fault-list length) must match
+    /// this builder's or [`run`](Self::run) panics.
+    pub fn artifacts(mut self, artifacts: Arc<CampaignArtifacts>) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token. Once another thread
+    /// stores `true`, workers abort — checked between faults *and* every
+    /// cycle inside a running simulation, so cancellation takes effect
+    /// promptly even mid-way through a long single-fault run. A cancelled
+    /// campaign returns the outcomes committed so far (a clean in-order
+    /// prefix of the fault list) and [`CampaignStats::is_cancelled`]
+    /// reports the abort.
+    pub fn cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The live progress counters of this campaign. Clone the `Arc` out
     /// before [`run`](Self::run) to poll from another thread.
     pub fn stats(&self) -> Arc<CampaignStats> {
         Arc::clone(&self.stats)
     }
 
-    /// Runs `f` as an observed pipeline phase when an observer is attached.
-    fn obs_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
-        match self.observer {
-            Some(obs) => obs.phase(name, f),
-            None => f(),
-        }
+    /// Whether the attached cancellation token (if any) has fired.
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
-    /// The engine the run will actually use: [`Engine::Auto`] picks PPSFP
-    /// when every fault can ride a word lane (a known-value stuck-at) and
-    /// the sparse engine otherwise.
+    /// The engine the run will actually use; see [`Engine::resolve_for`].
     fn resolved_engine(&self) -> Engine {
-        match self.engine {
-            Engine::Auto => {
-                if self.faults.is_empty() {
-                    Engine::Lockstep
-                } else if self.faults.iter().all(ppsfp::batchable) {
-                    Engine::Ppsfp
-                } else {
-                    Engine::Sparse
-                }
-            }
-            fixed => fixed,
-        }
+        self.engine.resolve_for(self.faults)
     }
 
     /// Executes the campaign and returns its (thread-count-independent)
@@ -856,7 +1030,9 @@ impl<'a> Campaign<'a> {
     /// # Panics
     ///
     /// Panics if the netlist cannot be levelized (prevented by
-    /// construction for `RtlBuilder` designs).
+    /// construction for `RtlBuilder` designs), or if supplied
+    /// [`artifacts`](Self::artifacts) were prepared under different
+    /// settings than this builder's.
     pub fn run(self) -> CampaignResult {
         let engine = self.resolved_engine();
         let collapse = self.collapse == Collapse::Dictionary;
@@ -871,31 +1047,54 @@ impl<'a> Campaign<'a> {
                 collapse,
             });
         }
-        let ctx = self.obs_phase("prepare", || {
-            ExecContext::prepare(self.env, self.faults, engine, self.checkpoint_interval)
-        });
-        let prune_plan = (self.prune == Prune::Static && !self.faults.is_empty()).then(|| {
-            self.obs_phase("static-prune", || {
-                PrunePlan::build(self.env, self.faults, |cycle, net| {
-                    ctx.golden_value(cycle, net)
-                })
-            })
-        });
-        let plan = (collapse && !self.faults.is_empty()).then(|| {
-            self.obs_phase("collapse-plan", || {
-                CollapsePlan::build(
+        // Use the supplied pre-built artifacts, or build them now (cold)
+        // under the usual observed phases. Either way the injection loop
+        // below sees the same bundle — that equivalence is what the serve
+        // cache-correctness differential tests assert.
+        let built;
+        let art: &CampaignArtifacts = match self.artifacts.as_deref() {
+            Some(a) => {
+                assert_eq!(
+                    a.engine, engine,
+                    "supplied artifacts were prepared for a different engine"
+                );
+                assert_eq!(
+                    a.faults_len,
+                    self.faults.len(),
+                    "supplied artifacts cover a different fault list"
+                );
+                assert_eq!(
+                    (a.collapse, a.prune),
+                    (self.collapse, self.prune),
+                    "supplied artifacts use different collapse/prune settings"
+                );
+                if engine == Engine::Sparse {
+                    assert_eq!(
+                        a.checkpoint_interval, self.checkpoint_interval,
+                        "supplied artifacts use a different checkpoint interval"
+                    );
+                }
+                a
+            }
+            None => {
+                built = CampaignArtifacts::prepare_observed(
+                    self.env,
                     self.faults,
-                    self.env.workload.len(),
-                    &FaultCollapser::build(self.env),
-                    |cycle, net| ctx.golden_value(cycle, net),
-                    |i| prune_plan.as_ref().is_some_and(|pp| pp.pruned(i)),
-                )
-            })
-        });
+                    engine,
+                    self.checkpoint_interval,
+                    self.collapse,
+                    self.prune,
+                    self.observer,
+                );
+                &built
+            }
+        };
+        let ctx = &art.ctx;
+        let (plan, prune_plan) = (&art.collapse_plan, &art.prune_plan);
         // The simulation schedule: representatives only under collapsing,
         // every unpruned fault otherwise. Outcomes are still committed for
         // the full list, in fault-list order, by `commit_expanded`.
-        let order: Vec<usize> = match (&plan, &prune_plan) {
+        let order: Vec<usize> = match (plan, prune_plan) {
             (Some(p), _) => p.sim_order.clone(),
             (None, Some(pp)) => (0..self.faults.len()).filter(|&i| !pp.pruned(i)).collect(),
             (None, None) => (0..self.faults.len()).collect(),
@@ -907,11 +1106,14 @@ impl<'a> Campaign<'a> {
             let _campaign_span = self.observer.map(|obs| obs.span("campaign"));
             let plans = (plan.as_ref(), prune_plan.as_ref());
             if self.threads == 1 {
-                self.run_serial(&ctx, plans, &order, &mut coverage, hooks.as_ref())
+                self.run_serial(ctx, plans, &order, &mut coverage, hooks.as_ref())
             } else {
-                self.run_sharded(&ctx, plans, &order, &mut coverage, hooks.as_ref())
+                self.run_sharded(ctx, plans, &order, &mut coverage, hooks.as_ref())
             }
         };
+        if self.is_cancelled() {
+            self.stats.cancel();
+        }
         self.stats.finish();
         let result = CampaignResult { outcomes, coverage };
         if let Some(obs) = self.observer {
@@ -1095,7 +1297,8 @@ impl<'a> Campaign<'a> {
         shard: u64,
         stop: Option<&AtomicBool>,
     ) -> Vec<(FaultOutcome, FaultTelemetry)> {
-        let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+        let cancel = self.cancel.as_deref();
+        let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed)) || self.is_cancelled();
         let mut slots: Vec<Option<(FaultOutcome, FaultTelemetry)>> =
             (0..slice.len()).map(|_| None).collect();
         if let Some(word) = word {
@@ -1114,8 +1317,13 @@ impl<'a> Campaign<'a> {
                     .map(|&p| (slice[p], &self.faults[slice[p]]))
                     .collect();
                 let t0 = Instant::now();
-                let fos = ppsfp::simulate_batch(self.env, word, &batch);
+                let fos = ppsfp::simulate_batch(self.env, word, &batch, cancel);
                 let nanos = t0.elapsed().as_nanos() as u64;
+                // An aborted batch returns garbage lanes: drop them and the
+                // rest of the slice (the caller never commits past a hole).
+                if self.is_cancelled() {
+                    break;
+                }
                 self.stats.record_ppsfp_batch(batch.len() as u64, cycles);
                 // Per-fault attribution of the shared batch: the first lane
                 // carries the evaluated cycles (the word walk ran once), the
@@ -1160,8 +1368,14 @@ impl<'a> Campaign<'a> {
                 sparse.as_deref_mut(),
                 fi,
                 &self.faults[fi],
+                cancel,
             );
             let nanos = t0.elapsed().as_nanos() as u64;
+            // An aborted simulation returns a garbage outcome: drop it and
+            // the rest of the slice.
+            if self.is_cancelled() {
+                break;
+            }
             self.stats.record(fo.outcome, &metrics, nanos);
             slots[p] = Some((
                 fo,
@@ -1204,6 +1418,9 @@ impl<'a> Campaign<'a> {
             return outcomes;
         }
         'order: for slice in order.chunks(step) {
+            if self.is_cancelled() {
+                break;
+            }
             let results = self.simulate_slice(
                 ctx,
                 &mut sim,
@@ -1307,12 +1524,21 @@ impl<'a> Campaign<'a> {
             'merge: for (ci, chunk_out) in rx.iter() {
                 pending.insert(ci, chunk_out);
                 while let Some(chunk_out) = pending.remove(&next_commit) {
+                    // A cancelled worker sends a short chunk: commit its
+                    // in-order prefix, then stop — everything past the hole
+                    // must stay uncommitted.
+                    let expected = (next_commit * chunk + chunk).min(n) - next_commit * chunk;
+                    let partial = chunk_out.len() < expected;
                     next_commit += 1;
                     for (fo, tel) in chunk_out {
                         if self.commit_expanded(plans, coverage, &mut outcomes, fo, &tel, hooks) {
                             stop.store(true, Ordering::Relaxed);
                             break 'merge;
                         }
+                    }
+                    if partial {
+                        stop.store(true, Ordering::Relaxed);
+                        break 'merge;
                     }
                 }
             }
@@ -2015,6 +2241,130 @@ mod tests {
             n * cycles
         );
         assert_eq!(stats.cycles_simulated(), batches * cycles);
+    }
+
+    #[test]
+    fn prepared_artifacts_run_bit_identical_to_cold_across_settings() {
+        let fx = Fixture::new(12);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        for (engine, collapse, prune) in [
+            (Engine::Lockstep, Collapse::Off, Prune::Off),
+            (Engine::Sparse, Collapse::Dictionary, Prune::Static),
+            (Engine::Ppsfp, Collapse::Off, Prune::Static),
+            (Engine::Auto, Collapse::Dictionary, Prune::Off),
+        ] {
+            let cold = Campaign::new(&env, &faults)
+                .engine(engine)
+                .collapsing(collapse)
+                .pruning(prune)
+                .run();
+            let art = Arc::new(CampaignArtifacts::prepare(
+                &env,
+                &faults,
+                engine,
+                Campaign::DEFAULT_CHECKPOINT_INTERVAL,
+                collapse,
+                prune,
+            ));
+            assert_eq!(art.engine(), engine.resolve_for(&faults));
+            assert_eq!(art.faults_len(), faults.len());
+            assert!(art.approx_bytes() > 0);
+            // one shared bundle, many runs, any thread count
+            for threads in [1, 3] {
+                let warm = Campaign::new(&env, &faults)
+                    .engine(engine)
+                    .collapsing(collapse)
+                    .pruning(prune)
+                    .threads(threads)
+                    .artifacts(Arc::clone(&art))
+                    .run();
+                assert_eq!(
+                    cold, warm,
+                    "artifact run diverges ({engine:?}/{collapse:?}/{prune:?}, {threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine")]
+    fn mismatched_artifact_engine_is_rejected() {
+        let fx = Fixture::new(8);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        let art = Arc::new(CampaignArtifacts::prepare(
+            &env,
+            &faults,
+            Engine::Lockstep,
+            Campaign::DEFAULT_CHECKPOINT_INTERVAL,
+            Collapse::Off,
+            Prune::Off,
+        ));
+        let _ = Campaign::new(&env, &faults)
+            .engine(Engine::Sparse)
+            .artifacts(art)
+            .run();
+    }
+
+    #[test]
+    fn pre_set_cancel_token_aborts_before_any_commit() {
+        let fx = Fixture::new(10);
+        let env = fx.env();
+        let faults = fault_list(&env);
+        for threads in [1, 3] {
+            let token = Arc::new(AtomicBool::new(true));
+            let campaign = Campaign::new(&env, &faults)
+                .threads(threads)
+                .cancel_token(Arc::clone(&token));
+            let stats = campaign.stats();
+            let result = campaign.run();
+            assert!(result.outcomes.is_empty(), "{threads} threads");
+            assert!(stats.is_cancelled());
+            assert!(stats.is_finished());
+        }
+        // an unfired token changes nothing
+        let token = Arc::new(AtomicBool::new(false));
+        let campaign = Campaign::new(&env, &faults).cancel_token(token);
+        let stats = campaign.stats();
+        let full = campaign.run();
+        assert_eq!(full, Campaign::new(&env, &faults).run());
+        assert!(!stats.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_mid_run_keeps_a_clean_in_order_prefix() {
+        let fx = Fixture::new(256);
+        let env = fx.env();
+        // enough lockstep work that the watcher thread reliably fires
+        // mid-campaign: 48 faults x 256 cycles
+        let faults: Vec<Fault> = fault_list(&env).into_iter().cycle().take(48).collect();
+        let full = Campaign::new(&env, &faults).run();
+        let token = Arc::new(AtomicBool::new(false));
+        let campaign = Campaign::new(&env, &faults)
+            .threads(2)
+            .chunk(2)
+            .cancel_token(Arc::clone(&token));
+        let stats = campaign.stats();
+        let watcher = {
+            let (token, stats) = (Arc::clone(&token), Arc::clone(&stats));
+            std::thread::spawn(move || {
+                while stats.faults_done() == 0 && !stats.is_finished() {
+                    std::thread::yield_now();
+                }
+                token.store(true, Ordering::Relaxed);
+            })
+        };
+        let result = campaign.run();
+        watcher.join().unwrap();
+        assert!(
+            result.outcomes.len() < faults.len(),
+            "cancellation never truncated the run ({} outcomes)",
+            result.outcomes.len()
+        );
+        assert!(stats.is_cancelled());
+        // whatever was committed is the exact in-order prefix of a full run
+        assert_eq!(result.outcomes, full.outcomes[..result.outcomes.len()]);
     }
 
     #[test]

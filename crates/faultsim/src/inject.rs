@@ -154,6 +154,17 @@ impl CampaignContext {
     pub(crate) fn golden_target(&self, cycle: usize, net: NetId) -> Logic {
         self.golden.targets[cycle][self.target_col[&net]]
     }
+
+    /// Approximate resident size in bytes (the artifact cache's eviction
+    /// currency): the four golden monitor-column matrices plus the SENS
+    /// lookup.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let per_cycle = self.golden.obs.first().map_or(0, Vec::len)
+            + self.golden.outputs.first().map_or(0, Vec::len)
+            + self.golden.alarms.first().map_or(0, Vec::len)
+            + self.golden.targets.first().map_or(0, Vec::len);
+        self.golden.obs.len() * per_cycle + self.target_col.len() * 24
+    }
 }
 
 /// Records the golden trace and SENS lookup for `faults` over `env`.
@@ -259,6 +270,7 @@ pub(crate) fn simulate_one(
     sim: &mut Simulator<'_>,
     fault_index: usize,
     fault: &Fault,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
 ) -> FaultOutcome {
     sim.reset_to_power_on();
     let golden = &ctx.golden;
@@ -269,6 +281,9 @@ pub(crate) fn simulate_one(
     let mut clock_off: Option<usize> = None;
 
     for (cycle, inputs) in env.workload.iter().enumerate() {
+        if crate::accel::cancel_fired(cancel) {
+            break;
+        }
         for &(n, v) in inputs {
             sim.set(n, v);
         }

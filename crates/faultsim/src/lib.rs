@@ -62,7 +62,9 @@ pub mod profile;
 mod prune;
 
 pub use analyzer::{analyze, CampaignAnalysis};
-pub use campaign::{Campaign, CampaignStats, Collapse, EarlyStop, Engine, Prune};
+pub use campaign::{
+    Campaign, CampaignArtifacts, CampaignStats, Collapse, EarlyStop, Engine, Prune,
+};
 pub use collapse::{DominancePair, FaultCollapser};
 pub use env::{Environment, EnvironmentBuilder};
 pub use faultlist::{collapse_stuck_at, generate_fault_list, Fault, FaultKind, FaultListConfig};

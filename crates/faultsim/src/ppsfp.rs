@@ -69,6 +69,7 @@ pub(crate) fn simulate_batch(
     env: &Environment<'_>,
     word: &mut WordSim<'_>,
     batch: &[(usize, &Fault)],
+    cancel: Option<&std::sync::atomic::AtomicBool>,
 ) -> Vec<FaultOutcome> {
     assert!(
         !batch.is_empty() && batch.len() <= FAULT_LANES,
@@ -96,6 +97,9 @@ pub(crate) fn simulate_batch(
         .collect();
 
     for (cycle, inputs) in env.workload.iter().enumerate() {
+        if crate::accel::cancel_fired(cancel) {
+            break;
+        }
         for &(n, v) in inputs {
             word.set(n, v);
         }
@@ -277,9 +281,9 @@ mod tests {
             .collect::<Vec<_>>()
             .chunks(FAULT_LANES)
         {
-            let got = simulate_batch(&env, &mut word, chunk);
+            let got = simulate_batch(&env, &mut word, chunk, None);
             for (&(fi, fault), fo) in chunk.iter().zip(&got) {
-                let want = simulate_one(&env, &ctx, &mut sim, fi, fault);
+                let want = simulate_one(&env, &ctx, &mut sim, fi, fault, None);
                 assert_eq!(&want, fo, "fault #{fi} ({}) diverges", fault.label);
             }
         }
@@ -303,7 +307,7 @@ mod tests {
             label: "never fires".into(),
         };
         let mut word = WordSim::new(&nl).unwrap();
-        let got = simulate_batch(&env, &mut word, &[(0, &fault)]);
+        let got = simulate_batch(&env, &mut word, &[(0, &fault)], None);
         assert_eq!(got[0].outcome, crate::inject::Outcome::NoEffect);
         assert!(!got[0].sens_triggered);
     }

@@ -43,4 +43,6 @@ pub use metrics::{
 pub use observer::{Observer, Span};
 pub use progress::{CaptureRender, ProgressReporter, ProgressSample, Render, StderrRender};
 pub use summarize::{SummaryError, TraceSummary};
-pub use trace::{FaultRecord, TraceEvent, TraceSink, TRACE_SCHEMA_VERSION};
+pub use trace::{
+    FaultRecord, StreamBuffer, StreamWriter, TraceEvent, TraceSink, TRACE_SCHEMA_VERSION,
+};

@@ -24,7 +24,9 @@ use crate::chan::{bounded, Receiver, Sender};
 use crate::json::Value;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Version tag written into every `meta` record.
 pub const TRACE_SCHEMA_VERSION: i64 = 1;
@@ -207,15 +209,139 @@ impl TraceEvent {
 /// bursts, small enough that a wedged writer back-pressures promptly.
 const SINK_CAPACITY: usize = 4096;
 
+/// An in-memory append-only trace stream with blocking tail reads.
+///
+/// The live end of a campaign's JSONL trace: one producer appends whole
+/// lines (via [`StreamBuffer::writer`] hooked into a [`TraceSink`]), any
+/// number of consumers follow along with [`read_from`](Self::read_from),
+/// each tracking its own byte offset. [`close`](Self::close) marks the
+/// stream complete, waking every waiting reader — after which a drained
+/// reader sees end-of-stream instead of blocking.
+#[derive(Debug, Default)]
+pub struct StreamBuffer {
+    state: Mutex<StreamState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    data: Vec<u8>,
+    closed: bool,
+}
+
+impl StreamBuffer {
+    /// An empty, open stream.
+    pub fn new() -> StreamBuffer {
+        StreamBuffer::default()
+    }
+
+    /// Appends raw bytes (the sink appends whole `\n`-terminated lines)
+    /// and wakes blocked readers. Appends after [`close`](Self::close) are
+    /// ignored.
+    pub fn append(&self, bytes: &[u8]) {
+        let mut st = self.state.lock().expect("stream lock");
+        if !st.closed {
+            st.data.extend_from_slice(bytes);
+            self.readable.notify_all();
+        }
+    }
+
+    /// Marks the stream complete and wakes every waiting reader.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("stream lock");
+        st.closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("stream lock").closed
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("stream lock").data.len()
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the full stream so far.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.state.lock().expect("stream lock").data.clone()
+    }
+
+    /// Reads everything past `offset`, blocking up to `timeout` for fresh
+    /// bytes when the reader is caught up. Returns the bytes (possibly
+    /// empty on timeout) and `true` once the stream is closed **and** the
+    /// reader has drained it — the end-of-stream signal.
+    pub fn read_from(&self, offset: usize, timeout: Duration) -> (Vec<u8>, bool) {
+        let mut st = self.state.lock().expect("stream lock");
+        if st.data.len() <= offset && !st.closed {
+            let (guard, _) = self
+                .readable
+                .wait_timeout_while(st, timeout, |s| s.data.len() <= offset && !s.closed)
+                .expect("stream lock");
+            st = guard;
+        }
+        let bytes = st.data.get(offset..).unwrap_or_default().to_vec();
+        let done = st.closed && offset + bytes.len() >= st.data.len();
+        (bytes, done)
+    }
+
+    /// A [`Write`] adapter appending into this stream; dropping it closes
+    /// the stream, so a [`TraceSink`] draining into it marks end-of-stream
+    /// when the sink finishes (or its writer thread dies).
+    pub fn writer(self: &Arc<Self>) -> StreamWriter {
+        StreamWriter(Arc::clone(self))
+    }
+}
+
+/// The [`Write`] half of a [`StreamBuffer`]; see [`StreamBuffer::writer`].
+#[derive(Debug)]
+pub struct StreamWriter(Arc<StreamBuffer>);
+
+impl Write for StreamWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.append(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Per-event rewrite applied on the writer thread before serialization;
+/// `None` drops the event. See [`TraceSink::to_writer_mapped`].
+pub type EventMap = Box<dyn FnMut(TraceEvent) -> Option<TraceEvent> + Send>;
+
 /// A JSONL sink writing trace events on a dedicated thread.
 pub struct TraceSink {
     tx: Sender<TraceEvent>,
     writer: JoinHandle<io::Result<()>>,
 }
 
-fn drain(rx: &Receiver<TraceEvent>, mut out: Box<dyn Write + Send>) -> io::Result<()> {
+fn drain(
+    rx: &Receiver<TraceEvent>,
+    mut out: Box<dyn Write + Send>,
+    mut map: Option<EventMap>,
+) -> io::Result<()> {
     let mut line = String::new();
     while let Some(ev) = rx.recv() {
+        let Some(ev) = (match map.as_mut() {
+            Some(f) => f(ev),
+            None => Some(ev),
+        }) else {
+            continue;
+        };
         line.clear();
         use std::fmt::Write as _;
         let _ = write!(line, "{}", ev.to_json());
@@ -239,7 +365,17 @@ impl TraceSink {
     /// A sink over any writer (tests capture into a shared buffer).
     pub fn to_writer(out: Box<dyn Write + Send>) -> TraceSink {
         let (tx, rx) = bounded::<TraceEvent>(SINK_CAPACITY);
-        let writer = std::thread::spawn(move || drain(&rx, out));
+        let writer = std::thread::spawn(move || drain(&rx, out, None));
+        TraceSink { tx, writer }
+    }
+
+    /// A sink that rewrites each event through `map` (on the writer
+    /// thread) before serializing; events mapped to `None` are dropped.
+    /// The campaign server uses this to strip wall-clock-dependent fields
+    /// so streamed traces are deterministic.
+    pub fn to_writer_mapped(out: Box<dyn Write + Send>, map: EventMap) -> TraceSink {
+        let (tx, rx) = bounded::<TraceEvent>(SINK_CAPACITY);
+        let writer = std::thread::spawn(move || drain(&rx, out, Some(map)));
         TraceSink { tx, writer }
     }
 
@@ -378,6 +514,89 @@ mod tests {
         assert_eq!(v.get("engine").unwrap().as_str(), Some("sparse"));
         assert!(v.get("rep").unwrap().is_null());
         assert_eq!(v.get("shard").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn mapped_sink_rewrites_and_drops_events() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::to_writer_mapped(
+            Box::new(buf.clone()),
+            Box::new(|ev| match ev {
+                // normalize wall-clock fields, drop spans entirely
+                TraceEvent::Fault(mut r) => {
+                    r.nanos = 0;
+                    r.shard = None;
+                    Some(TraceEvent::Fault(r))
+                }
+                TraceEvent::Span { .. } => None,
+                other => Some(other),
+            }),
+        );
+        sink.emit(TraceEvent::Fault(sample_fault(0)));
+        sink.emit(TraceEvent::Span {
+            name: "campaign/shard/0".into(),
+            nanos: 55,
+            shard: Some(0),
+        });
+        sink.emit(TraceEvent::Phase {
+            name: "extract".into(),
+            nanos: 9,
+        });
+        sink.finish().expect("writer ok");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "span must be dropped: {text}");
+        let fault = parse(lines[0]).unwrap();
+        assert_eq!(fault.get("nanos").unwrap().as_u64(), Some(0));
+        assert!(fault.get("shard").unwrap().is_null());
+        assert_eq!(
+            parse(lines[1]).unwrap().get("ev").unwrap().as_str(),
+            Some("phase")
+        );
+    }
+
+    #[test]
+    fn stream_buffer_tails_live_appends_and_signals_close() {
+        let buf = Arc::new(StreamBuffer::new());
+        assert!(buf.is_empty());
+        buf.append(b"one\n");
+        let (bytes, done) = buf.read_from(0, Duration::ZERO);
+        assert_eq!(bytes, b"one\n");
+        assert!(!done);
+        // a caught-up reader blocks until the producer appends
+        let tail = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || buf.read_from(4, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        buf.append(b"two\n");
+        let (bytes, done) = tail.join().unwrap();
+        assert_eq!(bytes, b"two\n");
+        assert!(!done);
+        buf.close();
+        let (bytes, done) = buf.read_from(8, Duration::ZERO);
+        assert!(bytes.is_empty());
+        assert!(done, "drained reader of a closed stream sees end-of-stream");
+        let (bytes, done) = buf.read_from(0, Duration::ZERO);
+        assert_eq!(bytes, b"one\ntwo\n");
+        assert!(done);
+        assert_eq!(buf.snapshot(), b"one\ntwo\n");
+    }
+
+    #[test]
+    fn finished_sink_closes_its_stream_buffer() {
+        let buf = Arc::new(StreamBuffer::new());
+        let sink = TraceSink::to_writer(Box::new(buf.writer()));
+        sink.emit(TraceEvent::Phase {
+            name: "p".into(),
+            nanos: 1,
+        });
+        assert!(!buf.is_closed());
+        sink.finish().expect("writer ok");
+        assert!(buf.is_closed());
+        let (bytes, done) = buf.read_from(0, Duration::ZERO);
+        assert!(done);
+        assert!(parse(String::from_utf8(bytes).unwrap().trim()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! The thin client behind `socfmea submit|status|watch|cancel`: one
+//! method per server route, std-only, over [`crate::http`].
+
+use crate::http::{self, ClientResponse};
+use crate::protocol::JobSpec;
+use std::io::{self, Write};
+
+/// A handle on a campaign server.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// `POST /v1/jobs` with a parsed spec.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures (HTTP-level rejections come
+    /// back as the response status, not as `Err`).
+    pub fn submit(&self, spec: &JobSpec) -> io::Result<ClientResponse> {
+        self.submit_raw(&spec.render())
+    }
+
+    /// `POST /v1/jobs` with a raw JSON body (protocol tests use this to
+    /// send malformed documents).
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn submit_raw(&self, body: &str) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "POST", "/v1/jobs", body)
+    }
+
+    /// `GET /v1/jobs/<id>`.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn status(&self, job: &str) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "GET", &format!("/v1/jobs/{job}"), "")
+    }
+
+    /// `GET /v1/jobs/<id>/trace`, copying records to `out` as they
+    /// arrive. Returns the HTTP status.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn watch(&self, job: &str, out: &mut impl Write) -> io::Result<u16> {
+        http::stream(&self.addr, &format!("/v1/jobs/{job}/trace"), out)
+    }
+
+    /// `DELETE /v1/jobs/<id>` — cooperative cancel.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn cancel(&self, job: &str) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "DELETE", &format!("/v1/jobs/{job}"), "")
+    }
+
+    /// `GET /v1/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn healthz(&self) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "GET", "/v1/healthz", "")
+    }
+
+    /// `GET /v1/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn metrics(&self) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "GET", "/v1/metrics", "")
+    }
+
+    /// `POST /v1/admin/shutdown` — drain and stop the server.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn shutdown(&self) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "POST", "/v1/admin/shutdown", "")
+    }
+}

@@ -1,0 +1,474 @@
+//! The campaign daemon: accept loop, HTTP routes, worker pool, and the
+//! job runner that replays the `socfmea inject` pipeline bit for bit.
+//!
+//! ```text
+//! POST   /v1/jobs             submit a campaign        202 / 400 / 413 / 429
+//! GET    /v1/jobs/<id>        job status                200 / 404
+//! GET    /v1/jobs/<id>/trace  live JSONL trace (chunked)
+//! DELETE /v1/jobs/<id>        cooperative cancel        200 / 404
+//! GET    /v1/healthz          liveness + job aggregates
+//! GET    /v1/metrics          metrics-registry snapshot
+//! POST   /v1/admin/shutdown   drain and stop
+//! ```
+//!
+//! Streamed traces are **normalized**: per-fault `nanos` are zeroed,
+//! `shard` is dropped, span/phase records are suppressed, and the end
+//! record's `elapsed_nanos` is zeroed — everything left is a pure
+//! function of `(design, spec)`, so two submissions of the same work
+//! stream byte-identical bodies no matter which worker ran them or how
+//! many threads it used.
+
+use crate::cache::ArtifactCache;
+use crate::design;
+use crate::http::{ChunkedWriter, Request, RequestError, Response};
+use crate::job::{Job, JobState, JobSummary, JobTable};
+use crate::protocol::{error_doc, JobSpec};
+use crate::scheduler::Scheduler;
+use socfmea_faultsim::{Campaign, EnvironmentBuilder};
+use socfmea_obs::json::Value;
+use socfmea_obs::metrics::Registry;
+use socfmea_obs::trace::TraceEvent;
+use socfmea_obs::{Observer, TraceSink};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Campaign worker threads in the pool (jobs running concurrently).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions draw 429.
+    pub queue_capacity: usize,
+    /// Artifact-cache byte budget.
+    pub cache_bytes: usize,
+    /// Campaign threads for jobs submitting `threads: 0`.
+    pub default_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_bytes: 256 * 1024 * 1024,
+            default_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    cache: ArtifactCache,
+    jobs: JobTable,
+    scheduler: Scheduler,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.scheduler.close();
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running campaign server; see the module docs for the routes.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// When the listen address cannot be bound.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
+        let shared = Arc::new(Shared {
+            cache: ArtifactCache::new(config.cache_bytes, Arc::clone(&registry)),
+            scheduler: Scheduler::new(config.queue_capacity),
+            jobs: JobTable::new(),
+            registry,
+            addr,
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(Server {
+            shared,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a drain-and-stop (the in-process form of
+    /// `POST /v1/admin/shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the accept loop and every worker have exited, then
+    /// closes the streams of jobs that never ran so watchers unblock.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        for job in self.shared.jobs.all() {
+            job.stream.close();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut out = stream;
+    match Request::read_from(&mut reader) {
+        Err(None) | Err(Some(RequestError::Io(_))) => {}
+        Err(Some(RequestError::Bad(msg))) => {
+            let _ = Response::json(400, &error_doc(&msg)).write_to(&mut out);
+        }
+        Err(Some(RequestError::TooLarge(n))) => {
+            let _ = Response::json(
+                413,
+                &error_doc(&format!(
+                    "body of {n} bytes exceeds the {} byte limit",
+                    crate::http::MAX_BODY_BYTES
+                )),
+            )
+            .write_to(&mut out);
+        }
+        Ok(req) => route(shared, &req, out),
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, mut out: TcpStream) {
+    let respond = |out: &mut TcpStream, status: u16, body: &str| {
+        let _ = Response::json(status, body).write_to(out);
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => submit(shared, req, &mut out),
+        ("GET", "/v1/healthz") => respond(&mut out, 200, &healthz_doc(shared)),
+        ("GET", "/v1/metrics") => {
+            respond(&mut out, 200, &shared.registry.snapshot().render_json());
+        }
+        ("POST", "/v1/admin/shutdown") => {
+            respond(&mut out, 200, r#"{"ok":true,"state":"draining"}"#);
+            shared.initiate_shutdown();
+        }
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            match (method, rest.strip_suffix("/trace")) {
+                ("GET", Some(id)) => stream_trace(shared, id, out),
+                ("GET", None) => match shared.jobs.get(rest) {
+                    Some(job) => respond(&mut out, 200, &job.status_doc().to_string()),
+                    None => respond(&mut out, 404, &error_doc(&format!("no such job `{rest}`"))),
+                },
+                ("DELETE", None) => cancel(shared, rest, &mut out),
+                _ => respond(&mut out, 405, &error_doc("method not allowed")),
+            }
+        }
+        _ => respond(
+            &mut out,
+            404,
+            &error_doc(&format!("no route for {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &Request, out: &mut TcpStream) {
+    let body = String::from_utf8_lossy(&req.body);
+    let spec = match JobSpec::parse(&body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            let _ = Response::json(400, &error_doc(&msg)).write_to(out);
+            return;
+        }
+    };
+    let resolved = match design::resolve(&spec.design) {
+        Ok(resolved) => resolved,
+        Err(msg) => {
+            let _ = Response::json(400, &error_doc(&msg)).write_to(out);
+            return;
+        }
+    };
+    let entry = shared.cache.design(resolved);
+    let job = shared.jobs.create(spec, entry);
+    if let Err(full) = shared.scheduler.enqueue(&job.spec.tenant, job.id.clone()) {
+        shared.registry.counter("serve.jobs.rejected").incr();
+        job.finish(JobState::Failed("rejected: queue full".into()));
+        job.stream.close();
+        let _ = Response::json(429, &error_doc("queue full, retry later"))
+            .header("retry-after", full.retry_after)
+            .write_to(out);
+        return;
+    }
+    shared.registry.counter("serve.jobs.submitted").incr();
+    let doc = Value::obj(vec![
+        ("job", Value::Str(job.id.clone())),
+        ("design_key", Value::Str(format!("{:016x}", job.design.key))),
+        ("state", Value::Str("queued".into())),
+    ]);
+    let _ = Response::json(202, &doc.to_string()).write_to(out);
+}
+
+fn cancel(shared: &Arc<Shared>, id: &str, out: &mut TcpStream) {
+    let Some(job) = shared.jobs.get(id) else {
+        let _ = Response::json(404, &error_doc(&format!("no such job `{id}`"))).write_to(out);
+        return;
+    };
+    let accepted = job.request_cancel();
+    if accepted {
+        shared
+            .registry
+            .counter("serve.jobs.cancel_requested")
+            .incr();
+    }
+    if matches!(job.state(), JobState::Cancelled(None)) {
+        // cancelled straight out of the queue: nothing will ever stream
+        job.stream.close();
+    }
+    let doc = Value::obj(vec![
+        ("job", Value::Str(job.id.clone())),
+        ("cancelled", Value::Bool(accepted)),
+        (
+            "state",
+            match job.status_doc().get("state") {
+                Some(v) => v.clone(),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    let _ = Response::json(200, &doc.to_string()).write_to(out);
+}
+
+fn stream_trace(shared: &Arc<Shared>, id: &str, mut out: TcpStream) {
+    let Some(job) = shared.jobs.get(id) else {
+        let _ = Response::json(404, &error_doc(&format!("no such job `{id}`"))).write_to(&mut out);
+        return;
+    };
+    let Ok(mut chunks) = ChunkedWriter::start(out, 200, "application/x-ndjson") else {
+        return;
+    };
+    let mut offset = 0usize;
+    loop {
+        let (bytes, done) = job.stream.read_from(offset, Duration::from_millis(250));
+        offset += bytes.len();
+        if chunks.write(&bytes).is_err() {
+            return; // watcher went away
+        }
+        if done {
+            break;
+        }
+    }
+    let _ = chunks.finish();
+}
+
+fn healthz_doc(shared: &Shared) -> String {
+    let jobs = shared.jobs.all();
+    let count =
+        |f: &dyn Fn(&JobState) -> bool| jobs.iter().filter(|j| f(&j.state())).count() as u64;
+    Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("jobs", Value::uint(jobs.len() as u64)),
+        (
+            "queued",
+            Value::uint(count(&|s| matches!(s, JobState::Queued))),
+        ),
+        (
+            "running",
+            Value::uint(count(&|s| matches!(s, JobState::Running))),
+        ),
+        (
+            "done",
+            Value::uint(count(&|s| matches!(s, JobState::Done(_)))),
+        ),
+        (
+            "cancelled",
+            Value::uint(count(&|s| matches!(s, JobState::Cancelled(_)))),
+        ),
+        (
+            "failed",
+            Value::uint(count(&|s| matches!(s, JobState::Failed(_)))),
+        ),
+        (
+            "designs_cached",
+            Value::uint(shared.cache.designs_cached() as u64),
+        ),
+    ])
+    .to_string()
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.scheduler.dequeue() {
+        let Some(job) = shared.jobs.get(&id) else {
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // draining: don't start new campaigns, just unblock watchers
+            job.request_cancel();
+            job.stream.close();
+            continue;
+        }
+        if !job.start() {
+            // cancelled while queued
+            job.stream.close();
+            continue;
+        }
+        match run_job(shared, &job) {
+            Ok(()) => {}
+            Err(msg) => {
+                shared.registry.counter("serve.jobs.failed").incr();
+                job.finish(JobState::Failed(msg));
+                job.stream.close();
+            }
+        }
+    }
+}
+
+/// Zeroes/strips every wall-clock-dependent field so the streamed trace
+/// is a pure function of `(design, spec)`.
+fn normalize_event(ev: TraceEvent) -> Option<TraceEvent> {
+    match ev {
+        TraceEvent::Fault(mut r) => {
+            r.nanos = 0;
+            r.shard = None;
+            Some(TraceEvent::Fault(r))
+        }
+        TraceEvent::Span { .. } | TraceEvent::Phase { .. } => None,
+        TraceEvent::End {
+            faults,
+            no_effect,
+            safe_detected,
+            dangerous_detected,
+            dangerous_undetected,
+            dc,
+            sff,
+            elapsed_nanos: _,
+        } => Some(TraceEvent::End {
+            faults,
+            no_effect,
+            safe_detected,
+            dangerous_detected,
+            dangerous_undetected,
+            dc,
+            sff,
+            elapsed_nanos: 0,
+        }),
+        // thread count never changes results, so it is normalized out of
+        // the meta record too — the whole stream is spec-pure
+        TraceEvent::Meta {
+            design,
+            faults,
+            threads: _,
+            cycles,
+            seed,
+            accel,
+            collapse,
+        } => Some(TraceEvent::Meta {
+            design,
+            faults,
+            threads: 0,
+            cycles,
+            seed,
+            accel,
+            collapse,
+        }),
+    }
+}
+
+/// Runs one job: warm (or build) the artifact bundle, then execute the
+/// exact `socfmea inject` campaign against it, streaming the normalized
+/// trace into the job's buffer.
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> Result<(), String> {
+    let bundle = shared.cache.bundle(&job.design, &job.spec)?;
+    let env = EnvironmentBuilder::new(&job.design.netlist, &job.design.zones, &bundle.workload)
+        .alarms_matching("alarm")
+        .build();
+    let sink =
+        TraceSink::to_writer_mapped(Box::new(job.stream.writer()), Box::new(normalize_event));
+    let observer = Observer::with_sink(sink);
+    let threads = if job.spec.threads == 0 {
+        shared.config.default_threads
+    } else {
+        job.spec.threads
+    };
+    let campaign = Campaign::new(&env, &bundle.faults)
+        .threads(threads)
+        .seed(job.spec.seed)
+        .engine(job.spec.engine)
+        .checkpoint_interval(job.spec.checkpoint_interval)
+        .collapsing(job.spec.collapse)
+        .pruning(job.spec.prune)
+        .artifacts(Arc::clone(&bundle.artifacts))
+        .cancel_token(Arc::clone(&job.cancel))
+        .observe(&observer);
+    let stats = campaign.stats();
+    job.attach_stats(Arc::clone(&stats));
+    let result = campaign.run();
+    // finishing the observer drops the stream writer, closing the stream
+    observer
+        .finish()
+        .map_err(|e| format!("trace stream: {e}"))?;
+    let summary = JobSummary {
+        faults: result.outcomes.len() as u64,
+        dc: result.measured_dc(),
+        sff: result.measured_sff(),
+    };
+    if stats.is_cancelled() {
+        shared.registry.counter("serve.jobs.cancelled").incr();
+        job.finish(JobState::Cancelled(Some(summary)));
+    } else {
+        shared.registry.counter("serve.jobs.completed").incr();
+        job.finish(JobState::Done(summary));
+    }
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Cache-correctness differential: for every bundled example, a warm
+//! resubmission of the same `(design, spec)` must (a) rebuild **nothing**
+//! — asserted through the server's own build counters — and (b) stream a
+//! byte-identical trace to the cold run.
+
+use socfmea_obs::json::{self, Value};
+use socfmea_serve::{Client, Server, ServerConfig, EXAMPLES};
+use std::time::Duration;
+
+fn doc(body: &str) -> Value {
+    json::parse(body).unwrap_or_else(|e| panic!("malformed response `{body}`: {e}"))
+}
+
+fn counter(client: &Client, name: &str) -> u64 {
+    let resp = client.metrics().expect("metrics");
+    assert_eq!(resp.status, 200);
+    doc(&resp.text())
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+fn run_to_done(client: &Client, body: &str) -> (String, String) {
+    let resp = client.submit_raw(body).expect("submit");
+    assert_eq!(resp.status, 202, "rejected: {}", resp.text());
+    let job = doc(&resp.text())
+        .get("job")
+        .and_then(|v| v.as_str().map(str::to_owned))
+        .expect("job id");
+    for _ in 0..2400 {
+        let status = client.status(&job).expect("status");
+        let d = doc(&status.text());
+        match d.get("state").unwrap().as_str().unwrap() {
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(25)),
+            "done" => {
+                let mut body = Vec::new();
+                assert_eq!(client.watch(&job, &mut body).expect("watch"), 200);
+                return (job, String::from_utf8(body).expect("UTF-8 trace"));
+            }
+            other => panic!("job {job} ended {other}: {:?}", d.get("error")),
+        }
+    }
+    panic!("job {job} never finished");
+}
+
+#[test]
+fn warm_resubmissions_rebuild_nothing_and_stream_bit_identical_traces() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_bytes: usize::MAX,
+        default_threads: 2,
+    })
+    .expect("bind");
+    let client = Client::new(server.addr().to_string());
+
+    for example in EXAMPLES {
+        let spec = format!(
+            r#"{{"example":"{}","cycles":10,"seed":11,"collapse":true,"prune":true}}"#,
+            example.name()
+        );
+        let (_, cold) = run_to_done(&client, &spec);
+        let builds = counter(&client, "serve.build.artifacts");
+        let workloads = counter(&client, "serve.build.workload");
+        let fault_builds = counter(&client, "serve.build.faults");
+        let spec_hits = counter(&client, "serve.cache.spec.hit");
+        let design_hits = counter(&client, "serve.cache.design.hit");
+
+        // warm: same design hash, same spec — zero rebuild work
+        let (_, warm) = run_to_done(&client, &spec);
+        assert_eq!(
+            counter(&client, "serve.build.artifacts"),
+            builds,
+            "{}: warm run rebuilt campaign artifacts",
+            example.name()
+        );
+        assert_eq!(
+            counter(&client, "serve.build.workload"),
+            workloads,
+            "{}: warm run rebuilt the workload",
+            example.name()
+        );
+        assert_eq!(
+            counter(&client, "serve.build.faults"),
+            fault_builds,
+            "{}: warm run regenerated the fault list",
+            example.name()
+        );
+        assert_eq!(counter(&client, "serve.cache.spec.hit"), spec_hits + 1);
+        assert_eq!(counter(&client, "serve.cache.design.hit"), design_hits + 1);
+
+        assert!(!cold.is_empty());
+        assert_eq!(
+            cold,
+            warm,
+            "{}: warm trace is not bit-identical to the cold one",
+            example.name()
+        );
+
+        // the end record's dc/sff agree with the status document
+        let end = doc(cold.lines().last().unwrap());
+        assert_eq!(end.get("ev").unwrap().as_str(), Some("end"));
+    }
+
+    // four designs admitted, none evicted under an unbounded budget
+    let health = doc(&client.healthz().unwrap().text());
+    assert_eq!(health.get("designs_cached").unwrap().as_u64(), Some(4));
+    assert_eq!(counter(&client, "serve.cache.evict"), 0);
+
+    server.shutdown();
+    server.join();
+}

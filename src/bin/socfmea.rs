@@ -7,6 +7,12 @@
 //! socfmea inject  [<netlist.v>] [options] run a fault-injection campaign
 //! socfmea lint    [<netlist.v>] [options] run the structural safety lints
 //! socfmea trace summarize <trace.jsonl>   re-aggregate a campaign trace
+//! socfmea serve   [options]               run the multi-tenant campaign server
+//! socfmea submit  [<netlist.v>] [options] submit a campaign to a server
+//! socfmea status  <job> [--addr]          query a submitted job
+//! socfmea watch   <job> [--addr]          stream a job's live JSONL trace
+//! socfmea cancel  <job> [--addr]          cancel a queued or running job
+//! socfmea shutdown [--addr]               drain and stop a campaign server
 //!
 //! common options:
 //!   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -51,8 +57,9 @@
 
 use soc_fmea::accel::Topology;
 use soc_fmea::cli::{
-    self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, LintFormat, LintOptions,
-    ReportFormat, TraceOptions, ZonesOptions,
+    self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, JobRefOptions, LintFormat,
+    LintOptions, ReportFormat, ServeOptions, ShutdownOptions, SubmitOptions, TraceOptions,
+    ZonesOptions,
 };
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
@@ -61,9 +68,9 @@ use soc_fmea::fmea::{
     extract_zones, predict_all_effects, report, ExtractConfig, Worksheet, ZoneGraph,
 };
 use soc_fmea::lint::{LintConfig, LintRunner};
-use soc_fmea::netlist::{parse_verilog, Logic, Netlist};
-use soc_fmea::obs::{Observer, ProgressReporter, StderrRender, TraceSink, TraceSummary};
-use soc_fmea::sim::Workload;
+use soc_fmea::netlist::{parse_verilog, Netlist};
+use soc_fmea::obs::{json, Observer, ProgressReporter, StderrRender, TraceSink, TraceSummary};
+use soc_fmea::serve::{Client, DesignRef, JobSpec, Server, ServerConfig};
 use soc_fmea::static_analysis::TestabilityAnalysis;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -332,68 +339,28 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// A deterministic random workload: every non-critical primary input gets a
-/// fresh pseudo-random bit each cycle (SplitMix64, so the stimulus is a pure
-/// function of the seed).
-fn random_workload(netlist: &Netlist, seed: u64, cycles: usize) -> Workload {
-    let critical: std::collections::BTreeSet<_> =
-        netlist.critical_nets().iter().map(|&(n, _)| n).collect();
-    let driveable: Vec<_> = netlist
-        .inputs()
-        .iter()
-        .copied()
-        .filter(|n| !critical.contains(n))
-        .collect();
-    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
-    let mut next_bit = || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        (z ^ (z >> 31)) & 1 == 1
-    };
-    let mut w = Workload::new(format!("random-{seed:#x}"));
-    for _ in 0..cycles {
-        let cycle = driveable
-            .iter()
-            .map(|&n| (n, Logic::from_bool(next_bit())))
-            .collect();
-        w.push_cycle(cycle);
+/// The protocol name of a bundled example (the CLI and the serve crate
+/// agree on these).
+fn example_name(example: ExampleDesign) -> &'static str {
+    match example {
+        ExampleDesign::Fmem => "fmem",
+        ExampleDesign::FmemBaseline => "fmem-baseline",
+        ExampleDesign::Mcu => "mcu",
+        ExampleDesign::McuSingle => "mcu-single",
     }
-    w
 }
 
 /// Builds one of the bundled example designs together with its zone
-/// classification, for `inject --example`.
+/// classification, for `inject --example`. Delegates to the serve crate's
+/// resolver so `inject` and a campaign server build the identical netlist.
 fn example_netlist(example: ExampleDesign) -> Result<(Netlist, ExtractConfig), ExitCode> {
-    match example {
-        ExampleDesign::Fmem | ExampleDesign::FmemBaseline => {
-            use soc_fmea::memsys::{build_netlist, fmea, MemSysConfig};
-            let cfg = if example == ExampleDesign::Fmem {
-                MemSysConfig::hardened()
-            } else {
-                MemSysConfig::baseline()
-            };
-            let netlist = build_netlist(&cfg).map_err(|e| {
-                eprintln!("socfmea: building example: {e}");
-                ExitCode::FAILURE
-            })?;
-            Ok((netlist, fmea::extract_config()))
-        }
-        ExampleDesign::Mcu | ExampleDesign::McuSingle => {
-            use soc_fmea::mcu::{build_mcu, fmea, programs, McuConfig};
-            let cfg = if example == ExampleDesign::Mcu {
-                McuConfig::lockstep(programs::checksum_loop())
-            } else {
-                McuConfig::single(programs::checksum_loop())
-            };
-            let netlist = build_mcu(&cfg).map_err(|e| {
-                eprintln!("socfmea: building example: {e}");
-                ExitCode::FAILURE
-            })?;
-            Ok((netlist, fmea::extract_config()))
-        }
-    }
+    soc_fmea::serve::Example::parse(example_name(example))
+        .expect("bundled example names agree")
+        .build()
+        .map_err(|e| {
+            eprintln!("socfmea: {e}");
+            ExitCode::FAILURE
+        })
 }
 
 fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
@@ -405,7 +372,9 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
         }
     };
     let zones = extract_zones(&netlist, &config);
-    let workload = random_workload(&netlist, opts.seed, opts.cycles);
+    // the serve crate owns the workload generator, so a server job and a
+    // local inject of the same (design, seed, cycles) drive identical bits
+    let workload = soc_fmea::serve::random_workload(&netlist, opts.seed, opts.cycles);
     let env = EnvironmentBuilder::new(&netlist, &zones, &workload)
         .alarms_matching("alarm")
         .build();
@@ -528,6 +497,136 @@ fn run_inject(opts: &InjectOptions) -> Result<(), ExitCode> {
     Ok(())
 }
 
+fn run_serve(opts: &ServeOptions) -> Result<(), ExitCode> {
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache_bytes: opts.cache_mb.saturating_mul(1024 * 1024),
+        default_threads: cli::default_threads(),
+    };
+    let server = Server::start(config).map_err(|e| {
+        eprintln!("socfmea: cannot listen on `{}`: {e}", opts.addr);
+        ExitCode::FAILURE
+    })?;
+    eprintln!(
+        "socfmea serve: listening on {} ({} workers, queue {}, cache {} MiB)",
+        server.addr(),
+        opts.workers,
+        opts.queue,
+        opts.cache_mb
+    );
+    server.join();
+    eprintln!("socfmea serve: drained, bye");
+    Ok(())
+}
+
+/// Maps a client-side transport error to an exit code with a hint naming
+/// the server address.
+fn transport_err(addr: &str, e: std::io::Error) -> ExitCode {
+    eprintln!("socfmea: cannot reach server at `{addr}`: {e}");
+    ExitCode::FAILURE
+}
+
+fn run_submit(opts: &SubmitOptions) -> Result<(), ExitCode> {
+    let design = match opts.example {
+        Some(example) => DesignRef::Example(example_name(example).to_owned()),
+        None => {
+            let input = opts.input.as_deref().expect("validated by the parser");
+            let source = std::fs::read_to_string(input).map_err(|e| {
+                eprintln!("socfmea: cannot read `{input}`: {e}");
+                ExitCode::FAILURE
+            })?;
+            DesignRef::Verilog(source)
+        }
+    };
+    let spec = JobSpec {
+        tenant: opts.tenant.clone(),
+        design,
+        seed: opts.seed,
+        cycles: opts.cycles,
+        threads: opts.threads,
+        engine: opts.engine,
+        checkpoint_interval: opts.checkpoint_interval,
+        collapse: opts.collapse,
+        prune: opts.prune,
+    };
+    let client = Client::new(opts.addr.clone());
+    let resp = client
+        .submit(&spec)
+        .map_err(|e| transport_err(&opts.addr, e))?;
+    if resp.status != 202 {
+        eprintln!(
+            "socfmea: submit rejected ({}): {}",
+            resp.status,
+            resp.text().trim()
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    if opts.watch {
+        let doc = json::parse(&resp.text()).map_err(|e| {
+            eprintln!("socfmea: malformed submit response: {e}");
+            ExitCode::FAILURE
+        })?;
+        let job = doc
+            .get("job")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .ok_or_else(|| {
+                eprintln!("socfmea: submit response names no job");
+                ExitCode::FAILURE
+            })?;
+        watch_to_stdout(&client, &opts.addr, &job)
+    } else {
+        println!("{}", resp.text().trim());
+        Ok(())
+    }
+}
+
+fn watch_to_stdout(client: &Client, addr: &str, job: &str) -> Result<(), ExitCode> {
+    let mut stdout = std::io::stdout().lock();
+    let status = client
+        .watch(job, &mut stdout)
+        .map_err(|e| transport_err(addr, e))?;
+    if status != 200 {
+        eprintln!("socfmea: watch failed ({status})");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
+}
+
+/// Shared shape of `status` and `cancel`: one round trip, body to stdout,
+/// non-200 exits nonzero.
+fn run_job_query(
+    opts: &JobRefOptions,
+    call: impl Fn(&Client, &str) -> std::io::Result<soc_fmea::serve::http::ClientResponse>,
+) -> Result<(), ExitCode> {
+    let client = Client::new(opts.addr.clone());
+    let resp = call(&client, &opts.job).map_err(|e| transport_err(&opts.addr, e))?;
+    if resp.status != 200 {
+        eprintln!("socfmea: ({}) {}", resp.status, resp.text().trim());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("{}", resp.text().trim());
+    Ok(())
+}
+
+fn run_watch(opts: &JobRefOptions) -> Result<(), ExitCode> {
+    watch_to_stdout(&Client::new(opts.addr.clone()), &opts.addr, &opts.job)
+}
+
+fn run_shutdown(opts: &ShutdownOptions) -> Result<(), ExitCode> {
+    let client = Client::new(opts.addr.clone());
+    let resp = client
+        .shutdown()
+        .map_err(|e| transport_err(&opts.addr, e))?;
+    if resp.status != 200 {
+        eprintln!("socfmea: ({}) {}", resp.status, resp.text().trim());
+        return Err(ExitCode::FAILURE);
+    }
+    println!("{}", resp.text().trim());
+    Ok(())
+}
+
 fn run_trace_summarize(opts: &TraceOptions) -> Result<(), ExitCode> {
     let summary = TraceSummary::from_file(&opts.input).map_err(|e| {
         eprintln!("socfmea: {}: {e}", opts.input);
@@ -619,6 +718,12 @@ fn main() -> ExitCode {
         Command::Inject(o) => run_inject(o),
         Command::Lint(o) => run_lint(o),
         Command::TraceSummarize(o) => run_trace_summarize(o),
+        Command::Serve(o) => run_serve(o),
+        Command::Submit(o) => run_submit(o),
+        Command::Status(o) => run_job_query(o, |c, j| c.status(j)),
+        Command::Watch(o) => run_watch(o),
+        Command::Cancel(o) => run_job_query(o, |c, j| c.cancel(j)),
+        Command::Shutdown(o) => run_shutdown(o),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -8,7 +8,11 @@
 //! * `socfmea analyze <netlist.v>` → [`AnalyzeOptions`],
 //! * `socfmea inject [<netlist.v>]` → [`InjectOptions`],
 //! * `socfmea lint [<netlist.v>]` → [`LintOptions`],
-//! * `socfmea trace summarize <trace.jsonl>` → [`TraceOptions`].
+//! * `socfmea trace summarize <trace.jsonl>` → [`TraceOptions`],
+//! * `socfmea serve` → [`ServeOptions`],
+//! * `socfmea submit [<netlist.v>]` → [`SubmitOptions`],
+//! * `socfmea status|watch|cancel <job>` → [`JobRefOptions`],
+//! * `socfmea shutdown` → [`ShutdownOptions`].
 //!
 //! [`parse`] turns `std::env::args` (minus the program name) into a
 //! [`Command`]; errors carry a message for stderr, and the caller prints
@@ -18,8 +22,11 @@ use socfmea_core::extract::ExtractConfig;
 use socfmea_faultsim::{Collapse, Engine, Prune};
 use socfmea_iec61508::{ComponentClass, Hft, Sil, SubsystemType};
 
+/// The default campaign-server address.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
+
 /// The usage string printed on argument errors.
-pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace> [<netlist.v>] [options]
+pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace|serve|submit|status|watch|cancel|shutdown> [<netlist.v>] [options]
   zones   <netlist.v>   list the extracted sensible zones
   analyze <netlist.v>   run the FMEA with per-zone testability tables
                         (or --example <design>)
@@ -28,6 +35,12 @@ pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace> [<netl
   lint    <netlist.v>   run the structural safety lints (or --example <design>)
   trace summarize <trace.jsonl>
                         re-aggregate a --trace-out file into summary tables
+  serve                 run the multi-tenant campaign server
+  submit  <netlist.v>   submit a campaign to a server (or --example <design>)
+  status  <job>         query a submitted job
+  watch   <job>         stream a job's live JSONL trace to stdout
+  cancel  <job>         cancel a queued or running job cooperatively
+  shutdown              drain and stop a campaign server
 
 common options:
   --class <prefix>=<class>   classify zones under a block-path prefix
@@ -68,7 +81,23 @@ lint options:
   --deny warnings            promote every warning to an error
   --deny <SLxxxx>            promote one rule's findings to errors (repeatable)
   --allow <SLxxxx>           drop one rule's findings (repeatable)
-  --target-sil <n>           check SIL reachability (enables SL0103)";
+  --target-sil <n>           check SIL reachability (enables SL0103)
+serve options:
+  --addr <host:port>         listen address (default: 127.0.0.1:7171)
+  --workers <n>              concurrent campaign workers (default: 2)
+  --queue <n>                queued-job cap before 429 (default: 64)
+  --cache-mb <n>             artifact-cache byte budget in MiB (default: 256)
+submit options (plus --seed/--cycles/--engine/--checkpoint-interval/
+                --collapse/--prune as for inject):
+  --addr <host:port>         server address (default: 127.0.0.1:7171)
+  --tenant <name>            tenant the job queues under (default: default)
+  --threads <n>              campaign threads (default: 0 — server default;
+                             results do not depend on the thread count)
+  --example <design>         submit a bundled design instead of a netlist
+                             file (fmem|fmem-baseline|mcu|mcu-single)
+  --watch                    stream the job's trace to stdout until it ends
+status/watch/cancel/shutdown options:
+  --addr <host:port>         server address (default: 127.0.0.1:7171)";
 
 /// A parsed command line: one variant per subcommand.
 #[derive(Debug)]
@@ -83,6 +112,76 @@ pub enum Command {
     Lint(LintOptions),
     /// `socfmea trace summarize`.
     TraceSummarize(TraceOptions),
+    /// `socfmea serve`.
+    Serve(ServeOptions),
+    /// `socfmea submit`.
+    Submit(SubmitOptions),
+    /// `socfmea status`.
+    Status(JobRefOptions),
+    /// `socfmea watch`.
+    Watch(JobRefOptions),
+    /// `socfmea cancel`.
+    Cancel(JobRefOptions),
+    /// `socfmea shutdown`.
+    Shutdown(ShutdownOptions),
+}
+
+/// Options of `socfmea serve`.
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Concurrent campaign workers.
+    pub workers: usize,
+    /// Queued-job cap before submissions draw 429.
+    pub queue: usize,
+    /// Artifact-cache byte budget, in MiB.
+    pub cache_mb: usize,
+}
+
+/// Options of `socfmea submit`.
+#[derive(Debug)]
+pub struct SubmitOptions {
+    /// Server address.
+    pub addr: String,
+    /// Tenant the job queues under.
+    pub tenant: String,
+    /// Path of the Verilog netlist; `None` when submitting an example.
+    pub input: Option<String>,
+    /// A bundled example design; `None` when reading a netlist file.
+    pub example: Option<ExampleDesign>,
+    /// Fault-list sampling seed.
+    pub seed: u64,
+    /// Length of the synthetic stimulus, in cycles.
+    pub cycles: usize,
+    /// Campaign threads (0 = server default; results are thread-invariant).
+    pub threads: usize,
+    /// Campaign execution engine.
+    pub engine: Engine,
+    /// Checkpoint spacing of the golden trace under [`Engine::Sparse`].
+    pub checkpoint_interval: usize,
+    /// Fault-collapsing mode.
+    pub collapse: Collapse,
+    /// Static pre-pass mode.
+    pub prune: Prune,
+    /// Stream the job's trace to stdout until it ends.
+    pub watch: bool,
+}
+
+/// Options of `socfmea status|watch|cancel` — a server plus a job id.
+#[derive(Debug)]
+pub struct JobRefOptions {
+    /// Server address.
+    pub addr: String,
+    /// The job id (`j-000001`).
+    pub job: String,
+}
+
+/// Options of `socfmea shutdown`.
+#[derive(Debug)]
+pub struct ShutdownOptions {
+    /// Server address.
+    pub addr: String,
 }
 
 /// Options of `socfmea zones`.
@@ -260,11 +359,48 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let is_analyze = command == "analyze";
     let is_inject = command == "inject";
     let is_lint = command == "lint";
+    let is_serve = command == "serve";
+    let is_submit = command == "submit";
     if !matches!(
         command.as_str(),
-        "zones" | "analyze" | "inject" | "lint" | "trace"
+        "zones"
+            | "analyze"
+            | "inject"
+            | "lint"
+            | "trace"
+            | "serve"
+            | "submit"
+            | "status"
+            | "watch"
+            | "cancel"
+            | "shutdown"
     ) {
         return Err(format!("unknown command `{command}`"));
+    }
+
+    // the job-reference client commands take `<job>` plus `--addr` only
+    if matches!(command.as_str(), "status" | "watch" | "cancel" | "shutdown") {
+        let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+        let mut job: Option<String> = None;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--addr" => addr = it.next().ok_or("--addr needs <host:port>")?.clone(),
+                other if !other.starts_with('-') && job.is_none() && command != "shutdown" => {
+                    job = Some(other.to_owned());
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        if command == "shutdown" {
+            return Ok(Command::Shutdown(ShutdownOptions { addr }));
+        }
+        let job = job.ok_or_else(|| format!("{command} needs a job id"))?;
+        let opts = JobRefOptions { addr, job };
+        return Ok(match command.as_str() {
+            "status" => Command::Status(opts),
+            "watch" => Command::Watch(opts),
+            _ => Command::Cancel(opts),
+        });
     }
 
     // `trace` takes an action word and a single path, no shared options
@@ -283,19 +419,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::TraceSummarize(TraceOptions { input }));
     }
 
-    // analyze's, inject's and lint's netlist paths are optional (an
-    // --example may stand in), so they are collected as positionals inside
-    // the option loop instead of up front
-    let takes_example = is_analyze || is_inject || is_lint;
+    // analyze's, inject's, lint's and submit's netlist paths are optional
+    // (an --example may stand in), so they are collected as positionals
+    // inside the option loop instead of up front; serve takes no input
+    let takes_example = is_analyze || is_inject || is_lint || is_submit;
     let mut input = String::new();
-    if !takes_example {
+    if !takes_example && !is_serve {
         input = it.next().ok_or("missing input file")?.clone();
     }
     let mut config = ExtractConfig::default();
     let mut hft = Hft(0);
     let mut subsystem = SubsystemType::B;
     let mut format = ReportFormat::Text;
-    let mut threads = default_threads();
+    let mut threads: Option<usize> = None;
     let mut seed = 0x5eed;
     let mut cycles = 48usize;
     let mut engine = Engine::Auto;
@@ -313,6 +449,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut allow: Vec<String> = Vec::new();
     let mut deny: Vec<String> = Vec::new();
     let mut target_sil: Option<Sil> = None;
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut tenant = "default".to_owned();
+    let mut workers = 2usize;
+    let mut queue = 64usize;
+    let mut cache_mb = 256usize;
+    let mut watch = false;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -339,22 +481,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
-            "--threads" if is_inject => {
+            "--threads" if is_inject || is_submit => {
                 let n = it.next().ok_or("--threads needs a number")?;
-                threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
+                threads = Some(n.parse().map_err(|_| format!("bad thread count `{n}`"))?);
             }
-            "--seed" if is_inject => {
+            "--seed" if is_inject || is_submit => {
                 let s = it.next().ok_or("--seed needs a number")?;
                 seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
             }
-            "--cycles" if is_inject => {
+            "--cycles" if is_inject || is_submit => {
                 let n = it.next().ok_or("--cycles needs a number")?;
                 cycles = n.parse().map_err(|_| format!("bad cycle count `{n}`"))?;
                 if cycles == 0 {
                     return Err("--cycles must be at least 1".into());
                 }
             }
-            "--engine" if is_inject => {
+            "--engine" if is_inject || is_submit => {
                 let e = it.next().ok_or("--engine needs a value")?;
                 engine = match e.as_str() {
                     "auto" => Engine::Auto,
@@ -366,9 +508,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             // deprecated alias, kept so existing scripts continue to work
             "--accel" if is_inject => engine = Engine::Sparse,
-            "--collapse" if is_inject => collapse = Collapse::Dictionary,
-            "--prune" if is_inject => prune = Prune::Static,
-            "--checkpoint-interval" if is_inject => {
+            "--collapse" if is_inject || is_submit => collapse = Collapse::Dictionary,
+            "--prune" if is_inject || is_submit => prune = Prune::Static,
+            "--checkpoint-interval" if is_inject || is_submit => {
                 let n = it.next().ok_or("--checkpoint-interval needs a number")?;
                 checkpoint_interval = n
                     .parse()
@@ -387,6 +529,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--progress" if is_inject => progress = true,
             "--quiet" if is_inject => quiet = true,
+            "--addr" if is_serve || is_submit => {
+                addr = it.next().ok_or("--addr needs <host:port>")?.clone();
+            }
+            "--tenant" if is_submit => {
+                tenant = it.next().ok_or("--tenant needs a name")?.clone();
+            }
+            "--watch" if is_submit => watch = true,
+            "--workers" if is_serve => {
+                let n = it.next().ok_or("--workers needs a number")?;
+                workers = n.parse().map_err(|_| format!("bad worker count `{n}`"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue" if is_serve => {
+                let n = it.next().ok_or("--queue needs a number")?;
+                queue = n.parse().map_err(|_| format!("bad queue depth `{n}`"))?;
+                if queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--cache-mb" if is_serve => {
+                let n = it.next().ok_or("--cache-mb needs a number")?;
+                cache_mb = n.parse().map_err(|_| format!("bad cache budget `{n}`"))?;
+            }
             "--example" if takes_example => {
                 let e = it.next().ok_or("--example needs a design name")?;
                 example = Some(
@@ -452,7 +619,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 input: positional,
                 example,
                 config,
-                threads,
+                threads: threads.unwrap_or_else(default_threads),
                 seed,
                 cycles,
                 engine,
@@ -463,6 +630,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_out,
                 progress,
                 quiet,
+            })
+        }
+        "serve" => Command::Serve(ServeOptions {
+            addr,
+            workers,
+            queue,
+            cache_mb,
+        }),
+        "submit" => {
+            if positional.is_some() == example.is_some() {
+                return Err("submit needs exactly one of <netlist.v> or --example".into());
+            }
+            Command::Submit(SubmitOptions {
+                addr,
+                tenant,
+                input: positional,
+                example,
+                seed,
+                cycles,
+                threads: threads.unwrap_or(0),
+                engine,
+                checkpoint_interval,
+                collapse,
+                prune,
+                watch,
             })
         }
         "lint" => {
@@ -814,6 +1006,146 @@ mod tests {
         // lint options are scoped to lint
         assert!(parse(&argv(&["analyze", "d.v", "--example", "mcu"])).is_err());
         assert!(parse(&argv(&["zones", "d.v", "--deny", "warnings"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_overrides() {
+        let Command::Serve(o) = parse(&argv(&["serve"])).unwrap() else {
+            panic!("serve expected")
+        };
+        assert_eq!(o.addr, DEFAULT_SERVE_ADDR);
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue, 64);
+        assert_eq!(o.cache_mb, 256);
+        let Command::Serve(o) = parse(&argv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "4",
+            "--queue",
+            "8",
+            "--cache-mb",
+            "64",
+        ]))
+        .unwrap() else {
+            panic!("serve expected")
+        };
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.queue, 8);
+        assert_eq!(o.cache_mb, 64);
+        // degenerate values and foreign options are rejected
+        assert!(parse(&argv(&["serve", "--workers", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv(&["serve", "--queue", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv(&["serve", "--threads", "4"])).is_err());
+        assert!(parse(&argv(&["inject", "d.v", "--workers", "4"])).is_err());
+    }
+
+    #[test]
+    fn submit_mirrors_the_inject_spec_flags() {
+        let Command::Submit(o) = parse(&argv(&[
+            "submit",
+            "--example",
+            "fmem",
+            "--tenant",
+            "certlab",
+            "--seed",
+            "7",
+            "--cycles",
+            "16",
+            "--engine",
+            "sparse",
+            "--checkpoint-interval",
+            "8",
+            "--collapse",
+            "--prune",
+            "--watch",
+        ]))
+        .unwrap() else {
+            panic!("submit expected")
+        };
+        assert_eq!(o.addr, DEFAULT_SERVE_ADDR);
+        assert_eq!(o.tenant, "certlab");
+        assert_eq!(o.example, Some(ExampleDesign::Fmem));
+        assert!(o.input.is_none());
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.cycles, 16);
+        assert_eq!(o.engine, Engine::Sparse);
+        assert_eq!(o.checkpoint_interval, 8);
+        assert_eq!(o.collapse, Collapse::Dictionary);
+        assert_eq!(o.prune, Prune::Static);
+        assert!(o.watch);
+    }
+
+    #[test]
+    fn submit_defaults_defer_threads_to_the_server() {
+        let Command::Submit(o) = parse(&argv(&["submit", "d.v"])).unwrap() else {
+            panic!("submit expected")
+        };
+        assert_eq!(o.input.as_deref(), Some("d.v"));
+        assert_eq!(o.threads, 0, "0 = server default");
+        assert_eq!(o.tenant, "default");
+        assert_eq!(o.seed, 0x5eed);
+        assert_eq!(o.cycles, 48);
+        assert_eq!(o.engine, Engine::Auto);
+        assert!(!o.watch);
+        let Command::Submit(o) = parse(&argv(&["submit", "d.v", "--threads", "3"])).unwrap() else {
+            panic!("submit expected")
+        };
+        assert_eq!(o.threads, 3);
+        // exactly one of <netlist.v> / --example, like inject
+        assert!(parse(&argv(&["submit"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&argv(&["submit", "d.v", "--example", "mcu"]))
+            .unwrap_err()
+            .contains("exactly one"));
+        // inject-only observability flags stay inject-only
+        assert!(parse(&argv(&["submit", "d.v", "--trace-out", "t.jsonl"])).is_err());
+        assert!(parse(&argv(&["submit", "d.v", "--progress"])).is_err());
+        assert!(parse(&argv(&["submit", "d.v", "--accel"])).is_err());
+    }
+
+    #[test]
+    fn job_reference_commands_take_a_job_and_an_addr() {
+        for (name, want_status, want_watch) in [
+            ("status", true, false),
+            ("watch", false, true),
+            ("cancel", false, false),
+        ] {
+            let cmd = parse(&argv(&[name, "j-000001", "--addr", "10.0.0.1:7171"])).unwrap();
+            let o = match cmd {
+                Command::Status(o) if want_status => o,
+                Command::Watch(o) if want_watch => o,
+                Command::Cancel(o) if !want_status && !want_watch => o,
+                other => panic!("unexpected parse of {name}: {other:?}"),
+            };
+            assert_eq!(o.job, "j-000001");
+            assert_eq!(o.addr, "10.0.0.1:7171");
+            assert!(parse(&argv(&[name]))
+                .unwrap_err()
+                .contains("needs a job id"));
+            assert!(parse(&argv(&[name, "j-1", "j-2"])).is_err());
+        }
+    }
+
+    #[test]
+    fn shutdown_takes_only_an_addr() {
+        let Command::Shutdown(o) = parse(&argv(&["shutdown"])).unwrap() else {
+            panic!("shutdown expected")
+        };
+        assert_eq!(o.addr, DEFAULT_SERVE_ADDR);
+        let Command::Shutdown(o) = parse(&argv(&["shutdown", "--addr", "127.0.0.1:7272"])).unwrap()
+        else {
+            panic!("shutdown expected")
+        };
+        assert_eq!(o.addr, "127.0.0.1:7272");
+        assert!(parse(&argv(&["shutdown", "j-000001"])).is_err());
     }
 
     #[test]

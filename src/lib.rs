@@ -20,6 +20,7 @@
 //! | [`accel`] | `socfmea-accel` | golden traces, checkpoints, divergence-set fault simulation |
 //! | [`obs`] | `socfmea-obs` | spans, metrics registry, JSONL fault traces, live progress |
 //! | [`lint`] | `socfmea-lint` | static safety lints over netlist, zones, and worksheet |
+//! | [`serve`] | `socfmea-serve` | multi-tenant campaign server, artifact cache, live streaming |
 //! | [`memsys`] | `socfmea-memsys` | the paper's fault-robust memory sub-system (Figure 5) |
 //! | [`mcu`] | `socfmea-mcu` | the fault-robust lockstep microcontroller substrate |
 //!
@@ -88,6 +89,11 @@ pub use socfmea_obs as obs;
 
 /// Clippy-style static safety lints (structural + worksheet rule packs).
 pub use socfmea_lint as lint;
+
+/// The multi-tenant campaign server behind `socfmea serve`: design-keyed
+/// artifact caching, tenant-fair scheduling, live JSONL result streaming,
+/// and the thin client behind `socfmea submit|status|watch|cancel`.
+pub use socfmea_serve as serve;
 
 /// The paper's fault-robust memory sub-system example.
 pub use socfmea_memsys as memsys;
