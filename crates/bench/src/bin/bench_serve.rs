@@ -16,7 +16,13 @@
 //!   jobs per second,
 //! * the server's own cache counters after the run (design/spec
 //!   hits and misses, evictions), asserting the warm path did zero
-//!   rebuild work.
+//!   rebuild work,
+//! * telemetry overhead: interleaved batches of warm identical jobs on a
+//!   telemetry-on vs a telemetry-off server, reporting the minimum
+//!   per-rep on/off ratio and asserting the correlated
+//!   spans/progress/metrics cost under 5%. Batching keeps each sample
+//!   long enough — and pairing keeps the comparison local enough — that
+//!   scheduler noise on a small host cannot masquerade as overhead.
 //!
 //! Correctness is asserted, not assumed: every warm trace must be
 //! byte-identical to its cold counterpart before anything is written.
@@ -65,7 +71,7 @@ fn doc(body: &str) -> Value {
 }
 
 fn counter(client: &Client, name: &str) -> u64 {
-    let resp = client.metrics().expect("metrics");
+    let resp = client.metrics_json().expect("metrics");
     assert_eq!(resp.status, 200);
     doc(&resp.text())
         .get("counters")
@@ -137,14 +143,15 @@ fn main() {
         if cores == 1 { "" } else { "s" }
     );
 
-    let server = Server::start(ServerConfig {
+    let config = |telemetry: bool| ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         queue_capacity: burst + 8,
         cache_bytes: usize::MAX,
         default_threads: threads,
-    })
-    .expect("bind campaign server");
+        telemetry,
+    };
+    let server = Server::start(config(true)).expect("bind campaign server");
     let client = Client::new(server.addr().to_string());
     println!("server: {}", server.addr());
 
@@ -219,6 +226,64 @@ fn main() {
         "\nburst: {burst} warm mcu-single jobs in {burst_secs:.3}s ({jobs_per_sec:.1} jobs/s); all warm traces bit-identical to cold"
     );
 
+    // telemetry overhead: identical warm jobs on this (telemetry-on)
+    // server vs a fresh telemetry-off server; the trace differential
+    // doubles as a correctness check. Each sample is a batch of
+    // back-to-back fmem jobs (long enough that a stray scheduler quantum
+    // cannot register as percent-level skew), the on/off batches are
+    // interleaved so machine-load drift hits both sides equally, and the
+    // reported overhead is the *minimum per-rep ratio* — one rep where
+    // the host was quiet for both sides reveals the true cost.
+    let reps = if quick { 4 } else { 6 };
+    let batch = 3;
+    let overhead_spec =
+        format!(r#"{{"example":"fmem","cycles":{cycles},"seed":7,"collapse":true,"prune":true}}"#);
+    let off_server = Server::start(config(false)).expect("bind telemetry-off server");
+    let off_client = Client::new(off_server.addr().to_string());
+    let off_cold = submit_and_watch(&off_client, &overhead_spec); // warm its caches
+    let run_batch = |client: &Client| -> (f64, Vec<u8>) {
+        let mut secs = 0.0;
+        let mut trace = Vec::new();
+        for _ in 0..batch {
+            let run = submit_and_watch(client, &overhead_spec);
+            secs += run.total_secs;
+            trace = run.trace;
+        }
+        (secs, trace)
+    };
+    let (mut on_secs, mut off_secs, mut best_ratio) = (f64::NAN, f64::NAN, f64::INFINITY);
+    let (mut on_trace, mut off_trace) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let (on_s, on_t) = run_batch(&client);
+        let (off_s, off_t) = run_batch(&off_client);
+        if on_s / off_s < best_ratio {
+            best_ratio = on_s / off_s;
+            (on_secs, off_secs) = (on_s, off_s);
+        }
+        (on_trace, off_trace) = (on_t, off_t);
+    }
+    assert_eq!(
+        on_trace, off_trace,
+        "telemetry must not perturb the normalized trace"
+    );
+    assert_eq!(
+        off_cold.trace, off_trace,
+        "warm off-trace drifted from cold"
+    );
+    let overhead_pct = ((best_ratio - 1.0) * 100.0).max(0.0);
+    assert!(
+        overhead_pct < 5.0,
+        "telemetry overhead {overhead_pct:.2}% exceeds the 5% budget \
+         (on {on_secs:.4}s vs off {off_secs:.4}s)"
+    );
+    println!(
+        "telemetry: {batch} warm fmem jobs {on_secs:.4}s on vs {off_secs:.4}s off \
+         (best of {reps} paired reps) -> {overhead_pct:.2}% overhead"
+    );
+    let resp = off_client.shutdown().expect("off-server shutdown");
+    assert_eq!(resp.status, 200);
+    off_server.join();
+
     let design_hits = counter(&client, "serve.cache.design.hit");
     let design_misses = counter(&client, "serve.cache.design.miss");
     let spec_hits = counter(&client, "serve.cache.spec.hit");
@@ -253,6 +318,10 @@ fn main() {
     let _ = writeln!(
         out,
         "  \"burst\": {{\"design\": \"mcu-single\", \"jobs\": {burst}, \"seconds\": {burst_secs:.4}, \"jobs_per_sec\": {jobs_per_sec:.2}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"telemetry\": {{\"design\": \"fmem\", \"reps\": {reps}, \"batch\": {batch}, \"on_seconds\": {on_secs:.4}, \"off_seconds\": {off_secs:.4}, \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": 5.0}},"
     );
     let _ = writeln!(
         out,

@@ -764,17 +764,18 @@ struct ObsHooks<'o> {
 
 impl<'o> ObsHooks<'o> {
     fn new(obs: &'o Observer) -> ObsHooks<'o> {
-        let reg = obs.registry();
+        // resolve through the observer so a server-attached `TraceCtx`
+        // labels every series with the job and tenant
         ObsHooks {
             trace_faults: obs.tracing(),
-            fault_nanos: reg.histogram("campaign.fault.nanos"),
+            fault_nanos: obs.histogram("campaign.fault.nanos"),
             engines: [
-                ("lockstep", reg.counter("campaign.engine.lockstep")),
-                ("sparse", reg.counter("campaign.engine.sparse")),
-                ("warm", reg.counter("campaign.engine.warm")),
-                ("ppsfp", reg.counter("campaign.engine.ppsfp")),
-                ("dictionary", reg.counter("campaign.engine.dictionary")),
-                ("pruned", reg.counter("campaign.engine.pruned")),
+                ("lockstep", obs.counter("campaign.engine.lockstep")),
+                ("sparse", obs.counter("campaign.engine.sparse")),
+                ("warm", obs.counter("campaign.engine.warm")),
+                ("ppsfp", obs.counter("campaign.engine.ppsfp")),
+                ("dictionary", obs.counter("campaign.engine.dictionary")),
+                ("pruned", obs.counter("campaign.engine.pruned")),
             ],
             obs,
         }
@@ -1129,42 +1130,48 @@ impl<'a> Campaign<'a> {
                 sff: result.measured_sff(),
                 elapsed_nanos: self.stats.elapsed().as_nanos() as u64,
             });
-            // final totals for the metrics snapshot, mirrored once
-            let reg = obs.registry();
-            reg.counter("campaign.faults.simulated")
+            // final totals for the metrics snapshot, mirrored once —
+            // resolved through the observer so a server-attached
+            // `TraceCtx` stamps job/tenant labels onto every series
+            obs.counter("campaign.faults.simulated")
                 .add(self.stats.faults_done() as u64);
-            reg.counter("campaign.faults.collapsed")
+            obs.counter("campaign.faults.collapsed")
                 .add(self.stats.faults_collapsed() as u64);
-            reg.counter("campaign.cycles.simulated")
+            obs.counter("campaign.cycles.simulated")
                 .add(self.stats.cycles_simulated());
-            reg.counter("campaign.cycles.skipped")
+            obs.counter("campaign.cycles.skipped")
                 .add(self.stats.cycles_skipped());
             if self.stats.faults_pruned() > 0 {
                 let (constant, no_path) = self.stats.pruned_breakdown();
-                reg.counter("campaign.static.pruned")
+                obs.counter("campaign.static.pruned")
                     .add(self.stats.faults_pruned() as u64);
-                reg.counter("campaign.static.pruned.constant")
+                obs.counter("campaign.static.pruned.constant")
                     .add(constant as u64);
-                reg.counter("campaign.static.pruned.no-path")
+                obs.counter("campaign.static.pruned.no-path")
                     .add(no_path as u64);
             }
-            reg.gauge("campaign.elapsed_nanos")
-                .set(self.stats.elapsed().as_nanos() as f64);
+            let elapsed_nanos = self.stats.elapsed().as_nanos() as u64;
+            obs.gauge("campaign.elapsed_nanos")
+                .set(elapsed_nanos as f64);
+            if elapsed_nanos > 0 {
+                obs.gauge("campaign.faults_per_sec")
+                    .set(self.stats.faults_done() as f64 / (elapsed_nanos as f64 / 1e9));
+            }
             if self.stats.ppsfp_batches() > 0 {
-                reg.counter("campaign.ppsfp.batches")
+                obs.counter("campaign.ppsfp.batches")
                     .add(self.stats.ppsfp_batches());
-                reg.counter("campaign.ppsfp.lanes")
+                obs.counter("campaign.ppsfp.lanes")
                     .add(self.stats.ppsfp_lanes());
-                reg.counter("campaign.ppsfp.words")
+                obs.counter("campaign.ppsfp.words")
                     .add(self.stats.ppsfp_words());
-                reg.gauge("campaign.ppsfp.lanes_per_word")
+                obs.gauge("campaign.ppsfp.lanes_per_word")
                     .set(self.stats.ppsfp_lanes_per_word());
             }
             if let Some(dc) = result.measured_dc() {
-                reg.gauge("campaign.dc").set(dc);
+                obs.gauge("campaign.dc").set(dc);
             }
             if let Some(sff) = result.measured_sff() {
-                reg.gauge("campaign.sff").set(sff);
+                obs.gauge("campaign.sff").set(sff);
             }
         }
         result

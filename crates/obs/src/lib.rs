@@ -26,21 +26,33 @@
 //!   ([`TraceSummary`]): per-zone / per-kind / per-engine / per-phase
 //!   tables, slowest faults, and independently recomputed outcome counts,
 //!   DC and SFF for cross-checking a run's printed claims,
+//! * [`profile`] — self-time attribution over the span tree
+//!   ([`Profile`]): folded-stack flamegraph export and profile diffing
+//!   for `socfmea trace flame|diff`,
 //! * [`json`] — the minimal JSON codec backing all of the above,
 //! * [`chan`] — the bounded MPSC channel backing the sink.
+//!
+//! Correlated telemetry: a [`TraceCtx`] minted at the system boundary
+//! (the campaign server's HTTP accept) rides the [`Observer`] through
+//! every stage, stamping `job`/`tenant` onto span, phase and metric
+//! records, while the deterministic result stream flows on a separate
+//! channel — see [`observer`] for the routing rules.
 
 pub mod chan;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod profile;
 pub mod progress;
 pub mod summarize;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SampleEvery,
+    labeled_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    SampleEvery,
 };
-pub use observer::{Observer, Span};
+pub use observer::{Observer, Span, TraceCtx};
+pub use profile::Profile;
 pub use progress::{CaptureRender, ProgressReporter, ProgressSample, Render, StderrRender};
 pub use summarize::{SummaryError, TraceSummary};
 pub use trace::{

@@ -235,6 +235,22 @@ impl Registry {
         Arc::clone(inner.histograms.entry(name.to_owned()).or_default())
     }
 
+    /// The counter registered under `name` with `labels` attached
+    /// (created on first use). Each distinct label set is its own series.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&labeled_name(name, labels))
+    }
+
+    /// The gauge registered under `name` with `labels` attached.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&labeled_name(name, labels))
+    }
+
+    /// The histogram registered under `name` with `labels` attached.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&labeled_name(name, labels))
+    }
+
     /// Freezes every instrument into one [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("registry lock");
@@ -255,6 +271,67 @@ impl Registry {
                 .map(|(k, h)| (k.clone(), h.snapshot()))
                 .collect(),
         }
+    }
+}
+
+/// Encodes a label set into the flat registry namespace:
+/// `name{k="v",k2="v2"}`. An empty label set is just `name`. Quotes and
+/// backslashes in values are escaped so the rendered form survives both
+/// the JSON snapshot and Prometheus exposition unambiguously.
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry key back into `(family, labels)` where `labels` keeps
+/// its enclosing braces (empty string when unlabeled), sanitizing the
+/// family for the Prometheus metric-name charset (`[a-zA-Z0-9_:]`).
+fn prometheus_family(key: &str) -> (String, String) {
+    let (base, labels) = match key.find('{') {
+        Some(brace) => (&key[..brace], key[brace..].to_owned()),
+        None => (key, String::new()),
+    };
+    let family = base
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    (family, labels)
+}
+
+/// Merges an extra label into a `{...}`-or-empty label suffix.
+fn with_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
     }
 }
 
@@ -312,6 +389,64 @@ impl MetricsSnapshot {
     /// The snapshot rendered as one compact JSON document.
     pub fn render_json(&self) -> String {
         self.to_json().to_string()
+    }
+
+    /// The snapshot in Prometheus text exposition format (version 0.0.4):
+    /// one `# TYPE` line per metric family, counters and gauges as plain
+    /// samples, histograms as `summary` families with p50/p99 quantile
+    /// samples plus `_sum`/`_count`. Dots and dashes in registry names map
+    /// to underscores; labels encoded by [`labeled_name`] pass through.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        // group by sanitized family so each TYPE line is emitted exactly
+        // once, even when labeled and unlabeled series interleave
+        let mut counters: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        for (key, &v) in &self.counters {
+            let (family, labels) = prometheus_family(key);
+            counters
+                .entry(family)
+                .or_default()
+                .push((labels, v.to_string()));
+        }
+        let mut gauges: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        for (key, &v) in &self.gauges {
+            let (family, labels) = prometheus_family(key);
+            gauges
+                .entry(family)
+                .or_default()
+                .push((labels, format!("{v}")));
+        }
+        let mut summaries: BTreeMap<String, Vec<(String, HistogramSnapshot)>> = BTreeMap::new();
+        for (key, h) in &self.histograms {
+            let (family, labels) = prometheus_family(key);
+            summaries.entry(family).or_default().push((labels, *h));
+        }
+
+        let mut out = String::new();
+        for (family, series) in &counters {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (labels, value) in series {
+                let _ = writeln!(out, "{family}{labels} {value}");
+            }
+        }
+        for (family, series) in &gauges {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for (labels, value) in series {
+                let _ = writeln!(out, "{family}{labels} {value}");
+            }
+        }
+        for (family, series) in &summaries {
+            let _ = writeln!(out, "# TYPE {family} summary");
+            for (labels, h) in series {
+                let p50 = with_label(labels, "quantile=\"0.5\"");
+                let p99 = with_label(labels, "quantile=\"0.99\"");
+                let _ = writeln!(out, "{family}{p50} {}", h.p50);
+                let _ = writeln!(out, "{family}{p99} {}", h.p99);
+                let _ = writeln!(out, "{family}_sum{labels} {}", h.sum);
+                let _ = writeln!(out, "{family}_count{labels} {}", h.count);
+            }
+        }
+        out
     }
 }
 
@@ -407,6 +542,150 @@ mod tests {
         // degenerate n is clamped
         let every = SampleEvery::new(0);
         assert!(every.hit() && every.hit());
+    }
+
+    #[test]
+    fn histogram_bucket_edges_cover_the_full_u64_range() {
+        // 0 and 1 both land in bucket 0 (upper bound 1)
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (2, 0, 1));
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p99, 1);
+
+        // u64::MAX lands in the top bucket, whose bound saturates instead
+        // of overflowing `2 << 63`
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (1, u64::MAX, u64::MAX));
+        assert_eq!(s.p50, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+        assert_eq!(s.sum, u64::MAX);
+
+        // bucket-boundary values: 2^i sits in bucket i (bound 2^(i+1)-1),
+        // 2^i - 1 in bucket i-1 (bound 2^i - 1)
+        for i in [1u32, 2, 7, 31, 62] {
+            let lo = Histogram::default();
+            lo.record((1u64 << i) - 1);
+            assert_eq!(lo.snapshot().p50, (1u64 << i) - 1, "below boundary 2^{i}");
+            let hi = Histogram::default();
+            hi.record(1u64 << i);
+            assert_eq!(
+                hi.snapshot().p50,
+                (1u64 << (i + 1)) - 1,
+                "at boundary 2^{i}"
+            );
+        }
+        // the 2^63 boundary: top bucket's bound is u64::MAX
+        let top = Histogram::default();
+        top.record(1u64 << 63);
+        assert_eq!(top.snapshot().p50, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_quantiles_within_bucket_bounds() {
+        // four threads hammer disjoint magnitude bands; the snapshot's
+        // p50/p99 must respect the aggregate distribution's bucket bounds
+        // no matter how the interleaving lands
+        let h = Arc::new(Histogram::default());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        // half the observations are small (bucket 3: 8..=15),
+                        // half are large (bucket 13: 8192..=16383)
+                        let v = if (t + i) % 2 == 0 {
+                            8 + (i % 8)
+                        } else {
+                            8192 + i
+                        };
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        // exactly 2000 small + 2000 large: the median rank falls on the
+        // last small observation, so p50 is the small band's bucket bound
+        assert_eq!(s.p50, 15);
+        // p99 is deep inside the large band
+        assert_eq!(s.p99, 16383);
+        assert!(s.min >= 8 && s.max <= 8192 + 999);
+    }
+
+    #[test]
+    fn labeled_instruments_are_distinct_series() {
+        let reg = Registry::new();
+        reg.counter_labeled("serve.http.requests", &[("route", "/v1/jobs")])
+            .add(2);
+        reg.counter_labeled("serve.http.requests", &[("route", "/v1/healthz")])
+            .incr();
+        reg.counter("serve.http.requests").add(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[r#"serve.http.requests{route="/v1/jobs"}"#], 2);
+        assert_eq!(
+            snap.counters[r#"serve.http.requests{route="/v1/healthz"}"#],
+            1
+        );
+        assert_eq!(snap.counters["serve.http.requests"], 10);
+        // values with quotes/backslashes stay unambiguous
+        assert_eq!(labeled_name("m", &[("k", "a\"b\\c")]), r#"m{k="a\"b\\c"}"#);
+        assert_eq!(labeled_name("m", &[]), "m");
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families_and_exposes_quantiles() {
+        let reg = Registry::new();
+        reg.counter_labeled(
+            "serve.http.requests",
+            &[("route", "/v1/jobs"), ("method", "POST")],
+        )
+        .add(3);
+        reg.counter("serve.http.requests").add(7);
+        // a name that sorts between the unlabeled and labeled series must
+        // not split the family's TYPE group
+        reg.counter("serve.http.requests.total").add(1);
+        reg.gauge("campaign.dc").set(0.875);
+        let h = reg.histogram_labeled("span.campaign.nanos", &[("job", "j-000001")]);
+        h.record(100);
+        h.record(200);
+        let text = reg.snapshot().render_prometheus();
+
+        assert!(text.contains("# TYPE serve_http_requests counter\n"));
+        assert_eq!(
+            text.matches("# TYPE serve_http_requests counter").count(),
+            1,
+            "family TYPE line must be unique:\n{text}"
+        );
+        assert!(text.contains("serve_http_requests 7\n"));
+        assert!(text.contains(r#"serve_http_requests{route="/v1/jobs",method="POST"} 3"#));
+        assert!(text.contains("# TYPE campaign_dc gauge\n"));
+        assert!(text.contains("campaign_dc 0.875\n"));
+        assert!(text.contains("# TYPE span_campaign_nanos summary\n"));
+        assert!(text.contains(r#"span_campaign_nanos{job="j-000001",quantile="0.5"}"#));
+        assert!(text.contains(r#"span_campaign_nanos{job="j-000001",quantile="0.99"}"#));
+        assert!(text.contains(r#"span_campaign_nanos_sum{job="j-000001"} 300"#));
+        assert!(text.contains(r#"span_campaign_nanos_count{job="j-000001"} 2"#));
+
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "bad value in `{line}`");
+            let base = name.split('{').next().unwrap();
+            assert!(
+                base.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad family in `{line}`"
+            );
+        }
     }
 
     #[test]

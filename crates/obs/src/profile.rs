@@ -1,0 +1,257 @@
+//! Per-phase profiling over the span tree: `socfmea trace flame|diff`.
+//!
+//! A trace's `span` records carry hierarchical `/`-separated names
+//! (`campaign`, `campaign/shard`, `campaign/merge`) and `phase` records
+//! name the flat pipeline stages (`prepare`, `static-prune`,
+//! `collapse-plan`). A [`Profile`] turns both into a *self-time* tree —
+//! each node's own cost is its total minus the time attributed to its
+//! direct children — and renders it as folded stacks
+//! (`campaign;merge 1234567`), the input format standard flamegraph
+//! tooling consumes. [`Profile::diff`] compares two profiles node by node.
+
+use crate::summarize::TraceSummary;
+use std::collections::BTreeMap;
+
+/// Self-time attribution over the span tree of one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-path totals: summed duration of every span/phase with this
+    /// `/`-separated path.
+    totals: BTreeMap<String, u64>,
+    /// Campaign wall-clock from the trace's `end` record, when present.
+    elapsed_nanos: Option<u64>,
+}
+
+impl Profile {
+    /// Builds a profile from a summarized trace. Span aggregates and
+    /// phases both contribute; same-named phases sum.
+    pub fn from_summary(summary: &TraceSummary) -> Profile {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, agg) in &summary.spans {
+            *totals.entry(name.clone()).or_default() += agg.total_nanos;
+        }
+        for (name, nanos) in &summary.phases {
+            *totals.entry(name.clone()).or_default() += nanos;
+        }
+        Profile {
+            totals,
+            elapsed_nanos: summary.end.as_ref().map(|e| e.elapsed_nanos),
+        }
+    }
+
+    /// The nearest ancestor of `path` present in the profile, as a
+    /// `/`-boundary proper prefix.
+    fn parent_of(&self, path: &str) -> Option<String> {
+        let mut prefix = path;
+        while let Some(cut) = prefix.rfind('/') {
+            prefix = &prefix[..cut];
+            if self.totals.contains_key(prefix) {
+                return Some(prefix.to_owned());
+            }
+        }
+        None
+    }
+
+    /// Self-time per path: total minus the summed totals of direct
+    /// children (clamped at zero — parallel shard spans can legitimately
+    /// exceed their parent's wall-clock).
+    pub fn self_times(&self) -> BTreeMap<String, u64> {
+        let mut children_sum: BTreeMap<String, u64> = BTreeMap::new();
+        for (path, &total) in &self.totals {
+            if let Some(parent) = self.parent_of(path) {
+                *children_sum.entry(parent).or_default() += total;
+            }
+        }
+        self.totals
+            .iter()
+            .map(|(path, &total)| {
+                let children = children_sum.get(path).copied().unwrap_or(0);
+                (path.clone(), total.saturating_sub(children))
+            })
+            .collect()
+    }
+
+    /// Folded-stack lines (`a;b;c nanos`), zero-self-time nodes omitted,
+    /// ready for flamegraph tooling.
+    pub fn folded(&self) -> Vec<(String, u64)> {
+        self.self_times()
+            .into_iter()
+            .filter(|&(_, nanos)| nanos > 0)
+            .map(|(path, nanos)| (path.replace('/', ";"), nanos))
+            .collect()
+    }
+
+    /// The folded stacks as one newline-terminated document.
+    pub fn render_folded(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (stack, nanos) in self.folded() {
+            let _ = writeln!(out, "{stack} {nanos}");
+        }
+        out
+    }
+
+    /// Nanoseconds attributed to named spans/phases (the sum of all
+    /// folded counts).
+    pub fn attributed_nanos(&self) -> u64 {
+        self.self_times().values().sum()
+    }
+
+    /// Campaign wall-clock from the trace's `end` record, when present.
+    pub fn elapsed_nanos(&self) -> Option<u64> {
+        self.elapsed_nanos
+    }
+
+    /// Fraction of the campaign wall-clock accounted to named
+    /// spans/phases, when the trace carried an `end` record. Parallel
+    /// shard spans can push this above 1.0.
+    pub fn coverage(&self) -> Option<f64> {
+        match self.elapsed_nanos {
+            Some(0) | None => None,
+            Some(elapsed) => Some(self.attributed_nanos() as f64 / elapsed as f64),
+        }
+    }
+
+    /// A side-by-side comparison of two profiles' self-times, largest
+    /// absolute delta first.
+    pub fn diff(&self, other: &Profile) -> String {
+        use std::fmt::Write as _;
+        let (a, b) = (self.self_times(), other.self_times());
+        let mut paths: Vec<&String> = a.keys().chain(b.keys()).collect();
+        paths.sort();
+        paths.dedup();
+        let mut rows: Vec<(&str, u64, u64)> = paths
+            .into_iter()
+            .map(|p| {
+                (
+                    p.as_str(),
+                    a.get(p).copied().unwrap_or(0),
+                    b.get(p).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(path, va, vb)| (std::cmp::Reverse(va.abs_diff(vb)), path.to_owned()));
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>12} {:>12} {:>8}",
+            "span", "a ms", "b ms", "delta ms", "delta"
+        );
+        for (path, va, vb) in rows {
+            let delta = vb as i128 - va as i128;
+            let pct = if va == 0 {
+                "new".to_owned()
+            } else {
+                format!("{:+.1}%", 100.0 * delta as f64 / va as f64)
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+                path,
+                va as f64 / 1e6,
+                vb as f64 / 1e6,
+                delta as f64 / 1e6,
+                pct
+            );
+        }
+        let (ta, tb) = (self.attributed_nanos(), other.attributed_nanos());
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12.3} {:>12.3} {:>12.3}",
+            "total attributed",
+            ta as f64 / 1e6,
+            tb as f64 / 1e6,
+            (tb as i128 - ta as i128) as f64 / 1e6
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(entries: &[(&str, u64)], elapsed: Option<u64>) -> Profile {
+        Profile {
+            totals: entries
+                .iter()
+                .map(|&(name, nanos)| (name.to_owned(), nanos))
+                .collect(),
+            elapsed_nanos: elapsed,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let p = profile(
+            &[
+                ("campaign", 1000),
+                ("campaign/shard", 600),
+                ("campaign/shard/merge", 100),
+                ("campaign/merge", 150),
+                ("prepare", 40),
+            ],
+            Some(1100),
+        );
+        let st = p.self_times();
+        // campaign: 1000 - (600 + 150); shard's own child is charged to
+        // shard, not campaign
+        assert_eq!(st["campaign"], 250);
+        assert_eq!(st["campaign/shard"], 500);
+        assert_eq!(st["campaign/shard/merge"], 100);
+        assert_eq!(st["campaign/merge"], 150);
+        assert_eq!(st["prepare"], 40);
+        // self-times sum back to the root totals
+        assert_eq!(p.attributed_nanos(), 1000 + 40);
+        assert!((p.coverage().unwrap() - 1040.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_children_clamp_instead_of_underflowing() {
+        // four shard spans ran concurrently inside one wall-clock parent
+        let p = profile(&[("campaign", 100), ("campaign/shard", 360)], None);
+        let st = p.self_times();
+        assert_eq!(st["campaign"], 0);
+        assert_eq!(st["campaign/shard"], 360);
+        assert_eq!(p.coverage(), None);
+    }
+
+    #[test]
+    fn orphan_paths_attach_to_the_nearest_present_ancestor() {
+        // "a/b" was never emitted: "a/b/c" must still charge "a"
+        let p = profile(&[("a", 500), ("a/b/c", 200)], None);
+        let st = p.self_times();
+        assert_eq!(st["a"], 300);
+        assert_eq!(st["a/b/c"], 200);
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_shaped() {
+        let p = profile(&[("campaign", 300), ("campaign/merge", 300)], None);
+        let text = p.render_folded();
+        // campaign's self-time is zero, so only the leaf appears
+        assert_eq!(text, "campaign;merge 300\n");
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("stack count");
+            assert!(!stack.is_empty());
+            count.parse::<u64>().expect("integer count");
+        }
+    }
+
+    #[test]
+    fn diff_ranks_by_absolute_delta() {
+        let a = profile(&[("campaign", 1000), ("prepare", 100)], None);
+        let b = profile(
+            &[("campaign", 1600), ("prepare", 150), ("collapse-plan", 30)],
+            None,
+        );
+        let text = a.diff(&b);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("campaign"), "{text}");
+        assert!(lines[1].contains("+60.0%"), "{text}");
+        assert!(lines[2].starts_with("prepare"), "{text}");
+        assert!(lines[3].contains("new"), "{text}");
+        assert!(lines.last().unwrap().starts_with("total attributed"));
+    }
+}

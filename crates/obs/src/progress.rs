@@ -7,9 +7,9 @@
 //! so tests can assert on the lines without a terminal.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A point-in-time view of a running campaign, cheap to produce from the
 /// live atomic counters.
@@ -89,6 +89,29 @@ impl ProgressSample {
         Some(self.cycles_skipped as f64 / total as f64)
     }
 
+    /// The sample as one JSON object — the payload of a `progress` event
+    /// on the server's `/v1/jobs/<id>/events` stream. Derived rates are
+    /// included so consumers need no recomputation.
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::obj(vec![
+            ("faults_total", Value::uint(self.faults_total)),
+            ("faults_done", Value::uint(self.faults_done)),
+            ("collapsed", Value::uint(self.collapsed)),
+            ("ne", Value::uint(self.no_effect)),
+            ("sd", Value::uint(self.safe_detected)),
+            ("dd", Value::uint(self.dangerous_detected)),
+            ("du", Value::uint(self.dangerous_undetected)),
+            ("cycles_simulated", Value::uint(self.cycles_simulated)),
+            ("cycles_skipped", Value::uint(self.cycles_skipped)),
+            ("elapsed_nanos", Value::uint(self.elapsed_nanos)),
+            ("faults_per_sec", Value::Float(self.faults_per_sec())),
+            ("eta_secs", Value::opt(self.eta_secs(), Value::Float)),
+            ("dc", Value::opt(self.running_dc(), Value::Float)),
+            ("sff", Value::opt(self.running_sff(), Value::Float)),
+        ])
+    }
+
     /// One human-readable status line.
     pub fn render_line(&self) -> String {
         let mut line = format!(
@@ -130,6 +153,12 @@ impl ProgressSample {
 pub trait Render: Send {
     /// Shows one status line (typically replacing the previous one).
     fn render(&mut self, line: &str);
+    /// Receives the raw sample; the default formats it through
+    /// [`ProgressSample::render_line`]. Structured consumers (the server's
+    /// events stream) override this to keep the numbers.
+    fn observe(&mut self, sample: &ProgressSample) {
+        self.render(&sample.render_line());
+    }
     /// Called once after the final line, for cleanup (e.g. a newline).
     fn done(&mut self) {}
 }
@@ -186,8 +215,12 @@ impl Render for CaptureRender {
 /// A helper thread that polls a sample source at a fixed interval and
 /// renders each sample; always renders one final sample on
 /// [`finish`](Self::finish).
+///
+/// The poller parks on a [`Condvar`] between samples, so
+/// [`finish`](Self::finish) wakes and joins it immediately — the reporter
+/// adds no tail latency to the job it is watching.
 pub struct ProgressReporter {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: JoinHandle<()>,
 }
 
@@ -198,23 +231,30 @@ impl ProgressReporter {
         interval: Duration,
         sample: impl Fn() -> ProgressSample + Send + 'static,
     ) -> ProgressReporter {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop_seen = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
-            loop {
-                if stop_seen.load(Ordering::SeqCst) {
-                    break;
+            let (lock, cv) = &*stop_seen;
+            'poll: loop {
+                render.observe(&sample());
+                let deadline = Instant::now() + interval;
+                let mut stopped = lock.lock().expect("progress lock");
+                loop {
+                    if *stopped {
+                        break 'poll;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    stopped = cv
+                        .wait_timeout(stopped, deadline - now)
+                        .expect("progress lock")
+                        .0;
                 }
-                render.render(&sample().render_line());
-                // sleep in short slices so finish() is prompt
-                let mut waited = Duration::ZERO;
-                let slice = Duration::from_millis(10).min(interval);
-                while waited < interval && !stop_seen.load(Ordering::SeqCst) {
-                    std::thread::sleep(slice);
-                    waited += slice;
-                }
+                drop(stopped);
             }
-            render.render(&sample().render_line());
+            render.observe(&sample());
             render.done();
         });
         ProgressReporter { stop, handle }
@@ -222,7 +262,9 @@ impl ProgressReporter {
 
     /// Stops polling, renders the final state, and joins the thread.
     pub fn finish(self) {
-        self.stop.store(true, Ordering::SeqCst);
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("progress lock") = true;
+        cv.notify_all();
         let _ = self.handle.join();
     }
 }
@@ -281,6 +323,22 @@ mod tests {
         ] {
             assert!(line.contains(needle), "missing {needle:?} in {line:?}");
         }
+    }
+
+    #[test]
+    fn sample_serializes_with_derived_rates() {
+        let v = sample().to_json();
+        let line = v.to_string();
+        let back = crate::json::parse(&line).expect("progress JSON parses");
+        assert_eq!(back.get("faults_done").unwrap().as_u64(), Some(40));
+        assert_eq!(back.get("faults_total").unwrap().as_u64(), Some(100));
+        assert!((back.get("faults_per_sec").unwrap().as_f64().unwrap() - 20.0).abs() < 1e-9);
+        assert!((back.get("eta_secs").unwrap().as_f64().unwrap() - 3.0).abs() < 1e-9);
+        assert!((back.get("dc").unwrap().as_f64().unwrap() - 0.8).abs() < 1e-9);
+        // an empty sample nulls the undefined rates instead of faking them
+        let empty = crate::json::parse(&ProgressSample::default().to_json().to_string()).unwrap();
+        assert!(empty.get("eta_secs").unwrap().is_null());
+        assert!(empty.get("dc").unwrap().is_null());
     }
 
     #[test]

@@ -117,6 +117,14 @@ pub struct EndClaims {
 pub struct TraceSummary {
     /// Design name from the `meta` record.
     pub design: Option<String>,
+    /// Scheduled fault count claimed by the `meta` record.
+    pub meta_faults: Option<u64>,
+    /// `progress` events seen (server `/events` captures interleave them
+    /// with spans and phases; they carry no aggregate information).
+    pub progress_events: u64,
+    /// `lifecycle` events seen (queued/running/done transitions on server
+    /// `/events` captures).
+    pub lifecycle_events: u64,
     /// Per-fault records seen.
     pub faults: u64,
     /// Outcome tallies recomputed from the fault records.
@@ -194,7 +202,10 @@ impl TraceSummary {
             match ev.as_str() {
                 "meta" => {
                     s.design = Some(req_str(&v, "design", line)?);
+                    s.meta_faults = v.get("faults").and_then(Value::as_u64);
                 }
+                "progress" => s.progress_events += 1,
+                "lifecycle" => s.lifecycle_events += 1,
                 "fault" => s.add_fault(&v, line)?,
                 "span" => {
                     let name = req_str(&v, "name", line)?;
@@ -275,6 +286,27 @@ impl TraceSummary {
             self.slowest.truncate(SLOWEST_KEPT);
         }
         Ok(())
+    }
+
+    /// `None` when the trace is complete (a trailing `end` record was
+    /// seen); otherwise a description of the truncation. `from_str` stays
+    /// lenient so partial traces — a cancelled job's valid prefix — still
+    /// summarize; strict consumers (the `trace summarize` CLI) check this
+    /// and refuse unless explicitly allowed.
+    pub fn truncation(&self) -> Option<String> {
+        if self.end.is_some() {
+            return None;
+        }
+        Some(match self.meta_faults {
+            Some(total) => format!(
+                "no end record: {} of {} fault records present, so the trace is a truncated prefix",
+                self.faults, total
+            ),
+            None => format!(
+                "no end record after {} fault records, so the trace is a truncated prefix",
+                self.faults
+            ),
+        })
     }
 
     /// Diagnostic coverage DD/(DD+DU) recomputed from the fault records.
@@ -527,6 +559,43 @@ mod tests {
         assert!(text.contains("measured DC  = 66.67%"), "{text}");
         assert!(text.contains("measured SFF = 75.00%"), "{text}");
         assert!(text.contains("consistent with fault records"), "{text}");
+    }
+
+    #[test]
+    fn progress_events_are_tolerated_and_counted() {
+        let mut lines: Vec<String> = sample_trace().lines().map(str::to_owned).collect();
+        lines.insert(
+            2,
+            r#"{"ev":"progress","job":"j-000001","tenant":"default","faults_done":1,"faults_total":4}"#.into(),
+        );
+        lines.insert(
+            3,
+            r#"{"ev":"lifecycle","job":"j-000001","tenant":"default","state":"running"}"#.into(),
+        );
+        let s = TraceSummary::from_str(&lines.join("\n")).expect("progress lines parse");
+        assert_eq!(s.progress_events, 1);
+        assert_eq!(s.lifecycle_events, 1);
+        assert_eq!(s.faults, 4);
+        // genuinely unknown kinds still fail with their line number
+        let e = TraceSummary::from_str(r#"{"ev":"mystery"}"#).unwrap_err();
+        assert!(e.message.contains("unknown event kind"), "{e}");
+    }
+
+    #[test]
+    fn truncation_is_reported_but_not_fatal() {
+        let complete = TraceSummary::from_str(&sample_trace()).unwrap();
+        assert_eq!(complete.truncation(), None);
+
+        // drop the end record: a cancelled job's valid prefix
+        let full = sample_trace();
+        let partial: Vec<&str> = full
+            .lines()
+            .filter(|l| !l.contains(r#""ev":"end""#))
+            .collect();
+        let s = TraceSummary::from_str(&partial.join("\n")).expect("prefix still summarizes");
+        let diag = s.truncation().expect("truncation detected");
+        assert!(diag.contains("4 of 4"), "{diag}");
+        assert!(diag.contains("truncated prefix"), "{diag}");
     }
 
     #[test]

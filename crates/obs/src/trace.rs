@@ -100,6 +100,10 @@ pub enum TraceEvent {
         nanos: u64,
         /// Worker shard, for per-shard spans.
         shard: Option<u64>,
+        /// Correlated job id, when a `TraceCtx` is attached.
+        job: Option<String>,
+        /// Correlated tenant, when a `TraceCtx` is attached.
+        tenant: Option<String>,
     },
     /// A named pipeline phase's duration.
     Phase {
@@ -107,6 +111,10 @@ pub enum TraceEvent {
         name: String,
         /// Wall-clock duration.
         nanos: u64,
+        /// Correlated job id, when a `TraceCtx` is attached.
+        job: Option<String>,
+        /// Correlated tenant, when a `TraceCtx` is attached.
+        tenant: Option<String>,
     },
     /// Outcome totals; always the last record.
     End {
@@ -170,17 +178,48 @@ impl TraceEvent {
                 ("shard", Value::opt(r.shard, Value::uint)),
                 ("nanos", Value::uint(r.nanos)),
             ]),
-            TraceEvent::Span { name, nanos, shard } => Value::obj(vec![
-                ("ev", Value::Str("span".into())),
-                ("name", Value::Str(name.clone())),
-                ("nanos", Value::uint(*nanos)),
-                ("shard", Value::opt(*shard, Value::uint)),
-            ]),
-            TraceEvent::Phase { name, nanos } => Value::obj(vec![
-                ("ev", Value::Str("phase".into())),
-                ("name", Value::Str(name.clone())),
-                ("nanos", Value::uint(*nanos)),
-            ]),
+            TraceEvent::Span {
+                name,
+                nanos,
+                shard,
+                job,
+                tenant,
+            } => {
+                let mut fields = vec![
+                    ("ev", Value::Str("span".into())),
+                    ("name", Value::Str(name.clone())),
+                    ("nanos", Value::uint(*nanos)),
+                    ("shard", Value::opt(*shard, Value::uint)),
+                ];
+                // correlation keys only appear on correlated records, so
+                // single-process CLI traces keep their exact shape
+                if let Some(job) = job {
+                    fields.push(("job", Value::Str(job.clone())));
+                }
+                if let Some(tenant) = tenant {
+                    fields.push(("tenant", Value::Str(tenant.clone())));
+                }
+                Value::obj(fields)
+            }
+            TraceEvent::Phase {
+                name,
+                nanos,
+                job,
+                tenant,
+            } => {
+                let mut fields = vec![
+                    ("ev", Value::Str("phase".into())),
+                    ("name", Value::Str(name.clone())),
+                    ("nanos", Value::uint(*nanos)),
+                ];
+                if let Some(job) = job {
+                    fields.push(("job", Value::Str(job.clone())));
+                }
+                if let Some(tenant) = tenant {
+                    fields.push(("tenant", Value::Str(tenant.clone())));
+                }
+                Value::obj(fields)
+            }
             TraceEvent::End {
                 faults,
                 no_effect,
@@ -459,10 +498,14 @@ mod tests {
                 name: "campaign/shard/1".into(),
                 nanos: 99,
                 shard: Some(1),
+                job: Some("j-000001".into()),
+                tenant: Some("default".into()),
             },
             TraceEvent::Phase {
                 name: "extract".into(),
                 nanos: 5,
+                job: None,
+                tenant: None,
             },
             TraceEvent::End {
                 faults: 8,
@@ -537,10 +580,14 @@ mod tests {
             name: "campaign/shard/0".into(),
             nanos: 55,
             shard: Some(0),
+            job: None,
+            tenant: None,
         });
         sink.emit(TraceEvent::Phase {
             name: "extract".into(),
             nanos: 9,
+            job: None,
+            tenant: None,
         });
         sink.finish().expect("writer ok");
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
@@ -590,6 +637,8 @@ mod tests {
         sink.emit(TraceEvent::Phase {
             name: "p".into(),
             nanos: 1,
+            job: None,
+            tenant: None,
         });
         assert!(!buf.is_closed());
         sink.finish().expect("writer ok");
@@ -606,6 +655,8 @@ mod tests {
         sink.emit(TraceEvent::Phase {
             name: "p".into(),
             nanos: 1,
+            job: None,
+            tenant: None,
         });
         sink.finish().expect("flush");
         let text = std::fs::read_to_string(&path).unwrap();

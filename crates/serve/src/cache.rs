@@ -33,6 +33,7 @@ use socfmea_faultsim::{
 };
 use socfmea_netlist::Netlist;
 use socfmea_obs::metrics::Registry;
+use socfmea_obs::Observer;
 use socfmea_sim::Workload;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -160,6 +161,22 @@ impl ArtifactCache {
         entry: &Arc<DesignEntry>,
         spec: &JobSpec,
     ) -> Result<Arc<SpecBundle>, String> {
+        self.bundle_observed(entry, spec, None)
+    }
+
+    /// [`bundle`](Self::bundle), with cold builds timed under `obs` —
+    /// the server passes the job's observer so build phases land on the
+    /// job's telemetry channel with its correlation labels.
+    ///
+    /// # Errors
+    ///
+    /// A design with no injectable faults under this spec.
+    pub fn bundle_observed(
+        &self,
+        entry: &Arc<DesignEntry>,
+        spec: &JobSpec,
+        obs: Option<&Observer>,
+    ) -> Result<Arc<SpecBundle>, String> {
         let key = spec_key(spec);
         let mut specs = entry.specs.lock().expect("spec lock");
         if let Some(bundle) = specs.get(&key) {
@@ -167,7 +184,7 @@ impl ArtifactCache {
             return Ok(Arc::clone(bundle));
         }
         self.registry.counter("serve.cache.spec.miss").incr();
-        let bundle = Arc::new(self.build_bundle(entry, spec)?);
+        let bundle = Arc::new(self.build_bundle(entry, spec, obs)?);
         entry
             .bytes
             .fetch_add(bundle.artifacts.approx_bytes(), Ordering::Relaxed);
@@ -178,34 +195,56 @@ impl ArtifactCache {
         Ok(bundle)
     }
 
-    fn build_bundle(&self, entry: &DesignEntry, spec: &JobSpec) -> Result<SpecBundle, String> {
+    fn build_bundle(
+        &self,
+        entry: &DesignEntry,
+        spec: &JobSpec,
+        obs: Option<&Observer>,
+    ) -> Result<SpecBundle, String> {
+        // times `f` as an observed phase when a job observer is attached
+        let phased = |name: &str, f: &mut dyn FnMut()| match obs {
+            Some(o) => o.phase(name, f),
+            None => f(),
+        };
         let reg = &self.registry;
         reg.counter("serve.build.workload").incr();
-        let workload = crate::design::random_workload(&entry.netlist, spec.seed, spec.cycles);
+        let mut workload = None;
+        phased("build-workload", &mut || {
+            workload = Some(crate::design::random_workload(
+                &entry.netlist,
+                spec.seed,
+                spec.cycles,
+            ));
+        });
+        let workload = workload.expect("workload built");
         let env = EnvironmentBuilder::new(&entry.netlist, &entry.zones, &workload)
             .alarms_matching("alarm")
             .build();
         let profile = OperationalProfile::collect(&env);
         reg.counter("serve.build.faults").incr();
-        let faults = generate_fault_list(
-            &env,
-            &profile,
-            &FaultListConfig {
-                seed: spec.seed,
-                ..FaultListConfig::default()
-            },
-        );
+        let mut faults = Vec::new();
+        phased("build-faults", &mut || {
+            faults = generate_fault_list(
+                &env,
+                &profile,
+                &FaultListConfig {
+                    seed: spec.seed,
+                    ..FaultListConfig::default()
+                },
+            );
+        });
         if faults.is_empty() {
             return Err("no injectable faults (does the design have sensible zones?)".into());
         }
         reg.counter("serve.build.artifacts").incr();
-        let artifacts = Arc::new(CampaignArtifacts::prepare(
+        let artifacts = Arc::new(CampaignArtifacts::prepare_observed(
             &env,
             &faults,
             spec.engine,
             spec.checkpoint_interval,
             spec.collapse,
             spec.prune,
+            obs,
         ));
         Ok(SpecBundle {
             workload,

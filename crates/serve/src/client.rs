@@ -56,6 +56,16 @@ impl Client {
         http::stream(&self.addr, &format!("/v1/jobs/{job}/trace"), out)
     }
 
+    /// `GET /v1/jobs/<id>/events`, copying progress/telemetry events to
+    /// `out` as they arrive. Returns the HTTP status.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn events(&self, job: &str, out: &mut impl Write) -> io::Result<u16> {
+        http::stream(&self.addr, &format!("/v1/jobs/{job}/events"), out)
+    }
+
     /// `DELETE /v1/jobs/<id>` — cooperative cancel.
     ///
     /// # Errors
@@ -74,13 +84,22 @@ impl Client {
         http::request(&self.addr, "GET", "/v1/healthz", "")
     }
 
-    /// `GET /v1/metrics`.
+    /// `GET /v1/metrics` — Prometheus text exposition.
     ///
     /// # Errors
     ///
     /// Connection and protocol I/O failures.
     pub fn metrics(&self) -> io::Result<ClientResponse> {
         http::request(&self.addr, "GET", "/v1/metrics", "")
+    }
+
+    /// `GET /v1/metrics?format=json` — the registry snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Connection and protocol I/O failures.
+    pub fn metrics_json(&self) -> io::Result<ClientResponse> {
+        http::request(&self.addr, "GET", "/v1/metrics?format=json", "")
     }
 
     /// `POST /v1/admin/shutdown` — drain and stop the server.

@@ -49,6 +49,12 @@ pub struct Job {
     pub cancel: Arc<AtomicBool>,
     /// The live normalized JSONL trace.
     pub stream: Arc<StreamBuffer>,
+    /// The live telemetry/progress event stream
+    /// (`GET /v1/jobs/<id>/events`): lifecycle transitions, span/phase
+    /// records with real wall-clock, and periodic progress samples.
+    /// Unlike [`stream`](Self::stream), its contents are timing-dependent
+    /// by design.
+    pub events: Arc<StreamBuffer>,
     state: Mutex<JobState>,
     stats: Mutex<Option<Arc<CampaignStats>>>,
 }
@@ -61,9 +67,24 @@ impl Job {
             design,
             cancel: Arc::new(AtomicBool::new(false)),
             stream: Arc::new(StreamBuffer::new()),
+            events: Arc::new(StreamBuffer::new()),
             state: Mutex::new(JobState::Queued),
             stats: Mutex::new(None),
         }
+    }
+
+    /// Appends one event line (`{"ev":...}\n`) to the job's events
+    /// stream; no-op once the stream is closed.
+    pub fn push_event(&self, doc: &Value) {
+        if !self.events.is_closed() {
+            self.events.append(format!("{doc}\n").as_bytes());
+        }
+    }
+
+    /// The live progress sample from the attached campaign stats, when
+    /// the job has started running.
+    pub fn progress(&self) -> Option<Arc<CampaignStats>> {
+        self.stats.lock().expect("job lock").clone()
     }
 
     /// The current lifecycle state.

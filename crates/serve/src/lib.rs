@@ -20,6 +20,16 @@
 //! cached artifacts are pure functions of `(design, spec)` and the
 //! campaign core is deterministic for any thread count.
 //!
+//! Every job also feeds a **correlated telemetry channel**: a
+//! [`TraceCtx`](socfmea_obs::TraceCtx) minted at submission stamps the
+//! job id and tenant onto span/phase records and labeled metric series,
+//! `GET /v1/jobs/<id>/events` streams the job's lifecycle transitions,
+//! live progress samples, and per-phase spans as chunked JSONL, and
+//! `GET /v1/metrics` renders the shared registry as Prometheus text
+//! (`?format=json` for the JSON snapshot). Telemetry rides a channel
+//! separate from the result stream, so the normalized `/trace` bytes
+//! stay a pure function of `(design, spec)` with telemetry on or off.
+//!
 //! Module map:
 //!
 //! | module | role |
@@ -29,7 +39,7 @@
 //! | [`design`] | bundled examples, Verilog resolution, design keys, the deterministic workload |
 //! | [`cache`] | the design-keyed artifact cache with LRU byte-budget eviction |
 //! | [`scheduler`] | the bounded tenant-fair queue |
-//! | [`job`] | job lifecycle, live stream buffer, the job table |
+//! | [`job`] | job lifecycle, live stream + events buffers, the job table |
 //! | [`server`] | accept loop, routes, worker pool, the campaign runner |
 //! | [`client`] | the thin client behind `socfmea submit/status/watch/cancel` |
 

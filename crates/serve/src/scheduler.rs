@@ -7,8 +7,9 @@
 //! turns submissions into `429 Too Many Requests` with a `Retry-After`
 //! hint instead of unbounded memory growth.
 
+use socfmea_obs::metrics::Registry;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The queue is full; the submitter should retry later.
 #[derive(Debug, PartialEq, Eq)]
@@ -29,6 +30,7 @@ struct Inner {
 /// The bounded, tenant-fair scheduler; see the module docs.
 pub struct Scheduler {
     capacity: usize,
+    registry: Option<Arc<Registry>>,
     inner: Mutex<Inner>,
     available: Condvar,
 }
@@ -38,6 +40,7 @@ impl Scheduler {
     pub fn new(capacity: usize) -> Scheduler {
         Scheduler {
             capacity: capacity.max(1),
+            registry: None,
             inner: Mutex::new(Inner {
                 queues: BTreeMap::new(),
                 rotation: VecDeque::new(),
@@ -48,6 +51,22 @@ impl Scheduler {
         }
     }
 
+    /// A scheduler that mirrors its per-tenant queue depth into
+    /// `serve.queue.depth{tenant="..."}` gauges on every enqueue/dequeue.
+    pub fn with_registry(capacity: usize, registry: Arc<Registry>) -> Scheduler {
+        Scheduler {
+            registry: Some(registry),
+            ..Scheduler::new(capacity)
+        }
+    }
+
+    fn mirror_depth(&self, tenant: &str, depth: usize) {
+        if let Some(reg) = &self.registry {
+            reg.gauge_labeled("serve.queue.depth", &[("tenant", tenant)])
+                .set(depth as f64);
+        }
+    }
+
     /// Enqueues a job for a tenant.
     ///
     /// # Errors
@@ -55,19 +74,40 @@ impl Scheduler {
     /// [`QueueFull`] once `capacity` jobs are waiting (429 + `Retry-After`
     /// at the HTTP layer).
     pub fn enqueue(&self, tenant: &str, job: String) -> Result<(), QueueFull> {
+        self.enqueue_with(tenant, job, |_| {})
+    }
+
+    /// [`enqueue`](Self::enqueue), invoking `on_queued` with the job's
+    /// 1-based tenant-queue position *under the scheduler lock* — so the
+    /// caller's queued-side effect (the `queued` lifecycle event) is
+    /// strictly ordered before any worker can dequeue the job.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] once `capacity` jobs are waiting.
+    pub fn enqueue_with(
+        &self,
+        tenant: &str,
+        job: String,
+        on_queued: impl FnOnce(usize),
+    ) -> Result<(), QueueFull> {
         let mut inner = self.inner.lock().expect("scheduler lock");
         if inner.queued >= self.capacity {
             return Err(QueueFull { retry_after: 2 });
         }
         inner.queued += 1;
-        if let Some(q) = inner.queues.get_mut(tenant) {
+        let depth = if let Some(q) = inner.queues.get_mut(tenant) {
             q.push_back(job);
+            q.len()
         } else {
             inner
                 .queues
                 .insert(tenant.to_owned(), VecDeque::from([job]));
             inner.rotation.push_back(tenant.to_owned());
-        }
+            1
+        };
+        self.mirror_depth(tenant, depth);
+        on_queued(depth);
         self.available.notify_one();
         Ok(())
     }
@@ -83,12 +123,14 @@ impl Scheduler {
                     .get_mut(&tenant)
                     .expect("rotation tracks queues");
                 let job = queue.pop_front().expect("queued tenants have work");
+                let depth = queue.len();
                 if queue.is_empty() {
                     inner.queues.remove(&tenant);
                 } else {
-                    inner.rotation.push_back(tenant);
+                    inner.rotation.push_back(tenant.clone());
                 }
                 inner.queued -= 1;
+                self.mirror_depth(&tenant, depth);
                 return Some(job);
             }
             if inner.closed {
@@ -107,6 +149,19 @@ impl Scheduler {
     /// Jobs currently waiting.
     pub fn queued(&self) -> usize {
         self.inner.lock().expect("scheduler lock").queued
+    }
+
+    /// The 1-based position of `job` within its tenant's FIFO, when it is
+    /// still queued (the `queue_position` field of a job's `queued`
+    /// lifecycle event).
+    pub fn position(&self, tenant: &str, job: &str) -> Option<usize> {
+        let inner = self.inner.lock().expect("scheduler lock");
+        inner
+            .queues
+            .get(tenant)?
+            .iter()
+            .position(|id| id == job)
+            .map(|i| i + 1)
     }
 }
 
@@ -161,6 +216,26 @@ mod tests {
         // draining frees capacity again
         s.dequeue().unwrap();
         s.enqueue("a", "j2".into()).unwrap();
+    }
+
+    #[test]
+    fn registry_mirrors_per_tenant_depth_and_position() {
+        let reg = Arc::new(Registry::new());
+        let s = Scheduler::with_registry(8, Arc::clone(&reg));
+        s.enqueue("a", "j0".into()).unwrap();
+        s.enqueue("a", "j1".into()).unwrap();
+        s.enqueue("b", "j2".into()).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges[r#"serve.queue.depth{tenant="a"}"#], 2.0);
+        assert_eq!(snap.gauges[r#"serve.queue.depth{tenant="b"}"#], 1.0);
+        assert_eq!(s.position("a", "j0"), Some(1));
+        assert_eq!(s.position("a", "j1"), Some(2));
+        assert_eq!(s.position("b", "j2"), Some(1));
+        assert_eq!(s.position("a", "zzz"), None);
+        s.dequeue().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges[r#"serve.queue.depth{tenant="a"}"#], 1.0);
+        assert_eq!(s.position("a", "j1"), Some(1));
     }
 
     #[test]

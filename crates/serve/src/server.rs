@@ -2,13 +2,14 @@
 //! job runner that replays the `socfmea inject` pipeline bit for bit.
 //!
 //! ```text
-//! POST   /v1/jobs             submit a campaign        202 / 400 / 413 / 429
-//! GET    /v1/jobs/<id>        job status                200 / 404
-//! GET    /v1/jobs/<id>/trace  live JSONL trace (chunked)
-//! DELETE /v1/jobs/<id>        cooperative cancel        200 / 404
-//! GET    /v1/healthz          liveness + job aggregates
-//! GET    /v1/metrics          metrics-registry snapshot
-//! POST   /v1/admin/shutdown   drain and stop
+//! POST   /v1/jobs              submit a campaign        202 / 400 / 413 / 429
+//! GET    /v1/jobs/<id>         job status                200 / 404
+//! GET    /v1/jobs/<id>/trace   live JSONL trace (chunked)
+//! GET    /v1/jobs/<id>/events  live progress/telemetry events (chunked)
+//! DELETE /v1/jobs/<id>         cooperative cancel        200 / 404
+//! GET    /v1/healthz           liveness + job aggregates
+//! GET    /v1/metrics           Prometheus text (`?format=json` for JSON)
+//! POST   /v1/admin/shutdown    drain and stop
 //! ```
 //!
 //! Streamed traces are **normalized**: per-fault `nanos` are zeroed,
@@ -17,6 +18,14 @@
 //! function of `(design, spec)`, so two submissions of the same work
 //! stream byte-identical bodies no matter which worker ran them or how
 //! many threads it used.
+//!
+//! Everything timing-bearing rides a **separate channel**: with
+//! [`ServerConfig::telemetry`] on (the default), each job gets a
+//! [`TraceCtx`] minted at submit time, its observer aggregates into the
+//! process-wide registry with `{job,tenant}` labels, and span/phase
+//! records, wall-clock `meta`/`end` copies, lifecycle transitions and
+//! periodic `progress` samples stream on `GET /v1/jobs/<id>/events` —
+//! leaving `/trace` byte-identical whether telemetry is on or off.
 
 use crate::cache::ArtifactCache;
 use crate::design;
@@ -28,13 +37,15 @@ use socfmea_faultsim::{Campaign, EnvironmentBuilder};
 use socfmea_obs::json::Value;
 use socfmea_obs::metrics::Registry;
 use socfmea_obs::trace::TraceEvent;
-use socfmea_obs::{Observer, TraceSink};
-use std::io::{self, BufReader};
+use socfmea_obs::{
+    Observer, ProgressReporter, ProgressSample, Render, StreamBuffer, TraceCtx, TraceSink,
+};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -49,6 +60,11 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Campaign threads for jobs submitting `threads: 0`.
     pub default_threads: usize,
+    /// Correlated telemetry: labeled job metrics in the shared registry,
+    /// span/phase/progress records on `/v1/jobs/<id>/events`. Off reverts
+    /// jobs to private registries and an empty events stream; the
+    /// normalized `/trace` stream is byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +78,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .min(8),
+            telemetry: true,
         }
     }
 }
@@ -106,7 +123,7 @@ impl Server {
         let registry = Arc::new(Registry::new());
         let shared = Arc::new(Shared {
             cache: ArtifactCache::new(config.cache_bytes, Arc::clone(&registry)),
-            scheduler: Scheduler::new(config.queue_capacity),
+            scheduler: Scheduler::with_registry(config.queue_capacity, Arc::clone(&registry)),
             jobs: JobTable::new(),
             registry,
             addr,
@@ -150,6 +167,7 @@ impl Server {
         }
         for job in self.shared.jobs.all() {
             job.stream.close();
+            job.events.close();
         }
     }
 }
@@ -190,15 +208,66 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn route(shared: &Arc<Shared>, req: &Request, mut out: TcpStream) {
+/// The bounded-cardinality route label for the per-route HTTP metrics:
+/// job ids collapse to `:id`, unknown paths to `other`.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/healthz" => "/v1/healthz",
+        "/v1/metrics" => "/v1/metrics",
+        "/v1/admin/shutdown" => "/v1/admin/shutdown",
+        _ if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            if rest.ends_with("/trace") {
+                "/v1/jobs/:id/trace"
+            } else if rest.ends_with("/events") {
+                "/v1/jobs/:id/events"
+            } else {
+                "/v1/jobs/:id"
+            }
+        }
+        _ => "other",
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, out: TcpStream) {
+    // the request target may carry a query string (`/v1/metrics?format=json`)
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let labels = [
+        ("method", req.method.as_str()),
+        ("route", route_label(path)),
+    ];
+    shared
+        .registry
+        .counter_labeled("serve.http.requests", &labels)
+        .incr();
+    let started = Instant::now();
+    dispatch(shared, req, path, query, out);
+    // streaming routes count their full stream duration as latency
+    shared
+        .registry
+        .histogram_labeled("serve.http.latency.nanos", &labels)
+        .record(started.elapsed().as_nanos() as u64);
+}
+
+fn dispatch(shared: &Arc<Shared>, req: &Request, path: &str, query: &str, mut out: TcpStream) {
     let respond = |out: &mut TcpStream, status: u16, body: &str| {
         let _ = Response::json(status, body).write_to(out);
     };
-    match (req.method.as_str(), req.path.as_str()) {
+    match (req.method.as_str(), path) {
         ("POST", "/v1/jobs") => submit(shared, req, &mut out),
         ("GET", "/v1/healthz") => respond(&mut out, 200, &healthz_doc(shared)),
         ("GET", "/v1/metrics") => {
-            respond(&mut out, 200, &shared.registry.snapshot().render_json());
+            let snap = shared.registry.snapshot();
+            if query.split('&').any(|kv| kv == "format=json") {
+                respond(&mut out, 200, &snap.render_json());
+            } else {
+                let _ = Response::text(200, "text/plain; version=0.0.4", &snap.render_prometheus())
+                    .write_to(&mut out);
+            }
         }
         ("POST", "/v1/admin/shutdown") => {
             respond(&mut out, 200, r#"{"ok":true,"state":"draining"}"#);
@@ -206,13 +275,18 @@ fn route(shared: &Arc<Shared>, req: &Request, mut out: TcpStream) {
         }
         (method, path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
-            match (method, rest.strip_suffix("/trace")) {
-                ("GET", Some(id)) => stream_trace(shared, id, out),
-                ("GET", None) => match shared.jobs.get(rest) {
+            match (
+                method,
+                rest.strip_suffix("/trace"),
+                rest.strip_suffix("/events"),
+            ) {
+                ("GET", Some(id), _) => stream_job(shared, id, out, |job| &job.stream),
+                ("GET", _, Some(id)) => stream_job(shared, id, out, |job| &job.events),
+                ("GET", None, None) => match shared.jobs.get(rest) {
                     Some(job) => respond(&mut out, 200, &job.status_doc().to_string()),
                     None => respond(&mut out, 404, &error_doc(&format!("no such job `{rest}`"))),
                 },
-                ("DELETE", None) => cancel(shared, rest, &mut out),
+                ("DELETE", None, None) => cancel(shared, rest, &mut out),
                 _ => respond(&mut out, 405, &error_doc("method not allowed")),
             }
         }
@@ -242,10 +316,27 @@ fn submit(shared: &Arc<Shared>, req: &Request, out: &mut TcpStream) {
     };
     let entry = shared.cache.design(resolved);
     let job = shared.jobs.create(spec, entry);
-    if let Err(full) = shared.scheduler.enqueue(&job.spec.tenant, job.id.clone()) {
+    let enqueued = shared
+        .scheduler
+        .enqueue_with(&job.spec.tenant, job.id.clone(), |position| {
+            // under the scheduler lock: no worker can report `running`
+            // before this `queued` event lands on the stream
+            job.push_event(&lifecycle_event(
+                &job,
+                "queued",
+                vec![("queue_position", Value::uint(position as u64))],
+            ));
+        });
+    if let Err(full) = enqueued {
         shared.registry.counter("serve.jobs.rejected").incr();
         job.finish(JobState::Failed("rejected: queue full".into()));
         job.stream.close();
+        job.push_event(&lifecycle_event(
+            &job,
+            "failed",
+            vec![("error", Value::Str("rejected: queue full".into()))],
+        ));
+        job.events.close();
         let _ = Response::json(429, &error_doc("queue full, retry later"))
             .header("retry-after", full.retry_after)
             .write_to(out);
@@ -275,6 +366,8 @@ fn cancel(shared: &Arc<Shared>, id: &str, out: &mut TcpStream) {
     if matches!(job.state(), JobState::Cancelled(None)) {
         // cancelled straight out of the queue: nothing will ever stream
         job.stream.close();
+        job.push_event(&lifecycle_event(&job, "cancelled", vec![]));
+        job.events.close();
     }
     let doc = Value::obj(vec![
         ("job", Value::Str(job.id.clone())),
@@ -290,17 +383,23 @@ fn cancel(shared: &Arc<Shared>, id: &str, out: &mut TcpStream) {
     let _ = Response::json(200, &doc.to_string()).write_to(out);
 }
 
-fn stream_trace(shared: &Arc<Shared>, id: &str, mut out: TcpStream) {
+fn stream_job(
+    shared: &Arc<Shared>,
+    id: &str,
+    mut out: TcpStream,
+    buffer: impl Fn(&Job) -> &Arc<StreamBuffer>,
+) {
     let Some(job) = shared.jobs.get(id) else {
         let _ = Response::json(404, &error_doc(&format!("no such job `{id}`"))).write_to(&mut out);
         return;
     };
+    let stream = Arc::clone(buffer(&job));
     let Ok(mut chunks) = ChunkedWriter::start(out, 200, "application/x-ndjson") else {
         return;
     };
     let mut offset = 0usize;
     loop {
-        let (bytes, done) = job.stream.read_from(offset, Duration::from_millis(250));
+        let (bytes, done) = stream.read_from(offset, Duration::from_millis(250));
         offset += bytes.len();
         if chunks.write(&bytes).is_err() {
             return; // watcher went away
@@ -356,21 +455,84 @@ fn worker_loop(shared: &Arc<Shared>) {
             // draining: don't start new campaigns, just unblock watchers
             job.request_cancel();
             job.stream.close();
+            job.push_event(&lifecycle_event(&job, "cancelled", vec![]));
+            job.events.close();
             continue;
         }
         if !job.start() {
             // cancelled while queued
             job.stream.close();
+            job.events.close();
             continue;
         }
+        job.push_event(&lifecycle_event(&job, "running", vec![]));
         match run_job(shared, &job) {
             Ok(()) => {}
             Err(msg) => {
                 shared.registry.counter("serve.jobs.failed").incr();
+                job.push_event(&lifecycle_event(
+                    &job,
+                    "failed",
+                    vec![("error", Value::Str(msg.clone()))],
+                ));
                 job.finish(JobState::Failed(msg));
                 job.stream.close();
             }
         }
+        job.events.close();
+    }
+}
+
+/// One `{"ev":"lifecycle",...}` line for the job's events stream.
+fn lifecycle_event(job: &Job, state: &str, extra: Vec<(&str, Value)>) -> Value {
+    let mut members = vec![
+        ("ev", Value::Str("lifecycle".into())),
+        ("job", Value::Str(job.id.clone())),
+        ("tenant", Value::Str(job.spec.tenant.clone())),
+        ("state", Value::Str(state.into())),
+    ];
+    members.extend(extra);
+    Value::obj(members)
+}
+
+/// A [`Write`] adapter for the telemetry sink: appends into the job's
+/// events stream but — unlike [`StreamBuffer::writer`] — does **not**
+/// close the stream on drop, so lifecycle events can follow after the
+/// sink finishes.
+struct EventsWriter(Arc<StreamBuffer>);
+
+impl Write for EventsWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.append(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A progress [`Render`] that appends structured `{"ev":"progress",...}`
+/// samples (with correlation ids) to the job's events stream instead of
+/// formatting terminal lines.
+struct EventsRender {
+    events: Arc<StreamBuffer>,
+    job: String,
+    tenant: String,
+}
+
+impl Render for EventsRender {
+    fn render(&mut self, _line: &str) {}
+    fn observe(&mut self, sample: &ProgressSample) {
+        let mut members = vec![
+            ("ev".to_owned(), Value::Str("progress".into())),
+            ("job".to_owned(), Value::Str(self.job.clone())),
+            ("tenant".to_owned(), Value::Str(self.tenant.clone())),
+        ];
+        if let Value::Obj(fields) = sample.to_json() {
+            members.extend(fields);
+        }
+        self.events
+            .append(format!("{}\n", Value::Obj(members)).as_bytes());
     }
 }
 
@@ -429,13 +591,37 @@ fn normalize_event(ev: TraceEvent) -> Option<TraceEvent> {
 /// exact `socfmea inject` campaign against it, streaming the normalized
 /// trace into the job's buffer.
 fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> Result<(), String> {
-    let bundle = shared.cache.bundle(&job.design, &job.spec)?;
+    let sink =
+        TraceSink::to_writer_mapped(Box::new(job.stream.writer()), Box::new(normalize_event));
+    let observer = if shared.config.telemetry {
+        // correlated: labeled metrics in the shared registry, timing
+        // records on the job's events stream, spans rooted under `serve`
+        Observer::with_registry(Arc::clone(&shared.registry))
+            .sink(sink)
+            .telemetry(TraceSink::to_writer(Box::new(EventsWriter(Arc::clone(
+                &job.events,
+            )))))
+            .context(TraceCtx {
+                job_id: job.id.clone(),
+                tenant: job.spec.tenant.clone(),
+                parent_span: Some("serve".into()),
+            })
+    } else {
+        Observer::with_sink(sink)
+    };
+    let bundle = match shared
+        .cache
+        .bundle_observed(&job.design, &job.spec, Some(&observer))
+    {
+        Ok(bundle) => bundle,
+        Err(msg) => {
+            let _ = observer.finish();
+            return Err(msg);
+        }
+    };
     let env = EnvironmentBuilder::new(&job.design.netlist, &job.design.zones, &bundle.workload)
         .alarms_matching("alarm")
         .build();
-    let sink =
-        TraceSink::to_writer_mapped(Box::new(job.stream.writer()), Box::new(normalize_event));
-    let observer = Observer::with_sink(sink);
     let threads = if job.spec.threads == 0 {
         shared.config.default_threads
     } else {
@@ -453,7 +639,21 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> Result<(), String> {
         .observe(&observer);
     let stats = campaign.stats();
     job.attach_stats(Arc::clone(&stats));
+    let reporter = shared.config.telemetry.then(|| {
+        let stats = Arc::clone(&stats);
+        let render = EventsRender {
+            events: Arc::clone(&job.events),
+            job: job.id.clone(),
+            tenant: job.spec.tenant.clone(),
+        };
+        ProgressReporter::start(Box::new(render), Duration::from_millis(100), move || {
+            stats.progress_sample()
+        })
+    });
     let result = campaign.run();
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     // finishing the observer drops the stream writer, closing the stream
     observer
         .finish()
@@ -463,12 +663,23 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>) -> Result<(), String> {
         dc: result.measured_dc(),
         sff: result.measured_sff(),
     };
-    if stats.is_cancelled() {
+    let terminal = if stats.is_cancelled() {
         shared.registry.counter("serve.jobs.cancelled").incr();
         job.finish(JobState::Cancelled(Some(summary)));
+        "cancelled"
     } else {
         shared.registry.counter("serve.jobs.completed").incr();
         job.finish(JobState::Done(summary));
-    }
+        "done"
+    };
+    job.push_event(&lifecycle_event(
+        job,
+        terminal,
+        vec![
+            ("faults", Value::uint(summary.faults)),
+            ("dc", Value::opt(summary.dc, Value::Float)),
+            ("sff", Value::opt(summary.sff, Value::Float)),
+        ],
+    ));
     Ok(())
 }

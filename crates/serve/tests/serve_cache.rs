@@ -12,7 +12,7 @@ fn doc(body: &str) -> Value {
 }
 
 fn counter(client: &Client, name: &str) -> u64 {
-    let resp = client.metrics().expect("metrics");
+    let resp = client.metrics_json().expect("metrics");
     assert_eq!(resp.status, 200);
     doc(&resp.text())
         .get("counters")
@@ -52,6 +52,7 @@ fn warm_resubmissions_rebuild_nothing_and_stream_bit_identical_traces() {
         queue_capacity: 16,
         cache_bytes: usize::MAX,
         default_threads: 2,
+        telemetry: true,
     })
     .expect("bind");
     let client = Client::new(server.addr().to_string());

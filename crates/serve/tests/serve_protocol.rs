@@ -13,6 +13,7 @@ fn start(workers: usize, queue: usize) -> (Server, Client) {
         queue_capacity: queue,
         cache_bytes: usize::MAX,
         default_threads: 2,
+        telemetry: true,
     })
     .expect("bind an ephemeral port");
     let client = Client::new(server.addr().to_string());
@@ -320,7 +321,7 @@ fn healthz_aggregates_and_admin_shutdown_drain_the_server() {
     assert_eq!(d.get("done").unwrap().as_u64(), Some(1));
     assert_eq!(d.get("designs_cached").unwrap().as_u64(), Some(1));
 
-    let resp = client.metrics().unwrap();
+    let resp = client.metrics_json().unwrap();
     assert_eq!(resp.status, 200);
     let counters = doc(&resp.text());
     let submitted = counters
@@ -328,6 +329,22 @@ fn healthz_aggregates_and_admin_shutdown_drain_the_server() {
         .and_then(|c| c.get("serve.jobs.submitted"))
         .and_then(|v| v.as_u64());
     assert_eq!(submitted, Some(1));
+
+    // the default exposition is Prometheus text with per-route series
+    let resp = client.metrics().unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let text = resp.text();
+    assert!(
+        text.contains("# TYPE serve_jobs_submitted counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"serve_http_requests{method="POST",route="/v1/jobs"}"#),
+        "{text}"
+    );
 
     // shutdown over the wire; join() then returns
     let resp = client.shutdown().unwrap();

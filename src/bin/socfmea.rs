@@ -7,10 +7,17 @@
 //! socfmea inject  [<netlist.v>] [options] run a fault-injection campaign
 //! socfmea lint    [<netlist.v>] [options] run the structural safety lints
 //! socfmea trace summarize <trace.jsonl>   re-aggregate a campaign trace
+//!                                         (non-zero on truncation unless
+//!                                         --allow-partial)
+//! socfmea trace flame <trace.jsonl>       span self-times as folded stacks
+//! socfmea trace diff <a.jsonl> <b.jsonl>  compare two traces' self-times
 //! socfmea serve   [options]               run the multi-tenant campaign server
+//!                                         (--no-telemetry drops per-job
+//!                                         spans/progress/labeled metrics)
 //! socfmea submit  [<netlist.v>] [options] submit a campaign to a server
 //! socfmea status  <job> [--addr]          query a submitted job
 //! socfmea watch   <job> [--addr]          stream a job's live JSONL trace
+//!                                         (--events: the progress channel)
 //! socfmea cancel  <job> [--addr]          cancel a queued or running job
 //! socfmea shutdown [--addr]               drain and stop a campaign server
 //!
@@ -58,8 +65,8 @@
 use soc_fmea::accel::Topology;
 use soc_fmea::cli::{
     self, AnalyzeOptions, Command, ExampleDesign, InjectOptions, JobRefOptions, LintFormat,
-    LintOptions, ReportFormat, ServeOptions, ShutdownOptions, SubmitOptions, TraceOptions,
-    ZonesOptions,
+    LintOptions, ReportFormat, ServeOptions, ShutdownOptions, SubmitOptions, TraceDiffOptions,
+    TraceOptions, ZonesOptions,
 };
 use soc_fmea::faultsim::{
     analyze, generate_fault_list, Campaign, EnvironmentBuilder, FaultListConfig, OperationalProfile,
@@ -69,7 +76,9 @@ use soc_fmea::fmea::{
 };
 use soc_fmea::lint::{LintConfig, LintRunner};
 use soc_fmea::netlist::{parse_verilog, Netlist};
-use soc_fmea::obs::{json, Observer, ProgressReporter, StderrRender, TraceSink, TraceSummary};
+use soc_fmea::obs::{
+    json, Observer, Profile, ProgressReporter, StderrRender, TraceSink, TraceSummary,
+};
 use soc_fmea::serve::{Client, DesignRef, JobSpec, Server, ServerConfig};
 use soc_fmea::static_analysis::TestabilityAnalysis;
 use std::process::ExitCode;
@@ -504,6 +513,7 @@ fn run_serve(opts: &ServeOptions) -> Result<(), ExitCode> {
         queue_capacity: opts.queue,
         cache_bytes: opts.cache_mb.saturating_mul(1024 * 1024),
         default_threads: cli::default_threads(),
+        telemetry: opts.telemetry,
     };
     let server = Server::start(config).map_err(|e| {
         eprintln!("socfmea: cannot listen on `{}`: {e}", opts.addr);
@@ -611,7 +621,19 @@ fn run_job_query(
 }
 
 fn run_watch(opts: &JobRefOptions) -> Result<(), ExitCode> {
-    watch_to_stdout(&Client::new(opts.addr.clone()), &opts.addr, &opts.job)
+    let client = Client::new(opts.addr.clone());
+    if opts.events {
+        let mut stdout = std::io::stdout().lock();
+        let status = client
+            .events(&opts.job, &mut stdout)
+            .map_err(|e| transport_err(&opts.addr, e))?;
+        if status != 200 {
+            eprintln!("socfmea: watch --events failed ({status})");
+            return Err(ExitCode::FAILURE);
+        }
+        return Ok(());
+    }
+    watch_to_stdout(&client, &opts.addr, &opts.job)
 }
 
 fn run_shutdown(opts: &ShutdownOptions) -> Result<(), ExitCode> {
@@ -627,12 +649,49 @@ fn run_shutdown(opts: &ShutdownOptions) -> Result<(), ExitCode> {
     Ok(())
 }
 
-fn run_trace_summarize(opts: &TraceOptions) -> Result<(), ExitCode> {
-    let summary = TraceSummary::from_file(&opts.input).map_err(|e| {
-        eprintln!("socfmea: {}: {e}", opts.input);
+fn load_trace(path: &str) -> Result<TraceSummary, ExitCode> {
+    TraceSummary::from_file(path).map_err(|e| {
+        eprintln!("socfmea: {path}: {e}");
         ExitCode::FAILURE
-    })?;
+    })
+}
+
+fn run_trace_summarize(opts: &TraceOptions) -> Result<(), ExitCode> {
+    let summary = load_trace(&opts.input)?;
     print!("{}", summary.render());
+    if let Some(diagnosis) = summary.truncation() {
+        if opts.allow_partial {
+            eprintln!("socfmea: warning: {}: {diagnosis}", opts.input);
+        } else {
+            eprintln!(
+                "socfmea: {}: {diagnosis} (pass --allow-partial to accept a prefix)",
+                opts.input
+            );
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    Ok(())
+}
+
+fn run_trace_flame(opts: &TraceOptions) -> Result<(), ExitCode> {
+    let profile = Profile::from_summary(&load_trace(&opts.input)?);
+    // stdout is pure folded stacks, pipeable straight into flamegraph
+    // tooling; the coverage note rides on stderr
+    print!("{}", profile.render_folded());
+    match profile.coverage() {
+        Some(coverage) => eprintln!(
+            "socfmea: {:.1}% of the campaign wall-clock attributed to named spans/phases",
+            coverage * 100.0
+        ),
+        None => eprintln!("socfmea: no end record, so wall-clock coverage is unknown"),
+    }
+    Ok(())
+}
+
+fn run_trace_diff(opts: &TraceDiffOptions) -> Result<(), ExitCode> {
+    let a = Profile::from_summary(&load_trace(&opts.a)?);
+    let b = Profile::from_summary(&load_trace(&opts.b)?);
+    print!("{}", a.diff(&b));
     Ok(())
 }
 
@@ -718,6 +777,8 @@ fn main() -> ExitCode {
         Command::Inject(o) => run_inject(o),
         Command::Lint(o) => run_lint(o),
         Command::TraceSummarize(o) => run_trace_summarize(o),
+        Command::TraceFlame(o) => run_trace_flame(o),
+        Command::TraceDiff(o) => run_trace_diff(o),
         Command::Serve(o) => run_serve(o),
         Command::Submit(o) => run_submit(o),
         Command::Status(o) => run_job_query(o, |c, j| c.status(j)),

@@ -8,7 +8,8 @@
 //! * `socfmea analyze <netlist.v>` → [`AnalyzeOptions`],
 //! * `socfmea inject [<netlist.v>]` → [`InjectOptions`],
 //! * `socfmea lint [<netlist.v>]` → [`LintOptions`],
-//! * `socfmea trace summarize <trace.jsonl>` → [`TraceOptions`],
+//! * `socfmea trace summarize|flame <trace.jsonl>` → [`TraceOptions`],
+//! * `socfmea trace diff <a.jsonl> <b.jsonl>` → [`TraceDiffOptions`],
 //! * `socfmea serve` → [`ServeOptions`],
 //! * `socfmea submit [<netlist.v>]` → [`SubmitOptions`],
 //! * `socfmea status|watch|cancel <job>` → [`JobRefOptions`],
@@ -35,10 +36,19 @@ pub const USAGE: &str = "usage: socfmea <zones|analyze|inject|lint|trace|serve|s
   lint    <netlist.v>   run the structural safety lints (or --example <design>)
   trace summarize <trace.jsonl>
                         re-aggregate a --trace-out file into summary tables
+                        (non-zero exit on a truncated trace unless
+                        --allow-partial)
+  trace flame <trace.jsonl>
+                        span self-times as folded stacks for flamegraph
+                        tooling (coverage note on stderr)
+  trace diff <a.jsonl> <b.jsonl>
+                        compare two traces' span self-times, largest
+                        absolute delta first
   serve                 run the multi-tenant campaign server
   submit  <netlist.v>   submit a campaign to a server (or --example <design>)
   status  <job>         query a submitted job
   watch   <job>         stream a job's live JSONL trace to stdout
+                        (--events streams the progress channel instead)
   cancel  <job>         cancel a queued or running job cooperatively
   shutdown              drain and stop a campaign server
 
@@ -87,6 +97,8 @@ serve options:
   --workers <n>              concurrent campaign workers (default: 2)
   --queue <n>                queued-job cap before 429 (default: 64)
   --cache-mb <n>             artifact-cache byte budget in MiB (default: 256)
+  --no-telemetry             skip per-job spans, progress samples, and
+                             labeled metrics (lifecycle events remain)
 submit options (plus --seed/--cycles/--engine/--checkpoint-interval/
                 --collapse/--prune as for inject):
   --addr <host:port>         server address (default: 127.0.0.1:7171)
@@ -97,7 +109,9 @@ submit options (plus --seed/--cycles/--engine/--checkpoint-interval/
                              file (fmem|fmem-baseline|mcu|mcu-single)
   --watch                    stream the job's trace to stdout until it ends
 status/watch/cancel/shutdown options:
-  --addr <host:port>         server address (default: 127.0.0.1:7171)";
+  --addr <host:port>         server address (default: 127.0.0.1:7171)
+  --events                   (watch only) stream /v1/jobs/<id>/events —
+                             lifecycle, progress, and span records";
 
 /// A parsed command line: one variant per subcommand.
 #[derive(Debug)]
@@ -112,6 +126,10 @@ pub enum Command {
     Lint(LintOptions),
     /// `socfmea trace summarize`.
     TraceSummarize(TraceOptions),
+    /// `socfmea trace flame`.
+    TraceFlame(TraceOptions),
+    /// `socfmea trace diff`.
+    TraceDiff(TraceDiffOptions),
     /// `socfmea serve`.
     Serve(ServeOptions),
     /// `socfmea submit`.
@@ -137,6 +155,9 @@ pub struct ServeOptions {
     pub queue: usize,
     /// Artifact-cache byte budget, in MiB.
     pub cache_mb: usize,
+    /// Per-job telemetry (spans, progress samples, labeled metrics);
+    /// `--no-telemetry` turns it off, lifecycle events remain.
+    pub telemetry: bool,
 }
 
 /// Options of `socfmea submit`.
@@ -175,6 +196,9 @@ pub struct JobRefOptions {
     pub addr: String,
     /// The job id (`j-000001`).
     pub job: String,
+    /// `watch` only: stream the `/events` progress channel instead of the
+    /// normalized result trace.
+    pub events: bool,
 }
 
 /// Options of `socfmea shutdown`.
@@ -260,11 +284,24 @@ pub struct InjectOptions {
     pub quiet: bool,
 }
 
-/// Options of `socfmea trace summarize`.
+/// Options of `socfmea trace summarize` and `socfmea trace flame`.
 #[derive(Debug)]
 pub struct TraceOptions {
-    /// Path of the JSONL trace written by `inject --trace-out`.
+    /// Path of the JSONL trace written by `inject --trace-out` (or a
+    /// server `/trace` / `/events` capture).
     pub input: String,
+    /// `summarize` only: accept a truncated trace (no `end` record)
+    /// instead of exiting non-zero.
+    pub allow_partial: bool,
+}
+
+/// Options of `socfmea trace diff` — two traces to compare.
+#[derive(Debug)]
+pub struct TraceDiffOptions {
+    /// The baseline trace (`a` column).
+    pub a: String,
+    /// The comparison trace (`b` column).
+    pub b: String,
 }
 
 /// One of the example designs bundled with the workspace, lintable without
@@ -382,9 +419,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if matches!(command.as_str(), "status" | "watch" | "cancel" | "shutdown") {
         let mut addr = DEFAULT_SERVE_ADDR.to_owned();
         let mut job: Option<String> = None;
+        let mut events = false;
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--addr" => addr = it.next().ok_or("--addr needs <host:port>")?.clone(),
+                "--events" if command == "watch" => events = true,
                 other if !other.starts_with('-') && job.is_none() && command != "shutdown" => {
                     job = Some(other.to_owned());
                 }
@@ -395,7 +434,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Ok(Command::Shutdown(ShutdownOptions { addr }));
         }
         let job = job.ok_or_else(|| format!("{command} needs a job id"))?;
-        let opts = JobRefOptions { addr, job };
+        let opts = JobRefOptions { addr, job, events };
         return Ok(match command.as_str() {
             "status" => Command::Status(opts),
             "watch" => Command::Watch(opts),
@@ -403,20 +442,47 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         });
     }
 
-    // `trace` takes an action word and a single path, no shared options
+    // `trace` takes an action word plus one or two paths; only
+    // `summarize` accepts a flag (`--allow-partial`)
     if command == "trace" {
-        let action = it.next().ok_or("trace needs an action (summarize)")?;
-        if action != "summarize" {
+        let action = it
+            .next()
+            .ok_or("trace needs an action (summarize|flame|diff)")?;
+        if !matches!(action.as_str(), "summarize" | "flame" | "diff") {
             return Err(format!("unknown trace action `{action}`"));
         }
-        let input = it
-            .next()
-            .ok_or("trace summarize needs a trace file")?
-            .clone();
-        if let Some(extra) = it.next() {
-            return Err(format!("unknown option `{extra}`"));
+        let mut paths: Vec<String> = Vec::new();
+        let mut allow_partial = false;
+        for arg in it {
+            match arg.as_str() {
+                "--allow-partial" if action == "summarize" => allow_partial = true,
+                other if !other.starts_with('-') => paths.push(other.to_owned()),
+                other => return Err(format!("unknown option `{other}`")),
+            }
         }
-        return Ok(Command::TraceSummarize(TraceOptions { input }));
+        let wanted = if action == "diff" { 2 } else { 1 };
+        if paths.len() > wanted {
+            return Err(format!("unknown option `{}`", paths[wanted]));
+        }
+        if action == "diff" {
+            let mut paths = paths.into_iter();
+            let (a, b) = (paths.next(), paths.next());
+            let (Some(a), Some(b)) = (a, b) else {
+                return Err("trace diff needs two trace files".into());
+            };
+            return Ok(Command::TraceDiff(TraceDiffOptions { a, b }));
+        }
+        let Some(input) = paths.into_iter().next() else {
+            return Err(format!("trace {action} needs a trace file"));
+        };
+        let opts = TraceOptions {
+            input,
+            allow_partial,
+        };
+        return Ok(match action.as_str() {
+            "summarize" => Command::TraceSummarize(opts),
+            _ => Command::TraceFlame(opts),
+        });
     }
 
     // analyze's, inject's, lint's and submit's netlist paths are optional
@@ -454,6 +520,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut workers = 2usize;
     let mut queue = 64usize;
     let mut cache_mb = 256usize;
+    let mut telemetry = true;
     let mut watch = false;
 
     while let Some(arg) = it.next() {
@@ -554,6 +621,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let n = it.next().ok_or("--cache-mb needs a number")?;
                 cache_mb = n.parse().map_err(|_| format!("bad cache budget `{n}`"))?;
             }
+            "--no-telemetry" if is_serve => telemetry = false,
             "--example" if takes_example => {
                 let e = it.next().ok_or("--example needs a design name")?;
                 example = Some(
@@ -637,6 +705,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             workers,
             queue,
             cache_mb,
+            telemetry,
         }),
         "submit" => {
             if positional.is_some() == example.is_some() {
@@ -853,6 +922,7 @@ mod tests {
             panic!("trace summarize expected")
         };
         assert_eq!(o.input, "run.jsonl");
+        assert!(!o.allow_partial);
         assert!(parse(&argv(&["trace"]))
             .unwrap_err()
             .contains("needs an action"));
@@ -863,6 +933,70 @@ mod tests {
             .unwrap_err()
             .contains("needs a trace file"));
         assert!(parse(&argv(&["trace", "summarize", "a.jsonl", "b.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn trace_summarize_takes_allow_partial() {
+        let cmd = parse(&argv(&[
+            "trace",
+            "summarize",
+            "--allow-partial",
+            "run.jsonl",
+        ]))
+        .unwrap();
+        let Command::TraceSummarize(o) = cmd else {
+            panic!("trace summarize expected")
+        };
+        assert_eq!(o.input, "run.jsonl");
+        assert!(o.allow_partial);
+        // flag order does not matter
+        let Command::TraceSummarize(o) = parse(&argv(&[
+            "trace",
+            "summarize",
+            "run.jsonl",
+            "--allow-partial",
+        ]))
+        .unwrap() else {
+            panic!("trace summarize expected")
+        };
+        assert!(o.allow_partial);
+        // summarize-only: flame and diff reject it
+        assert!(parse(&argv(&["trace", "flame", "run.jsonl", "--allow-partial"])).is_err());
+        assert!(parse(&argv(&[
+            "trace",
+            "diff",
+            "a.jsonl",
+            "b.jsonl",
+            "--allow-partial"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_flame_parses_one_path() {
+        let cmd = parse(&argv(&["trace", "flame", "run.jsonl"])).unwrap();
+        let Command::TraceFlame(o) = cmd else {
+            panic!("trace flame expected")
+        };
+        assert_eq!(o.input, "run.jsonl");
+        assert!(parse(&argv(&["trace", "flame"]))
+            .unwrap_err()
+            .contains("needs a trace file"));
+        assert!(parse(&argv(&["trace", "flame", "a.jsonl", "b.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn trace_diff_parses_two_paths() {
+        let cmd = parse(&argv(&["trace", "diff", "a.jsonl", "b.jsonl"])).unwrap();
+        let Command::TraceDiff(o) = cmd else {
+            panic!("trace diff expected")
+        };
+        assert_eq!(o.a, "a.jsonl");
+        assert_eq!(o.b, "b.jsonl");
+        assert!(parse(&argv(&["trace", "diff", "a.jsonl"]))
+            .unwrap_err()
+            .contains("needs two trace files"));
+        assert!(parse(&argv(&["trace", "diff", "a.jsonl", "b.jsonl", "c.jsonl"])).is_err());
     }
 
     #[test]
@@ -1017,6 +1151,7 @@ mod tests {
         assert_eq!(o.workers, 2);
         assert_eq!(o.queue, 64);
         assert_eq!(o.cache_mb, 256);
+        assert!(o.telemetry, "telemetry defaults on");
         let Command::Serve(o) = parse(&argv(&[
             "serve",
             "--addr",
@@ -1035,6 +1170,11 @@ mod tests {
         assert_eq!(o.workers, 4);
         assert_eq!(o.queue, 8);
         assert_eq!(o.cache_mb, 64);
+        let Command::Serve(o) = parse(&argv(&["serve", "--no-telemetry"])).unwrap() else {
+            panic!("serve expected")
+        };
+        assert!(!o.telemetry);
+        assert!(parse(&argv(&["inject", "d.v", "--no-telemetry"])).is_err());
         // degenerate values and foreign options are rejected
         assert!(parse(&argv(&["serve", "--workers", "0"]))
             .unwrap_err()
@@ -1127,11 +1267,24 @@ mod tests {
             };
             assert_eq!(o.job, "j-000001");
             assert_eq!(o.addr, "10.0.0.1:7171");
+            assert!(!o.events);
             assert!(parse(&argv(&[name]))
                 .unwrap_err()
                 .contains("needs a job id"));
             assert!(parse(&argv(&[name, "j-1", "j-2"])).is_err());
         }
+    }
+
+    #[test]
+    fn watch_takes_an_events_flag() {
+        let Command::Watch(o) = parse(&argv(&["watch", "j-000001", "--events"])).unwrap() else {
+            panic!("watch expected")
+        };
+        assert!(o.events);
+        assert_eq!(o.job, "j-000001");
+        // --events is watch-only
+        assert!(parse(&argv(&["status", "j-000001", "--events"])).is_err());
+        assert!(parse(&argv(&["cancel", "j-000001", "--events"])).is_err());
     }
 
     #[test]

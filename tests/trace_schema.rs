@@ -425,3 +425,82 @@ fn pruned_trace_matches_baseline_outcomes_and_summarizes_per_engine() {
     );
     let _ = std::fs::remove_file(trace);
 }
+
+#[test]
+fn trace_flame_folds_spans_and_summarize_rejects_truncation() {
+    let design = write_design("flame");
+    let trace = temp_path("flame", "jsonl");
+    let (_, stderr, ok) = run(&[
+        "inject",
+        design.to_str().unwrap(),
+        "--seed",
+        "42",
+        "--cycles",
+        "24",
+        "--quiet",
+        "--threads",
+        "1",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "inject failed: {stderr}");
+    let _ = std::fs::remove_file(design);
+
+    // flame: stdout is pure folded stacks (`a;b;c nanos`), the coverage
+    // note rides on stderr so the stacks pipe straight into flamegraph
+    // tooling
+    let (folded, stderr, ok) = run(&["trace", "flame", trace.to_str().unwrap()]);
+    assert!(ok, "trace flame failed: {stderr}");
+    assert!(!folded.is_empty(), "no folded stacks");
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack nanos` shape");
+        assert!(!stack.is_empty() && !stack.contains('/'), "{line}");
+        count.parse::<u64>().expect("integer self-time");
+    }
+    assert!(
+        folded.lines().any(|l| l.starts_with("campaign")),
+        "campaign span missing from:\n{folded}"
+    );
+    assert!(
+        stderr.contains("wall-clock"),
+        "no coverage note on stderr: {stderr}"
+    );
+
+    // diff of a trace against itself is all-zero deltas but keeps the shape
+    let (diff, _, ok) = run(&[
+        "trace",
+        "diff",
+        trace.to_str().unwrap(),
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "trace diff failed");
+    assert!(diff.starts_with("span"), "no header row:\n{diff}");
+    assert!(diff.lines().last().unwrap().starts_with("total attributed"));
+    assert!(diff.contains("campaign"));
+
+    // dropping the end record makes strict summarize exit non-zero with a
+    // truncation diagnosis; --allow-partial downgrades it to a warning
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let partial: String = text
+        .lines()
+        .filter(|l| !l.contains(r#""ev":"end""#))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let cut = temp_path("flame_cut", "jsonl");
+    std::fs::write(&cut, partial).expect("write truncated trace");
+    let (_, stderr, ok) = run(&["trace", "summarize", cut.to_str().unwrap()]);
+    assert!(!ok, "truncated trace must fail strict summarize");
+    assert!(stderr.contains("truncated"), "{stderr}");
+    assert!(stderr.contains("--allow-partial"), "{stderr}");
+    let (partial_out, stderr, ok) = run(&[
+        "trace",
+        "summarize",
+        "--allow-partial",
+        cut.to_str().unwrap(),
+    ]);
+    assert!(ok, "--allow-partial must accept a prefix: {stderr}");
+    assert!(stderr.contains("warning"), "{stderr}");
+    assert!(partial_out.contains("faults:"), "{partial_out}");
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(cut);
+}
